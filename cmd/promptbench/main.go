@@ -1,0 +1,248 @@
+// Command promptbench regenerates the paper's tables and figures on the
+// simulated substrate and prints them in the same rows/series the paper
+// reports. Each experiment is selected by id:
+//
+//	promptbench -exp table1            # dataset properties
+//	promptbench -exp fig6              # B-BPFI heuristics ablation
+//	promptbench -exp fig10             # partitioning metrics (BSI/BCI)
+//	promptbench -exp fig11             # throughput under variable rate
+//	promptbench -exp fig11d            # throughput vs Zipf exponent
+//	promptbench -exp fig12             # elasticity trace
+//	promptbench -exp fig13             # latency distribution
+//	promptbench -exp fig14             # post-sort cost and overhead
+//	promptbench -exp ablation          # design-choice ablations
+//	promptbench -exp all               # everything
+//
+// The -scale flag trades fidelity for runtime: quick (seconds), default
+// (a few minutes), full (approaches the paper's scale). With -json the
+// raw result structs are emitted as a JSON array instead of tables.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"prompt/internal/experiment"
+)
+
+// printable is any experiment result.
+type printable interface {
+	Print(w io.Writer)
+}
+
+// named pairs an experiment result with its id for JSON output.
+type named struct {
+	ID     string    `json:"id"`
+	Result printable `json:"result"`
+}
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment id: table1|fig6|fig10|fig11|fig11d|fig12|fig13|fig14|ablation|all")
+		scale     = flag.String("scale", "default", "parameter scale: quick|default|full")
+		datasets  = flag.String("datasets", "tweets,tpch", "comma-separated datasets for fig10/ablation")
+		intervals = flag.String("intervals", "1,2,3", "comma-separated batch intervals (seconds) for fig11")
+		zs        = flag.String("z", "0.1,0.5,1.0,1.5,2.0", "comma-separated Zipf exponents for fig11d")
+		batches   = flag.Int("batches", 200, "batches for fig13")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		asJSON    = flag.Bool("json", false, "emit raw results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	var p experiment.Params
+	switch *scale {
+	case "quick":
+		p = experiment.Quick()
+	case "default":
+		p = experiment.Default()
+	case "full":
+		p = experiment.Full()
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scale))
+	}
+	p.Seed = *seed
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "fig6", "fig10", "fig11", "fig11d", "fig12", "fig13", "fig14", "ablation", "sizing"}
+	}
+	var all []named
+	for _, id := range ids {
+		start := time.Now()
+		results, err := run(id, p, *datasets, *intervals, *zs, *batches)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			all = append(all, results...)
+			continue
+		}
+		for _, r := range results {
+			r.Result.Print(os.Stdout)
+			fmt.Println()
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func run(id string, p experiment.Params, datasets, intervals, zs string, batches int) ([]named, error) {
+	var out []named
+	add := func(id string, r printable) { out = append(out, named{ID: id, Result: r}) }
+	switch id {
+	case "table1":
+		res, err := experiment.Table1(p)
+		if err != nil {
+			return nil, err
+		}
+		add("table1", res)
+	case "fig6":
+		res, err := experiment.Fig6Paper()
+		if err != nil {
+			return nil, err
+		}
+		add("fig6-paper", res)
+		rnd, err := experiment.Fig6Random(p)
+		if err != nil {
+			return nil, err
+		}
+		add("fig6-random", rnd)
+	case "fig10":
+		for _, ds := range splitList(datasets) {
+			res, err := experiment.Fig10(p, ds)
+			if err != nil {
+				return nil, err
+			}
+			add("fig10-"+ds, res)
+		}
+	case "fig11":
+		secs, err := parseInts(intervals)
+		if err != nil {
+			return nil, err
+		}
+		for _, ds := range splitList(datasets) {
+			res, err := experiment.Fig11(p, ds, secs)
+			if err != nil {
+				return nil, err
+			}
+			add("fig11-"+ds, res)
+		}
+	case "fig11d":
+		exps, err := parseFloats(zs)
+		if err != nil {
+			return nil, err
+		}
+		res, err := experiment.Fig11Skew(p, exps, 1)
+		if err != nil {
+			return nil, err
+		}
+		add("fig11d", res)
+	case "fig12":
+		res, err := experiment.Fig12(p)
+		if err != nil {
+			return nil, err
+		}
+		add("fig12", res)
+	case "fig13":
+		res, err := experiment.Fig13(p, batches)
+		if err != nil {
+			return nil, err
+		}
+		add("fig13", res)
+	case "fig14":
+		a, err := experiment.Fig14a(p)
+		if err != nil {
+			return nil, err
+		}
+		add("fig14a", a)
+		b, err := experiment.Fig14b(p, []int{10_000, 50_000, 100_000, 500_000, 1_000_000})
+		if err != nil {
+			return nil, err
+		}
+		add("fig14b", b)
+	case "ablation":
+		ablations := []struct {
+			name string
+			f    func(experiment.Params, string) (*experiment.AblationResult, error)
+		}{
+			{"dealing", experiment.AblationDealing},
+			{"fragsize", experiment.AblationFragDivisor},
+			{"rotation", experiment.AblationRotation},
+			{"sampling", experiment.AblationSampling},
+		}
+		for _, ds := range splitList(datasets) {
+			for _, ab := range ablations {
+				res, err := ab.f(p, ds)
+				if err != nil {
+					return nil, err
+				}
+				add("ablation-"+ab.name+"-"+ds, res)
+			}
+		}
+		slack, err := experiment.AblationSlack(p, []float64{0.0, 0.01, 0.05, 0.1})
+		if err != nil {
+			return nil, err
+		}
+		add("ablation-slack", slack)
+	case "sizing":
+		res, err := experiment.ExtBatchSizing(p)
+		if err != nil {
+			return nil, err
+		}
+		add("sizing", res)
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range splitList(s) {
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promptbench:", err)
+	os.Exit(1)
+}

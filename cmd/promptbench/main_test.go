@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"prompt/internal/experiment"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{" a , b ", []string{"a", "b"}},
+		{"", nil},
+		{",,", nil},
+	}
+	for _, c := range cases {
+		got := splitList(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("splitList(%q) = %v", c.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("splitList(%q)[%d] = %q", c.in, i, got[i])
+			}
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1,2,3")
+	if err != nil || len(got) != 3 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.1,1.5")
+	if err != nil || len(got) != 2 || got[1] != 1.5 {
+		t.Errorf("parseFloats = %v, %v", got, err)
+	}
+	if _, err := parseFloats("0.1,zz"); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := run("nosuch", experiment.Quick(), "tweets", "1", "1.0", 5); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+}
+
+func TestRunTable1AndJSONShape(t *testing.T) {
+	results, err := run("table1", experiment.Quick(), "tweets", "1", "1.0", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != "table1" {
+		t.Fatalf("results = %+v", results)
+	}
+	// The result must both print and serialize.
+	var buf bytes.Buffer
+	results[0].Result.Print(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+	js, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(js, []byte(`"id":"table1"`)) {
+		t.Errorf("JSON missing id: %s", js[:80])
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	results, err := run("fig6", experiment.Quick(), "tweets", "1", "1.0", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("fig6 returned %d results, want paper + randomized", len(results))
+	}
+}

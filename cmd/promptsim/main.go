@@ -1,0 +1,181 @@
+// Command promptsim runs a single micro-batch streaming simulation with a
+// chosen partitioning scheme and prints the per-batch reports — a quick
+// way to watch stability, queueing, and partitioning quality evolve:
+//
+//	promptsim -scheme prompt -dataset tweets -rate 200000 -batches 20
+//	promptsim -scheme time -rate-shape sin -amplitude 0.6
+//	promptsim -scheme prompt -elastic -rate-shape ramp -rate 50000 -rate-to 400000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"prompt/internal/cluster"
+	"prompt/internal/core"
+	"prompt/internal/elastic"
+	"prompt/internal/engine"
+	"prompt/internal/experiment"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+func main() {
+	var (
+		schemeName  = flag.String("scheme", "prompt", "partitioning scheme: prompt|prompt-postsort|time|shuffle|hash|pk2|pk5|cam|ffd|fragmin")
+		dataset     = flag.String("dataset", "tweets", "dataset generator")
+		rate        = flag.Float64("rate", 200_000, "base arrival rate (tuples/s)")
+		rateTo      = flag.Float64("rate-to", 0, "final rate for -rate-shape ramp (default 2x base)")
+		rateShape   = flag.String("rate-shape", "const", "rate shape: const|sin|ramp")
+		amplitude   = flag.Float64("amplitude", 0.5, "sinusoidal amplitude as a fraction of the base rate")
+		z           = flag.Float64("z", 1.0, "Zipf exponent for synd")
+		cardinality = flag.Int("cardinality", 50_000, "key universe size")
+		batches     = flag.Int("batches", 20, "number of batches")
+		intervalMs  = flag.Int("interval-ms", 1000, "batch interval (milliseconds)")
+		mapTasks    = flag.Int("p", 8, "map tasks (blocks)")
+		reduceTasks = flag.Int("r", 8, "reduce tasks (buckets)")
+		cores       = flag.Int("cores", 8, "simulated cores")
+		elasticOn   = flag.Bool("elastic", false, "enable the auto-scale controller (Algorithm 4)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		input       = flag.String("input", "", "replay a recorded CSV trace (streamgen format) instead of generating")
+		csvOut      = flag.String("csv", "", "also write the per-batch reports as CSV to this file")
+	)
+	flag.Parse()
+
+	interval := tuple.Time(*intervalMs) * tuple.Millisecond
+	horizon := tuple.Time(*batches) * interval
+
+	var shape workload.RateShape
+	switch *rateShape {
+	case "const":
+		shape = workload.ConstantRate(*rate)
+	case "sin":
+		shape = workload.SinusoidalRate{Base: *rate, Amplitude: *amplitude * *rate, Period: 8 * interval}
+	case "ramp":
+		to := *rateTo
+		if to == 0 {
+			to = 2 * *rate
+		}
+		shape = workload.RampRate{From: *rate, To: to, Start: 0, End: horizon}
+	default:
+		fatal(fmt.Errorf("unknown rate shape %q", *rateShape))
+	}
+
+	var src workload.Stream
+	srcName := *dataset
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal(err)
+		}
+		trace, err := workload.ReadTrace(*input, f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if span := int(trace.Span() / interval); *batches > span && span > 0 {
+			*batches = span
+		}
+		src = trace
+		srcName = "trace:" + *input
+	} else {
+		gen, err := workload.ByName(*dataset, shape, *z,
+			workload.DatasetDefaults{Cardinality: *cardinality, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		src = gen
+	}
+
+	var scheme core.Scheme
+	switch *schemeName {
+	case "prompt":
+		scheme = core.PromptScheme()
+	case "prompt-postsort":
+		scheme = core.PromptPostSort()
+	default:
+		s, err := core.Baseline(*schemeName)
+		if err != nil {
+			fatal(err)
+		}
+		scheme = s
+	}
+
+	params := experiment.Default()
+	cfg := engine.Config{
+		BatchInterval: interval,
+		MapTasks:      *mapTasks,
+		ReduceTasks:   *reduceTasks,
+		Cores:         *cores,
+		Cost:          params.Cost,
+	}
+	cfg = scheme.Apply(cfg)
+	eng, err := engine.New(cfg, engine.Query{Name: "wordcount", Map: engine.CountMap, Reduce: window.Sum})
+	if err != nil {
+		fatal(err)
+	}
+
+	var reports []engine.BatchReport
+	if *elasticOn {
+		ctrl, err := elastic.NewController(elastic.DefaultConfig(), *mapTasks, *reduceTasks)
+		if err != nil {
+			fatal(err)
+		}
+		pool, err := cluster.NewExecutorPool(*cores*4, 2, (*cores+1)/2)
+		if err != nil {
+			fatal(err)
+		}
+		driver, err := core.NewElasticDriver(eng, ctrl, pool)
+		if err != nil {
+			fatal(err)
+		}
+		reports, err = driver.RunBatches(src, *batches)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		reports, err = eng.RunBatches(src, *batches)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "scheme=%s dataset=%s interval=%v\n", scheme.Name, srcName, interval)
+	fmt.Fprintln(tw, "batch\ttuples\tkeys\tproc(ms)\twait(ms)\tW\tp\tr\tcores\tBSI\tBCI\tKSR\tstable")
+	for _, r := range reports {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.1f\t%.2f\t%d\t%d\t%d\t%.0f\t%.0f\t%.3f\t%v\n",
+			r.Index, r.Tuples, r.Keys,
+			float64(r.ProcessingTime)/1000, float64(r.QueueWait)/1000, r.W,
+			r.MapTasks, r.ReduceTasks, r.Cores,
+			r.Quality.BSI, r.Quality.BCI, r.Quality.KSR, r.Stable)
+	}
+	tw.Flush()
+
+	s := engine.Summarize(reports)
+	fmt.Printf("\nsummary: %d batches, %d tuples, throughput %.0f/s, mean proc %v, max latency %v, unstable %d\n",
+		s.Batches, s.Tuples, s.Throughput, s.MeanProcessing, s.MaxLatency, s.UnstableCount)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.WriteReportsCSV(f, reports); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote per-batch CSV to %s\n", *csvOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promptsim:", err)
+	os.Exit(1)
+}

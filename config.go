@@ -1,0 +1,76 @@
+package prompt
+
+import (
+	"fmt"
+	"time"
+
+	"prompt/internal/core"
+	"prompt/internal/engine"
+	"prompt/internal/partition"
+	"prompt/internal/tuple"
+)
+
+// Config configures a Stream. The zero value runs Prompt with the
+// evaluation defaults (1 s batches, 8 Map and 8 Reduce tasks).
+type Config struct {
+	// BatchInterval is the micro-batch heartbeat; it bounds end-to-end
+	// latency (latency = interval + processing time while stable).
+	BatchInterval time.Duration
+	// MapTasks (p) and ReduceTasks (r) set the execution parallelism.
+	MapTasks    int
+	ReduceTasks int
+	// Cores is the simulated core budget for stage execution; 0 means one
+	// core per Map task.
+	Cores int
+	// Scheme selects the partitioning technique: "prompt" (default),
+	// "prompt-postsort", or a baseline: "time", "shuffle", "hash", "pk2",
+	// "pk5", "cam", "ffd", "fragmin".
+	Scheme string
+	// EarlyReleaseFraction is the slice of the batch interval reserved for
+	// partitioning (default 0.05, the paper's bound).
+	EarlyReleaseFraction float64
+	// Validate enables per-batch invariant checks (tuples placed exactly
+	// once, key locality at the Reduce stage).
+	Validate bool
+	// Cost overrides the simulated task cost model; zero uses defaults.
+	Cost CostModel
+}
+
+// SchemeNames lists the accepted Scheme values.
+func SchemeNames() []string {
+	return append(partition.Names(), "prompt-postsort")
+}
+
+// build resolves the configuration into an engine config and scheme.
+func (c Config) build() (engine.Config, core.Scheme, error) {
+	var scheme core.Scheme
+	switch c.Scheme {
+	case "", "prompt":
+		scheme = core.PromptScheme()
+	case "prompt-postsort":
+		scheme = core.PromptPostSort()
+	default:
+		s, err := core.Baseline(c.Scheme)
+		if err != nil {
+			return engine.Config{}, core.Scheme{}, err
+		}
+		scheme = s
+	}
+	interval := tuple.FromDuration(c.BatchInterval)
+	if c.BatchInterval == 0 {
+		interval = tuple.Second
+	} else if interval <= 0 {
+		return engine.Config{}, core.Scheme{}, fmt.Errorf("prompt: batch interval %v must be positive", c.BatchInterval)
+	}
+	ec := engine.Config{
+		BatchInterval:        interval,
+		MapTasks:             c.MapTasks,
+		ReduceTasks:          c.ReduceTasks,
+		Cores:                c.Cores,
+		Cost:                 c.Cost,
+		EarlyReleaseFraction: c.EarlyReleaseFraction,
+		ValidateBatches:      c.Validate,
+	}
+	ec = scheme.Apply(ec)
+	return ec, scheme, nil
+}

@@ -1,0 +1,44 @@
+// Package prompt is a from-scratch reproduction of "Prompt: Dynamic
+// Data-Partitioning for Distributed Micro-batch Stream Processing Systems"
+// (Abdelhamid, Mahmood, Daghistani, Aref — SIGMOD 2020).
+//
+// Prompt is a data-partitioning scheme for micro-batch stream processing
+// engines (Spark Streaming and its relatives). It replaces the engine's
+// partitioning decisions at four points:
+//
+//   - Algorithm 1 — frequency-aware buffering: while a batch accumulates,
+//     a hash table plus a budget-updated balanced BST (the CountTree)
+//     maintain a quasi-sorted list of key frequencies online, so no
+//     sorting is needed when the heartbeat fires.
+//   - Algorithm 2 — micro-batch partitioning: a greedy heuristic for the
+//     NP-hard Balanced Bin Packing with Fragmentable Items problem splits
+//     the batch into equal-size, equal-cardinality data blocks with
+//     minimal key fragmentation.
+//   - Algorithm 3 — reduce bucket allocation: each Map task locally
+//     assigns its key clusters to Reduce buckets with Worst-Fit plus
+//     rotation; split keys route by hashing so no coordination is needed.
+//   - Algorithm 4 — latency-aware auto-scaling: a threshold controller on
+//     W = processing time / batch interval adds or removes Map and Reduce
+//     tasks, attributing load changes to data rate vs data distribution.
+//
+// This package is the public API: it wires those algorithms (or any of the
+// baseline techniques the paper compares against: time-based, shuffle,
+// hash, PK-2, PK-5, cAM) into a micro-batch engine running on a simulated
+// cluster, exposes windowed streaming queries over it, and reports
+// per-batch partitioning quality, stage times, latency, and stability.
+//
+// # Quick start
+//
+//	cfg := prompt.Config{
+//		BatchInterval: time.Second,
+//		MapTasks:      8,
+//		ReduceTasks:   8,
+//		Scheme:        "prompt",
+//	}
+//	st, err := prompt.New(cfg, prompt.WordCount(30*time.Second, time.Second))
+//	if err != nil { ... }
+//	rep, err := st.ProcessBatch(tuples) // tuples from your receiver
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the harness
+// that regenerates the paper's tables and figures.
+package prompt

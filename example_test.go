@@ -1,0 +1,147 @@
+package prompt_test
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"prompt"
+)
+
+// ExampleNew demonstrates the minimal lifecycle: create a stream, push one
+// batch interval of tuples, and read the per-batch result.
+func ExampleNew() {
+	st, err := prompt.New(prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      4,
+		ReduceTasks:   4,
+		Scheme:        "prompt",
+	}, prompt.WordCount(10*time.Second, time.Second))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	tuples := []prompt.Tuple{
+		prompt.NewTuple(prompt.At(100*time.Millisecond), "go", 1),
+		prompt.NewTuple(prompt.At(200*time.Millisecond), "stream", 1),
+		prompt.NewTuple(prompt.At(300*time.Millisecond), "go", 1),
+	}
+	rep, err := st.ProcessBatch(tuples)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("tuples:", rep.Tuples, "keys:", rep.Keys, "stable:", rep.Stable)
+	fmt.Println("go =", st.Result()["go"])
+	// Output:
+	// tuples: 3 keys: 2 stable: true
+	// go = 2
+}
+
+// ExampleStream_TopK shows windowed top-k answers accumulating across
+// batches.
+func ExampleStream_TopK() {
+	st, err := prompt.New(prompt.Config{BatchInterval: time.Second},
+		prompt.WordCount(5*time.Second, time.Second))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	mk := func(sec int, words ...string) []prompt.Tuple {
+		out := make([]prompt.Tuple, len(words))
+		for i, w := range words {
+			ts := prompt.At(time.Duration(sec)*time.Second + time.Duration(i+1)*time.Millisecond)
+			out[i] = prompt.NewTuple(ts, w, 1)
+		}
+		return out
+	}
+	if _, err := st.ProcessBatch(mk(0, "a", "b", "a")); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := st.ProcessBatch(mk(1, "a", "c", "b")); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	top, err := st.TopK(2)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, e := range top {
+		fmt.Printf("%s: %.0f\n", e.Key, e.Val)
+	}
+	// Output:
+	// a: 3
+	// b: 2
+}
+
+// ExamplePerBatch runs a windowless query with a filtering Map function:
+// only values above the threshold are aggregated.
+func ExamplePerBatch() {
+	q := prompt.PerBatch("big-sum",
+		func(t prompt.Tuple) (float64, bool) { return t.Val, t.Val >= 10 },
+		nil, nil) // nil Reduce defaults to summation
+	st, err := prompt.New(prompt.Config{BatchInterval: time.Second}, q)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if _, err := st.ProcessBatch([]prompt.Tuple{
+		prompt.NewTuple(1, "x", 5),  // filtered out
+		prompt.NewTuple(2, "x", 12), // kept
+		prompt.NewTuple(3, "x", 30), // kept
+	}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("x =", st.Result()["x"])
+	// Output:
+	// x = 42
+}
+
+// ExampleSummarize folds per-batch reports into run-level statistics.
+func ExampleSummarize() {
+	st, err := prompt.New(prompt.Config{BatchInterval: time.Second},
+		prompt.WordCount(5*time.Second, time.Second))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i := 0; i < 3; i++ {
+		base := time.Duration(i) * time.Second
+		batch := []prompt.Tuple{
+			prompt.NewTuple(prompt.At(base+time.Millisecond), "k", 1),
+			prompt.NewTuple(prompt.At(base+2*time.Millisecond), "k", 1),
+		}
+		if _, err := st.ProcessBatch(batch); err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+	}
+	s := prompt.Summarize(st.Reports())
+	fmt.Println("batches:", s.Batches, "tuples:", s.Tuples, "unstable:", s.UnstableCount)
+	// Output:
+	// batches: 3 tuples: 6 unstable: 0
+}
+
+// ExampleConfig_schemes enumerates the available partitioning schemes.
+func ExampleConfig_schemes() {
+	names := prompt.SchemeNames()
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+	// Output:
+	// cam
+	// ffd
+	// fragmin
+	// hash
+	// pk2
+	// pk5
+	// prompt
+	// prompt-postsort
+	// shuffle
+	// time
+}

@@ -1,0 +1,106 @@
+// Clustermon runs a Google-Cluster-Monitoring-style query over the GCM
+// stand-in stream: the mean CPU usage per job over a sliding window,
+// computed as two concurrent windowed aggregates (sum and count) with a
+// filter that drops idle samples — showing custom Map functions and
+// windowless per-batch results alongside windowed state.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"prompt"
+
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+func main() {
+	// Query: per-job total CPU over a 10 s window, ignoring samples below
+	// 5% utilization (the filter runs in the Map stage).
+	busyCPU := prompt.Query{
+		Name: "gcm-busy-cpu",
+		Map: func(t prompt.Tuple) (float64, bool) {
+			return t.Val, t.Val >= 0.05
+		},
+	}
+	sumQ := prompt.SlidingSum("gcm-cpu-sum", 10*time.Second, time.Second)
+	sumQ.Map = busyCPU.Map
+	countQ := prompt.WordCount(10*time.Second, time.Second)
+	countQ.Map = func(t prompt.Tuple) (float64, bool) { return 1, t.Val >= 0.05 }
+
+	mk := func(q prompt.Query) *prompt.Stream {
+		st, err := prompt.New(prompt.Config{
+			BatchInterval: time.Second,
+			MapTasks:      8,
+			ReduceTasks:   8,
+			Scheme:        "prompt",
+		}, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+	sums, counts := mk(sumQ), mk(countQ)
+
+	// Two identically-seeded sources so both streams see the same events.
+	mkSrc := func() *workload.Source {
+		src, err := workload.GCM(workload.ConstantRate(80_000),
+			workload.DatasetDefaults{Cardinality: 30_000, Seed: 99})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return src
+	}
+	srcA, srcB := mkSrc(), mkSrc()
+
+	fmt.Println("ingesting 10 one-second batches of cluster task events (~80k/s) ...")
+	for i := 0; i < 10; i++ {
+		for _, run := range []struct {
+			st  *prompt.Stream
+			src *workload.Source
+		}{{sums, srcA}, {counts, srcB}} {
+			start := run.st.Now()
+			events, err := run.src.Slice(start, start+tuple.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if _, err := run.st.ProcessBatch(events); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Join the two window states into mean CPU per job.
+	sumWin := sums.Window()
+	cntWin := counts.Window()
+	type jobMean struct {
+		job  string
+		mean float64
+		n    float64
+	}
+	var jobs []jobMean
+	for job, total := range sumWin {
+		if n := cntWin[job]; n > 0 {
+			jobs = append(jobs, jobMean{job, total / n, n})
+		}
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].n != jobs[j].n {
+			return jobs[i].n > jobs[j].n
+		}
+		return jobs[i].job < jobs[j].job
+	})
+
+	fmt.Println("\nbusiest jobs (by busy samples in the 10s window):")
+	fmt.Println("  job          samples  mean CPU")
+	for i := 0; i < 8 && i < len(jobs); i++ {
+		fmt.Printf("  %-12s %7.0f  %8.3f\n", jobs[i].job, jobs[i].n, jobs[i].mean)
+	}
+
+	s := prompt.Summarize(sums.Reports())
+	fmt.Printf("\nthroughput %.0f events/s, mean processing %v, unstable batches %d\n",
+		s.Throughput, s.MeanProcessing.Duration().Round(time.Millisecond), s.UnstableCount)
+}

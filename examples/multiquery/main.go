@@ -1,0 +1,89 @@
+// Multiquery runs three queries over one taxi stream with a shared
+// batching phase: Prompt's statistics and partitioning execute once per
+// batch, then each query runs as its own Map-Reduce job over the same data
+// blocks — ride counts, fare totals, and a premium-ride filter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prompt"
+
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+func main() {
+	countQ := prompt.WordCount(10*time.Second, time.Second)
+	countQ.Name = "rides"
+	fareQ := prompt.SlidingSum("fares", 10*time.Second, time.Second)
+	premiumQ := prompt.Query{
+		Name: "premium-fares",
+		Map: func(t prompt.Tuple) (float64, bool) {
+			return t.Val, t.Val >= 30 // only rides of $30 and up
+		},
+	}
+
+	ms, err := prompt.NewMulti(prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      8,
+		ReduceTasks:   8,
+		Scheme:        "prompt",
+	}, countQ, fareQ, premiumQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src, err := workload.DEBS(workload.ConstantRate(60_000),
+		workload.DatasetDefaults{Cardinality: 15_000, Seed: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("queries sharing one batching phase: %v\n", ms.Queries())
+	for i := 0; i < 8; i++ {
+		start := ms.Now()
+		trips, err := src.Slice(start, start+tuple.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := ms.ProcessBatch(trips)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 || i == 7 {
+			fmt.Printf("batch %d: %d trips, all three jobs in %v (stable=%v)\n",
+				rep.Index, rep.Tuples, rep.ProcessingTime.Duration().Round(time.Millisecond), rep.Stable)
+		}
+	}
+
+	topRides, err := ms.TopK(0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topFares, err := ms.TopK(1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nbusiest taxis (rides in window) :")
+	for _, e := range topRides {
+		fmt.Printf("  %-10s %6.0f rides\n", e.Key, e.Val)
+	}
+	fmt.Println("highest-earning taxis (window)  :")
+	for _, e := range topFares {
+		fmt.Printf("  %-10s $%9.2f\n", e.Key, e.Val)
+	}
+
+	premium, err := ms.Result(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalPremium := 0.0
+	for _, v := range premium {
+		totalPremium += v
+	}
+	fmt.Printf("premium fares last batch        : $%.2f across %d taxis\n",
+		totalPremium, len(premium))
+}

@@ -1,0 +1,71 @@
+// Quickstart: a sliding-window WordCount over a synthetic tweet stream,
+// processed by the Prompt partitioning scheme — the paper's introductory
+// workload. It shows the core API loop: build a Stream, feed it one batch
+// interval of tuples at a time, and read windowed answers plus per-batch
+// performance reports.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prompt"
+
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+func main() {
+	// A 1-second micro-batch engine running the full Prompt scheme:
+	// frequency-aware buffering, the B-BPFI batch partitioner, and the
+	// worst-fit reduce allocator, on 8 simulated cores.
+	st, err := prompt.New(prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      8,
+		ReduceTasks:   8,
+		Scheme:        "prompt",
+		Validate:      true, // paranoid per-batch invariant checks
+	}, prompt.WordCount(10*time.Second, time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A Zipf-distributed word stream standing in for the paper's Tweets
+	// dataset: 50k-word vocabulary at 100k tuples/second.
+	src, err := workload.Tweets(workload.ConstantRate(100_000),
+		workload.DatasetDefaults{Cardinality: 50_000, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("processing 10 one-second batches of ~100k tweets/s ...")
+	for i := 0; i < 10; i++ {
+		start := st.Now()
+		tuples, err := src.Slice(start, start+tuple.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := st.ProcessBatch(tuples)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  batch %d: %6d tuples, %5d words, processing %v, stable=%v, KSR=%.3f\n",
+			rep.Index, rep.Tuples, rep.Keys, rep.ProcessingTime.Duration().Round(time.Millisecond),
+			rep.Stable, rep.Quality.KSR)
+	}
+
+	top, err := st.TopK(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop-10 words in the current 10s window:")
+	for i, e := range top {
+		fmt.Printf("  %2d. %-8s %6.0f\n", i+1, e.Key, e.Val)
+	}
+
+	s := prompt.Summarize(st.Reports())
+	fmt.Printf("\nsummary: throughput %.0f tuples/s, mean latency %v, max latency %v\n",
+		s.Throughput, s.MeanLatency.Duration().Round(time.Millisecond),
+		s.MaxLatency.Duration().Round(time.Millisecond))
+}

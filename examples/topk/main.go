@@ -1,0 +1,72 @@
+// Topk runs the TopKCount workload under heavy skew and contrasts the
+// partitioning schemes the paper compares: the same Zipf(z=1.5) stream is
+// processed by hash partitioning (key grouping) and by Prompt, showing how
+// skew destroys hash's block balance while Prompt stays stable — the
+// Figure 11d story at demo scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"prompt"
+
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+func run(scheme string) (*prompt.Stream, prompt.RunSummary) {
+	st, err := prompt.New(prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      8,
+		ReduceTasks:   8,
+		Scheme:        scheme,
+	}, prompt.WordCount(8*time.Second, time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// SynD with a harsh Zipf exponent: the top key draws ~40% of traffic.
+	src, err := workload.SynD(workload.ConstantRate(150_000), 1.5,
+		workload.DatasetDefaults{Cardinality: 100_000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		start := st.Now()
+		ts, err := src.Slice(start, start+tuple.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := st.ProcessBatch(ts); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return st, prompt.Summarize(st.Reports())
+}
+
+func main() {
+	fmt.Println("TopKCount on SynD (Zipf z=1.5, 150k tuples/s), hash vs prompt")
+
+	for _, scheme := range []string{"hash", "prompt"} {
+		st, s := run(scheme)
+		last := st.Reports()[len(st.Reports())-1]
+		fmt.Printf("\nscheme=%s\n", scheme)
+		fmt.Printf("  block size imbalance (BSI): %8.0f tuples\n", last.Quality.BSI)
+		fmt.Printf("  block card imbalance (BCI): %8.0f keys\n", last.Quality.BCI)
+		fmt.Printf("  key split ratio (KSR):      %8.3f\n", last.Quality.KSR)
+		fmt.Printf("  mean processing time:       %v\n", s.MeanProcessing.Duration().Round(time.Millisecond))
+		fmt.Printf("  max end-to-end latency:     %v\n", s.MaxLatency.Duration().Round(time.Millisecond))
+		fmt.Printf("  unstable batches:           %d of %d\n", s.UnstableCount, s.Batches)
+
+		top, err := st.TopK(5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("  top-5 keys in window:")
+		for i, e := range top {
+			fmt.Printf("    %d. %-8s %9.0f\n", i+1, e.Key, e.Val)
+		}
+	}
+	fmt.Println("\nBoth schemes compute identical answers; Prompt just gets them at lower cost.")
+}

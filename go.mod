@@ -1,0 +1,3 @@
+module prompt
+
+go 1.22

@@ -1,0 +1,89 @@
+// Package backpressure reproduces the role Spark Streaming's back-pressure
+// plays in the evaluation: it throttles the ingestion rate when the system
+// destabilizes, and — as the paper uses it — acts as the instrument that
+// reports the maximum sustainable throughput of a configuration. An AIMD
+// controller provides the runtime throttle; a bisection search finds the
+// highest constant rate a configuration sustains without queueing.
+package backpressure
+
+import "fmt"
+
+// AIMD is an additive-increase / multiplicative-decrease throttle on the
+// ingestion rate: stable batches nudge the rate factor up, unstable ones
+// cut it. The factor multiplies the source's offered rate.
+type AIMD struct {
+	// Factor is the current rate multiplier in [Min, Max].
+	Factor float64
+	// Min and Max bound the factor (defaults 0.05 and 1).
+	Min, Max float64
+	// Increase is the additive step on stability (default 0.05).
+	Increase float64
+	// Decrease is the multiplicative cut on instability (default 0.7).
+	Decrease float64
+}
+
+// NewAIMD returns a controller starting at factor 1 with the defaults.
+func NewAIMD() *AIMD {
+	return &AIMD{Factor: 1, Min: 0.05, Max: 1, Increase: 0.05, Decrease: 0.7}
+}
+
+// Validate rejects inconsistent settings.
+func (a *AIMD) Validate() error {
+	if a.Min <= 0 || a.Max < a.Min {
+		return fmt.Errorf("backpressure: bounds [%v,%v] invalid", a.Min, a.Max)
+	}
+	if a.Increase <= 0 || a.Decrease <= 0 || a.Decrease >= 1 {
+		return fmt.Errorf("backpressure: increase %v / decrease %v invalid", a.Increase, a.Decrease)
+	}
+	return nil
+}
+
+// Observe updates the factor from one batch's stability and returns the
+// new factor.
+func (a *AIMD) Observe(stable bool) float64 {
+	if stable {
+		a.Factor += a.Increase
+	} else {
+		a.Factor *= a.Decrease
+	}
+	if a.Factor > a.Max {
+		a.Factor = a.Max
+	}
+	if a.Factor < a.Min {
+		a.Factor = a.Min
+	}
+	return a.Factor
+}
+
+// Triggered reports whether the controller is currently throttling (the
+// "back-pressure activated" signal the paper's Figure 11 experiments use
+// to declare a configuration's maximum throughput reached).
+func (a *AIMD) Triggered() bool { return a.Factor < a.Max }
+
+// SearchMaxRate finds the highest rate in [lo, hi] for which sustain
+// returns true, by bisection to within tol (relative). sustain must be
+// monotone: if a rate is sustainable, all lower rates are too. It returns
+// lo if even lo is unsustainable.
+func SearchMaxRate(lo, hi, tol float64, sustain func(rate float64) bool) (float64, error) {
+	if lo <= 0 || hi < lo {
+		return 0, fmt.Errorf("backpressure: search bounds [%v,%v] invalid", lo, hi)
+	}
+	if tol <= 0 || tol >= 1 {
+		return 0, fmt.Errorf("backpressure: tolerance %v outside (0,1)", tol)
+	}
+	if !sustain(lo) {
+		return lo, nil
+	}
+	if sustain(hi) {
+		return hi, nil
+	}
+	for hi-lo > tol*hi {
+		mid := lo + (hi-lo)/2
+		if sustain(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,100 @@
+package backpressure
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAIMDValidate(t *testing.T) {
+	if err := NewAIMD().Validate(); err != nil {
+		t.Errorf("default AIMD invalid: %v", err)
+	}
+	a := NewAIMD()
+	a.Decrease = 1.5
+	if err := a.Validate(); err == nil {
+		t.Error("accepted multiplicative increase on failure")
+	}
+	a = NewAIMD()
+	a.Min = -1
+	if err := a.Validate(); err == nil {
+		t.Error("accepted negative min")
+	}
+}
+
+func TestAIMDBackoffAndRecovery(t *testing.T) {
+	a := NewAIMD()
+	if a.Triggered() {
+		t.Error("fresh controller already triggered")
+	}
+	f := a.Observe(false)
+	if f >= 1 {
+		t.Errorf("factor %v did not drop on instability", f)
+	}
+	if !a.Triggered() {
+		t.Error("not triggered after backoff")
+	}
+	for i := 0; i < 100; i++ {
+		a.Observe(true)
+	}
+	if a.Factor != a.Max {
+		t.Errorf("factor %v did not recover to max %v", a.Factor, a.Max)
+	}
+	if a.Triggered() {
+		t.Error("triggered at max factor")
+	}
+}
+
+func TestAIMDRespectsBounds(t *testing.T) {
+	a := NewAIMD()
+	for i := 0; i < 200; i++ {
+		a.Observe(false)
+	}
+	if a.Factor < a.Min {
+		t.Errorf("factor %v below min %v", a.Factor, a.Min)
+	}
+	if got := a.Observe(false); got != a.Factor {
+		t.Error("Observe return value mismatch")
+	}
+}
+
+func TestSearchMaxRateFindsThreshold(t *testing.T) {
+	const trueMax = 73000.0
+	rate, err := SearchMaxRate(1000, 200000, 0.01, func(r float64) bool { return r <= trueMax })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rate-trueMax)/trueMax > 0.02 {
+		t.Errorf("found %v, want ~%v", rate, trueMax)
+	}
+}
+
+func TestSearchMaxRateBoundaries(t *testing.T) {
+	// Even the lower bound unsustainable.
+	rate, err := SearchMaxRate(1000, 10000, 0.01, func(float64) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 1000 {
+		t.Errorf("got %v, want lo", rate)
+	}
+	// Everything sustainable.
+	rate, err = SearchMaxRate(1000, 10000, 0.01, func(float64) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 10000 {
+		t.Errorf("got %v, want hi", rate)
+	}
+}
+
+func TestSearchMaxRateValidation(t *testing.T) {
+	if _, err := SearchMaxRate(-1, 10, 0.01, func(float64) bool { return true }); err == nil {
+		t.Error("accepted negative lo")
+	}
+	if _, err := SearchMaxRate(10, 5, 0.01, func(float64) bool { return true }); err == nil {
+		t.Error("accepted hi < lo")
+	}
+	if _, err := SearchMaxRate(1, 10, 2, func(float64) bool { return true }); err == nil {
+		t.Error("accepted tolerance >= 1")
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prompt/internal/tuple"
+)
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := New(0, 16); err == nil {
+		t.Error("accepted zero nodes")
+	}
+	c, err := New(20, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCores() != 320 {
+		t.Errorf("TotalCores = %d, want 320", c.TotalCores())
+	}
+}
+
+func TestListScheduleFullyParallel(t *testing.T) {
+	// Enough cores: makespan equals the max duration (Eq. 1's regime).
+	durations := []tuple.Time{5, 9, 3, 7}
+	ms, comps, err := ListSchedule(durations, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 9 {
+		t.Errorf("makespan = %v, want 9", ms)
+	}
+	for i, d := range durations {
+		if comps[i] != d {
+			t.Errorf("completion[%d] = %v, want %v", i, comps[i], d)
+		}
+	}
+}
+
+func TestListScheduleSingleCore(t *testing.T) {
+	ms, comps, err := ListSchedule([]tuple.Time{4, 2, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 12 {
+		t.Errorf("makespan = %v, want 12", ms)
+	}
+	want := []tuple.Time{4, 6, 12}
+	for i := range want {
+		if comps[i] != want[i] {
+			t.Errorf("completion[%d] = %v, want %v", i, comps[i], want[i])
+		}
+	}
+}
+
+func TestListScheduleTwoCores(t *testing.T) {
+	// Tasks 3,3,4 on 2 cores: core A: 3+4=7? Greedy: t0->A(3), t1->B(3),
+	// t2-> earliest free (A at 3) -> 7.
+	ms, _, err := ListSchedule([]tuple.Time{3, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 7 {
+		t.Errorf("makespan = %v, want 7", ms)
+	}
+}
+
+func TestListScheduleErrors(t *testing.T) {
+	if _, _, err := ListSchedule([]tuple.Time{1}, 0); err == nil {
+		t.Error("accepted zero cores")
+	}
+	if _, _, err := ListSchedule([]tuple.Time{-1}, 2); err == nil {
+		t.Error("accepted negative duration")
+	}
+	ms, comps, err := ListSchedule(nil, 4)
+	if err != nil || ms != 0 || comps != nil {
+		t.Errorf("empty schedule: ms=%v comps=%v err=%v", ms, comps, err)
+	}
+}
+
+// bruteListSchedule is an O(n*m) reference implementation.
+func bruteListSchedule(durations []tuple.Time, cores int) tuple.Time {
+	free := make([]tuple.Time, cores)
+	var makespan tuple.Time
+	for _, d := range durations {
+		best := 0
+		for i := 1; i < cores; i++ {
+			if free[i] < free[best] {
+				best = i
+			}
+		}
+		free[best] += d
+		if free[best] > makespan {
+			makespan = free[best]
+		}
+	}
+	return makespan
+}
+
+func TestListScheduleMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		cores := 1 + rng.Intn(12)
+		durations := make([]tuple.Time, n)
+		for i := range durations {
+			durations[i] = tuple.Time(rng.Intn(1000))
+		}
+		ms, _, err := ListSchedule(durations, cores)
+		if err != nil {
+			return false
+		}
+		return ms == bruteListSchedule(durations, cores)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulesSatisfyGrahamBound(t *testing.T) {
+	// Any list schedule (including LPT order) finishes within
+	// sum/m + max — Graham's bound — and no earlier than
+	// max(ceil(sum/m), max), the trivial lower bound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		cores := 1 + rng.Intn(8)
+		durations := make([]tuple.Time, n)
+		var sum, maxDur tuple.Time
+		for i := range durations {
+			durations[i] = tuple.Time(rng.Intn(1000))
+			sum += durations[i]
+			if durations[i] > maxDur {
+				maxDur = durations[i]
+			}
+		}
+		lower := sum / tuple.Time(cores)
+		if maxDur > lower {
+			lower = maxDur
+		}
+		upper := sum/tuple.Time(cores) + maxDur
+		lpt, err := LPTSchedule(durations, cores)
+		if err != nil {
+			return false
+		}
+		plain, _, err := ListSchedule(durations, cores)
+		if err != nil {
+			return false
+		}
+		return lpt >= lower && lpt <= upper && plain >= lower && plain <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecutorPool(t *testing.T) {
+	p, err := NewExecutorPool(10, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cores() != 8 || p.Held() != 2 || p.Capacity() != 10 {
+		t.Fatalf("initial state: cores=%d held=%d", p.Cores(), p.Held())
+	}
+	if got := p.Acquire(3); got != 3 || p.Held() != 5 {
+		t.Errorf("Acquire(3) = %d, held %d", got, p.Held())
+	}
+	// Over-acquire clamps to capacity.
+	if got := p.Acquire(100); got != 5 || p.Held() != 10 {
+		t.Errorf("Acquire(100) = %d, held %d", got, p.Held())
+	}
+	// Over-release keeps at least one executor.
+	if got := p.Release(100); got != 9 || p.Held() != 1 {
+		t.Errorf("Release(100) = %d, held %d", got, p.Held())
+	}
+	if p.Acquire(-1) != 0 || p.Release(-1) != 0 {
+		t.Error("negative amounts should be no-ops")
+	}
+	if p.CoresPerExecutor() != 4 {
+		t.Errorf("CoresPerExecutor = %d", p.CoresPerExecutor())
+	}
+}
+
+func TestExecutorPoolValidation(t *testing.T) {
+	if _, err := NewExecutorPool(0, 4, 1); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := NewExecutorPool(5, 4, 0); err == nil {
+		t.Error("accepted zero initial executors")
+	}
+	if _, err := NewExecutorPool(5, 4, 6); err == nil {
+		t.Error("accepted initial > capacity")
+	}
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import "fmt"
+
+// ExecutorPool manages a bounded pool of executors (the Spark-executor
+// stand-in), each contributing a fixed number of cores. The elastic
+// resource manager acquires and releases executors as the workload
+// changes; the engine sizes its stages to the cores currently held.
+type ExecutorPool struct {
+	capacity         int // total executors available in the pool
+	coresPerExecutor int
+	held             int
+}
+
+// NewExecutorPool returns a pool of capacity executors with the given
+// cores each, with initial executors already acquired.
+func NewExecutorPool(capacity, coresPerExecutor, initial int) (*ExecutorPool, error) {
+	if capacity <= 0 || coresPerExecutor <= 0 {
+		return nil, fmt.Errorf("cluster: pool needs positive capacity and cores, got %d x %d",
+			capacity, coresPerExecutor)
+	}
+	if initial < 1 || initial > capacity {
+		return nil, fmt.Errorf("cluster: initial executors %d outside [1,%d]", initial, capacity)
+	}
+	return &ExecutorPool{capacity: capacity, coresPerExecutor: coresPerExecutor, held: initial}, nil
+}
+
+// Capacity returns the pool's total executor count.
+func (p *ExecutorPool) Capacity() int { return p.capacity }
+
+// Held returns the executors currently acquired.
+func (p *ExecutorPool) Held() int { return p.held }
+
+// Cores returns the cores currently available to the engine.
+func (p *ExecutorPool) Cores() int { return p.held * p.coresPerExecutor }
+
+// CoresPerExecutor returns each executor's core count.
+func (p *ExecutorPool) CoresPerExecutor() int { return p.coresPerExecutor }
+
+// Acquire adds n executors, clamped to the pool capacity. It reports how
+// many were actually added.
+func (p *ExecutorPool) Acquire(n int) int {
+	if n < 0 {
+		return 0
+	}
+	avail := p.capacity - p.held
+	if n > avail {
+		n = avail
+	}
+	p.held += n
+	return n
+}
+
+// Release returns n executors to the pool, always keeping at least one.
+// It reports how many were actually released.
+func (p *ExecutorPool) Release(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if p.held-n < 1 {
+		n = p.held - 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	p.held -= n
+	return n
+}

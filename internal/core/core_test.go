@@ -1,0 +1,190 @@
+package core
+
+import (
+	"testing"
+
+	"prompt/internal/cluster"
+	"prompt/internal/elastic"
+	"prompt/internal/engine"
+	"prompt/internal/metrics"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+func TestPromptScheme(t *testing.T) {
+	s := PromptScheme()
+	if s.Name != "prompt" || s.Partitioner.Name() != "prompt" || s.Assigner.Name() != "prompt" {
+		t.Errorf("PromptScheme = %+v", s)
+	}
+	if s.Accum != engine.FrequencyAware {
+		t.Error("Prompt scheme should use frequency-aware buffering")
+	}
+	ps := PromptPostSort()
+	if ps.Accum != engine.PostSortMode || ps.Partitioner.Name() != "prompt" {
+		t.Errorf("PromptPostSort = %+v", ps)
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	for _, name := range []string{"time", "shuffle", "hash", "pk2", "pk5", "cam", "ffd", "fragmin"} {
+		s, err := Baseline(name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s.Partitioner.Name() != name {
+			t.Errorf("%s resolved to partitioner %s", name, s.Partitioner.Name())
+		}
+		if s.Assigner.Name() != "hash" {
+			t.Errorf("%s should use the hash assigner, got %s", name, s.Assigner.Name())
+		}
+	}
+	if s, err := Baseline("prompt"); err != nil || s.Assigner.Name() != "prompt" {
+		t.Errorf("Baseline(prompt) = %+v, %v", s, err)
+	}
+	if _, err := Baseline("nosuch"); err == nil {
+		t.Error("unknown baseline accepted")
+	}
+}
+
+func TestSchemesOrder(t *testing.T) {
+	ss := Schemes()
+	if len(ss) != 7 {
+		t.Fatalf("Schemes returned %d entries", len(ss))
+	}
+	if ss[0].Name != "time" || ss[len(ss)-1].Name != "prompt" {
+		t.Errorf("scheme order: first=%s last=%s", ss[0].Name, ss[len(ss)-1].Name)
+	}
+}
+
+func TestApply(t *testing.T) {
+	cfg := Scheme.Apply(PromptScheme(), engine.Config{BatchInterval: tuple.Second})
+	if cfg.Partitioner == nil || cfg.Assigner == nil {
+		t.Error("Apply left nils")
+	}
+	if cfg.Accum != engine.FrequencyAware {
+		t.Error("Apply did not copy accumulation mode")
+	}
+}
+
+func newTestDriver(t *testing.T, initialTasks int, poolCap int) (*ElasticDriver, *cluster.ExecutorPool) {
+	t.Helper()
+	cfg := engine.Config{
+		BatchInterval: tuple.Second,
+		MapTasks:      initialTasks,
+		ReduceTasks:   initialTasks,
+		Cores:         initialTasks,
+		// A heavier-than-default cost model so the ramp workloads below
+		// cross the stability threshold at laptop-scale rates.
+		Cost: metrics.CostModel{
+			MapFixed: tuple.Millisecond, MapPerTuple: 10 * tuple.Microsecond,
+			MapPerKey:   tuple.Microsecond,
+			ReduceFixed: tuple.Millisecond, ReducePerTuple: 5 * tuple.Microsecond,
+			ReducePerFragment: 100 * tuple.Microsecond,
+		},
+	}
+	cfg = PromptScheme().Apply(cfg)
+	eng, err := engine.New(cfg, engine.WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecfg := elastic.DefaultConfig()
+	ecfg.D = 2
+	ecfg.MaxMapTasks = poolCap * 2
+	ecfg.MaxReduceTasks = poolCap * 2
+	ctrl, err := elastic.NewController(ecfg, initialTasks, initialTasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := cluster.NewExecutorPool(poolCap, 2, (initialTasks+1)/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewElasticDriver(eng, ctrl, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, pool
+}
+
+func TestElasticDriverValidation(t *testing.T) {
+	if _, err := NewElasticDriver(nil, nil, nil); err == nil {
+		t.Error("accepted nils")
+	}
+	cfg := PromptScheme().Apply(engine.Config{BatchInterval: tuple.Second, MapTasks: 4, ReduceTasks: 4, Cores: 4})
+	eng, err := engine.New(cfg, engine.WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := elastic.NewController(elastic.DefaultConfig(), 2, 2) // mismatch
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := cluster.NewExecutorPool(8, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewElasticDriver(eng, ctrl, pool); err == nil {
+		t.Error("accepted mismatched parallelism")
+	}
+}
+
+func TestElasticDriverScalesOutUnderRisingLoad(t *testing.T) {
+	d, pool := newTestDriver(t, 2, 32)
+	keys, err := workload.NewGrowingSampler("k", 100, 2000, 0, 20*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &workload.Source{
+		Name: "rising",
+		Rate: workload.RampRate{From: 20000, To: 200000, Start: 0, End: 20 * tuple.Second},
+		Keys: keys,
+		Seed: 5,
+	}
+	reports, err := d.RunBatches(src, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := reports[len(reports)-1]
+	if last.MapTasks <= 2 && last.ReduceTasks <= 2 {
+		t.Errorf("no scale-out under 20x load growth: %+v", last)
+	}
+	// Cores must cover the widest stage.
+	wide := last.MapTasks
+	if last.ReduceTasks > wide {
+		wide = last.ReduceTasks
+	}
+	if pool.Cores() < wide {
+		t.Errorf("pool cores %d below widest stage %d", pool.Cores(), wide)
+	}
+	if len(d.Actions()) != 20 {
+		t.Errorf("recorded %d actions, want 20", len(d.Actions()))
+	}
+}
+
+func TestElasticDriverScalesInUnderFallingLoad(t *testing.T) {
+	d, pool := newTestDriver(t, 12, 32)
+	keys, err := workload.NewUniformSampler("k", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &workload.Source{
+		Name: "falling",
+		Rate: workload.RampRate{From: 100000, To: 2000, Start: 0, End: 10 * tuple.Second},
+		Keys: keys,
+		Seed: 6,
+	}
+	held0 := pool.Held()
+	reports, err := d.RunBatches(src, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := reports[len(reports)-1]
+	if last.MapTasks >= 12 && last.ReduceTasks >= 12 {
+		t.Errorf("no scale-in after load collapse: %+v", last)
+	}
+	if pool.Held() >= held0 {
+		t.Errorf("executors not released: %d -> %d", held0, pool.Held())
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"prompt/internal/cluster"
+	"prompt/internal/elastic"
+	"prompt/internal/engine"
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+// ElasticDriver couples an engine with the auto-scale controller
+// (Algorithm 4) and an executor pool: after every batch the controller
+// observes W and the batch statistics, decides the next parallelism, and
+// the driver acquires or releases executors so the core count tracks the
+// task count — the Figure 12 setup.
+type ElasticDriver struct {
+	Engine     *engine.Engine
+	Controller *elastic.Controller
+	Pool       *cluster.ExecutorPool
+
+	actions []elastic.Action
+}
+
+// NewElasticDriver wires the three components. The engine's initial
+// parallelism must match the controller's.
+func NewElasticDriver(e *engine.Engine, c *elastic.Controller, p *cluster.ExecutorPool) (*ElasticDriver, error) {
+	if e == nil || c == nil || p == nil {
+		return nil, fmt.Errorf("core: elastic driver needs engine, controller and pool")
+	}
+	cm, cr := c.Parallelism()
+	if cfg := e.Config(); cfg.MapTasks != cm || cfg.ReduceTasks != cr {
+		return nil, fmt.Errorf("core: engine parallelism p=%d r=%d differs from controller p=%d r=%d",
+			cfg.MapTasks, cfg.ReduceTasks, cm, cr)
+	}
+	d := &ElasticDriver{Engine: e, Controller: c, Pool: p}
+	if err := d.resize(cm, cr); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Actions returns the controller decisions so far, one per batch.
+func (d *ElasticDriver) Actions() []elastic.Action { return d.actions }
+
+// RunBatches processes n consecutive batches from the source, applying the
+// controller's decision between batches.
+func (d *ElasticDriver) RunBatches(src workload.Stream, n int) ([]engine.BatchReport, error) {
+	reports := make([]engine.BatchReport, 0, n)
+	for i := 0; i < n; i++ {
+		start := d.Engine.Now()
+		end := start + d.Engine.Config().BatchInterval
+		tuples, err := src.Slice(start, end)
+		if err != nil {
+			return reports, err
+		}
+		rep, err := d.Step(tuples, start, end)
+		if err != nil {
+			return reports, err
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// Step processes one batch and applies the resulting scaling decision.
+func (d *ElasticDriver) Step(tuples []tuple.Tuple, start, end tuple.Time) (engine.BatchReport, error) {
+	rep, err := d.Engine.Step(tuples, start, end)
+	if err != nil {
+		return rep, err
+	}
+	act := d.Controller.Observe(elastic.Observation{W: rep.W, Tuples: rep.Tuples, Keys: rep.Keys})
+	d.actions = append(d.actions, act)
+	if err := d.resize(act.MapTasks, act.ReduceTasks); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// resize sets the engine parallelism and adjusts the executor pool so the
+// held cores cover the widest stage.
+func (d *ElasticDriver) resize(mapTasks, reduceTasks int) error {
+	if err := d.Engine.SetParallelism(mapTasks, reduceTasks); err != nil {
+		return err
+	}
+	needCores := mapTasks
+	if reduceTasks > needCores {
+		needCores = reduceTasks
+	}
+	per := d.Pool.CoresPerExecutor()
+	needExec := (needCores + per - 1) / per
+	if needExec < 1 {
+		needExec = 1
+	}
+	switch held := d.Pool.Held(); {
+	case needExec > held:
+		d.Pool.Acquire(needExec - held)
+	case needExec < held:
+		d.Pool.Release(held - needExec)
+	}
+	return d.Engine.SetCores(d.Pool.Cores())
+}

@@ -1,0 +1,95 @@
+// Package core ties the paper's four algorithms together into deployable
+// schemes: a Scheme bundles a batching-phase partitioner (Algorithm 2 or a
+// baseline), a processing-phase bucket assigner (Algorithm 3 or hashing),
+// and the buffering mode (Algorithm 1 or post-sort); an ElasticDriver runs
+// an engine under the auto-scale controller (Algorithm 4) against an
+// executor pool. The public API and the benchmark harness build on this
+// package.
+package core
+
+import (
+	"fmt"
+
+	"prompt/internal/engine"
+	"prompt/internal/partition"
+	"prompt/internal/reducer"
+)
+
+// Scheme is a named combination of the partitioning decisions a micro-batch
+// system makes: how batches split into blocks, how Map output maps to
+// Reduce buckets, and how batch statistics are gathered.
+type Scheme struct {
+	Name        string
+	Partitioner partition.Partitioner
+	Assigner    reducer.Assigner
+	Accum       engine.AccumMode
+}
+
+// PromptScheme returns the full Prompt design: frequency-aware buffering
+// (Alg. 1), the B-BPFI batch partitioner (Alg. 2), and the worst-fit
+// reduce allocator (Alg. 3).
+func PromptScheme() Scheme {
+	return Scheme{
+		Name:        "prompt",
+		Partitioner: partition.NewPrompt(),
+		Assigner:    reducer.NewPrompt(),
+		Accum:       engine.FrequencyAware,
+	}
+}
+
+// PromptPostSort is the Figure 14a ablation: Prompt's partitioners with
+// post-sort statistics instead of Algorithm 1.
+func PromptPostSort() Scheme {
+	s := PromptScheme()
+	s.Name = "prompt-postsort"
+	s.Accum = engine.PostSortMode
+	return s
+}
+
+// Baseline returns a comparison scheme by name. Baseline partitioners
+// decide per tuple during buffering, so they use post-sort mode (they pay
+// no finalize cost: their Partition consumes the raw batch) and the
+// conventional hash bucket assigner, matching how the paper configures
+// them.
+func Baseline(name string) (Scheme, error) {
+	reg := partition.Registry()
+	p, ok := reg[name]
+	if !ok {
+		return Scheme{}, fmt.Errorf("core: unknown scheme %q (want one of %v or \"prompt\")", name, partition.Names())
+	}
+	if name == "prompt" {
+		return PromptScheme(), nil
+	}
+	return Scheme{
+		Name:        name,
+		Partitioner: p,
+		Assigner:    reducer.NewHash(),
+		Accum:       engine.PostSortMode,
+	}, nil
+}
+
+// Schemes returns the evaluation's comparison set in presentation order:
+// the existing techniques, the key-splitting state of the art, and Prompt.
+func Schemes() []Scheme {
+	names := []string{"time", "shuffle", "hash", "pk2", "pk5", "cam"}
+	out := make([]Scheme, 0, len(names)+1)
+	for _, n := range names {
+		s, err := Baseline(n)
+		if err != nil {
+			// Registry and names are static; a mismatch is a programming
+			// error surfaced immediately in tests.
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	out = append(out, PromptScheme())
+	return out
+}
+
+// Apply copies the scheme into an engine configuration.
+func (s Scheme) Apply(cfg engine.Config) engine.Config {
+	cfg.Partitioner = s.Partitioner
+	cfg.Assigner = s.Assigner
+	cfg.Accum = s.Accum
+	return cfg
+}

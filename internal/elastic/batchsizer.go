@@ -1,0 +1,80 @@
+package elastic
+
+import (
+	"fmt"
+
+	"prompt/internal/tuple"
+)
+
+// BatchSizer implements adaptive batch-interval resizing in the style of
+// Das et al. [SoCC'14], the technique the paper positions as orthogonal to
+// Prompt (§9.3): instead of repartitioning data, the batch interval is
+// resized so that it tracks the observed processing time, keeping the
+// system near the stability line. The library ships it as an extension so
+// the two approaches can be combined and compared.
+//
+// The controller is a damped fixed-point iteration: the next interval
+// moves toward Headroom × (predicted processing time), where the
+// prediction is an exponentially weighted average of recent batches scaled
+// to the candidate interval (processing time is roughly linear in the
+// interval at a fixed rate).
+type BatchSizer struct {
+	// Min and Max clamp the interval (latency floor and SLA ceiling).
+	Min, Max tuple.Time
+	// Headroom is the target ratio interval / processing time; > 1 leaves
+	// slack for spikes (default 1.25, i.e. target W ≈ 0.8).
+	Headroom float64
+	// Gain damps the adjustment per batch in (0, 1] (default 0.5).
+	Gain float64
+
+	// ratePerInterval is the EWMA of processing time per unit of interval
+	// (an estimate of W at the current workload).
+	ratePerInterval float64
+	initialized     bool
+}
+
+// NewBatchSizer returns a sizer with the given bounds and defaults.
+func NewBatchSizer(min, max tuple.Time) (*BatchSizer, error) {
+	if min <= 0 || max < min {
+		return nil, fmt.Errorf("elastic: batch sizer bounds [%v,%v] invalid", min, max)
+	}
+	return &BatchSizer{Min: min, Max: max, Headroom: 1.25, Gain: 0.5}, nil
+}
+
+// Next consumes one batch's interval and processing time and returns the
+// interval to use for the following batch.
+func (s *BatchSizer) Next(interval, processing tuple.Time) tuple.Time {
+	if interval <= 0 {
+		return s.clamp(s.Min)
+	}
+	w := float64(processing) / float64(interval)
+	if !s.initialized {
+		s.ratePerInterval = w
+		s.initialized = true
+	} else {
+		s.ratePerInterval = 0.7*s.ratePerInterval + 0.3*w
+	}
+	// Damped move toward Headroom × predicted processing time, where the
+	// prediction smooths W over recent batches. With processing time
+	// P(I) = fixed + slope·I (per-tuple work grows with the interval at a
+	// fixed rate, task-launch costs do not), the map
+	// I' = I + Gain·(Headroom·P(I) − I) contracts whenever
+	// Headroom·slope < 1 and converges to the interval where
+	// W = 1/Headroom — the stability-line tracking of Das et al. Under
+	// true overload (Headroom·slope ≥ 1) it grows to Max, correctly
+	// signalling that resizing alone cannot restore stability (the gap
+	// Prompt's repartitioning closes instead).
+	target := tuple.Time(s.Headroom * s.ratePerInterval * float64(interval))
+	next := interval + tuple.Time(s.Gain*float64(target-interval))
+	return s.clamp(next)
+}
+
+func (s *BatchSizer) clamp(t tuple.Time) tuple.Time {
+	if t < s.Min {
+		return s.Min
+	}
+	if t > s.Max {
+		return s.Max
+	}
+	return t
+}

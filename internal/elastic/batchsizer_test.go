@@ -1,0 +1,83 @@
+package elastic
+
+import (
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+func TestNewBatchSizerValidation(t *testing.T) {
+	if _, err := NewBatchSizer(0, tuple.Second); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := NewBatchSizer(tuple.Second, tuple.Millisecond); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+// simulate runs the sizer against a synthetic processing model
+// P(I) = fixed + slope*I and returns the interval after n steps.
+func simulate(t *testing.T, s *BatchSizer, fixed tuple.Time, slope float64, start tuple.Time, n int) tuple.Time {
+	t.Helper()
+	interval := start
+	for i := 0; i < n; i++ {
+		processing := fixed + tuple.Time(slope*float64(interval))
+		interval = s.Next(interval, processing)
+	}
+	return interval
+}
+
+func TestBatchSizerConvergesToStability(t *testing.T) {
+	s, err := NewBatchSizer(100*tuple.Millisecond, 10*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fixed 50ms, slope 0.5: fixed point I* = h*f/(1-h*s) with h=1.25:
+	// 62.5ms / 0.375 = 166.7ms.
+	got := simulate(t, s, 50*tuple.Millisecond, 0.5, tuple.Second, 60)
+	want := tuple.Time(166_667)
+	if got < want*9/10 || got > want*11/10 {
+		t.Errorf("converged to %v, want ~%v", got, want)
+	}
+	// At the fixed point, W = 1/Headroom = 0.8.
+	processing := 50*tuple.Millisecond + tuple.Time(0.5*float64(got))
+	w := float64(processing) / float64(got)
+	if w < 0.7 || w > 0.9 {
+		t.Errorf("converged W = %v, want ~0.8", w)
+	}
+}
+
+func TestBatchSizerGrowsUnderOverload(t *testing.T) {
+	s, err := NewBatchSizer(100*tuple.Millisecond, 5*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// slope 0.95: Headroom*slope > 1, resizing cannot stabilize; the
+	// interval must climb to the ceiling.
+	got := simulate(t, s, 10*tuple.Millisecond, 0.95, tuple.Second, 80)
+	if got != 5*tuple.Second {
+		t.Errorf("interval %v, want max 5s under overload", got)
+	}
+}
+
+func TestBatchSizerShrinksWhenIdle(t *testing.T) {
+	s, err := NewBatchSizer(200*tuple.Millisecond, 5*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny load: the sizer should drive the interval to the latency floor.
+	got := simulate(t, s, tuple.Millisecond, 0.01, 2*tuple.Second, 60)
+	if got != 200*tuple.Millisecond {
+		t.Errorf("interval %v, want min 200ms when idle", got)
+	}
+}
+
+func TestBatchSizerClampsDegenerateInput(t *testing.T) {
+	s, err := NewBatchSizer(100*tuple.Millisecond, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Next(0, 50*tuple.Millisecond); got != 100*tuple.Millisecond {
+		t.Errorf("zero interval -> %v, want min", got)
+	}
+}

@@ -1,0 +1,39 @@
+package engine
+
+import (
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+// IntervalSizer chooses the next batch interval from the previous batch's
+// interval and processing time. elastic.BatchSizer implements it; the
+// engine defines the interface so the two packages stay decoupled.
+type IntervalSizer interface {
+	Next(interval, processing tuple.Time) tuple.Time
+}
+
+// RunAdaptive processes n consecutive batches with the batch interval
+// chosen per batch by the sizer — the adaptive batch resizing extension
+// (Das et al., §9.3 of the paper). The first batch uses the configured
+// BatchInterval; each subsequent interval follows the sizer's decision.
+// Per-batch stability accounting (W, latency, early-release slack) tracks
+// the actual interval of each batch.
+func (e *Engine) RunAdaptive(src workload.Stream, n int, sizer IntervalSizer) ([]BatchReport, error) {
+	out := make([]BatchReport, 0, n)
+	interval := e.cfg.BatchInterval
+	for i := 0; i < n; i++ {
+		start := e.now
+		end := start + interval
+		tuples, err := src.Slice(start, end)
+		if err != nil {
+			return out, err
+		}
+		rep, err := e.Step(tuples, start, end)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+		interval = sizer.Next(interval, rep.ProcessingTime)
+	}
+	return out, nil
+}

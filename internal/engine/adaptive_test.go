@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"testing"
+
+	"prompt/internal/elastic"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+func TestRunAdaptiveIntervalsTrackLoad(t *testing.T) {
+	cfg := testConfig()
+	cfg.BatchInterval = tuple.Second
+	eng, err := New(cfg, WordCount(window.Sliding(30*tuple.Second, 100*tuple.Millisecond)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizer, err := elastic.NewBatchSizer(100*tuple.Millisecond, 5*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(20_000, 100, 41)
+	reports, err := eng.RunAdaptive(src, 12, sizer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 12 {
+		t.Fatalf("%d reports", len(reports))
+	}
+	// Intervals are contiguous.
+	for i := 1; i < len(reports); i++ {
+		if reports[i].Start != reports[i-1].End {
+			t.Fatalf("batch %d not contiguous: %v vs %v", i, reports[i].Start, reports[i-1].End)
+		}
+	}
+	// At a light constant rate, the sizer shrinks the interval well below
+	// the initial 1 s, reducing latency.
+	first := reports[0].End - reports[0].Start
+	last := reports[len(reports)-1].End - reports[len(reports)-1].Start
+	if last >= first {
+		t.Errorf("interval did not shrink under light load: %v -> %v", first, last)
+	}
+	if reports[len(reports)-1].Latency >= reports[0].Latency {
+		t.Errorf("latency did not improve: %v -> %v",
+			reports[0].Latency, reports[len(reports)-1].Latency)
+	}
+	// W stays near the sizer's target once converged (no instability).
+	lastRep := reports[len(reports)-1]
+	if !lastRep.Stable {
+		t.Errorf("adaptive run destabilized: %+v", lastRep)
+	}
+}
+
+func TestRunAdaptiveStabilityUsesActualInterval(t *testing.T) {
+	// A 2-second hand-fed batch must be judged against its own interval,
+	// not the configured default.
+	cfg := testConfig()
+	eng, err := New(cfg, WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Step([]tuple.Tuple{tuple.NewTuple(tuple.Second, "k", 1)}, 0, 2*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantW := float64(rep.ProcessingTime) / float64(2*tuple.Second)
+	if rep.W != wantW {
+		t.Errorf("W = %v computed against the wrong interval (want %v)", rep.W, wantW)
+	}
+}

@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+// checkpointImage is the serialized driver state. Query functions cannot
+// be serialized; Restore receives the same queries from the caller and
+// reattaches them, which is safe because query identity (not closure
+// state) determines the computation.
+type checkpointImage struct {
+	BatchIdx    int
+	Now         tuple.Time
+	ProcFree    tuple.Time
+	TaskSeq     int
+	QueryCount  int
+	LastResults []map[string]float64
+	Windows     [][]window.BatchState // nil entry = windowless query
+	Reports     []BatchReport
+}
+
+// Checkpoint serializes the engine's driver state — batch position,
+// pipeline occupancy, per-query last results, window contents, and the
+// report history — so a restarted process can resume exactly where this
+// one stopped. It must be called between batches (the paper's state
+// isolation point: all per-batch structures are empty at the heartbeat).
+func (e *Engine) Checkpoint(w io.Writer) error {
+	img := checkpointImage{
+		BatchIdx:    e.batchIdx,
+		Now:         e.now,
+		ProcFree:    e.procFree,
+		TaskSeq:     e.taskSeq,
+		QueryCount:  len(e.queries),
+		LastResults: e.lastResults,
+		Windows:     make([][]window.BatchState, len(e.queries)),
+		Reports:     e.reports,
+	}
+	for i, agg := range e.aggs {
+		if agg != nil {
+			img.Windows[i] = agg.State()
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("engine: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds an engine from a checkpoint. cfg and queries must match
+// the checkpointed engine's configuration — the query functions are
+// reattached from the caller since code cannot be serialized. Determinism
+// of the query functions is what makes the resumed computation identical.
+func Restore(cfg Config, queries []Query, r io.Reader) (*Engine, error) {
+	var img checkpointImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("engine: reading checkpoint: %w", err)
+	}
+	if len(queries) != img.QueryCount {
+		return nil, fmt.Errorf("engine: checkpoint has %d queries, caller supplied %d",
+			img.QueryCount, len(queries))
+	}
+	e, err := NewMulti(cfg, queries)
+	if err != nil {
+		return nil, err
+	}
+	for i, states := range img.Windows {
+		switch {
+		case states == nil:
+			continue
+		case e.aggs[i] == nil:
+			return nil, fmt.Errorf("engine: checkpointed query %d has a window, supplied query does not", i)
+		default:
+			if err := e.aggs[i].Restore(states); err != nil {
+				return nil, err
+			}
+		}
+	}
+	e.batchIdx = img.BatchIdx
+	e.now = img.Now
+	e.procFree = img.ProcFree
+	e.taskSeq = img.TaskSeq
+	e.lastResults = img.LastResults
+	e.reports = img.Reports
+	return e, nil
+}

@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+func TestCheckpointRestoreResumesIdentically(t *testing.T) {
+	cfg := testConfig()
+	q := WordCount(window.Sliding(5*tuple.Second, tuple.Second))
+
+	// Reference: a single engine runs 8 batches.
+	ref, err := New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcRef := testSource(5000, 80, 91)
+	if _, err := ref.RunBatches(srcRef, 8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Checkpointed: run 4 batches, checkpoint, restore, run 4 more.
+	first, err := New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(5000, 80, 91)
+	if _, err := first.RunBatches(src, 4); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := first.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(cfg, []Query{q}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Now() != first.Now() {
+		t.Fatalf("restored Now %v != %v", resumed.Now(), first.Now())
+	}
+	if _, err := resumed.RunBatches(src, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Window answers identical to the uninterrupted run.
+	want := ref.WindowSnapshot()
+	got := resumed.WindowSnapshot()
+	if len(got) != len(want) {
+		t.Fatalf("window keys %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Errorf("key %s = %v, want %v", k, got[k], v)
+		}
+	}
+	// History carried over.
+	if len(resumed.Reports()) != 8 {
+		t.Errorf("restored engine has %d reports, want 8", len(resumed.Reports()))
+	}
+	if resumed.Reports()[7].Index != 7 {
+		t.Errorf("batch indices not continuous: %+v", resumed.Reports()[7])
+	}
+}
+
+func TestRestoreValidatesQueries(t *testing.T) {
+	cfg := testConfig()
+	q := WordCount(window.Sliding(5*tuple.Second, tuple.Second))
+	eng, err := New(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step([]tuple.Tuple{tuple.NewTuple(1, "k", 1)}, 0, tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong query count.
+	if _, err := Restore(cfg, []Query{q, q}, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("query-count mismatch accepted")
+	}
+	// Windowless query against a windowed checkpoint.
+	if _, err := Restore(cfg, []Query{{Name: "plain"}}, bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("window mismatch accepted")
+	}
+	// Garbage input.
+	if _, err := Restore(cfg, []Query{q}, bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+}
+
+func TestWindowStateRoundTrip(t *testing.T) {
+	ag, err := window.NewAggregator(window.Sliding(3*tuple.Second, tuple.Second),
+		window.Sum, window.SumInverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := ag.AddBatch(tuple.Time(i)*tuple.Second, map[string]float64{"a": float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := ag.State()
+	ag2, err := window.NewAggregator(window.Sliding(3*tuple.Second, tuple.Second),
+		window.Sum, window.SumInverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ag2.Restore(state); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ag2.Value("a"); v != 6 {
+		t.Errorf("restored value = %v, want 6", v)
+	}
+	if ag2.Batches() != 3 {
+		t.Errorf("restored batches = %d", ag2.Batches())
+	}
+	// Continue adding: eviction behaves as if never interrupted.
+	if err := ag2.AddBatch(4*tuple.Second, map[string]float64{"a": 4}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ag2.Value("a"); v != 9 { // 2+3+4
+		t.Errorf("after continued batch = %v, want 9", v)
+	}
+}

@@ -1,0 +1,178 @@
+// Package engine implements the distributed micro-batch stream processing
+// substrate (the Spark Streaming stand-in): a receiver accumulates tuples
+// per batch interval, the batching module partitions each batch into data
+// blocks (with early batch release), the Map stage processes blocks in
+// parallel, each Map task assigns its key clusters to Reduce buckets, and
+// the Reduce stage aggregates per key. Stage execution runs on the
+// simulated cluster; batching of batch x+1 overlaps processing of batch x
+// exactly as in Figure 2 of the paper, with queueing when processing time
+// exceeds the batch interval.
+package engine
+
+import (
+	"fmt"
+
+	"prompt/internal/metrics"
+	"prompt/internal/partition"
+	"prompt/internal/reducer"
+	"prompt/internal/stats"
+	"prompt/internal/tuple"
+)
+
+// AccumMode selects how batch statistics are produced.
+type AccumMode int
+
+const (
+	// FrequencyAware runs Algorithm 1 online during buffering (the Prompt
+	// design), so the sorted key list is ready at the heartbeat.
+	FrequencyAware AccumMode = iota
+	// PostSortMode buffers blindly and sorts after the interval ends — the
+	// Figure 14a baseline. Its sorting cost is charged against the early
+	// release slack and overflows into processing time.
+	PostSortMode
+)
+
+// String implements fmt.Stringer.
+func (m AccumMode) String() string {
+	switch m {
+	case FrequencyAware:
+		return "frequency-aware"
+	case PostSortMode:
+		return "post-sort"
+	default:
+		return fmt.Sprintf("AccumMode(%d)", int(m))
+	}
+}
+
+// Config assembles a micro-batch engine.
+type Config struct {
+	// BatchInterval is the system heartbeat; it also bounds end-to-end
+	// latency (latency = batch interval + processing time when stable).
+	BatchInterval tuple.Time
+	// MapTasks (p) is the number of data blocks per batch.
+	MapTasks int
+	// ReduceTasks (r) is the number of Reduce buckets.
+	ReduceTasks int
+	// Cores is the number of simulated cores available to run tasks. The
+	// elasticity experiments adjust it through an executor pool instead.
+	Cores int
+	// Partitioner is the batching-phase partitioner (Problem I).
+	Partitioner partition.Partitioner
+	// Assigner is the processing-phase bucket assigner (Problem II).
+	Assigner reducer.Assigner
+	// Cost is the simulated task cost model.
+	Cost metrics.CostModel
+	// Accum selects frequency-aware buffering or the post-sort baseline.
+	Accum AccumMode
+	// AccumConfig tunes Algorithm 1 (budget, initial estimates).
+	AccumConfig stats.AccumulatorConfig
+	// EarlyReleaseFraction is the slice of the batch interval reserved for
+	// partitioning by the early batch release mechanism (§4.2; the paper
+	// observes <= 5% suffices). Partitioning work beyond the slack delays
+	// the processing start. Zero selects the default of 0.05; a negative
+	// value disables the mechanism entirely (no slack), which the
+	// ablation harness uses to expose the raw partitioning cost.
+	EarlyReleaseFraction float64
+	// MPIWeights blends the imbalance metrics in per-batch reports.
+	MPIWeights metrics.Weights
+	// ValidateBatches enables per-batch invariant checking (every tuple
+	// placed once, key locality in buckets). Tests and examples turn it
+	// on; sweeps leave it off for speed.
+	ValidateBatches bool
+	// Stragglers injects deterministic task slowdowns (Figure 2's
+	// unbalanced-execution cases II-IV): zero value disables injection.
+	Stragglers StragglerModel
+}
+
+// StragglerModel makes every Every-th task (counted deterministically
+// across batches and stages) run Factor times slower, simulating the
+// node-level interference and GC pauses that stretch real task times.
+type StragglerModel struct {
+	// Every selects task frequency; 0 disables injection.
+	Every int
+	// Factor multiplies the afflicted task's duration (must be >= 1).
+	Factor float64
+}
+
+// enabled reports whether injection is active.
+func (s StragglerModel) enabled() bool { return s.Every > 0 && s.Factor > 1 }
+
+// apply stretches the duration of task seq if it is afflicted.
+func (s StragglerModel) apply(seq int, d tuple.Time) tuple.Time {
+	if !s.enabled() || seq%s.Every != s.Every-1 {
+		return d
+	}
+	return tuple.Time(float64(d) * s.Factor)
+}
+
+// validate rejects nonsensical models.
+func (s StragglerModel) validate() error {
+	if s.Every < 0 {
+		return fmt.Errorf("engine: straggler Every must be >= 0, got %d", s.Every)
+	}
+	if s.Every > 0 && s.Factor < 1 {
+		return fmt.Errorf("engine: straggler Factor must be >= 1, got %v", s.Factor)
+	}
+	return nil
+}
+
+// Defaults fills unset fields with the evaluation defaults.
+func (c Config) withDefaults() Config {
+	if c.BatchInterval == 0 {
+		c.BatchInterval = tuple.Second
+	}
+	if c.MapTasks == 0 {
+		c.MapTasks = 8
+	}
+	if c.ReduceTasks == 0 {
+		c.ReduceTasks = 8
+	}
+	if c.Cores == 0 {
+		c.Cores = c.MapTasks
+	}
+	if c.Partitioner == nil {
+		c.Partitioner = partition.NewPrompt()
+	}
+	if c.Assigner == nil {
+		c.Assigner = reducer.NewPrompt()
+	}
+	if c.Cost == (metrics.CostModel{}) {
+		c.Cost = metrics.DefaultCostModel()
+	}
+	if c.AccumConfig == (stats.AccumulatorConfig{}) {
+		c.AccumConfig = stats.DefaultAccumulatorConfig()
+	}
+	switch {
+	case c.EarlyReleaseFraction == 0:
+		c.EarlyReleaseFraction = 0.05
+	case c.EarlyReleaseFraction < 0:
+		c.EarlyReleaseFraction = 0
+	}
+	if c.MPIWeights == (metrics.Weights{}) {
+		c.MPIWeights = metrics.EqualWeights
+	}
+	return c
+}
+
+// Validate rejects inconsistent configurations.
+func (c Config) Validate() error {
+	if c.BatchInterval <= 0 {
+		return fmt.Errorf("engine: batch interval must be positive, got %v", c.BatchInterval)
+	}
+	if c.MapTasks <= 0 || c.ReduceTasks <= 0 {
+		return fmt.Errorf("engine: need positive map and reduce tasks, got p=%d r=%d", c.MapTasks, c.ReduceTasks)
+	}
+	if c.Cores <= 0 {
+		return fmt.Errorf("engine: need positive cores, got %d", c.Cores)
+	}
+	if c.EarlyReleaseFraction < 0 || c.EarlyReleaseFraction > 0.5 {
+		return fmt.Errorf("engine: early release fraction %v outside [0, 0.5]", c.EarlyReleaseFraction)
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	if err := c.Stragglers.validate(); err != nil {
+		return err
+	}
+	return c.MPIWeights.Validate()
+}

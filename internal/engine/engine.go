@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"prompt/internal/cluster"
+	"prompt/internal/metrics"
+	"prompt/internal/partition"
+	"prompt/internal/reducer"
+	"prompt/internal/stats"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+// Engine runs one or more streaming queries on the micro-batch substrate.
+// It is single-goroutine by design: the driver (scheduler) serializes
+// batch lifecycle decisions exactly as the Spark driver does, while the
+// parallel Map/Reduce execution inside a batch is modelled by the cluster
+// simulator.
+//
+// With several queries, the batching phase — statistics (Algorithm 1) and
+// partitioning (Algorithm 2) — runs once per batch and the queries share
+// the resulting data blocks; each query then executes as its own
+// Map-Reduce job, sequentially, as Spark runs one job per output
+// operation. The batch report's stage details describe the primary query
+// (index 0); ProcessingTime covers all jobs.
+type Engine struct {
+	cfg     Config
+	queries []Query
+	aggs    []*window.Aggregator
+
+	batchIdx int
+	now      tuple.Time // start of the next batch interval
+	procFree tuple.Time // when the processing pipeline becomes free
+
+	lastResults []map[string]float64
+	reports     []BatchReport
+
+	acc *stats.Accumulator
+
+	// taskSeq numbers every simulated task across batches and stages, so
+	// straggler injection afflicts a deterministic, evenly spread subset.
+	taskSeq int
+}
+
+// New builds an engine for a single query. Zero-valued config fields take
+// the evaluation defaults.
+func New(cfg Config, q Query) (*Engine, error) {
+	return NewMulti(cfg, []Query{q})
+}
+
+// NewMulti builds an engine running several queries over one stream,
+// sharing the batching phase.
+func NewMulti(cfg Config, queries []Query) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("engine: need at least one query")
+	}
+	e := &Engine{
+		cfg:         cfg,
+		queries:     make([]Query, len(queries)),
+		aggs:        make([]*window.Aggregator, len(queries)),
+		lastResults: make([]map[string]float64, len(queries)),
+	}
+	for i, q := range queries {
+		q = q.normalized()
+		agg, err := q.newAggregator(cfg.BatchInterval)
+		if err != nil {
+			return nil, fmt.Errorf("engine: query %d (%s): %w", i, q.Name, err)
+		}
+		e.queries[i] = q
+		e.aggs[i] = agg
+	}
+	return e, nil
+}
+
+// Config returns the engine's current configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Now returns the start of the next batch interval.
+func (e *Engine) Now() tuple.Time { return e.now }
+
+// Queries returns the number of queries the engine runs.
+func (e *Engine) Queries() int { return len(e.queries) }
+
+// SetParallelism adjusts the Map/Reduce task counts for subsequent batches
+// (the elastic controller's actuator).
+func (e *Engine) SetParallelism(mapTasks, reduceTasks int) error {
+	if mapTasks <= 0 || reduceTasks <= 0 {
+		return fmt.Errorf("engine: parallelism must be positive, got p=%d r=%d", mapTasks, reduceTasks)
+	}
+	e.cfg.MapTasks = mapTasks
+	e.cfg.ReduceTasks = reduceTasks
+	return nil
+}
+
+// SetCores adjusts the simulated core count for subsequent batches.
+func (e *Engine) SetCores(cores int) error {
+	if cores <= 0 {
+		return fmt.Errorf("engine: cores must be positive, got %d", cores)
+	}
+	e.cfg.Cores = cores
+	return nil
+}
+
+// LastResult returns the previous batch's per-key Reduce output of the
+// primary query.
+func (e *Engine) LastResult() map[string]float64 { return e.lastResults[0] }
+
+// LastResultOf returns the previous batch's output of query i.
+func (e *Engine) LastResultOf(i int) map[string]float64 { return e.lastResults[i] }
+
+// WindowSnapshot returns the primary query's current window answer, or
+// nil if it has no window.
+func (e *Engine) WindowSnapshot() map[string]float64 {
+	if e.aggs[0] == nil {
+		return nil
+	}
+	return e.aggs[0].Snapshot()
+}
+
+// Window returns the primary query's window aggregator (nil without a
+// window).
+func (e *Engine) Window() *window.Aggregator { return e.aggs[0] }
+
+// WindowOf returns query i's window aggregator (nil without a window).
+func (e *Engine) WindowOf(i int) *window.Aggregator { return e.aggs[i] }
+
+// Reports returns all batch reports so far.
+func (e *Engine) Reports() []BatchReport { return e.reports }
+
+// RunBatches pulls n consecutive batch intervals from the source and
+// processes them, returning their reports.
+func (e *Engine) RunBatches(src workload.Stream, n int) ([]BatchReport, error) {
+	out := make([]BatchReport, 0, n)
+	for i := 0; i < n; i++ {
+		start := e.now
+		end := start + e.cfg.BatchInterval
+		tuples, err := src.Slice(start, end)
+		if err != nil {
+			return out, err
+		}
+		rep, err := e.Step(tuples, start, end)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Step processes one micro-batch whose tuples arrived in [start, end).
+// Tuples must carry timestamps inside the interval.
+func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport, error) {
+	if end <= start {
+		return BatchReport{}, fmt.Errorf("engine: empty batch interval [%v,%v)", start, end)
+	}
+	if start != e.now {
+		return BatchReport{}, fmt.Errorf("engine: non-consecutive batch start %v, expected %v", start, e.now)
+	}
+	// The batch's own interval: normally cfg.BatchInterval, but the
+	// adaptive batch-sizing extension may vary it per batch, and all
+	// stability accounting follows the actual interval.
+	interval := end - start
+	batch := &tuple.Batch{Start: start, End: end, Tuples: tuples}
+
+	// --- Batching phase -------------------------------------------------
+	// Accumulate statistics (Algorithm 1) or buffer blindly, then
+	// partition (Algorithm 2 or a baseline). The measured wall time of the
+	// finalize+partition step is charged against the early-release slack.
+	var sorted []stats.SortedKey
+	var batchStats stats.BatchStats
+	wallStart := time.Now()
+	switch e.cfg.Accum {
+	case FrequencyAware:
+		if err := e.feedAccumulator(batch); err != nil {
+			return BatchReport{}, err
+		}
+		// Only finalization happens at the release point; the per-tuple
+		// accumulation above overlapped the batching interval.
+		wallStart = time.Now()
+		sorted, batchStats = e.acc.Finalize()
+	case PostSortMode:
+		sorted = stats.PostSort(batch)
+		batchStats = stats.BatchStats{Tuples: batch.Len(), Keys: len(sorted), Start: start, End: end}
+	default:
+		return BatchReport{}, fmt.Errorf("engine: unknown accumulation mode %v", e.cfg.Accum)
+	}
+
+	blocks, err := e.cfg.Partitioner.Partition(partition.Input{Batch: batch, Sorted: sorted}, e.cfg.MapTasks)
+	if err != nil {
+		return BatchReport{}, fmt.Errorf("engine: partitioning batch %d: %w", e.batchIdx, err)
+	}
+	partTime := tuple.FromDuration(time.Since(wallStart))
+
+	parted := &tuple.Partitioned{Batch: batch, Blocks: blocks, PartitionTime: partTime}
+	if e.cfg.ValidateBatches {
+		if err := parted.Validate(); err != nil {
+			return BatchReport{}, fmt.Errorf("engine: batch %d: %w", e.batchIdx, err)
+		}
+	}
+
+	slack := tuple.Time(float64(interval) * e.cfg.EarlyReleaseFraction)
+	overflow := partTime - slack
+	if overflow < 0 {
+		overflow = 0
+	}
+
+	// --- Processing phase: one Map-Reduce job per query -------------------
+	var processing tuple.Time = overflow
+	var primary queryRun
+	for qi := range e.queries {
+		run, err := e.runQuery(qi, blocks)
+		if err != nil {
+			return BatchReport{}, fmt.Errorf("engine: batch %d query %d: %w", e.batchIdx, qi, err)
+		}
+		processing += run.mapMakespan + run.reduceMakespan
+		e.lastResults[qi] = run.result
+		if e.aggs[qi] != nil {
+			if err := e.aggs[qi].AddBatch(end, run.result); err != nil {
+				return BatchReport{}, err
+			}
+		}
+		if qi == 0 {
+			primary = run
+		}
+	}
+
+	// --- Timing, queueing, stability -------------------------------------
+	readyAt := end // batch becomes processable at the heartbeat
+	startProc := readyAt
+	if e.procFree > startProc {
+		startProc = e.procFree
+	}
+	finish := startProc + processing
+	e.procFree = finish
+
+	rep := BatchReport{
+		Index:             e.batchIdx,
+		Start:             start,
+		End:               end,
+		Tuples:            batchStats.Tuples,
+		Keys:              batchStats.Keys,
+		MapTasks:          e.cfg.MapTasks,
+		ReduceTasks:       e.cfg.ReduceTasks,
+		Cores:             e.cfg.Cores,
+		Quality:           metrics.EvaluateWithKeys(blocks, e.cfg.MPIWeights, batchStats.Keys),
+		BucketSizes:       primary.sizes,
+		BucketBSI:         metrics.BSISizes(primary.sizes),
+		PartitionTime:     partTime,
+		PartitionOverflow: overflow,
+		MapStageTime:      primary.mapMakespan,
+		ReduceStageTime:   primary.reduceMakespan,
+		ReduceTaskTimes:   primary.reduceDurations,
+		ProcessingTime:    processing,
+		QueueWait:         startProc - readyAt,
+		Latency:           finish - start,
+		W:                 float64(processing) / float64(interval),
+		Stable:            finish <= end+interval,
+	}
+	e.reports = append(e.reports, rep)
+	e.batchIdx++
+	e.now = end
+	return rep, nil
+}
+
+// queryRun is the outcome of one query's Map-Reduce job over a batch.
+type queryRun struct {
+	mapMakespan     tuple.Time
+	reduceMakespan  tuple.Time
+	reduceDurations []tuple.Time
+	sizes           []int
+	result          map[string]float64
+}
+
+// runQuery executes query qi's Map-Reduce job over the shared blocks:
+// simulated Map stage, local bucket assignment (Algorithm 3 or hashing),
+// simulated Reduce stage, and the real per-key aggregation.
+func (e *Engine) runQuery(qi int, blocks []*tuple.Block) (queryRun, error) {
+	q := e.queries[qi]
+
+	mapDurations := make([]tuple.Time, len(blocks))
+	for i, bl := range blocks {
+		mapDurations[i] = e.cfg.Stragglers.apply(e.taskSeq,
+			e.cfg.Cost.MapTaskTime(bl.Size(), bl.Cardinality()))
+		e.taskSeq++
+	}
+	mapMakespan, _, err := cluster.ListSchedule(mapDurations, e.cfg.Cores)
+	if err != nil {
+		return queryRun{}, err
+	}
+
+	// Each Map task assigns its key clusters to Reduce buckets and
+	// pre-folds its partial aggregates.
+	buckets := reducer.NewBucketSet(e.cfg.ReduceTasks)
+	partials := make([]map[string]float64, e.cfg.ReduceTasks)
+	for i := range partials {
+		partials[i] = make(map[string]float64)
+	}
+	for _, bl := range blocks {
+		clusters, values := mapBlockFor(q, bl)
+		if len(clusters) == 0 {
+			continue
+		}
+		assign, err := e.cfg.Assigner.Assign(bl.ID, clusters, bl.Ref, e.cfg.ReduceTasks)
+		if err != nil {
+			return queryRun{}, fmt.Errorf("bucket assignment: %w", err)
+		}
+		for ci, b := range assign {
+			if err := buckets.Place(clusters[ci], b); err != nil {
+				return queryRun{}, fmt.Errorf("block %d: %w", bl.ID, err)
+			}
+			k := clusters[ci].Key
+			if cur, ok := partials[b][k]; ok {
+				partials[b][k] = q.Reduce(cur, values[ci])
+			} else {
+				partials[b][k] = values[ci]
+			}
+		}
+	}
+
+	sizes := buckets.Sizes()
+	extra := buckets.ExtraFragments()
+	reduceDurations := make([]tuple.Time, e.cfg.ReduceTasks)
+	for j := 0; j < e.cfg.ReduceTasks; j++ {
+		reduceDurations[j] = e.cfg.Stragglers.apply(e.taskSeq,
+			e.cfg.Cost.ReduceTaskTime(sizes[j], extra[j]))
+		e.taskSeq++
+	}
+	reduceMakespan, _, err := cluster.ListSchedule(reduceDurations, e.cfg.Cores)
+	if err != nil {
+		return queryRun{}, err
+	}
+
+	// The batch output: union of the per-bucket aggregates (disjoint by
+	// the key-locality invariant).
+	result := make(map[string]float64)
+	for j := range partials {
+		for k, v := range partials[j] {
+			result[k] = v
+		}
+	}
+	return queryRun{
+		mapMakespan:     mapMakespan,
+		reduceMakespan:  reduceMakespan,
+		reduceDurations: reduceDurations,
+		sizes:           append([]int(nil), sizes...),
+		result:          result,
+	}, nil
+}
+
+// feedAccumulator routes the batch's tuples through Algorithm 1, creating
+// or resetting the accumulator with estimates learned from the previous
+// batch.
+func (e *Engine) feedAccumulator(batch *tuple.Batch) error {
+	cfg := e.cfg.AccumConfig
+	if last := len(e.reports) - 1; last >= 0 {
+		// Seed estimates with the previous batch (N_Est, K_Avg).
+		if n := e.reports[last].Tuples; n > 0 {
+			cfg.EstimatedTuples = n
+		}
+		if k := e.reports[last].Keys; k > 0 {
+			cfg.EstimatedKeys = k
+		}
+	}
+	if e.acc == nil {
+		acc, err := stats.NewAccumulator(cfg, batch.Start, batch.End)
+		if err != nil {
+			return err
+		}
+		e.acc = acc
+	} else if err := e.acc.Reset(cfg, batch.Start, batch.End); err != nil {
+		return err
+	}
+	for i := range batch.Tuples {
+		// Arrival time equals the tuple timestamp in the simulated stream.
+		if err := e.acc.Add(batch.Tuples[i], batch.Tuples[i].TS); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,431 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"prompt/internal/metrics"
+	"prompt/internal/partition"
+	"prompt/internal/reducer"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+// testSource returns a deterministic workload source.
+func testSource(rate float64, keys int, seed int64) *workload.Source {
+	ks, err := workload.NewUniformSampler("k", keys)
+	if err != nil {
+		panic(err)
+	}
+	return &workload.Source{Name: "test", Rate: workload.ConstantRate(rate), Keys: ks, Seed: seed}
+}
+
+func testConfig() Config {
+	return Config{
+		BatchInterval:   tuple.Second,
+		MapTasks:        4,
+		ReduceTasks:     4,
+		Cores:           4,
+		ValidateBatches: true,
+	}
+}
+
+func TestEngineConfigValidation(t *testing.T) {
+	bad := testConfig()
+	bad.EarlyReleaseFraction = 0.9
+	if _, err := New(bad, WordCount(window.Sliding(30*tuple.Second, tuple.Second))); err == nil {
+		t.Error("accepted early release fraction 0.9")
+	}
+	bad2 := testConfig()
+	bad2.BatchInterval = -1
+	if _, err := New(bad2, Query{}); err == nil {
+		t.Error("accepted negative batch interval")
+	}
+}
+
+func TestEngineRejectsWindowShorterThanBatch(t *testing.T) {
+	cfg := testConfig()
+	q := WordCount(window.Sliding(100*tuple.Millisecond, 100*tuple.Millisecond))
+	if _, err := New(cfg, q); err == nil {
+		t.Error("accepted window shorter than batch interval")
+	}
+}
+
+func TestEngineWordCountCorrectness(t *testing.T) {
+	// The engine's per-batch result must match a direct per-key count,
+	// regardless of partitioning scheme.
+	for _, scheme := range []struct {
+		name string
+		p    partition.Partitioner
+		a    reducer.Assigner
+		mode AccumMode
+	}{
+		{"prompt", partition.NewPrompt(), reducer.NewPrompt(), FrequencyAware},
+		{"hash", partition.NewHash(), reducer.NewHash(), PostSortMode},
+		{"shuffle", partition.NewShuffle(), reducer.NewHash(), PostSortMode},
+		{"pk5", partition.NewPKd(5), reducer.NewHash(), PostSortMode},
+	} {
+		cfg := testConfig()
+		cfg.Partitioner = scheme.p
+		cfg.Assigner = scheme.a
+		cfg.Accum = scheme.mode
+		eng, err := New(cfg, WordCount(window.Sliding(5*tuple.Second, tuple.Second)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := testSource(5000, 50, 7)
+		reports, err := eng.RunBatches(src, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme.name, err)
+		}
+		// Recompute the expected window answer from the raw stream.
+		src.Reset()
+		want := map[string]float64{}
+		for i := 0; i < 3; i++ {
+			ts, err := src.Slice(tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range ts {
+				want[ts[j].Key]++
+			}
+		}
+		got := eng.WindowSnapshot()
+		if len(got) != len(want) {
+			t.Fatalf("%s: window has %d keys, want %d", scheme.name, len(got), len(want))
+		}
+		for k, v := range want {
+			if math.Abs(got[k]-v) > 1e-9 {
+				t.Errorf("%s: key %s = %v, want %v", scheme.name, k, got[k], v)
+			}
+		}
+		if len(reports) != 3 {
+			t.Fatalf("%s: %d reports", scheme.name, len(reports))
+		}
+		for _, r := range reports {
+			if r.Tuples == 0 || r.Keys == 0 {
+				t.Errorf("%s: empty batch stats: %+v", scheme.name, r)
+			}
+		}
+	}
+}
+
+func TestEngineSumQueryValues(t *testing.T) {
+	cfg := testConfig()
+	eng, err := New(cfg, SumQuery("sum", window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-built batch: values sum per key.
+	tuples := []tuple.Tuple{
+		tuple.NewTuple(100, "a", 1.5),
+		tuple.NewTuple(200, "b", 2.0),
+		tuple.NewTuple(300, "a", 2.5),
+	}
+	if _, err := eng.Step(tuples, 0, tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.LastResult()
+	if res["a"] != 4.0 || res["b"] != 2.0 {
+		t.Errorf("result = %v, want a:4 b:2", res)
+	}
+}
+
+func TestEngineMapFilter(t *testing.T) {
+	q := Query{
+		Name:   "filtered",
+		Map:    func(tp tuple.Tuple) (float64, bool) { return tp.Val, tp.Val > 1 },
+		Reduce: window.Sum,
+	}
+	eng, err := New(testConfig(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := []tuple.Tuple{
+		tuple.NewTuple(100, "a", 0.5), // filtered out
+		tuple.NewTuple(200, "a", 2.0),
+		tuple.NewTuple(300, "b", 0.5), // whole key filtered out
+	}
+	if _, err := eng.Step(tuples, 0, tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.LastResult()
+	if len(res) != 1 || res["a"] != 2.0 {
+		t.Errorf("result = %v, want {a:2}", res)
+	}
+}
+
+func TestEngineWindowEviction(t *testing.T) {
+	cfg := testConfig()
+	eng, err := New(cfg, WordCount(window.Sliding(2*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkBatch := func(i int, key string, n int) []tuple.Tuple {
+		var out []tuple.Tuple
+		base := tuple.Time(i) * tuple.Second
+		for j := 0; j < n; j++ {
+			out = append(out, tuple.NewTuple(base+tuple.Time(j), key, 1))
+		}
+		return out
+	}
+	if _, err := eng.Step(mkBatch(0, "x", 5), 0, tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step(mkBatch(1, "x", 3), tuple.Second, 2*tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.WindowSnapshot()["x"]; got != 8 {
+		t.Fatalf("window after 2 batches = %v, want 8", got)
+	}
+	// Third batch: first batch (5) evicts.
+	if _, err := eng.Step(mkBatch(2, "x", 2), 2*tuple.Second, 3*tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.WindowSnapshot()["x"]; got != 5 {
+		t.Errorf("window after eviction = %v, want 5", got)
+	}
+}
+
+func TestEngineQueueingWhenOverloaded(t *testing.T) {
+	cfg := testConfig()
+	// Brutal cost model: processing will exceed the interval.
+	cfg.Cost = metrics.CostModel{
+		MapFixed: 400 * tuple.Millisecond, MapPerTuple: 100,
+		ReduceFixed: 400 * tuple.Millisecond, ReducePerTuple: 100,
+	}
+	eng, err := New(cfg, WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(20000, 100, 3)
+	reports, err := eng.RunBatches(src, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := reports[len(reports)-1]
+	if last.Stable {
+		t.Error("overloaded engine reported stable")
+	}
+	if last.QueueWait <= 0 {
+		t.Error("no queue wait despite overload")
+	}
+	// Queue wait grows monotonically under constant overload.
+	for i := 2; i < len(reports); i++ {
+		if reports[i].QueueWait < reports[i-1].QueueWait {
+			t.Errorf("queue wait shrank: %v -> %v", reports[i-1].QueueWait, reports[i].QueueWait)
+		}
+	}
+	if last.W <= 1 {
+		t.Errorf("W = %v, want > 1 under overload", last.W)
+	}
+}
+
+func TestEngineStableWhenUnderloaded(t *testing.T) {
+	cfg := testConfig()
+	eng, err := New(cfg, WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(2000, 50, 5)
+	reports, err := eng.RunBatches(src, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range reports {
+		if !r.Stable {
+			t.Errorf("batch %d unstable at modest load: %+v", r.Index, r)
+		}
+		if r.QueueWait != 0 {
+			t.Errorf("batch %d queued: %v", r.Index, r.QueueWait)
+		}
+		// End-to-end latency = interval + processing when stable.
+		if r.Latency != cfg.BatchInterval+r.ProcessingTime {
+			t.Errorf("latency %v != interval+processing %v", r.Latency, cfg.BatchInterval+r.ProcessingTime)
+		}
+	}
+}
+
+func TestEngineRejectsNonConsecutiveBatches(t *testing.T) {
+	eng, err := New(testConfig(), WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Step(nil, 5*tuple.Second, 6*tuple.Second); err == nil {
+		t.Error("accepted batch not starting at Now()")
+	}
+	if _, err := eng.Step(nil, 0, 0); err == nil {
+		t.Error("accepted empty interval")
+	}
+}
+
+func TestEngineSetParallelism(t *testing.T) {
+	eng, err := New(testConfig(), WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetParallelism(8, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetCores(16); err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(2000, 50, 5)
+	reports, err := eng.RunBatches(src, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reports[0]
+	if r.MapTasks != 8 || r.ReduceTasks != 6 || r.Cores != 16 {
+		t.Errorf("parallelism not applied: %+v", r)
+	}
+	if len(r.BucketSizes) != 6 {
+		t.Errorf("bucket count %d, want 6", len(r.BucketSizes))
+	}
+	if err := eng.SetParallelism(0, 1); err == nil {
+		t.Error("accepted zero map tasks")
+	}
+	if err := eng.SetCores(0); err == nil {
+		t.Error("accepted zero cores")
+	}
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	eng, err := New(testConfig(), WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.Step(nil, 0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tuples != 0 || rep.Keys != 0 {
+		t.Errorf("empty batch stats: %+v", rep)
+	}
+	if !rep.Stable {
+		t.Error("empty batch unstable")
+	}
+}
+
+func TestEngineMoreTasksReduceStageTime(t *testing.T) {
+	// With more cores and tasks, the same workload processes faster — the
+	// relationship elasticity relies on.
+	run := func(tasks, cores int) tuple.Time {
+		cfg := testConfig()
+		cfg.MapTasks, cfg.ReduceTasks, cfg.Cores = tasks, tasks, cores
+		eng, err := New(cfg, WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := testSource(50000, 500, 11)
+		reports, err := eng.RunBatches(src, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return reports[1].ProcessingTime
+	}
+	small := run(2, 2)
+	big := run(8, 8)
+	if big >= small {
+		t.Errorf("8 tasks (%v) not faster than 2 tasks (%v)", big, small)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Batches != 0 {
+		t.Error("empty summary")
+	}
+	reports := []BatchReport{
+		{Index: 0, Start: 0, End: tuple.Second, Tuples: 100, ProcessingTime: 100 * tuple.Millisecond,
+			Latency: tuple.Second, W: 0.1, Stable: true},
+		{Index: 1, Start: tuple.Second, End: 2 * tuple.Second, Tuples: 300,
+			ProcessingTime: 300 * tuple.Millisecond, Latency: 2 * tuple.Second,
+			QueueWait: 50 * tuple.Millisecond, W: 0.3, Stable: false},
+	}
+	s := Summarize(reports)
+	if s.Batches != 2 || s.Tuples != 400 || s.UnstableCount != 1 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.MeanProcessing != 200*tuple.Millisecond || s.MaxProcessing != 300*tuple.Millisecond {
+		t.Errorf("processing stats: %+v", s)
+	}
+	if s.MaxLatency != 2*tuple.Second {
+		t.Errorf("max latency: %v", s.MaxLatency)
+	}
+	if math.Abs(s.Throughput-200) > 1e-9 {
+		t.Errorf("throughput = %v, want 200", s.Throughput)
+	}
+	if s.MaxQueueWait != 50*tuple.Millisecond {
+		t.Errorf("max queue wait: %v", s.MaxQueueWait)
+	}
+}
+
+func TestAccumModeString(t *testing.T) {
+	if FrequencyAware.String() != "frequency-aware" || PostSortMode.String() != "post-sort" {
+		t.Error("AccumMode strings")
+	}
+	if AccumMode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+func TestEngineFrequencyAwareMatchesPostSortResults(t *testing.T) {
+	// Same stream, both accumulation modes: identical query answers.
+	results := make([]map[string]float64, 2)
+	for i, mode := range []AccumMode{FrequencyAware, PostSortMode} {
+		cfg := testConfig()
+		cfg.Accum = mode
+		eng, err := New(cfg, WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := testSource(8000, 200, 13)
+		if _, err := eng.RunBatches(src, 3); err != nil {
+			t.Fatal(err)
+		}
+		results[i] = eng.WindowSnapshot()
+	}
+	if len(results[0]) != len(results[1]) {
+		t.Fatalf("different key counts: %d vs %d", len(results[0]), len(results[1]))
+	}
+	for k, v := range results[0] {
+		if results[1][k] != v {
+			t.Errorf("key %s: %v vs %v", k, v, results[1][k])
+		}
+	}
+}
+
+func TestEngineSkewedStreamStaysCorrect(t *testing.T) {
+	// Heavy skew with Prompt: fragments split across blocks must still
+	// produce exact counts (locality at the Reduce stage).
+	cfg := testConfig()
+	cfg.MapTasks, cfg.ReduceTasks, cfg.Cores = 8, 8, 8
+	eng, err := New(cfg, WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var tuples []tuple.Tuple
+	want := map[string]float64{}
+	for i := 0; i < 20000; i++ {
+		key := "hot"
+		if rng.Float64() > 0.6 {
+			key = fmt.Sprintf("c%d", rng.Intn(500))
+		}
+		ts := tuple.Time(int64(i) * int64(tuple.Second) / 20000)
+		tuples = append(tuples, tuple.NewTuple(ts, key, 1))
+		want[key]++
+	}
+	if _, err := eng.Step(tuples, 0, tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := eng.LastResult()
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %s = %v, want %v", k, got[k], v)
+		}
+	}
+}

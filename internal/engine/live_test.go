@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prompt/internal/partition"
+	"prompt/internal/reducer"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+// livePartitioned builds a partitioned batch for live-runtime tests.
+func livePartitioned(t *testing.T, pt partition.Partitioner, n, keys, p int) *tuple.Partitioned {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	b := &tuple.Batch{Start: 0, End: tuple.Second}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(keys)
+		if rng.Float64() < 0.4 {
+			j = rng.Intn(1 + keys/20) // skew
+		}
+		ts := tuple.Time(int64(i) * int64(tuple.Second) / int64(n))
+		b.Tuples = append(b.Tuples, tuple.NewTuple(ts, fmt.Sprintf("k%d", j), 1))
+	}
+	blocks, err := pt.Partition(partition.Input{Batch: b}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tuple.Partitioned{Batch: b, Blocks: blocks}
+}
+
+func TestRunLiveMatchesSimulatedResults(t *testing.T) {
+	parted := livePartitioned(t, partition.NewPrompt(), 20000, 300, 8)
+	q := Query{Name: "wc", Map: CountMap, Reduce: window.Sum}
+
+	live, err := RunLive(parted, q, reducer.NewPrompt(), 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: direct count over the raw batch.
+	want := map[string]float64{}
+	for i := range parted.Batch.Tuples {
+		want[parted.Batch.Tuples[i].Key]++
+	}
+	if len(live.Result) != len(want) {
+		t.Fatalf("live result has %d keys, want %d", len(live.Result), len(want))
+	}
+	for k, v := range want {
+		if live.Result[k] != v {
+			t.Errorf("key %s = %v, want %v", k, live.Result[k], v)
+		}
+	}
+	if len(live.MapTaskWall) != 8 || len(live.ReduceTaskWall) != 8 {
+		t.Errorf("task wall counts: %d map, %d reduce", len(live.MapTaskWall), len(live.ReduceTaskWall))
+	}
+	if live.MapWall <= 0 || live.ReduceWall <= 0 {
+		t.Error("stage wall times not measured")
+	}
+	total := 0
+	for _, s := range live.BucketSizes {
+		total += s
+	}
+	if total != parted.Batch.Len() {
+		t.Errorf("bucket sizes sum to %d, want %d", total, parted.Batch.Len())
+	}
+}
+
+func TestRunLiveAllSchemesAgree(t *testing.T) {
+	q := Query{Name: "wc", Map: CountMap, Reduce: window.Sum}
+	var ref map[string]float64
+	for _, tc := range []struct {
+		pt partition.Partitioner
+		as reducer.Assigner
+	}{
+		{partition.NewPrompt(), reducer.NewPrompt()},
+		{partition.NewHash(), reducer.NewHash()},
+		{partition.NewShuffle(), reducer.NewHash()},
+		{partition.NewPKd(5), reducer.NewHash()},
+		{partition.NewTimeBased(), reducer.NewHash()},
+	} {
+		parted := livePartitioned(t, tc.pt, 10000, 200, 6)
+		live, err := RunLive(parted, q, tc.as, 6, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.pt.Name(), err)
+		}
+		if ref == nil {
+			ref = live.Result
+			continue
+		}
+		if len(live.Result) != len(ref) {
+			t.Fatalf("%s: %d keys vs ref %d", tc.pt.Name(), len(live.Result), len(ref))
+		}
+		for k, v := range ref {
+			if live.Result[k] != v {
+				t.Errorf("%s: key %s = %v, want %v", tc.pt.Name(), k, live.Result[k], v)
+			}
+		}
+	}
+}
+
+func TestRunLiveValidation(t *testing.T) {
+	if _, err := RunLive(nil, Query{}, reducer.NewHash(), 4, 2); err == nil {
+		t.Error("nil batch accepted")
+	}
+	parted := livePartitioned(t, partition.NewHash(), 100, 10, 2)
+	if _, err := RunLive(parted, Query{}, reducer.NewHash(), 0, 2); err == nil {
+		t.Error("zero reduce tasks accepted")
+	}
+}
+
+func TestRunLiveWorkerDefault(t *testing.T) {
+	parted := livePartitioned(t, partition.NewPrompt(), 1000, 50, 4)
+	q := Query{Name: "wc", Map: CountMap, Reduce: window.Sum}
+	if _, err := RunLive(parted, q, reducer.NewPrompt(), 4, 0); err != nil {
+		t.Fatalf("workers=0 (GOMAXPROCS default) failed: %v", err)
+	}
+}
+
+func TestRunLiveSumValues(t *testing.T) {
+	b := &tuple.Batch{Start: 0, End: tuple.Second}
+	b.Tuples = []tuple.Tuple{
+		tuple.NewTuple(1, "a", 1.5),
+		tuple.NewTuple(2, "a", 2.5),
+		tuple.NewTuple(3, "b", 4.0),
+	}
+	blocks, err := partition.NewPrompt().Partition(partition.Input{Batch: b}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parted := &tuple.Partitioned{Batch: b, Blocks: blocks}
+	q := Query{Name: "sum", Map: IdentityMap, Reduce: window.Sum}
+	live, err := RunLive(parted, q, reducer.NewPrompt(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Result["a"] != 4.0 || live.Result["b"] != 4.0 {
+		t.Errorf("result = %v", live.Result)
+	}
+}

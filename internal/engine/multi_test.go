@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(testConfig(), nil); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestMultiQuerySharedBatchingPhase(t *testing.T) {
+	// Two queries over one stream: a count and a filtered sum. The
+	// batching phase runs once; both answers must be exact.
+	queries := []Query{
+		{Name: "count", Map: CountMap, Reduce: window.Sum,
+			Inverse: window.SumInverse, Window: window.Sliding(5*tuple.Second, tuple.Second)},
+		{Name: "bigsum", Map: func(tp tuple.Tuple) (float64, bool) { return tp.Val, tp.Val >= 2 },
+			Reduce: window.Sum, Inverse: window.SumInverse,
+			Window: window.Sliding(5*tuple.Second, tuple.Second)},
+	}
+	eng, err := NewMulti(testConfig(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Queries() != 2 {
+		t.Fatalf("Queries() = %d", eng.Queries())
+	}
+
+	batch := []tuple.Tuple{
+		tuple.NewTuple(1, "a", 1),
+		tuple.NewTuple(2, "a", 3),
+		tuple.NewTuple(3, "b", 5),
+		tuple.NewTuple(4, "b", 1),
+	}
+	rep, err := eng.Step(batch, 0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := eng.LastResultOf(0)
+	if count["a"] != 2 || count["b"] != 2 {
+		t.Errorf("count = %v", count)
+	}
+	bigsum := eng.LastResultOf(1)
+	if bigsum["a"] != 3 || bigsum["b"] != 5 {
+		t.Errorf("bigsum = %v", bigsum)
+	}
+
+	// Processing time covers both jobs: more than a single-query engine
+	// over the same batch.
+	single, err := New(testConfig(), queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	srep, err := single.Step(batch, 0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProcessingTime <= srep.ProcessingTime {
+		t.Errorf("multi-query processing %v not above single-query %v",
+			rep.ProcessingTime, srep.ProcessingTime)
+	}
+	// The report's stage details describe the primary query.
+	if rep.MapStageTime != srep.MapStageTime {
+		t.Errorf("primary map stage %v differs from single-query %v",
+			rep.MapStageTime, srep.MapStageTime)
+	}
+}
+
+func TestMultiQueryWindowsIndependent(t *testing.T) {
+	queries := []Query{
+		WordCount(window.Sliding(2*tuple.Second, tuple.Second)),
+		WordCount(window.Sliding(4*tuple.Second, tuple.Second)),
+	}
+	eng, err := NewMulti(testConfig(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(2000, 30, 51)
+	if _, err := eng.RunBatches(src, 4); err != nil {
+		t.Fatal(err)
+	}
+	short := eng.WindowOf(0)
+	long := eng.WindowOf(1)
+	if short.Batches() != 2 || long.Batches() != 4 {
+		t.Errorf("window batch counts: %d and %d, want 2 and 4", short.Batches(), long.Batches())
+	}
+	// The longer window dominates the shorter per key.
+	shortSnap := short.Snapshot()
+	longSnap := long.Snapshot()
+	for k, v := range shortSnap {
+		if longSnap[k] < v-1e-9 {
+			t.Errorf("key %s: 4s window %v below 2s window %v", k, longSnap[k], v)
+		}
+	}
+	total := 0.0
+	for _, v := range longSnap {
+		total += v
+	}
+	if math.Abs(total-float64(sumTuples(eng.Reports()))) > 1e-6 {
+		t.Errorf("4s window total %v != tuples processed %d", total, sumTuples(eng.Reports()))
+	}
+}
+
+func sumTuples(reports []BatchReport) int {
+	n := 0
+	for _, r := range reports {
+		n += r.Tuples
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"fmt"
+
+	"prompt/internal/tuple"
+)
+
+// BatchStore implements the paper's consistency mechanism (§8):
+// exactly-once semantics at batch granularity. Each batch's raw input is
+// replicated when it is ingested; if a batch's in-memory output is lost
+// (executor failure), the output is recomputed deterministically from the
+// replicated input. A batch's replica is discarded once its output has
+// exited the query window, at which point it can never be needed again.
+type BatchStore struct {
+	retain  tuple.Time // window length: how long outputs stay relevant
+	batches map[int]storedBatch
+}
+
+type storedBatch struct {
+	start, end tuple.Time
+	tuples     []tuple.Tuple
+}
+
+// NewBatchStore returns a store that retains each batch until its end
+// time falls out of the retain horizon (the query's window length; 0
+// retains only the most recent batch interval).
+func NewBatchStore(retain tuple.Time) *BatchStore {
+	return &BatchStore{retain: retain, batches: make(map[int]storedBatch)}
+}
+
+// Len returns the number of replicated batches currently held.
+func (s *BatchStore) Len() int { return len(s.batches) }
+
+// Put replicates one batch's raw input. The tuples are copied: the store
+// must survive the engine mutating or releasing its buffers.
+func (s *BatchStore) Put(index int, start, end tuple.Time, tuples []tuple.Tuple) {
+	cp := make([]tuple.Tuple, len(tuples))
+	copy(cp, tuples)
+	s.batches[index] = storedBatch{start: start, end: end, tuples: cp}
+	s.evict(end)
+}
+
+// evict drops batches whose output has exited the window ending at now.
+func (s *BatchStore) evict(now tuple.Time) {
+	cutoff := now - s.retain
+	for idx, b := range s.batches {
+		if b.end <= cutoff {
+			delete(s.batches, idx)
+		}
+	}
+}
+
+// Get returns a stored batch's input, or false if it was never stored or
+// already expired.
+func (s *BatchStore) Get(index int) ([]tuple.Tuple, tuple.Time, tuple.Time, bool) {
+	b, ok := s.batches[index]
+	if !ok {
+		return nil, 0, 0, false
+	}
+	return b.tuples, b.start, b.end, true
+}
+
+// Recompute re-executes the query over a replicated batch and returns its
+// per-key output. The computation is deterministic — same partitioner,
+// same assigner, same query — so the recovered output is identical to the
+// lost one (the exactly-once guarantee). It runs on a throwaway engine so
+// the live engine's accumulator and window state are untouched.
+func (s *BatchStore) Recompute(index int, cfg Config, q Query) (map[string]float64, error) {
+	b, ok := s.batches[index]
+	if !ok {
+		return nil, fmt.Errorf("engine: batch %d not in the replica store (expired or never stored)", index)
+	}
+	// A fresh single-batch engine at the stored interval. Windowing is
+	// irrelevant for one batch's output.
+	cfg.ValidateBatches = true
+	replay, err := New(cfg, Query{Name: q.Name, Map: q.Map, Reduce: q.Reduce})
+	if err != nil {
+		return nil, err
+	}
+	replay.now = b.start
+	if _, err := replay.Step(b.tuples, b.start, b.end); err != nil {
+		return nil, fmt.Errorf("engine: recomputing batch %d: %w", index, err)
+	}
+	return replay.LastResult(), nil
+}
+
+// RecoverableEngine couples an engine with a batch store so every ingested
+// batch is replicated before processing — the deployment mode the paper's
+// consistency section describes.
+type RecoverableEngine struct {
+	*Engine
+	Store *BatchStore
+}
+
+// NewRecoverable wraps an engine with input replication sized to the
+// query's window (falling back to one batch interval for windowless
+// queries).
+func NewRecoverable(cfg Config, q Query) (*RecoverableEngine, error) {
+	eng, err := New(cfg, q)
+	if err != nil {
+		return nil, err
+	}
+	retain := eng.cfg.BatchInterval
+	if q.Window.Length > retain {
+		retain = q.Window.Length
+	}
+	return &RecoverableEngine{Engine: eng, Store: NewBatchStore(retain)}, nil
+}
+
+// Step replicates the batch input, then processes it.
+func (r *RecoverableEngine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport, error) {
+	index := r.batchIdx
+	r.Store.Put(index, start, end, tuples)
+	return r.Engine.Step(tuples, start, end)
+}
+
+// Recover recomputes the primary query's output for a batch after
+// simulated state loss.
+func (r *RecoverableEngine) Recover(index int) (map[string]float64, error) {
+	return r.Store.Recompute(index, r.cfg, r.queries[0])
+}

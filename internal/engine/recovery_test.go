@@ -1,0 +1,131 @@
+package engine
+
+import (
+	"testing"
+
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+func TestBatchStoreEviction(t *testing.T) {
+	s := NewBatchStore(2 * tuple.Second)
+	mk := func(i int) []tuple.Tuple {
+		return []tuple.Tuple{tuple.NewTuple(tuple.Time(i)*tuple.Second, "k", 1)}
+	}
+	for i := 0; i < 5; i++ {
+		s.Put(i, tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second, mk(i))
+	}
+	// At now=5s with retain 2s, batches ending at <= 3s are gone.
+	if s.Len() != 2 {
+		t.Errorf("store holds %d batches, want 2", s.Len())
+	}
+	if _, _, _, ok := s.Get(0); ok {
+		t.Error("expired batch still retrievable")
+	}
+	if _, start, end, ok := s.Get(4); !ok || start != 4*tuple.Second || end != 5*tuple.Second {
+		t.Errorf("Get(4) = %v..%v, %v", start, end, ok)
+	}
+}
+
+func TestBatchStoreCopiesInput(t *testing.T) {
+	s := NewBatchStore(tuple.Minute)
+	in := []tuple.Tuple{tuple.NewTuple(1, "a", 1)}
+	s.Put(0, 0, tuple.Second, in)
+	in[0].Key = "mutated"
+	got, _, _, ok := s.Get(0)
+	if !ok || got[0].Key != "a" {
+		t.Error("store shared the caller's buffer")
+	}
+}
+
+func TestRecomputeUnknownBatch(t *testing.T) {
+	s := NewBatchStore(tuple.Minute)
+	if _, err := s.Recompute(7, Config{}, Query{}); err == nil {
+		t.Error("recompute of unknown batch succeeded")
+	}
+}
+
+func TestRecoverableEngineExactlyOnce(t *testing.T) {
+	cfg := testConfig()
+	q := WordCount(window.Sliding(5*tuple.Second, tuple.Second))
+	re, err := NewRecoverable(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(5000, 100, 23)
+
+	// Process batches, remembering each output.
+	originals := make([]map[string]float64, 0, 4)
+	for i := 0; i < 4; i++ {
+		start := re.Now()
+		end := start + cfg.BatchInterval
+		ts, err := src.Slice(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := re.Step(ts, start, end); err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]float64, len(re.LastResult()))
+		for k, v := range re.LastResult() {
+			out[k] = v
+		}
+		originals = append(originals, out)
+	}
+
+	// Simulate losing batch 2's state and recover it: the recomputed
+	// output must be identical (exactly-once at batch granularity).
+	recovered, err := re.Recover(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != len(originals[2]) {
+		t.Fatalf("recovered %d keys, want %d", len(recovered), len(originals[2]))
+	}
+	for k, v := range originals[2] {
+		if recovered[k] != v {
+			t.Errorf("key %s recovered as %v, want %v", k, recovered[k], v)
+		}
+	}
+
+	// Recovery must not disturb the live engine: next batch continues.
+	start := re.Now()
+	end := start + cfg.BatchInterval
+	ts, err := src.Slice(start, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Step(ts, start, end); err != nil {
+		t.Fatalf("engine disturbed by recovery: %v", err)
+	}
+}
+
+func TestRecoverableRetainTracksWindow(t *testing.T) {
+	cfg := testConfig()
+	q := WordCount(window.Sliding(3*tuple.Second, tuple.Second))
+	re, err := NewRecoverable(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(1000, 20, 29)
+	for i := 0; i < 6; i++ {
+		start := re.Now()
+		end := start + cfg.BatchInterval
+		ts, err := src.Slice(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := re.Step(ts, start, end); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Retain = window length (3 s): exactly 3 batches replicated.
+	if re.Store.Len() != 3 {
+		t.Errorf("store holds %d batches, want 3", re.Store.Len())
+	}
+	// A batch outside the window cannot be recovered — and never needs to
+	// be, since its output no longer contributes to any answer.
+	if _, err := re.Recover(0); err == nil {
+		t.Error("recovered a batch that exited the window")
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+func TestReordererValidation(t *testing.T) {
+	if _, err := NewReorderer(-1); err == nil {
+		t.Error("negative delay accepted")
+	}
+}
+
+func TestReordererRepairsOrder(t *testing.T) {
+	r, err := NewReorderer(100 * tuple.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals out of event order but within the delay bound.
+	arrivals := []workload.Arrival{
+		{Tuple: tuple.NewTuple(50*tuple.Millisecond, "b", 1), At: 120 * tuple.Millisecond},
+		{Tuple: tuple.NewTuple(20*tuple.Millisecond, "a", 1), At: 120 * tuple.Millisecond},
+		{Tuple: tuple.NewTuple(900*tuple.Millisecond, "c", 1), At: 950 * tuple.Millisecond},
+		{Tuple: tuple.NewTuple(1100*tuple.Millisecond, "next", 1), At: 1100 * tuple.Millisecond},
+	}
+	for _, a := range arrivals {
+		if !r.Ingest(a) {
+			t.Fatalf("in-bound arrival dropped: %+v", a)
+		}
+	}
+	batch, err := r.Seal(tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("sealed %d tuples, want 3", len(batch))
+	}
+	for i := 1; i < len(batch); i++ {
+		if batch[i].TS < batch[i-1].TS {
+			t.Fatal("sealed batch not in event-time order")
+		}
+	}
+	if r.Pending() != 1 {
+		t.Errorf("pending = %d, want the next-batch tuple", r.Pending())
+	}
+}
+
+func TestReordererDropsLateTuples(t *testing.T) {
+	r, err := NewReorderer(50 * tuple.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200ms late: beyond the bound.
+	if r.Ingest(workload.Arrival{
+		Tuple: tuple.NewTuple(100*tuple.Millisecond, "late", 1),
+		At:    300 * tuple.Millisecond,
+	}) {
+		t.Error("over-delay tuple accepted")
+	}
+	if r.Dropped() != 1 {
+		t.Errorf("dropped = %d", r.Dropped())
+	}
+	// Event time inside a sealed batch: dropped even if within delay.
+	if !r.Ingest(workload.Arrival{Tuple: tuple.NewTuple(990*tuple.Millisecond, "x", 1), At: tuple.Second}) {
+		t.Error("valid tuple dropped")
+	}
+	if _, err := r.Seal(tuple.Second); err == nil {
+		t.Error("sealed without having ingested up to end+MaxDelay")
+	}
+	r.Ingest(workload.Arrival{Tuple: tuple.NewTuple(1200*tuple.Millisecond, "y", 1), At: 1100 * tuple.Millisecond})
+	if _, err := r.Seal(tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.Ingest(workload.Arrival{Tuple: tuple.NewTuple(995*tuple.Millisecond, "z", 1), At: 1040 * tuple.Millisecond}) {
+		t.Error("tuple for a sealed batch accepted")
+	}
+}
+
+func TestRunReorderedMatchesInOrderStream(t *testing.T) {
+	// With MaxDelay >= MaxJitter nothing is dropped, and the windowed
+	// answer equals a run over the unjittered stream.
+	mkInner := func() *workload.Source { return testSource(5000, 80, 61) }
+
+	plain, err := New(testConfig(), WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.RunBatches(mkInner(), 4); err != nil {
+		t.Fatal(err)
+	}
+
+	jit, err := workload.NewJittered(mkInner(), 200*tuple.Millisecond, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reord, err := NewReorderer(200 * tuple.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(testConfig(), WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunReordered(jit, reord, 4); err != nil {
+		t.Fatal(err)
+	}
+	if reord.Dropped() != 0 {
+		t.Errorf("dropped %d tuples despite MaxDelay >= MaxJitter", reord.Dropped())
+	}
+	want := plain.WindowSnapshot()
+	got := eng.WindowSnapshot()
+	if len(got) != len(want) {
+		t.Fatalf("window keys %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Errorf("key %s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestRunReorderedDropsBeyondBound(t *testing.T) {
+	inner := testSource(5000, 80, 63)
+	jit, err := workload.NewJittered(inner, 400*tuple.Millisecond, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delay bound below the jitter: some tuples must be dropped, but the
+	// engine keeps running and every batch stays within its interval.
+	reord, err := NewReorderer(100 * tuple.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(testConfig(), WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := eng.RunReordered(jit, reord, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reord.Dropped() == 0 {
+		t.Error("no drops despite jitter exceeding the delay bound")
+	}
+	total := 0
+	for _, rep := range reports {
+		total += rep.Tuples
+	}
+	if total+reord.Dropped()+reord.Pending() < 4*4500 {
+		t.Errorf("tuples unaccounted for: processed %d, dropped %d, pending %d",
+			total, reord.Dropped(), reord.Pending())
+	}
+}

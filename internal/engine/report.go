@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"fmt"
+
+	"prompt/internal/metrics"
+	"prompt/internal/tuple"
+)
+
+// BatchReport records everything measured about one micro-batch: input
+// statistics, partitioning quality, simulated stage times, queueing, and
+// the stability ratio W = processing time / batch interval that drives the
+// elasticity controller.
+type BatchReport struct {
+	// Index is the batch sequence number (0-based).
+	Index int
+	// Start and End bound the batch interval.
+	Start, End tuple.Time
+
+	// Tuples and Keys are the batch input statistics (N_C and |K|).
+	Tuples int
+	Keys   int
+
+	// MapTasks and ReduceTasks are the parallelism used for this batch.
+	MapTasks    int
+	ReduceTasks int
+	// Cores is the simulated core count the stages ran on.
+	Cores int
+
+	// Quality holds the partitioning imbalance metrics of the block set.
+	Quality metrics.Report
+	// BucketSizes are the Reduce task input sizes.
+	BucketSizes []int
+	// BucketBSI is the size imbalance across Reduce buckets (Eq. 3).
+	BucketBSI float64
+
+	// PartitionTime is the measured wall time of statistics finalization
+	// plus partitioning, expressed in virtual time. Up to
+	// EarlyReleaseFraction * BatchInterval of it hides inside the batching
+	// phase; the excess (PartitionOverflow) delays processing.
+	PartitionTime     tuple.Time
+	PartitionOverflow tuple.Time
+
+	// MapStageTime and ReduceStageTime are the simulated stage makespans.
+	MapStageTime    tuple.Time
+	ReduceStageTime tuple.Time
+	// ReduceTaskTimes are the individual simulated Reduce task durations
+	// (Figure 13 plots their spread).
+	ReduceTaskTimes []tuple.Time
+
+	// ProcessingTime = PartitionOverflow + MapStageTime + ReduceStageTime.
+	ProcessingTime tuple.Time
+	// QueueWait is how long the batch waited for the previous batch's
+	// processing to finish (nonzero once the system destabilizes).
+	QueueWait tuple.Time
+	// Latency is the end-to-end latency at batch granularity: time from
+	// batch start until its processing finished.
+	Latency tuple.Time
+
+	// W is the stability ratio ProcessingTime / BatchInterval.
+	W float64
+	// Stable reports whether the batch finished within its interval
+	// including queue wait (the system keeps up).
+	Stable bool
+}
+
+// String summarizes the report on one line.
+func (r BatchReport) String() string {
+	return fmt.Sprintf("batch %d: n=%d k=%d proc=%v wait=%v W=%.2f stable=%v",
+		r.Index, r.Tuples, r.Keys, r.ProcessingTime, r.QueueWait, r.W, r.Stable)
+}
+
+// RunSummary aggregates the reports of a run.
+type RunSummary struct {
+	Batches        int
+	Tuples         int
+	UnstableCount  int
+	MaxQueueWait   tuple.Time
+	MeanProcessing tuple.Time
+	MaxProcessing  tuple.Time
+	MeanLatency    tuple.Time
+	MaxLatency     tuple.Time
+	MeanW          float64
+	// Throughput is tuples per second of virtual stream time.
+	Throughput float64
+}
+
+// Summarize folds a slice of batch reports into a summary.
+func Summarize(reports []BatchReport) RunSummary {
+	var s RunSummary
+	if len(reports) == 0 {
+		return s
+	}
+	var procSum, latSum tuple.Time
+	var wSum float64
+	for _, r := range reports {
+		s.Batches++
+		s.Tuples += r.Tuples
+		if !r.Stable {
+			s.UnstableCount++
+		}
+		if r.QueueWait > s.MaxQueueWait {
+			s.MaxQueueWait = r.QueueWait
+		}
+		procSum += r.ProcessingTime
+		if r.ProcessingTime > s.MaxProcessing {
+			s.MaxProcessing = r.ProcessingTime
+		}
+		latSum += r.Latency
+		if r.Latency > s.MaxLatency {
+			s.MaxLatency = r.Latency
+		}
+		wSum += r.W
+	}
+	n := tuple.Time(len(reports))
+	s.MeanProcessing = procSum / n
+	s.MeanLatency = latSum / n
+	s.MeanW = wSum / float64(len(reports))
+	span := reports[len(reports)-1].End - reports[0].Start
+	if span > 0 {
+		s.Throughput = float64(s.Tuples) / span.Seconds()
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"prompt/internal/tuple"
+)
+
+// WriteReportsCSV writes batch reports as CSV with a header row — the raw
+// series behind the paper's time plots (Figures 12 and 13), ready for any
+// plotting tool.
+func WriteReportsCSV(w io.Writer, reports []BatchReport) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "batch,start_us,end_us,tuples,keys,map_tasks,reduce_tasks,cores,"+
+		"bsi,bci,ksr,mpi,bucket_bsi,partition_ms,overflow_ms,map_ms,reduce_ms,"+
+		"processing_ms,queue_wait_ms,latency_ms,w,stable"); err != nil {
+		return err
+	}
+	for _, r := range reports {
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.6f,%.6f,%.3f,"+
+			"%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%v\n",
+			r.Index, int64(r.Start), int64(r.End), r.Tuples, r.Keys,
+			r.MapTasks, r.ReduceTasks, r.Cores,
+			r.Quality.BSI, r.Quality.BCI, r.Quality.KSR, r.Quality.MPI, r.BucketBSI,
+			ms(r.PartitionTime), ms(r.PartitionOverflow), ms(r.MapStageTime), ms(r.ReduceStageTime),
+			ms(r.ProcessingTime), ms(r.QueueWait), ms(r.Latency), r.W, r.Stable); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func ms(t tuple.Time) float64 { return t.Seconds() * 1000 }

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+func TestWriteReportsCSV(t *testing.T) {
+	eng, err := New(testConfig(), WordCount(window.Sliding(5*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunBatches(testSource(3000, 40, 81), 3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReportsCSV(&buf, eng.Reports()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	for i, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			t.Fatalf("row %d has %d fields, header has %d", i, len(fields), len(header))
+		}
+		if fields[0] != strconv.Itoa(i) {
+			t.Errorf("row %d batch index = %s", i, fields[0])
+		}
+		// Last column is the stability boolean.
+		if s := fields[len(fields)-1]; s != "true" && s != "false" {
+			t.Errorf("row %d stable column = %q", i, s)
+		}
+		// Numeric columns parse.
+		for j := 1; j < len(fields)-1; j++ {
+			if _, err := strconv.ParseFloat(fields[j], 64); err != nil {
+				t.Errorf("row %d field %s = %q not numeric", i, header[j], fields[j])
+			}
+		}
+	}
+	if err := WriteReportsCSV(&buf, nil); err != nil {
+		t.Errorf("empty reports: %v", err)
+	}
+}

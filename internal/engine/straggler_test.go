@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"testing"
+
+	"prompt/internal/elastic"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+func TestStragglerModelValidation(t *testing.T) {
+	bad := testConfig()
+	bad.Stragglers = StragglerModel{Every: 4, Factor: 0.5}
+	if _, err := New(bad, Query{}); err == nil {
+		t.Error("speedup factor accepted")
+	}
+	bad.Stragglers = StragglerModel{Every: -1, Factor: 2}
+	if _, err := New(bad, Query{}); err == nil {
+		t.Error("negative Every accepted")
+	}
+	ok := testConfig()
+	ok.Stragglers = StragglerModel{} // disabled
+	if _, err := New(ok, Query{}); err != nil {
+		t.Errorf("zero model rejected: %v", err)
+	}
+}
+
+func TestStragglersStretchProcessing(t *testing.T) {
+	run := func(m StragglerModel) tuple.Time {
+		cfg := testConfig()
+		cfg.Stragglers = m
+		eng, err := New(cfg, WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := eng.RunBatches(testSource(20_000, 100, 71), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum tuple.Time
+		for _, r := range reports {
+			sum += r.ProcessingTime
+		}
+		return sum
+	}
+	clean := run(StragglerModel{})
+	slowed := run(StragglerModel{Every: 3, Factor: 4})
+	if slowed <= clean {
+		t.Errorf("stragglers did not stretch processing: %v vs %v", slowed, clean)
+	}
+	// Injection is deterministic.
+	if again := run(StragglerModel{Every: 3, Factor: 4}); again != slowed {
+		t.Errorf("straggler injection not deterministic: %v vs %v", again, slowed)
+	}
+}
+
+func TestElasticityCompensatesForStragglers(t *testing.T) {
+	// Failure-injection integration: persistent stragglers push W above
+	// the threshold; Algorithm 4 must add tasks until the system is
+	// stable again even though the offered rate never changed.
+	cfg := testConfig()
+	cfg.MapTasks, cfg.ReduceTasks, cfg.Cores = 4, 4, 4
+	cfg.Cost.MapPerTuple = 40 * tuple.Microsecond
+	cfg.Cost.ReducePerTuple = 20 * tuple.Microsecond
+	cfg.Stragglers = StragglerModel{Every: 4, Factor: 3}
+	eng, err := New(cfg, WordCount(window.Sliding(30*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := elastic.NewController(elastic.Config{D: 2}, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(40_000, 200, 73)
+	sawOverload := false
+	for i := 0; i < 16; i++ {
+		start := eng.Now()
+		end := start + tuple.Second
+		ts, err := src.Slice(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := eng.Step(ts, start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.W > 0.9 {
+			sawOverload = true
+		}
+		act := ctrl.Observe(elastic.Observation{W: rep.W, Tuples: rep.Tuples, Keys: rep.Keys})
+		if err := eng.SetParallelism(act.MapTasks, act.ReduceTasks); err != nil {
+			t.Fatal(err)
+		}
+		wide := act.MapTasks
+		if act.ReduceTasks > wide {
+			wide = act.ReduceTasks
+		}
+		if err := eng.SetCores(wide); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sawOverload {
+		t.Skip("workload never overloaded; straggler factor too low for this machine-independent check")
+	}
+	last := eng.Reports()[len(eng.Reports())-1]
+	if last.MapTasks <= 4 && last.ReduceTasks <= 4 {
+		t.Errorf("controller never compensated for stragglers: %+v", last)
+	}
+	if last.W > 1.2 {
+		t.Errorf("system still overloaded after compensation: W=%v", last.W)
+	}
+}

@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationDealing(t *testing.T) {
+	res, err := AblationDealing(Quick(), "tweets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		rows[r.Variant] = r
+	}
+	// The load-aware dealing must not be worse on size balance than the
+	// published reversal-only zigzag, at identical KSR.
+	if rows["prompt"].BSI > rows["prompt-reversal"].BSI {
+		t.Errorf("load-aware BSI %v worse than reversal %v",
+			rows["prompt"].BSI, rows["prompt-reversal"].BSI)
+	}
+	if rows["prompt"].KSR != rows["prompt-reversal"].KSR {
+		t.Errorf("dealing strategy changed KSR: %v vs %v",
+			rows["prompt"].KSR, rows["prompt-reversal"].KSR)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}
+
+func TestAblationFragDivisor(t *testing.T) {
+	res, err := AblationFragDivisor(Quick(), "tweets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	// The trade-off: finer slicing (larger divisor) cannot lower KSR, and
+	// the coarsest setting cannot beat the finest on bucket balance.
+	coarse, fine := res.Rows[0], res.Rows[len(res.Rows)-1]
+	if fine.KSR < coarse.KSR {
+		t.Errorf("finer slicing lowered KSR: %v -> %v", coarse.KSR, fine.KSR)
+	}
+	if coarse.BucketBSI < fine.BucketBSI {
+		t.Errorf("coarse slicing beat fine on bucket BSI: %v vs %v",
+			coarse.BucketBSI, fine.BucketBSI)
+	}
+}
+
+func TestAblationRotation(t *testing.T) {
+	res, err := AblationRotation(Quick(), "tweets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]AblationRow{}
+	for _, r := range res.Rows {
+		rows[r.Variant] = r
+	}
+	// Both Worst-Fit variants must beat plain hashing on bucket balance.
+	for _, v := range []string{"prompt", "prompt-norotation"} {
+		if rows[v].BucketBSI > rows["hash"].BucketBSI {
+			t.Errorf("%s bucket BSI %v worse than hash %v", v, rows[v].BucketBSI, rows["hash"].BucketBSI)
+		}
+	}
+}
+
+func TestAblationSampling(t *testing.T) {
+	res, err := AblationSampling(Quick(), "synd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	exact, coarse := res.Rows[0], res.Rows[2]
+	// Exact statistics must not lose to a 0.1% sample on either stage.
+	if exact.BSI > coarse.BSI {
+		t.Errorf("exact BSI %v worse than 0.1%%-sampled %v", exact.BSI, coarse.BSI)
+	}
+	if exact.BucketBSI > coarse.BucketBSI {
+		t.Errorf("exact bucket BSI %v worse than 0.1%%-sampled %v", exact.BucketBSI, coarse.BucketBSI)
+	}
+}
+
+func TestAblationSlack(t *testing.T) {
+	p := Quick()
+	res, err := AblationSlack(p, []float64{0.0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	zero, five := res.Rows[0], res.Rows[1]
+	// Deterministic identities (wall-clock absolute values vary with CPU
+	// contention, so cross-run comparisons are not asserted): with no
+	// slack every measured partitioning millisecond overflows into
+	// processing; with slack, overflow is strictly bounded by the
+	// partition time.
+	if diff := zero.MeanOverflowMs - zero.MeanPartitionMs; diff > 0.001 || diff < -0.001 {
+		t.Errorf("0%% slack: overflow %v != partition time %v",
+			zero.MeanOverflowMs, zero.MeanPartitionMs)
+	}
+	if five.MeanOverflowMs > five.MeanPartitionMs {
+		t.Errorf("5%% slack: overflow %v exceeds partition time %v",
+			five.MeanOverflowMs, five.MeanPartitionMs)
+	}
+	if zero.MeanPartitionMs <= 0 {
+		t.Error("partition time not measured")
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestExtBatchSizing(t *testing.T) {
+	res, err := ExtBatchSizing(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(res.Rows))
+	}
+	rows := map[string]SizingRow{}
+	for _, r := range res.Rows {
+		rows[r.Variant] = r
+	}
+	// Resizing is orthogonal to partitioning: for either scheme, the
+	// adaptive variant trades a shorter mean interval for lower mean
+	// latency on this under-loaded spike workload.
+	for _, scheme := range []string{"time", "prompt"} {
+		fixed := rows[scheme+"/fixed-interval"]
+		adaptive := rows[scheme+"/adaptive-interval"]
+		if adaptive.MeanIntervalS >= fixed.MeanIntervalS {
+			t.Errorf("%s: adaptive interval %vs not below fixed %vs",
+				scheme, adaptive.MeanIntervalS, fixed.MeanIntervalS)
+		}
+		if adaptive.MeanLatencyMs >= fixed.MeanLatencyMs {
+			t.Errorf("%s: adaptive latency %v not below fixed %v",
+				scheme, adaptive.MeanLatencyMs, fixed.MeanLatencyMs)
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty print")
+	}
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"prompt/internal/backpressure"
+	"prompt/internal/core"
+	"prompt/internal/engine"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+// SourceFactory builds a fresh source offering the given base rate
+// (tuples/second). Each bisection probe gets its own source so runs are
+// independent and reproducible.
+type SourceFactory func(rate float64) (*workload.Source, error)
+
+// MaxThroughput finds the highest offered rate a scheme sustains with the
+// given batch interval: the rate at which back-pressure would not trigger.
+// A rate is sustained when every measured batch (after warmup) finishes
+// within its interval with no queue wait.
+func MaxThroughput(p Params, s core.Scheme, interval tuple.Time, mk SourceFactory) (float64, error) {
+	var probeErr error
+	sustain := func(rate float64) bool {
+		src, err := mk(rate)
+		if err != nil {
+			probeErr = err
+			return false
+		}
+		cfg := p.engineConfig(s, interval)
+		eng, err := engine.New(cfg, engine.Query{Name: "wordcount", Map: engine.CountMap, Reduce: window.Sum})
+		if err != nil {
+			probeErr = err
+			return false
+		}
+		total := p.WarmupBatches + p.MeasureBatches
+		for i := 0; i < total; i++ {
+			start := eng.Now()
+			end := start + interval
+			ts, err := src.Slice(start, end)
+			if err != nil {
+				probeErr = err
+				return false
+			}
+			rep, err := eng.Step(ts, start, end)
+			if err != nil {
+				probeErr = err
+				return false
+			}
+			if i >= p.WarmupBatches && (!rep.Stable || rep.QueueWait > 0) {
+				return false
+			}
+		}
+		return true
+	}
+	rate, err := backpressure.SearchMaxRate(p.SearchLo, p.SearchHi, p.SearchTol, sustain)
+	if probeErr != nil {
+		return 0, probeErr
+	}
+	return rate, err
+}
+
+// Fig11Techniques is the throughput comparison set (Figures 11 and 12 of
+// the paper compare the default Time-based partitioner, the key-splitting
+// state of the art, and Prompt; shuffle and hash are included for
+// completeness).
+var Fig11Techniques = []string{"time", "shuffle", "hash", "pk2", "pk5", "cam", "prompt"}
+
+// Fig11Row is one technique's maximum sustained throughput per batch
+// interval.
+type Fig11Row struct {
+	Technique string
+	// Throughput maps batch interval (in whole seconds, as the paper's
+	// 1/2/3 s x-axis) to tuples/second.
+	Throughput map[int]float64
+}
+
+// Fig11Result holds the variable-rate throughput comparison (Figures
+// 11a-11c).
+type Fig11Result struct {
+	Dataset   string
+	Intervals []int
+	Rows      []Fig11Row
+}
+
+// Fig11 regenerates Figures 11a-11c: maximum throughput under sinusoidal
+// input-rate variation for each technique and batch interval (seconds).
+func Fig11(p Params, dataset string, intervals []int) (*Fig11Result, error) {
+	res := &Fig11Result{Dataset: dataset, Intervals: intervals}
+	for _, name := range Fig11Techniques {
+		scheme, err := core.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11Row{Technique: name, Throughput: map[int]float64{}}
+		for _, sec := range intervals {
+			interval := tuple.Time(sec) * tuple.Second
+			mk := func(rate float64) (*workload.Source, error) {
+				// The spike period is fixed in wall time (as on the
+				// paper's testbed), not scaled with the batch interval.
+				shape := workload.SinusoidalRate{
+					Base:      rate,
+					Amplitude: 0.6 * rate,
+					Period:    16 * tuple.Second,
+				}
+				return workload.ByName(dataset, shape, 1.0, p.datasetDefaults())
+			}
+			max, err := MaxThroughput(p, scheme, interval, mk)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig11 %s interval %ds: %w", name, sec, err)
+			}
+			row.Throughput[sec] = max
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Print renders the throughput table.
+func (r *Fig11Result) Print(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "Figure 11: Max Throughput under Sinusoidal Rate — %s (tuples/s)\n", r.Dataset)
+	fmt.Fprint(tw, "technique")
+	for _, sec := range r.Intervals {
+		fmt.Fprintf(tw, "\t%ds interval", sec)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprint(tw, row.Technique)
+		for _, sec := range r.Intervals {
+			fmt.Fprintf(tw, "\t%s", fmtF(row.Throughput[sec]))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}
+
+// Fig11dRow is one technique's throughput across Zipf exponents.
+type Fig11dRow struct {
+	Technique  string
+	Throughput map[string]float64 // key: formatted z value
+}
+
+// Fig11dResult holds the skew study (Figure 11d).
+type Fig11dResult struct {
+	Zs   []float64
+	Rows []Fig11dRow
+}
+
+// Fig11Skew regenerates Figure 11d: maximum throughput on the SynD dataset
+// across Zipf exponents at a fixed batch interval.
+func Fig11Skew(p Params, zs []float64, intervalSec int) (*Fig11dResult, error) {
+	interval := tuple.Time(intervalSec) * tuple.Second
+	res := &Fig11dResult{Zs: zs}
+	for _, name := range Fig11Techniques {
+		scheme, err := core.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig11dRow{Technique: name, Throughput: map[string]float64{}}
+		for _, z := range zs {
+			z := z
+			mk := func(rate float64) (*workload.Source, error) {
+				return workload.SynD(workload.ConstantRate(rate), z, p.datasetDefaults())
+			}
+			max, err := MaxThroughput(p, scheme, interval, mk)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: fig11d %s z=%.1f: %w", name, z, err)
+			}
+			row.Throughput[zKey(z)] = max
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func zKey(z float64) string { return fmt.Sprintf("%.1f", z) }
+
+// Print renders the skew table.
+func (r *Fig11dResult) Print(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Figure 11d: Max Throughput vs Zipf exponent — SynD (tuples/s)")
+	fmt.Fprint(tw, "technique")
+	for _, z := range r.Zs {
+		fmt.Fprintf(tw, "\tz=%s", zKey(z))
+	}
+	fmt.Fprintln(tw)
+	for _, row := range r.Rows {
+		fmt.Fprint(tw, row.Technique)
+		for _, z := range r.Zs {
+			fmt.Fprintf(tw, "\t%s", fmtF(row.Throughput[zKey(z)]))
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"prompt/internal/core"
+	"prompt/internal/engine"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+// Fig13Series summarizes the distribution of per-batch average Reduce-task
+// completion times for one technique over many batches, the quantity
+// Figure 13 scatters.
+type Fig13Series struct {
+	Technique string
+	// Batches is the number of batches measured.
+	Batches int
+	// Mean/P50/P95/Max describe the distribution of per-batch mean Reduce
+	// task times (milliseconds).
+	MeanMs, P50Ms, P95Ms, MaxMs float64
+	// SpreadMs is the mean within-batch spread (max - min Reduce task
+	// time), the variance band of the paper's plot.
+	SpreadMs float64
+	// MeanLatencyMs / MaxLatencyMs are the end-to-end batch latencies.
+	MeanLatencyMs, MaxLatencyMs float64
+}
+
+// Fig13Result compares latency distributions between the engine default
+// (time-based) and Prompt.
+type Fig13Result struct {
+	Series []Fig13Series
+}
+
+// Fig13 regenerates Figure 13: thousands of batches (scaled by Params)
+// under Time-based partitioning vs Prompt, reporting the distribution of
+// Reduce-task completion times and end-to-end latency bounds.
+func Fig13(p Params, batches int) (*Fig13Result, error) {
+	res := &Fig13Result{}
+	for _, name := range []string{"time", "prompt"} {
+		scheme, err := core.Baseline(name)
+		if err != nil {
+			return nil, err
+		}
+		// A rate around 60% of the search ceiling keeps the system stable
+		// while leaving imbalance visible, with sinusoidal variation as in
+		// the throughput experiments.
+		base := 0.5 * p.SearchHi
+		shape := workload.SinusoidalRate{Base: base, Amplitude: 0.5 * base, Period: 7 * tuple.Second}
+		src, err := workload.Tweets(shape, p.datasetDefaults())
+		if err != nil {
+			return nil, err
+		}
+		cfg := p.engineConfig(scheme, tuple.Second)
+		eng, err := engine.New(cfg, engine.Query{Name: "wordcount", Map: engine.CountMap, Reduce: window.Sum})
+		if err != nil {
+			return nil, err
+		}
+		reports, err := eng.RunBatches(src, batches)
+		if err != nil {
+			return nil, err
+		}
+
+		var means []float64
+		var spreadSum, latSum, latMax float64
+		for _, rep := range reports {
+			if len(rep.ReduceTaskTimes) == 0 {
+				continue
+			}
+			var sum, minT, maxT tuple.Time
+			minT = rep.ReduceTaskTimes[0]
+			for _, d := range rep.ReduceTaskTimes {
+				sum += d
+				if d < minT {
+					minT = d
+				}
+				if d > maxT {
+					maxT = d
+				}
+			}
+			means = append(means, ms(sum/tuple.Time(len(rep.ReduceTaskTimes))))
+			spreadSum += ms(maxT - minT)
+			lat := ms(rep.Latency)
+			latSum += lat
+			if lat > latMax {
+				latMax = lat
+			}
+		}
+		sort.Float64s(means)
+		series := Fig13Series{Technique: name, Batches: len(means)}
+		if n := len(means); n > 0 {
+			var total float64
+			for _, m := range means {
+				total += m
+			}
+			series.MeanMs = total / float64(n)
+			series.P50Ms = means[n/2]
+			series.P95Ms = means[n*95/100]
+			series.MaxMs = means[n-1]
+			series.SpreadMs = spreadSum / float64(n)
+			series.MeanLatencyMs = latSum / float64(n)
+			series.MaxLatencyMs = latMax
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+func ms(t tuple.Time) float64 { return float64(t) / float64(tuple.Millisecond) }
+
+// Print renders the distribution summary.
+func (r *Fig13Result) Print(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Figure 13: Latency Distribution — per-batch mean Reduce task time (ms)")
+	fmt.Fprintln(tw, "technique\tbatches\tmean\tp50\tp95\tmax\tspread(max-min)\tmean latency\tmax latency")
+	for _, s := range r.Series {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			s.Technique, s.Batches, fmtF(s.MeanMs), fmtF(s.P50Ms), fmtF(s.P95Ms),
+			fmtF(s.MaxMs), fmtF(s.SpreadMs), fmtF(s.MeanLatencyMs), fmtF(s.MaxLatencyMs))
+	}
+	tw.Flush()
+}

@@ -1,0 +1,76 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+// Table1Row describes one dataset: the paper's properties next to the
+// local generator's measured profile.
+type Table1Row struct {
+	Name             string
+	PaperSizeGB      float64
+	PaperCardinality string
+	LocalCardinality int
+	// SampleTuples and SampleKeys are measured over a one-second slice at
+	// the probe rate, confirming the generator's distribution profile.
+	SampleTuples int
+	SampleKeys   int
+	TopKeyShare  float64
+}
+
+// Table1Result is the dataset property table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 regenerates Table 1: it instantiates every dataset generator and
+// profiles a sample slice.
+func Table1(p Params) (*Table1Result, error) {
+	const probeRate = 100_000
+	res := &Table1Result{}
+	for _, name := range []string{"tweets", "synd", "debs", "gcm", "tpch"} {
+		src, err := workload.ByName(name, workload.ConstantRate(probeRate), 1.0, p.datasetDefaults())
+		if err != nil {
+			return nil, err
+		}
+		ts, err := src.Slice(0, tuple.Second)
+		if err != nil {
+			return nil, err
+		}
+		counts := make(map[string]int)
+		top := 0
+		for i := range ts {
+			counts[ts[i].Key]++
+			if c := counts[ts[i].Key]; c > top {
+				top = c
+			}
+		}
+		res.Rows = append(res.Rows, Table1Row{
+			Name:             src.Name,
+			PaperSizeGB:      src.PaperSizeGB,
+			PaperCardinality: src.PaperCardinality,
+			LocalCardinality: src.Keys.Cardinality(0),
+			SampleTuples:     len(ts),
+			SampleKeys:       len(counts),
+			TopKeyShare:      float64(top) / float64(len(ts)),
+		})
+	}
+	return res, nil
+}
+
+// Print renders the table.
+func (r *Table1Result) Print(w io.Writer) {
+	tw := newTabWriter(w)
+	fmt.Fprintln(tw, "Table 1: Datasets Properties (paper vs local generator)")
+	fmt.Fprintln(tw, "name\tpaper size\tpaper cardinality\tlocal cardinality\tsample tuples/s\tsample keys\ttop-key share")
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%.0fGB\t%s\t%d\t%d\t%d\t%.4f\n",
+			row.Name, row.PaperSizeGB, row.PaperCardinality,
+			row.LocalCardinality, row.SampleTuples, row.SampleKeys, row.TopKeyShare)
+	}
+	tw.Flush()
+}

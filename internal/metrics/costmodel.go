@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"fmt"
+
+	"prompt/internal/tuple"
+)
+
+// CostModel maps task inputs to simulated execution times. It encodes the
+// monotone relationships the paper's problem formulation relies on: Map
+// task time grows with block size and block cardinality, Reduce task time
+// grows with bucket size and with the per-key aggregation overhead caused
+// by key fragments arriving from multiple Map tasks.
+//
+// All coefficients are virtual-time costs per unit. The defaults are
+// calibrated so that a 1-second batch interval at the default rates lands
+// near the stability line with the default parallelism, mirroring the
+// paper's experimental regime.
+type CostModel struct {
+	// MapFixed is the scheduling/launch overhead per Map task.
+	MapFixed tuple.Time
+	// MapPerTuple is the Map processing cost per tuple of input.
+	MapPerTuple tuple.Time
+	// MapPerKey is the per-distinct-key overhead in a Map task (building
+	// key clusters, emitting per-key state).
+	MapPerKey tuple.Time
+
+	// ReduceFixed is the launch overhead per Reduce task.
+	ReduceFixed tuple.Time
+	// ReducePerTuple is the Reduce cost per input tuple (value merged).
+	ReducePerTuple tuple.Time
+	// ReducePerFragment is the extra aggregation cost per key fragment
+	// beyond the first: combining partial results of a key that was split
+	// across Map tasks.
+	ReducePerFragment tuple.Time
+}
+
+// DefaultCostModel returns coefficients calibrated for the evaluation
+// harness: per-tuple costs dominate, with a measurable but secondary
+// per-key and per-fragment overhead, matching the paper's observation that
+// task time grows monotonically with input size.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		MapFixed:          2 * tuple.Millisecond,
+		MapPerTuple:       2 * tuple.Microsecond,
+		MapPerKey:         1 * tuple.Microsecond,
+		ReduceFixed:       2 * tuple.Millisecond,
+		ReducePerTuple:    1 * tuple.Microsecond,
+		ReducePerFragment: 400 * tuple.Microsecond,
+	}
+}
+
+// Validate rejects non-positive per-tuple costs, which would break the
+// monotonicity the partitioning problem assumes.
+func (c CostModel) Validate() error {
+	if c.MapPerTuple <= 0 || c.ReducePerTuple <= 0 {
+		return fmt.Errorf("metrics: per-tuple costs must be positive: %+v", c)
+	}
+	if c.MapFixed < 0 || c.MapPerKey < 0 || c.ReduceFixed < 0 || c.ReducePerFragment < 0 {
+		return fmt.Errorf("metrics: negative cost coefficient: %+v", c)
+	}
+	return nil
+}
+
+// MapTaskTime returns the simulated duration of a Map task over a block.
+func (c CostModel) MapTaskTime(size, cardinality int) tuple.Time {
+	return c.MapFixed +
+		tuple.Time(size)*c.MapPerTuple +
+		tuple.Time(cardinality)*c.MapPerKey
+}
+
+// ReduceTaskTime returns the simulated duration of a Reduce task whose
+// input bucket holds size tuples across the given number of key fragments
+// and distinct keys. extraFragments is fragments-minus-keys, i.e. the
+// number of cross-Map partial results that must be combined.
+func (c CostModel) ReduceTaskTime(size, extraFragments int) tuple.Time {
+	if extraFragments < 0 {
+		extraFragments = 0
+	}
+	return c.ReduceFixed +
+		tuple.Time(size)*c.ReducePerTuple +
+		tuple.Time(extraFragments)*c.ReducePerFragment
+}
+
+// StageTime models Eq. 1 for one batch: the processing time is the sum of
+// the maximum Map task time and the maximum Reduce task time when enough
+// cores are available to run each stage fully in parallel. The cluster
+// simulator generalizes this to limited cores via list scheduling.
+func StageTime(mapTimes, reduceTimes []tuple.Time) tuple.Time {
+	return maxTime(mapTimes) + maxTime(reduceTimes)
+}
+
+func maxTime(ts []tuple.Time) tuple.Time {
+	var m tuple.Time
+	for _, t := range ts {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}

@@ -1,0 +1,185 @@
+// Package metrics implements the paper's cost model for data partitioning
+// (§3.3): the Block Size-Imbalance (BSI, Eq. 2-3), Block Cardinality-
+// Imbalance (BCI, Eq. 4), Key Split Ratio (KSR, Eq. 5), and the combined
+// Micro-batch Partitioning-Imbalance (MPI, Eq. 6), plus the processing-time
+// model of Eq. 1.
+package metrics
+
+import (
+	"fmt"
+
+	"prompt/internal/tuple"
+)
+
+// BSI returns the Block Size-Imbalance of a set of blocks:
+// max_i |block_i| - avg_i |block_i| (Eq. 2). It returns 0 for no blocks.
+func BSI(blocks []*tuple.Block) float64 {
+	if len(blocks) == 0 {
+		return 0
+	}
+	maxW, sum := 0, 0
+	for _, b := range blocks {
+		w := b.Weight()
+		sum += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return float64(maxW) - float64(sum)/float64(len(blocks))
+}
+
+// BSISizes computes BSI over raw sizes (used for Reduce buckets, Eq. 3).
+func BSISizes(sizes []int) float64 {
+	if len(sizes) == 0 {
+		return 0
+	}
+	maxW, sum := 0, 0
+	for _, w := range sizes {
+		sum += w
+		if w > maxW {
+			maxW = w
+		}
+	}
+	return float64(maxW) - float64(sum)/float64(len(sizes))
+}
+
+// BCI returns the Block Cardinality-Imbalance:
+// max_i ||block_i|| - avg_i ||block_i|| (Eq. 4).
+func BCI(blocks []*tuple.Block) float64 {
+	if len(blocks) == 0 {
+		return 0
+	}
+	cards := make([]int, len(blocks))
+	for i, b := range blocks {
+		cards[i] = b.Cardinality()
+	}
+	return BSISizes(cards)
+}
+
+// KSR returns the Key Split Ratio: total key fragments across all blocks
+// divided by the number of distinct keys (Eq. 5). KSR = 1 means no key is
+// split. It returns 1 for an empty batch.
+func KSR(blocks []*tuple.Block) float64 {
+	fragments := 0
+	keys := make(map[string]struct{})
+	for _, b := range blocks {
+		seen := make(map[string]struct{}, len(b.Keys))
+		for _, ks := range b.Keys {
+			keys[ks.Key] = struct{}{}
+			if _, dup := seen[ks.Key]; !dup {
+				seen[ks.Key] = struct{}{}
+				fragments++
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return 1
+	}
+	return float64(fragments) / float64(len(keys))
+}
+
+// Weights are the MPI blend coefficients p1 (BSI), p2 (BCI), p3 (KSR).
+// They must be non-negative and sum to 1.
+type Weights struct {
+	P1, P2, P3 float64
+}
+
+// EqualWeights is the paper's experimental setting p1 = p2 = p3 = 1/3,
+// giving each metric an unbiased, equal contribution.
+var EqualWeights = Weights{P1: 1.0 / 3, P2: 1.0 / 3, P3: 1.0 / 3}
+
+// Validate reports whether the weights are a valid convex combination.
+func (w Weights) Validate() error {
+	if w.P1 < 0 || w.P2 < 0 || w.P3 < 0 {
+		return fmt.Errorf("metrics: negative MPI weight %+v", w)
+	}
+	sum := w.P1 + w.P2 + w.P3
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("metrics: MPI weights sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// KSRWithKeys computes the Key Split Ratio when the batch-wide distinct
+// key count is already known (the accumulator reports it): the number of
+// fragments equals the sum of per-block cardinalities, so no key-union
+// map is needed.
+func KSRWithKeys(blocks []*tuple.Block, totalKeys int) float64 {
+	if totalKeys <= 0 {
+		return 1
+	}
+	fragments := 0
+	for _, b := range blocks {
+		fragments += b.Cardinality()
+	}
+	return float64(fragments) / float64(totalKeys)
+}
+
+// Report bundles the partitioning-quality metrics of one micro-batch.
+type Report struct {
+	BSI float64
+	BCI float64
+	KSR float64
+	MPI float64
+}
+
+// Evaluate computes all partitioning metrics over a block set with the
+// given MPI weights (Eq. 6): MPI = p1*BSI + p2*BCI + p3*KSR. The three
+// component metrics are normalized before blending — BSI by the average
+// block size, BCI by the average block cardinality, and KSR by its own
+// value minus the ideal 1 — so that no metric dominates purely by scale.
+func Evaluate(blocks []*tuple.Block, w Weights) Report {
+	return evaluate(blocks, w, KSR(blocks))
+}
+
+// EvaluateWithKeys is Evaluate with the batch-wide distinct key count
+// supplied, avoiding the key-union pass (the engine's per-batch path).
+func EvaluateWithKeys(blocks []*tuple.Block, w Weights, totalKeys int) Report {
+	return evaluate(blocks, w, KSRWithKeys(blocks, totalKeys))
+}
+
+func evaluate(blocks []*tuple.Block, w Weights, ksr float64) Report {
+	r := Report{BSI: BSI(blocks), BCI: BCI(blocks), KSR: ksr}
+	nb := len(blocks)
+	if nb == 0 {
+		return r
+	}
+	totW, totC := 0, 0
+	for _, b := range blocks {
+		totW += b.Weight()
+		totC += b.Cardinality()
+	}
+	avgW := float64(totW) / float64(nb)
+	avgC := float64(totC) / float64(nb)
+	normBSI, normBCI := 0.0, 0.0
+	if avgW > 0 {
+		normBSI = r.BSI / avgW
+	}
+	if avgC > 0 {
+		normBCI = r.BCI / avgC
+	}
+	r.MPI = w.P1*normBSI + w.P2*normBCI + w.P3*(r.KSR-1)
+	return r
+}
+
+// RelativeBSI expresses a technique's BSI relative to a baseline's, as in
+// Figures 10a/10b where all techniques are reported relative to hashing.
+// A value approaching 0 means balanced; 1 means as imbalanced as the
+// baseline. Returns 0 when the baseline itself is perfectly balanced.
+func RelativeBSI(blocks, baseline []*tuple.Block) float64 {
+	base := BSI(baseline)
+	if base == 0 {
+		return 0
+	}
+	return BSI(blocks) / base
+}
+
+// RelativeBCI expresses BCI relative to a baseline (Figures 10c/10d use
+// shuffle as the baseline since it provides no key-placement guarantee).
+func RelativeBCI(blocks, baseline []*tuple.Block) float64 {
+	base := BCI(baseline)
+	if base == 0 {
+		return 0
+	}
+	return BCI(blocks) / base
+}

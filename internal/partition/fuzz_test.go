@@ -1,0 +1,47 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+// FuzzPartitioners drives every partitioner with randomized batches
+// derived from the fuzz input and checks the universal invariants: no
+// panic, exactly p blocks, every tuple placed exactly once, and reference
+// tables consistent with actual splits.
+func FuzzPartitioners(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(10), uint8(4))
+	f.Add(int64(2), uint16(1), uint8(1), uint8(1))
+	f.Add(int64(3), uint16(5000), uint8(200), uint8(16))
+	f.Add(int64(4), uint16(17), uint8(255), uint8(63))
+	f.Fuzz(func(t *testing.T, seed int64, nTuples uint16, nKeys uint8, p uint8) {
+		if nTuples == 0 || nKeys == 0 || p == 0 {
+			return
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := &tuple.Batch{Start: 0, End: tuple.Second}
+		for i := 0; i < int(nTuples); i++ {
+			b.Tuples = append(b.Tuples, tuple.Tuple{
+				TS:     tuple.Time(int64(i) * int64(tuple.Second) / int64(nTuples)),
+				Key:    fmt.Sprintf("k%d", rng.Intn(int(nKeys))),
+				Val:    1,
+				Weight: 1 + rng.Intn(4),
+			})
+		}
+		for name, pt := range Registry() {
+			blocks, err := pt.Partition(Input{Batch: b}, int(p))
+			if err != nil {
+				t.Fatalf("%s rejected a valid batch: %v", name, err)
+			}
+			if len(blocks) != int(p) {
+				t.Fatalf("%s returned %d blocks, want %d", name, len(blocks), p)
+			}
+			if err := (&tuple.Partitioned{Batch: b, Blocks: blocks}).Validate(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	})
+}

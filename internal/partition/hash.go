@@ -1,0 +1,31 @@
+package partition
+
+import (
+	"prompt/internal/hashutil"
+	"prompt/internal/tuple"
+)
+
+// Hash implements hash partitioning, a.k.a. key grouping (§2.2.3): the
+// partitioning key is hashed to pick the block, so all tuples of a key are
+// co-located (KSR = 1) and per-key aggregation at the Reduce stage needs no
+// cross-block combining. Under skew, block sizes become highly unequal.
+type Hash struct{}
+
+// NewHash returns the hash partitioner.
+func NewHash() *Hash { return &Hash{} }
+
+// Name implements Partitioner.
+func (*Hash) Name() string { return "hash" }
+
+// Partition implements Partitioner.
+func (h *Hash) Partition(in Input, p int) ([]*tuple.Block, error) {
+	if err := checkArgs(in, p); err != nil {
+		return nil, err
+	}
+	builder := newPerTupleBuilder(p)
+	for i := range in.Batch.Tuples {
+		t := in.Batch.Tuples[i]
+		builder.add(hashutil.Bucket(t.Key, p), t)
+	}
+	return builder.build(), nil
+}

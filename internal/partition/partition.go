@@ -1,0 +1,264 @@
+// Package partition implements the batching-phase data partitioners
+// (Problem I, Map-Input Partitioning): the existing techniques the paper
+// surveys (time-based, shuffle, hash), the key-splitting state of the art
+// it compares against (PK-2, PK-5, cAM), two classical bin-packing
+// heuristics used in the Figure 6 ablation (First-Fit-Decreasing and
+// Fragmentation-Minimization), and Prompt's own B-BPFI heuristic
+// (Algorithm 2).
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"prompt/internal/stats"
+	"prompt/internal/tuple"
+)
+
+// Input is everything a partitioner may consult. Batch is always present
+// with tuples in arrival order. Sorted is the frequency-aware accumulator's
+// quasi-sorted key list; when absent, sorted-input partitioners derive it
+// with a post-sort (the Figure 14a baseline behaviour).
+type Input struct {
+	Batch  *tuple.Batch
+	Sorted []stats.SortedKey
+}
+
+// sortedKeys returns the descending key list, computing it if the
+// accumulator did not supply one.
+func (in Input) sortedKeys() []stats.SortedKey {
+	if in.Sorted != nil {
+		return in.Sorted
+	}
+	return stats.PostSort(in.Batch)
+}
+
+// Partitioner splits one micro-batch into p data blocks for the Map stage.
+// Implementations must place every tuple exactly once and return exactly p
+// blocks (possibly empty ones). They must also fill each block's reference
+// table so Map tasks can route split keys (Problem II).
+type Partitioner interface {
+	// Name identifies the technique in reports and registries.
+	Name() string
+	// Partition assigns the batch's tuples to p blocks.
+	Partition(in Input, p int) ([]*tuple.Block, error)
+}
+
+// checkArgs validates the common preconditions.
+func checkArgs(in Input, p int) error {
+	if p <= 0 {
+		return fmt.Errorf("partition: need p > 0 blocks, got %d", p)
+	}
+	if in.Batch == nil {
+		return fmt.Errorf("partition: nil batch")
+	}
+	return nil
+}
+
+// newBlocks allocates p empty blocks with ids 0..p-1.
+func newBlocks(p int) []*tuple.Block {
+	blocks := make([]*tuple.Block, p)
+	for i := range blocks {
+		blocks[i] = tuple.NewBlock(i)
+	}
+	return blocks
+}
+
+// perTupleBuilder accumulates a per-tuple assignment (tuple index -> block)
+// and materializes blocks with per-key slices in deterministic order. It is
+// shared by the online partitioners (time-based, shuffle, hash, PK-d, cAM),
+// which decide block placement tuple-at-a-time.
+type perTupleBuilder struct {
+	p      int
+	blocks []map[string][]tuple.Tuple
+	order  [][]string // first-seen key order per block, for determinism
+	weight []int
+	card   []int
+}
+
+func newPerTupleBuilder(p int) *perTupleBuilder {
+	b := &perTupleBuilder{
+		p:      p,
+		blocks: make([]map[string][]tuple.Tuple, p),
+		order:  make([][]string, p),
+		weight: make([]int, p),
+		card:   make([]int, p),
+	}
+	for i := 0; i < p; i++ {
+		b.blocks[i] = make(map[string][]tuple.Tuple)
+	}
+	return b
+}
+
+// add places one tuple into block i.
+func (b *perTupleBuilder) add(i int, t tuple.Tuple) {
+	m := b.blocks[i]
+	if _, seen := m[t.Key]; !seen {
+		b.order[i] = append(b.order[i], t.Key)
+		b.card[i]++
+	}
+	m[t.Key] = append(m[t.Key], t)
+	b.weight[i] += t.Weight
+}
+
+// weightOf returns the current tuple weight of block i.
+func (b *perTupleBuilder) weightOf(i int) int { return b.weight[i] }
+
+// cardinalityOf returns the current distinct-key count of block i.
+func (b *perTupleBuilder) cardinalityOf(i int) int { return b.card[i] }
+
+// contains reports whether block i already holds key k.
+func (b *perTupleBuilder) contains(i int, k string) bool {
+	_, seen := b.blocks[i][k]
+	return seen
+}
+
+// build materializes the blocks and their reference tables.
+func (b *perTupleBuilder) build() []*tuple.Block {
+	// Fragment counts across all blocks determine split labels.
+	frags := make(map[string]int)
+	sizes := make(map[string]int)
+	for i := 0; i < b.p; i++ {
+		for k, ts := range b.blocks[i] {
+			frags[k]++
+			sizes[k] += len(ts)
+		}
+	}
+	out := newBlocks(b.p)
+	for i := 0; i < b.p; i++ {
+		for _, k := range b.order[i] {
+			out[i].Add(k, b.blocks[i][k])
+			out[i].Ref[k] = tuple.SplitInfo{
+				Split:     frags[k] > 1,
+				TotalSize: sizes[k],
+				Fragments: frags[k],
+			}
+		}
+	}
+	return out
+}
+
+// keyItem is a bin-packing item: one key with its tuples. Sorted-input
+// partitioners work on these.
+type keyItem struct {
+	key    string
+	tuples []tuple.Tuple
+	size   int // total tuple weight
+}
+
+// itemsFromSorted converts the accumulator's output into packing items,
+// preserving its descending order.
+func itemsFromSorted(sorted []stats.SortedKey) []keyItem {
+	items := make([]keyItem, len(sorted))
+	for i, sk := range sorted {
+		w := 0
+		for j := range sk.Tuples {
+			w += sk.Tuples[j].Weight
+		}
+		items[i] = keyItem{key: sk.Key, tuples: sk.Tuples, size: w}
+	}
+	return items
+}
+
+// assignment records fragment placements key -> block -> tuples during
+// bin packing, then materializes blocks.
+type assignment struct {
+	p      int
+	placed []map[string][]tuple.Tuple
+	order  [][]string
+	weight []int
+}
+
+func newAssignment(p int) *assignment {
+	a := &assignment{
+		p:      p,
+		placed: make([]map[string][]tuple.Tuple, p),
+		order:  make([][]string, p),
+		weight: make([]int, p),
+	}
+	for i := 0; i < p; i++ {
+		a.placed[i] = make(map[string][]tuple.Tuple)
+	}
+	return a
+}
+
+// place puts a fragment of the item (tuples ts with weight w) into block i.
+func (a *assignment) place(i int, key string, ts []tuple.Tuple, w int) {
+	if _, seen := a.placed[i][key]; !seen {
+		a.order[i] = append(a.order[i], key)
+	}
+	a.placed[i][key] = append(a.placed[i][key], ts...)
+	a.weight[i] += w
+}
+
+// weightOf returns the current weight of block i.
+func (a *assignment) weightOf(i int) int { return a.weight[i] }
+
+// build materializes blocks with reference tables.
+func (a *assignment) build() []*tuple.Block {
+	frags := make(map[string]int)
+	sizes := make(map[string]int)
+	for i := 0; i < a.p; i++ {
+		for k, ts := range a.placed[i] {
+			frags[k]++
+			sizes[k] += len(ts)
+		}
+	}
+	out := newBlocks(a.p)
+	for i := 0; i < a.p; i++ {
+		for _, k := range a.order[i] {
+			out[i].Add(k, a.placed[i][k])
+			out[i].Ref[k] = tuple.SplitInfo{
+				Split:     frags[k] > 1,
+				TotalSize: sizes[k],
+				Fragments: frags[k],
+			}
+		}
+	}
+	return out
+}
+
+// splitFragment cuts w units of weight off the front of ts, returning the
+// fragment, the remainder, and the fragment's actual weight (which may
+// exceed w by at most one tuple's weight minus one, since tuples are
+// indivisible).
+func splitFragment(ts []tuple.Tuple, w int) (frag, rest []tuple.Tuple, fw int) {
+	if w <= 0 {
+		return nil, ts, 0
+	}
+	acc := 0
+	for i := range ts {
+		acc += ts[i].Weight
+		if acc >= w {
+			return ts[:i+1], ts[i+1:], acc
+		}
+	}
+	return ts, nil, acc
+}
+
+// Registry returns the standard set of partitioners used throughout the
+// evaluation, keyed by the names the harness and CLI use.
+func Registry() map[string]Partitioner {
+	return map[string]Partitioner{
+		"time":    NewTimeBased(),
+		"shuffle": NewShuffle(),
+		"hash":    NewHash(),
+		"pk2":     NewPKd(2),
+		"pk5":     NewPKd(5),
+		"cam":     NewCAM(5),
+		"ffd":     NewFirstFitDecreasing(),
+		"fragmin": NewFragMin(),
+		"prompt":  NewPrompt(),
+	}
+}
+
+// Names returns the registry keys in deterministic order.
+func Names() []string {
+	r := Registry()
+	names := make([]string, 0, len(r))
+	for n := range r {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,254 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"prompt/internal/metrics"
+	"prompt/internal/tuple"
+)
+
+// paperBatch reproduces the running example of Figures 5 and 6: 385 tuples
+// over 8 distinct keys (here sized 140, 80, 50, 40, 30, 20, 15, 10),
+// partitioned into 4 data blocks. Tuples of different keys interleave in
+// arrival order as a real stream would.
+func paperBatch() *tuple.Batch {
+	sizes := map[string]int{
+		"K1": 140, "K2": 80, "K3": 50, "K4": 40,
+		"K5": 30, "K6": 20, "K7": 15, "K8": 10,
+	}
+	rng := rand.New(rand.NewSource(1))
+	var pool []string
+	for _, k := range []string{"K1", "K2", "K3", "K4", "K5", "K6", "K7", "K8"} {
+		for i := 0; i < sizes[k]; i++ {
+			pool = append(pool, k)
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	b := &tuple.Batch{Start: 0, End: tuple.Second}
+	for i, k := range pool {
+		ts := tuple.Time(int64(i) * int64(tuple.Second) / int64(len(pool)))
+		b.Tuples = append(b.Tuples, tuple.NewTuple(ts, k, 1))
+	}
+	return b
+}
+
+// randomBatch builds a batch with nKeys keys and skewed frequencies.
+func randomBatch(seed int64, n, nKeys int) *tuple.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	b := &tuple.Batch{Start: 0, End: tuple.Second}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(nKeys)
+		if rng.Float64() < 0.5 { // re-draw small ids to induce skew
+			j = rng.Intn(1 + nKeys/10)
+		}
+		ts := tuple.Time(int64(i) * int64(tuple.Second) / int64(n))
+		b.Tuples = append(b.Tuples, tuple.NewTuple(ts, fmt.Sprintf("k%d", j), 1))
+	}
+	return b
+}
+
+func mustPartition(t *testing.T, p Partitioner, b *tuple.Batch, blocks int) []*tuple.Block {
+	t.Helper()
+	out, err := p.Partition(Input{Batch: b}, blocks)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	if len(out) != blocks {
+		t.Fatalf("%s returned %d blocks, want %d", p.Name(), len(out), blocks)
+	}
+	parted := &tuple.Partitioned{Batch: b, Blocks: out}
+	if err := parted.Validate(); err != nil {
+		t.Fatalf("%s: %v", p.Name(), err)
+	}
+	return out
+}
+
+func TestAllPartitionersPlaceEveryTupleOnce(t *testing.T) {
+	for name, p := range Registry() {
+		p := p
+		t.Run(name, func(t *testing.T) {
+			for _, blocks := range []int{1, 3, 4, 16} {
+				mustPartition(t, p, paperBatch(), blocks)
+				mustPartition(t, p, randomBatch(99, 5000, 200), blocks)
+			}
+		})
+	}
+}
+
+func TestAllPartitionersHandleEmptyBatch(t *testing.T) {
+	empty := &tuple.Batch{Start: 0, End: tuple.Second}
+	for name, p := range Registry() {
+		out, err := p.Partition(Input{Batch: empty}, 4)
+		if err != nil {
+			t.Errorf("%s on empty batch: %v", name, err)
+			continue
+		}
+		if len(out) != 4 {
+			t.Errorf("%s returned %d blocks for empty batch", name, len(out))
+		}
+	}
+}
+
+func TestAllPartitionersRejectBadArgs(t *testing.T) {
+	b := paperBatch()
+	for name, p := range Registry() {
+		if _, err := p.Partition(Input{Batch: b}, 0); err == nil {
+			t.Errorf("%s accepted p=0", name)
+		}
+		if _, err := p.Partition(Input{}, 4); err == nil {
+			t.Errorf("%s accepted nil batch", name)
+		}
+	}
+}
+
+func TestAllPartitionersDeterministic(t *testing.T) {
+	for name, p := range Registry() {
+		a := mustPartition(t, p, paperBatch(), 4)
+		b := mustPartition(t, p, paperBatch(), 4)
+		for i := range a {
+			if a[i].Weight() != b[i].Weight() || a[i].Cardinality() != b[i].Cardinality() {
+				t.Errorf("%s not deterministic on block %d", name, i)
+			}
+		}
+	}
+}
+
+func TestShuffleSizesEqual(t *testing.T) {
+	blocks := mustPartition(t, NewShuffle(), randomBatch(5, 1001, 50), 4)
+	minW, maxW := blocks[0].Weight(), blocks[0].Weight()
+	for _, bl := range blocks {
+		if w := bl.Weight(); w < minW {
+			minW = w
+		} else if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW-minW > 1 {
+		t.Errorf("shuffle block sizes differ by %d, want <= 1", maxW-minW)
+	}
+}
+
+func TestHashKeyLocality(t *testing.T) {
+	blocks := mustPartition(t, NewHash(), randomBatch(6, 4000, 100), 8)
+	if ksr := metrics.KSR(blocks); ksr != 1 {
+		t.Errorf("hash KSR = %v, want 1 (perfect locality)", ksr)
+	}
+}
+
+func TestTimeBasedFollowsArrivalTime(t *testing.T) {
+	// All tuples in the first half of the interval -> first half blocks.
+	b := &tuple.Batch{Start: 0, End: tuple.Second}
+	for i := 0; i < 100; i++ {
+		b.Tuples = append(b.Tuples, tuple.NewTuple(tuple.Time(i)*tuple.Millisecond, fmt.Sprintf("k%d", i), 1))
+	}
+	blocks := mustPartition(t, NewTimeBased(), b, 4)
+	if blocks[2].Size() != 0 || blocks[3].Size() != 0 {
+		t.Errorf("time-based put tuples in late blocks: %d %d", blocks[2].Size(), blocks[3].Size())
+	}
+	if blocks[0].Size() == 0 {
+		t.Error("time-based left the first block empty")
+	}
+}
+
+func TestPKdSplitBound(t *testing.T) {
+	for _, d := range []int{2, 5} {
+		blocks := mustPartition(t, NewPKd(d), randomBatch(7, 6000, 50), 16)
+		frags := map[string]int{}
+		for _, bl := range blocks {
+			seen := map[string]bool{}
+			for _, ks := range bl.Keys {
+				if !seen[ks.Key] {
+					seen[ks.Key] = true
+					frags[ks.Key]++
+				}
+			}
+		}
+		for k, f := range frags {
+			if f > d {
+				t.Errorf("pk%d split key %s over %d blocks, want <= %d", d, k, f, d)
+			}
+		}
+	}
+}
+
+func TestPKdBalancesBetterThanHash(t *testing.T) {
+	b := randomBatch(8, 20000, 100)
+	hashBlocks := mustPartition(t, NewHash(), b, 8)
+	pkBlocks := mustPartition(t, NewPKd(5), b, 8)
+	if metrics.BSI(pkBlocks) >= metrics.BSI(hashBlocks) {
+		t.Errorf("pk5 BSI %v not better than hash BSI %v on skewed data",
+			metrics.BSI(pkBlocks), metrics.BSI(hashBlocks))
+	}
+}
+
+func TestCAMBalancesSizeAndCardinality(t *testing.T) {
+	b := randomBatch(9, 20000, 200)
+	cam := mustPartition(t, NewCAM(5), b, 8)
+	hash := mustPartition(t, NewHash(), b, 8)
+	shuffle := mustPartition(t, NewShuffle(), b, 8)
+	if metrics.BSI(cam) >= metrics.BSI(hash) {
+		t.Errorf("cam BSI %v not better than hash %v", metrics.BSI(cam), metrics.BSI(hash))
+	}
+	if metrics.KSR(cam) >= metrics.KSR(shuffle) {
+		t.Errorf("cam KSR %v not better than shuffle %v", metrics.KSR(cam), metrics.KSR(shuffle))
+	}
+}
+
+func TestFFDPerfectSizesHighFragmentation(t *testing.T) {
+	blocks := mustPartition(t, NewFirstFitDecreasing(), paperBatch(), 4)
+	// FFD fills bins to capacity 97 one after another; the last bin takes
+	// the remainder (385 - 3*97 = 94).
+	for i, bl := range blocks[:3] {
+		if bl.Weight() != 97 {
+			t.Errorf("ffd block %d weight %d, want 97", i, bl.Weight())
+		}
+	}
+	if blocks[3].Weight() != 94 {
+		t.Errorf("ffd last block weight %d, want 94", blocks[3].Weight())
+	}
+	// The example fragments exactly K1, K2, K4 (boundary keys).
+	split := splitKeys(blocks)
+	want := map[string]bool{"K1": true, "K2": true, "K4": true}
+	if len(split) != len(want) {
+		t.Errorf("ffd split keys = %v, want K1,K2,K4", split)
+	}
+	for k := range want {
+		if !split[k] {
+			t.Errorf("ffd did not split %s", k)
+		}
+	}
+}
+
+func TestFragMinFragmentsFewerThanFFD(t *testing.T) {
+	ffd := mustPartition(t, NewFirstFitDecreasing(), paperBatch(), 4)
+	fm := mustPartition(t, NewFragMin(), paperBatch(), 4)
+	if metrics.KSR(fm) >= metrics.KSR(ffd) {
+		t.Errorf("fragmin KSR %v not lower than ffd %v", metrics.KSR(fm), metrics.KSR(ffd))
+	}
+	// Both keep sizes balanced.
+	if metrics.BSI(fm) > 1 {
+		t.Errorf("fragmin BSI %v too high", metrics.BSI(fm))
+	}
+}
+
+func splitKeys(blocks []*tuple.Block) map[string]bool {
+	frags := map[string]int{}
+	for _, bl := range blocks {
+		seen := map[string]bool{}
+		for _, ks := range bl.Keys {
+			if !seen[ks.Key] {
+				seen[ks.Key] = true
+				frags[ks.Key]++
+			}
+		}
+	}
+	out := map[string]bool{}
+	for k, f := range frags {
+		if f > 1 {
+			out[k] = true
+		}
+	}
+	return out
+}

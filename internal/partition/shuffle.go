@@ -1,0 +1,27 @@
+package partition
+
+import "prompt/internal/tuple"
+
+// Shuffle implements round-robin partitioning (§2.2.2): tuples are assigned
+// to blocks by arrival order without regard to keys. Block sizes are equal
+// to within one tuple even under variable rates, but key locality is
+// sacrificed entirely — a key lands in up to min(freq, p) blocks.
+type Shuffle struct{}
+
+// NewShuffle returns the shuffle (round-robin) partitioner.
+func NewShuffle() *Shuffle { return &Shuffle{} }
+
+// Name implements Partitioner.
+func (*Shuffle) Name() string { return "shuffle" }
+
+// Partition implements Partitioner.
+func (s *Shuffle) Partition(in Input, p int) ([]*tuple.Block, error) {
+	if err := checkArgs(in, p); err != nil {
+		return nil, err
+	}
+	builder := newPerTupleBuilder(p)
+	for i := range in.Batch.Tuples {
+		builder.add(i%p, in.Batch.Tuples[i])
+	}
+	return builder.build(), nil
+}

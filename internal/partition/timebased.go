@@ -1,0 +1,41 @@
+package partition
+
+import "prompt/internal/tuple"
+
+// TimeBased implements the default Spark Streaming partitioning (§2.2.1):
+// the batch interval is split into p equal, consecutive block intervals and
+// every tuple joins the block of the interval its timestamp falls in. Block
+// sizes therefore track the instantaneous data rate, and no key-placement
+// guarantee exists.
+type TimeBased struct{}
+
+// NewTimeBased returns the time-based partitioner.
+func NewTimeBased() *TimeBased { return &TimeBased{} }
+
+// Name implements Partitioner.
+func (*TimeBased) Name() string { return "time" }
+
+// Partition implements Partitioner.
+func (tb *TimeBased) Partition(in Input, p int) ([]*tuple.Block, error) {
+	if err := checkArgs(in, p); err != nil {
+		return nil, err
+	}
+	b := in.Batch
+	span := b.Span()
+	builder := newPerTupleBuilder(p)
+	for i := range b.Tuples {
+		t := b.Tuples[i]
+		var idx int
+		if span > 0 {
+			idx = int(int64(t.TS-b.Start) * int64(p) / int64(span))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= p {
+			idx = p - 1
+		}
+		builder.add(idx, t)
+	}
+	return builder.build(), nil
+}

@@ -1,0 +1,119 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prompt/internal/metrics"
+	"prompt/internal/tuple"
+)
+
+// weightedBatch builds a batch whose tuples carry variable weights — the
+// paper assumes unit sizes "without loss of generality" and notes the
+// formulation extends to variable tuple sizes; these tests pin that down.
+func weightedBatch(seed int64, n, nKeys, maxWeight int) *tuple.Batch {
+	rng := rand.New(rand.NewSource(seed))
+	b := &tuple.Batch{Start: 0, End: tuple.Second}
+	for i := 0; i < n; i++ {
+		j := rng.Intn(nKeys)
+		if rng.Float64() < 0.4 {
+			j = rng.Intn(1 + nKeys/10)
+		}
+		ts := tuple.Time(int64(i) * int64(tuple.Second) / int64(n))
+		b.Tuples = append(b.Tuples, tuple.Tuple{
+			TS:     ts,
+			Key:    fmt.Sprintf("k%d", j),
+			Val:    1,
+			Weight: 1 + rng.Intn(maxWeight),
+		})
+	}
+	return b
+}
+
+func TestAllPartitionersHandleVariableWeights(t *testing.T) {
+	b := weightedBatch(3, 4000, 120, 9)
+	for name, p := range Registry() {
+		blocks, err := p.Partition(Input{Batch: b}, 6)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := (&tuple.Partitioned{Batch: b, Blocks: blocks}).Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Total weight conserved.
+		total := 0
+		for _, bl := range blocks {
+			total += bl.Weight()
+		}
+		if total != b.TotalWeight() {
+			t.Errorf("%s: blocks weigh %d, batch weighs %d", name, total, b.TotalWeight())
+		}
+	}
+}
+
+func TestPromptBalancesWeightNotCount(t *testing.T) {
+	// Two key populations: few heavy-tuple keys and many light-tuple
+	// keys. Balanced WEIGHT means unequal tuple counts; Prompt must
+	// deliver weight balance.
+	b := &tuple.Batch{Start: 0, End: tuple.Second}
+	n := 0
+	add := func(key string, count, weight int) {
+		for i := 0; i < count; i++ {
+			b.Tuples = append(b.Tuples, tuple.Tuple{TS: tuple.Time(n), Key: key, Val: 1, Weight: weight})
+			n++
+		}
+	}
+	for i := 0; i < 8; i++ {
+		add(fmt.Sprintf("heavy%d", i), 50, 20) // 1000 weight each
+	}
+	for i := 0; i < 80; i++ {
+		add(fmt.Sprintf("light%d", i), 50, 1) // 50 weight each
+	}
+	blocks := mustPartition(t, NewPrompt(), b, 4)
+	totalW := b.TotalWeight()
+	for _, bl := range blocks {
+		share := float64(bl.Weight()) / float64(totalW)
+		if share < 0.15 || share > 0.35 {
+			t.Errorf("block %d holds %.0f%% of the weight, want ~25%%", bl.ID, share*100)
+		}
+	}
+	if bsi := metrics.BSI(blocks); bsi > float64(totalW)/20 {
+		t.Errorf("weighted BSI %v too high (total %d)", bsi, totalW)
+	}
+}
+
+func TestPromptWeightedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := weightedBatch(seed, 200+rng.Intn(2000), 1+rng.Intn(80), 1+rng.Intn(15))
+		p := 1 + rng.Intn(10)
+		blocks, err := NewPrompt().Partition(Input{Batch: b}, p)
+		if err != nil {
+			return false
+		}
+		if err := (&tuple.Partitioned{Batch: b, Blocks: blocks}).Validate(); err != nil {
+			return false
+		}
+		// Weight balance within a reasonable multiple of perfect: the
+		// largest single tuple bounds the achievable gap per block.
+		maxTuple := 0
+		for i := range b.Tuples {
+			if b.Tuples[i].Weight > maxTuple {
+				maxTuple = b.Tuples[i].Weight
+			}
+		}
+		cap := b.TotalWeight()/p + 1
+		for _, bl := range blocks {
+			if bl.Weight() > 2*cap+maxTuple {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

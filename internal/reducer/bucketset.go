@@ -1,0 +1,77 @@
+package reducer
+
+import (
+	"fmt"
+
+	"prompt/internal/tuple"
+)
+
+// BucketSet accumulates the Reduce-stage input across all Map tasks of one
+// micro-batch: each bucket's total size, the set of keys it holds, and the
+// number of cross-Map fragments per key (which drives the per-key
+// aggregation overhead in the cost model). It also enforces the key
+// locality invariant — a key's clusters must land in exactly one bucket no
+// matter which Map task emitted them.
+type BucketSet struct {
+	r         int
+	sizes     []int
+	clusters  []int
+	fragments []int          // per bucket: cluster arrivals beyond a key's first
+	keyBucket map[string]int // key -> bucket (locality tracking)
+}
+
+// NewBucketSet returns an empty bucket set with r buckets.
+func NewBucketSet(r int) *BucketSet {
+	return &BucketSet{
+		r:         r,
+		sizes:     make([]int, r),
+		clusters:  make([]int, r),
+		fragments: make([]int, r),
+		keyBucket: make(map[string]int),
+	}
+}
+
+// R returns the number of buckets.
+func (bs *BucketSet) R() int { return bs.r }
+
+// Place records that a Map task assigned cluster c to bucket b. It returns
+// an error if the bucket index is out of range or if the key was previously
+// placed in a different bucket (a key-locality violation, which would make
+// the computation incorrect).
+func (bs *BucketSet) Place(c tuple.Cluster, b int) error {
+	if b < 0 || b >= bs.r {
+		return fmt.Errorf("reducer: bucket %d out of range [0,%d)", b, bs.r)
+	}
+	if prev, seen := bs.keyBucket[c.Key]; seen {
+		if prev != b {
+			return fmt.Errorf("reducer: key %q assigned to bucket %d and %d (locality violation)",
+				c.Key, prev, b)
+		}
+		bs.fragments[b]++ // a second fragment of the key: one extra combine
+	} else {
+		bs.keyBucket[c.Key] = b
+	}
+	bs.sizes[b] += c.Size
+	bs.clusters[b]++
+	return nil
+}
+
+// Sizes returns the per-bucket tuple totals (the Reduce task input sizes).
+func (bs *BucketSet) Sizes() []int { return bs.sizes }
+
+// Clusters returns the per-bucket cluster counts.
+func (bs *BucketSet) Clusters() []int { return bs.clusters }
+
+// ExtraFragments returns, per bucket, the number of cluster arrivals beyond
+// each key's first — the cross-Map partial results a Reduce task must
+// combine before aggregating.
+func (bs *BucketSet) ExtraFragments() []int { return bs.fragments }
+
+// Keys returns the number of distinct keys placed so far.
+func (bs *BucketSet) Keys() int { return len(bs.keyBucket) }
+
+// BucketOf returns the bucket a key was placed in and whether it was seen.
+func (bs *BucketSet) BucketOf(key string) (int, bool) {
+	b, ok := bs.keyBucket[key]
+	return b, ok
+}

@@ -1,0 +1,258 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"prompt/internal/tuple"
+)
+
+// AccumulatorConfig tunes the frequency-aware buffering mechanism.
+type AccumulatorConfig struct {
+	// Budget is the maximum number of CountTree updates allowed per key per
+	// batch interval (the paper's "update allowance").
+	Budget int
+	// EstimatedTuples (N_Est) is the expected number of tuples per batch
+	// given the recent data rate; it seeds the initial frequency step.
+	EstimatedTuples int
+	// EstimatedKeys (K_Avg) is the average number of distinct keys over the
+	// past few batches; with EstimatedTuples it sets the initial f.step
+	// f = N_Est / (K_Avg * Budget), i.e. the best step under a uniform
+	// distribution assumption.
+	EstimatedKeys int
+}
+
+// DefaultAccumulatorConfig returns the configuration used throughout the
+// evaluation: an update budget of 8 per key and neutral estimates that are
+// refined after the first batch.
+func DefaultAccumulatorConfig() AccumulatorConfig {
+	return AccumulatorConfig{Budget: 8, EstimatedTuples: 100000, EstimatedKeys: 1000}
+}
+
+func (c AccumulatorConfig) validate() error {
+	if c.Budget < 1 {
+		return fmt.Errorf("stats: budget must be >= 1, got %d", c.Budget)
+	}
+	if c.EstimatedTuples < 1 || c.EstimatedKeys < 1 {
+		return fmt.Errorf("stats: estimates must be >= 1, got N=%d K=%d",
+			c.EstimatedTuples, c.EstimatedKeys)
+	}
+	return nil
+}
+
+// initialFStep computes the uniform-distribution frequency step
+// f = N_Est / (K_Avg * Budget), floored at 1.
+func (c AccumulatorConfig) initialFStep() int {
+	f := c.EstimatedTuples / (c.EstimatedKeys * c.Budget)
+	if f < 1 {
+		f = 1
+	}
+	return f
+}
+
+// SortedKey is one element of the accumulator's output: a key with its
+// exact frequency and buffered tuples. The slice handed to the partitioner
+// is ordered by the CountTree (descending, quasi-sorted).
+type SortedKey struct {
+	Key    string
+	Count  int
+	Tuples []tuple.Tuple
+}
+
+// BatchStats summarizes one accumulated batch: the statistics Algorithm 4
+// consumes to attribute load changes to data rate vs data distribution.
+type BatchStats struct {
+	Tuples      int // N_C: number of data tuples
+	Keys        int // |K|: number of distinct keys
+	TreeUpdates int // CountTree node moves performed (cost accounting)
+	Start, End  tuple.Time
+}
+
+// Accumulator implements Algorithm 1 (Micro-batch Accumulator): it buffers
+// incoming tuples into the HTable and maintains the quasi-sorted CountTree
+// under the budgeted f.step / t.step update discipline, so that at the
+// heartbeat the batch is already key-sorted and ready for partitioning.
+//
+// An Accumulator is not safe for concurrent use; the receiver owns it.
+type Accumulator struct {
+	cfg   AccumulatorConfig
+	ht    *HTable
+	ct    *CountTree
+	start tuple.Time
+	end   tuple.Time
+
+	nTuples     int
+	treeUpdates int
+	initialF    int
+}
+
+// NewAccumulator returns an accumulator for the batch interval
+// [start, end). It returns an error for invalid configurations.
+func NewAccumulator(cfg AccumulatorConfig, start, end tuple.Time) (*Accumulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if end <= start {
+		return nil, fmt.Errorf("stats: batch interval [%v,%v) is empty", start, end)
+	}
+	a := &Accumulator{
+		cfg:      cfg,
+		ht:       NewHTable(cfg.EstimatedKeys),
+		ct:       &CountTree{},
+		start:    start,
+		end:      end,
+		initialF: cfg.initialFStep(),
+	}
+	return a, nil
+}
+
+// Reset prepares the accumulator for the next batch interval, clearing the
+// HTable and CountTree as the paper prescribes at every heartbeat. Updated
+// estimates may be supplied so f.step starts close to its converged value.
+func (a *Accumulator) Reset(cfg AccumulatorConfig, start, end tuple.Time) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if end <= start {
+		return fmt.Errorf("stats: batch interval [%v,%v) is empty", start, end)
+	}
+	a.cfg = cfg
+	a.ht.Reset(cfg.EstimatedKeys)
+	a.ct.Reset()
+	a.start, a.end = start, end
+	a.nTuples = 0
+	a.treeUpdates = 0
+	a.initialF = cfg.initialFStep()
+	return nil
+}
+
+// Interval returns the accumulator's batch interval.
+func (a *Accumulator) Interval() (start, end tuple.Time) { return a.start, a.end }
+
+// Tuples returns the number of tuples received so far (N_C).
+func (a *Accumulator) Tuples() int { return a.nTuples }
+
+// Keys returns the number of distinct keys received so far (|K|).
+func (a *Accumulator) Keys() int { return a.ht.Len() }
+
+// TreeUpdates returns the number of CountTree node moves so far; tests use
+// it to verify the budget bounds the total update work.
+func (a *Accumulator) TreeUpdates() int { return a.treeUpdates }
+
+// Add ingests one tuple at arrival time now, following Algorithm 1. Tuples
+// outside the batch interval are rejected with an error (the engine routes
+// tuples to the right accumulator before calling Add).
+func (a *Accumulator) Add(t tuple.Tuple, now tuple.Time) error {
+	if t.TS < a.start || t.TS >= a.end {
+		return fmt.Errorf("stats: tuple ts %v outside batch interval [%v,%v)", t.TS, a.start, a.end)
+	}
+	a.nTuples++
+	e := a.ht.Get(t.Key)
+	if e == nil {
+		// New key: insert into HTable and CountTree with count 1.
+		e = &KeyEntry{
+			Key:         t.Key,
+			Tuples:      append(make([]tuple.Tuple, 0, 4), t),
+			FreqCurrent: 1,
+			FreqUpdated: 1,
+			Budget:      a.cfg.Budget,
+			FStep:       a.initialF,
+			TStep:       (a.end - now) / tuple.Time(a.cfg.Budget),
+			LastUpdate:  now,
+		}
+		a.ht.Put(e)
+		a.ct.Insert(t.Key, 1)
+		return nil
+	}
+
+	// Existing key: buffer the tuple and decide whether its CountTree node
+	// is eligible for an update this arrival.
+	e.Tuples = append(e.Tuples, t)
+	e.FreqCurrent++
+	deltaFreq := e.FreqCurrent - e.FreqUpdated
+	deltaTime := now - e.LastUpdate
+
+	switch {
+	case e.Budget > 0 && deltaFreq >= e.FStep:
+		// Frequency step fired: move the node to the exact current count
+		// and re-estimate f.step proportionally to the key's share of the
+		// batch so far (hot keys need more tuples per update).
+		a.updateNode(e, now)
+		fstep := (a.cfg.EstimatedTuples / a.cfg.Budget) * e.FreqCurrent / a.nTuples
+		if fstep < 1 {
+			fstep = 1
+		}
+		e.FStep = fstep
+	case e.Budget > 0 && deltaTime >= e.TStep:
+		// Time step fired: refresh cold keys so their counts do not go
+		// stale, spreading the remaining budget over the remaining time.
+		a.updateNode(e, now)
+		remaining := a.end - now
+		if remaining < 0 {
+			remaining = 0
+		}
+		e.TStep = remaining / tuple.Time(e.Budget+1)
+	default:
+		// Key not eligible for an update yet.
+	}
+	return nil
+}
+
+// updateNode moves the key's CountTree node from its stale count to the
+// exact current count and charges the key's budget.
+func (a *Accumulator) updateNode(e *KeyEntry, now tuple.Time) {
+	a.ct.Update(e.Key, e.FreqUpdated, e.FreqCurrent)
+	e.FreqUpdated = e.FreqCurrent
+	e.Budget--
+	e.LastUpdate = now
+	a.treeUpdates++
+}
+
+// Finalize produces the quasi-sorted key list ⟨k, count, tupleList⟩ for the
+// partitioner plus the batch statistics, at the heartbeat (or at the early
+// batch release cut-off). Counts in the output are exact (taken from the
+// HTable); the ordering is the CountTree's quasi-sorted descending order.
+func (a *Accumulator) Finalize() ([]SortedKey, BatchStats) {
+	order := a.ct.Descending()
+	out := make([]SortedKey, 0, len(order))
+	for _, kc := range order {
+		e := a.ht.Get(kc.Key)
+		if e == nil {
+			continue // unreachable: tree and table are kept in sync
+		}
+		out = append(out, SortedKey{Key: e.Key, Count: e.FreqCurrent, Tuples: e.Tuples})
+	}
+	st := BatchStats{
+		Tuples:      a.nTuples,
+		Keys:        a.ht.Len(),
+		TreeUpdates: a.treeUpdates,
+		Start:       a.start,
+		End:         a.end,
+	}
+	return out, st
+}
+
+// PostSort is the baseline the paper compares against in Figure 14a: buffer
+// tuples with no online statistics and sort the keys by exact frequency
+// after the batch interval ends. It returns the same output shape as
+// Finalize so the two can be swapped in the engine.
+func PostSort(b *tuple.Batch) []SortedKey {
+	byKey := tuple.KeyFrequency(b)
+	out := make([]SortedKey, 0, len(byKey))
+	for k, ts := range byKey {
+		out = append(out, SortedKey{Key: k, Count: len(ts), Tuples: ts})
+	}
+	SortKeysDesc(out)
+	return out
+}
+
+// SortKeysDesc sorts keys by count descending with the key string as
+// ascending tie-break, the canonical order the partitioner expects.
+func SortKeysDesc(s []SortedKey) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Count != s[j].Count {
+			return s[i].Count > s[j].Count
+		}
+		return s[i].Key < s[j].Key
+	})
+}

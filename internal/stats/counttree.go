@@ -1,0 +1,250 @@
+// Package stats implements the frequency-aware buffering mechanism of the
+// batching phase (Algorithm 1 of the paper): a hash table of per-key tuple
+// lists plus a balanced binary search tree of approximate key frequencies
+// (the CountTree), updated under a per-key budget so that the total update
+// cost is bounded by K log K for K distinct keys per batch.
+package stats
+
+// CountTree is an AVL tree whose nodes are (key, count) pairs ordered by
+// count, with the key string as tie-breaker. An in-order traversal yields
+// the keys in ascending (quasi-)frequency order; the accumulator walks it
+// in reverse to hand the partitioner a descending list.
+//
+// Counts stored here are approximate: a key's node is only moved when the
+// key's update budget allows (see Accumulator), which bounds rebalancing
+// work during the batch interval. Exact counts live in the HTable.
+type CountTree struct {
+	root *treeNode
+	size int
+}
+
+type treeNode struct {
+	key         string
+	count       int
+	left, right *treeNode
+	height      int
+}
+
+// Len returns the number of keys in the tree.
+func (t *CountTree) Len() int { return t.size }
+
+// Reset clears the tree for the next batch interval.
+func (t *CountTree) Reset() {
+	t.root = nil
+	t.size = 0
+}
+
+// less orders nodes by (count, key).
+func less(aCount int, aKey string, bCount int, bKey string) bool {
+	if aCount != bCount {
+		return aCount < bCount
+	}
+	return aKey < bKey
+}
+
+func height(n *treeNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *treeNode) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func balanceFactor(n *treeNode) int { return height(n.left) - height(n.right) }
+
+func rotateRight(y *treeNode) *treeNode {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft(x *treeNode) *treeNode {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+func rebalance(n *treeNode) *treeNode {
+	fix(n)
+	bf := balanceFactor(n)
+	switch {
+	case bf > 1:
+		if balanceFactor(n.left) < 0 {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if balanceFactor(n.right) > 0 {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// Insert adds a key with the given count. The caller guarantees the key is
+// not already present (the HTable tracks membership).
+func (t *CountTree) Insert(key string, count int) {
+	t.root = insert(t.root, key, count)
+	t.size++
+}
+
+func insert(n *treeNode, key string, count int) *treeNode {
+	if n == nil {
+		return &treeNode{key: key, count: count, height: 1}
+	}
+	if less(count, key, n.count, n.key) {
+		n.left = insert(n.left, key, count)
+	} else {
+		n.right = insert(n.right, key, count)
+	}
+	return rebalance(n)
+}
+
+// Update moves a key from its old count to a new count. It is the
+// remove-and-reinsert operation triggered when a key's f.step or t.step
+// fires. Reports whether the key was found at the old count.
+func (t *CountTree) Update(key string, oldCount, newCount int) bool {
+	var removed bool
+	t.root, removed = remove(t.root, key, oldCount)
+	if !removed {
+		return false
+	}
+	t.size--
+	t.Insert(key, newCount)
+	return true
+}
+
+// Remove deletes a key with the given count from the tree.
+func (t *CountTree) Remove(key string, count int) bool {
+	var removed bool
+	t.root, removed = remove(t.root, key, count)
+	if removed {
+		t.size--
+	}
+	return removed
+}
+
+func remove(n *treeNode, key string, count int) (*treeNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case key == n.key && count == n.count:
+		removed = true
+		switch {
+		case n.left == nil:
+			return n.right, true
+		case n.right == nil:
+			return n.left, true
+		default:
+			// Replace with in-order successor.
+			succ := n.right
+			for succ.left != nil {
+				succ = succ.left
+			}
+			n.key, n.count = succ.key, succ.count
+			n.right, _ = remove(n.right, succ.key, succ.count)
+		}
+	case less(count, key, n.count, n.key):
+		n.left, removed = remove(n.left, key, count)
+	default:
+		n.right, removed = remove(n.right, key, count)
+	}
+	if !removed {
+		return n, false
+	}
+	return rebalance(n), true
+}
+
+// KeyCount is one entry of the tree's ordered traversal.
+type KeyCount struct {
+	Key   string
+	Count int
+}
+
+// Ascending returns the (key, count) pairs in ascending count order.
+func (t *CountTree) Ascending() []KeyCount {
+	out := make([]KeyCount, 0, t.size)
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		walk(n.left)
+		out = append(out, KeyCount{Key: n.key, Count: n.count})
+		walk(n.right)
+	}
+	walk(t.root)
+	return out
+}
+
+// Descending returns the (key, count) pairs in descending count order: the
+// quasi-sorted list handed to the micro-batch partitioner at the heartbeat.
+func (t *CountTree) Descending() []KeyCount {
+	out := make([]KeyCount, 0, t.size)
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		if n == nil {
+			return
+		}
+		walk(n.right)
+		out = append(out, KeyCount{Key: n.key, Count: n.count})
+		walk(n.left)
+	}
+	walk(t.root)
+	return out
+}
+
+// Height returns the height of the tree (0 for empty). Exposed for
+// balance-invariant tests.
+func (t *CountTree) Height() int { return height(t.root) }
+
+// CheckInvariants verifies AVL balance, recorded heights, and BST ordering
+// in a single traversal. Used by property tests.
+func (t *CountTree) CheckInvariants() bool {
+	valid := true
+	prevSet := false
+	var prevCount int
+	var prevKey string
+	var walk func(n *treeNode) int
+	walk = func(n *treeNode) int {
+		if n == nil || !valid {
+			return 0
+		}
+		hl := walk(n.left)
+		// In-order position: entries must be strictly increasing.
+		if prevSet && !less(prevCount, prevKey, n.count, n.key) {
+			valid = false
+			return 0
+		}
+		prevSet, prevCount, prevKey = true, n.count, n.key
+		hr := walk(n.right)
+		h := hl
+		if hr > h {
+			h = hr
+		}
+		h++
+		if n.height != h || hl-hr < -1 || hl-hr > 1 {
+			valid = false
+		}
+		return h
+	}
+	walk(t.root)
+	return valid
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountTreeInsertAscending(t *testing.T) {
+	var ct CountTree
+	ct.Insert("a", 5)
+	ct.Insert("b", 2)
+	ct.Insert("c", 9)
+	ct.Insert("d", 2)
+	if ct.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ct.Len())
+	}
+	asc := ct.Ascending()
+	want := []KeyCount{{"b", 2}, {"d", 2}, {"a", 5}, {"c", 9}}
+	for i := range want {
+		if asc[i] != want[i] {
+			t.Errorf("Ascending[%d] = %+v, want %+v", i, asc[i], want[i])
+		}
+	}
+	desc := ct.Descending()
+	for i := range want {
+		if desc[i] != want[len(want)-1-i] {
+			t.Errorf("Descending[%d] = %+v", i, desc[i])
+		}
+	}
+}
+
+func TestCountTreeUpdateMovesNode(t *testing.T) {
+	var ct CountTree
+	ct.Insert("a", 1)
+	ct.Insert("b", 10)
+	if !ct.Update("a", 1, 20) {
+		t.Fatal("Update returned false for present node")
+	}
+	desc := ct.Descending()
+	if desc[0].Key != "a" || desc[0].Count != 20 {
+		t.Errorf("after update, head = %+v, want a/20", desc[0])
+	}
+	if ct.Len() != 2 {
+		t.Errorf("Len = %d after update, want 2", ct.Len())
+	}
+	if ct.Update("a", 1, 5) {
+		t.Error("Update succeeded with stale old count")
+	}
+}
+
+func TestCountTreeRemove(t *testing.T) {
+	var ct CountTree
+	ct.Insert("a", 3)
+	ct.Insert("b", 7)
+	if !ct.Remove("a", 3) {
+		t.Fatal("Remove failed")
+	}
+	if ct.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ct.Len())
+	}
+	if ct.Remove("a", 3) {
+		t.Error("Remove of absent node succeeded")
+	}
+}
+
+func TestCountTreeReset(t *testing.T) {
+	var ct CountTree
+	for i := 0; i < 100; i++ {
+		ct.Insert(fmt.Sprintf("k%d", i), i)
+	}
+	ct.Reset()
+	if ct.Len() != 0 || ct.Height() != 0 {
+		t.Errorf("after Reset: len=%d height=%d", ct.Len(), ct.Height())
+	}
+	if got := ct.Ascending(); len(got) != 0 {
+		t.Errorf("Ascending after Reset returned %d entries", len(got))
+	}
+}
+
+func TestCountTreeBalanceUnderSequentialInsert(t *testing.T) {
+	var ct CountTree
+	const n = 4096
+	for i := 0; i < n; i++ {
+		ct.Insert(fmt.Sprintf("k%06d", i), i) // worst case: sorted inserts
+	}
+	if !ct.CheckInvariants() {
+		t.Fatal("invariants violated after sequential inserts")
+	}
+	// AVL height bound: 1.44 * log2(n+2) ~ 18 for 4096.
+	if h := ct.Height(); h > 20 {
+		t.Errorf("height %d too large for %d AVL nodes", h, n)
+	}
+}
+
+func TestCountTreeRandomOpsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var ct CountTree
+	type node struct{ key string }
+	counts := map[string]int{}
+	for op := 0; op < 20000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 6: // insert new key
+			k := fmt.Sprintf("k%d", op)
+			c := rng.Intn(1000)
+			ct.Insert(k, c)
+			counts[k] = c
+		case r < 9: // update an existing key
+			for k, c := range counts {
+				nc := c + 1 + rng.Intn(100)
+				if !ct.Update(k, c, nc) {
+					t.Fatalf("update of %s %d->%d failed", k, c, nc)
+				}
+				counts[k] = nc
+				break
+			}
+		default: // remove
+			for k, c := range counts {
+				if !ct.Remove(k, c) {
+					t.Fatalf("remove of %s/%d failed", k, c)
+				}
+				delete(counts, k)
+				break
+			}
+		}
+		if op%1000 == 0 && !ct.CheckInvariants() {
+			t.Fatalf("invariants violated at op %d", op)
+		}
+	}
+	if !ct.CheckInvariants() {
+		t.Fatal("invariants violated at end")
+	}
+	if ct.Len() != len(counts) {
+		t.Fatalf("tree has %d nodes, reference has %d", ct.Len(), len(counts))
+	}
+	_ = node{}
+}
+
+func TestCountTreeQuickOrdering(t *testing.T) {
+	// Property: for any multiset of counts, the ascending traversal is
+	// sorted and complete.
+	f := func(counts []uint16) bool {
+		var ct CountTree
+		for i, c := range counts {
+			ct.Insert(fmt.Sprintf("k%d", i), int(c))
+		}
+		asc := ct.Ascending()
+		if len(asc) != len(counts) {
+			return false
+		}
+		for i := 1; i < len(asc); i++ {
+			if asc[i-1].Count > asc[i].Count {
+				return false
+			}
+		}
+		return ct.CheckInvariants()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

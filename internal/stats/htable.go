@@ -1,0 +1,60 @@
+package stats
+
+import "prompt/internal/tuple"
+
+// KeyEntry is the per-key record stored in the HTable. It holds the key's
+// buffered tuples and the auxiliary statistics driving the budgeted
+// CountTree update mechanism of Algorithm 1:
+//
+//   - FreqCurrent: exact number of tuples received for the key this batch.
+//   - FreqUpdated: the (approximate) count currently reflected in the
+//     CountTree node for the key.
+//   - Budget: remaining CountTree updates allowed for the key this batch.
+//   - FStep: frequency step — the node is updated once every FStep new
+//     tuples of its key.
+//   - TStep: time step — low-frequency keys are refreshed when TStep time
+//     has elapsed since the last update, so cold keys do not go stale.
+//   - LastUpdate: time of the key's last CountTree update.
+type KeyEntry struct {
+	Key         string
+	Tuples      []tuple.Tuple
+	FreqCurrent int
+	FreqUpdated int
+	Budget      int
+	FStep       int
+	TStep       tuple.Time
+	LastUpdate  tuple.Time
+}
+
+// HTable maps partitioning keys to their entries. Every key present in the
+// HTable has a corresponding node in the CountTree (the bi-directional
+// pointer of the paper is realized by keying both structures on the key
+// string plus the FreqUpdated count, which uniquely identifies the node).
+type HTable struct {
+	m map[string]*KeyEntry
+}
+
+// NewHTable returns an empty hash table sized for the given expected
+// cardinality (0 is fine).
+func NewHTable(hint int) *HTable {
+	return &HTable{m: make(map[string]*KeyEntry, hint)}
+}
+
+// Len returns the number of distinct keys.
+func (h *HTable) Len() int { return len(h.m) }
+
+// Get returns the entry for key, or nil.
+func (h *HTable) Get(key string) *KeyEntry { return h.m[key] }
+
+// Put inserts a new entry. The caller guarantees key is absent.
+func (h *HTable) Put(e *KeyEntry) { h.m[e.Key] = e }
+
+// Reset clears the table for the next batch interval.
+func (h *HTable) Reset(hint int) { h.m = make(map[string]*KeyEntry, hint) }
+
+// Range calls fn for every entry; iteration order is unspecified.
+func (h *HTable) Range(fn func(*KeyEntry)) {
+	for _, e := range h.m {
+		fn(e)
+	}
+}

@@ -1,0 +1,277 @@
+// Package tuple defines the core data model of the micro-batch stream
+// processing engine: stream tuples, key clusters, data blocks, and
+// micro-batches.
+//
+// The model follows the paper's schema: each tuple t = (ts, k, v) carries a
+// source-assigned timestamp ts, a partitioning key k, and a value v. Keys
+// are not unique; they partition tuples for distributed processing. A
+// micro-batch is the set of tuples buffered during one batch interval; it is
+// partitioned into data blocks, one per Map task.
+package tuple
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a stream timestamp in microseconds since an arbitrary epoch. The
+// engine runs on virtual time so simulations are deterministic and fast;
+// live runtimes convert to and from wall-clock time at the boundary.
+type Time int64
+
+// Common durations expressed in Time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// FromDuration converts a time.Duration to virtual Time.
+func FromDuration(d time.Duration) Time { return Time(d.Microseconds()) }
+
+// Duration converts virtual Time to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// Seconds reports t in (possibly fractional) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the timestamp as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Tuple is a single stream record. Val carries the numeric payload used by
+// the aggregate queries in the evaluation (click counts, taxi fares,
+// quantities); Weight is the tuple's size contribution in abstract units
+// (1 for the fixed-size tuples the paper assumes, but variable sizes are
+// supported throughout).
+type Tuple struct {
+	TS     Time
+	Key    string
+	Val    float64
+	Weight int
+}
+
+// NewTuple returns a unit-weight tuple.
+func NewTuple(ts Time, key string, val float64) Tuple {
+	return Tuple{TS: ts, Key: key, Val: val, Weight: 1}
+}
+
+// KV is a key/value pair emitted by Map functions.
+type KV struct {
+	Key string
+	Val float64
+}
+
+// Cluster is a key cluster: one key's share of a Map task's output,
+// C_k = {(k, v_i)}. Size is the number of tuples the cluster aggregates
+// (its weight), which drives Reduce-stage cost; the folded partial value
+// travels alongside in the engine, so the cluster itself stays a
+// fixed-size descriptor.
+type Cluster struct {
+	Key  string
+	Size int
+}
+
+// Batch is the buffered content of one batch interval before partitioning.
+type Batch struct {
+	// Interval bounds: tuples with Start <= TS < End belong to this batch.
+	Start, End Time
+	Tuples     []Tuple
+}
+
+// Span returns the batch interval length.
+func (b *Batch) Span() Time { return b.End - b.Start }
+
+// Len returns the number of tuples in the batch.
+func (b *Batch) Len() int { return len(b.Tuples) }
+
+// TotalWeight sums the weights of all tuples.
+func (b *Batch) TotalWeight() int {
+	w := 0
+	for i := range b.Tuples {
+		w += b.Tuples[i].Weight
+	}
+	return w
+}
+
+// Cardinality counts distinct keys in the batch.
+func (b *Batch) Cardinality() int {
+	seen := make(map[string]struct{}, len(b.Tuples)/4+1)
+	for i := range b.Tuples {
+		seen[b.Tuples[i].Key] = struct{}{}
+	}
+	return len(seen)
+}
+
+// SplitInfo describes, inside a block's reference table, whether a key is
+// split across several blocks and how large the key is batch-wide. Map
+// tasks use this to route split keys by hashing (so all fragments of a key
+// meet at the same Reduce task) while freely placing non-split keys.
+type SplitInfo struct {
+	// Split reports whether the key has fragments in other blocks too.
+	Split bool
+	// TotalSize is the batch-wide number of tuples with this key.
+	TotalSize int
+	// Fragments is the number of blocks the key is split over (>= 1).
+	Fragments int
+}
+
+// Block is one partition of a micro-batch: the input to a single Map task.
+// Keys holds the per-key tuple lists in assignment order; Ref is the block
+// reference table labelling split keys.
+type Block struct {
+	ID     int
+	Keys   []KeySlice
+	Ref    map[string]SplitInfo
+	weight int
+
+	card   int
+	cardOK bool
+}
+
+// KeySlice is the set of tuples for one key (or one fragment of a split
+// key) placed in a block.
+type KeySlice struct {
+	Key    string
+	Tuples []Tuple
+}
+
+// NewBlock returns an empty block with the given id.
+func NewBlock(id int) *Block {
+	return &Block{ID: id, Ref: make(map[string]SplitInfo)}
+}
+
+// PreAllocate sizes the block's key list and reference table for n key
+// slices, avoiding incremental growth on the partitioning hot path. It
+// must be called before the first Add.
+func (bl *Block) PreAllocate(n int) {
+	if len(bl.Keys) == 0 && cap(bl.Keys) < n {
+		bl.Keys = make([]KeySlice, 0, n)
+	}
+	if len(bl.Ref) == 0 {
+		bl.Ref = make(map[string]SplitInfo, n)
+	}
+}
+
+// Add appends a key slice to the block and updates its weight.
+func (bl *Block) Add(key string, tuples []Tuple) {
+	w := 0
+	for i := range tuples {
+		w += tuples[i].Weight
+	}
+	bl.AddWeighted(key, tuples, w)
+}
+
+// AddWeighted appends a key slice whose total weight the caller already
+// knows, skipping the per-tuple summation. The hot partitioning paths use
+// it with fragments that reference the buffered tuple lists directly.
+func (bl *Block) AddWeighted(key string, tuples []Tuple, weight int) {
+	bl.Keys = append(bl.Keys, KeySlice{Key: key, Tuples: tuples})
+	bl.weight += weight
+	bl.cardOK = false
+}
+
+// Weight is the total tuple weight in the block (its size |block|).
+func (bl *Block) Weight() int { return bl.weight }
+
+// Size is the number of tuples in the block.
+func (bl *Block) Size() int {
+	n := 0
+	for i := range bl.Keys {
+		n += len(bl.Keys[i].Tuples)
+	}
+	return n
+}
+
+// Cardinality is the number of distinct keys with at least one tuple in the
+// block (||block||). A key split into several fragments within the same
+// block (which partitioners avoid but is legal) counts once. The value is
+// cached until the block is next modified.
+func (bl *Block) Cardinality() int {
+	if bl.cardOK {
+		return bl.card
+	}
+	seen := make(map[string]struct{}, len(bl.Keys))
+	for i := range bl.Keys {
+		seen[bl.Keys[i].Key] = struct{}{}
+	}
+	bl.card = len(seen)
+	bl.cardOK = true
+	return bl.card
+}
+
+// Tuples flattens the block back to a tuple slice, preserving key order.
+func (bl *Block) Tuples() []Tuple {
+	out := make([]Tuple, 0, bl.Size())
+	for i := range bl.Keys {
+		out = append(out, bl.Keys[i].Tuples...)
+	}
+	return out
+}
+
+// Partitioned is a fully partitioned micro-batch: the unit handed from the
+// batching phase to the processing phase.
+type Partitioned struct {
+	Batch  *Batch
+	Blocks []*Block
+	// PartitionTime is how long the partitioning step took, charged against
+	// the early-batch-release slack rather than the processing time.
+	PartitionTime Time
+}
+
+// NumBlocks returns the number of data blocks.
+func (p *Partitioned) NumBlocks() int { return len(p.Blocks) }
+
+// Validate checks structural invariants: every tuple placed exactly once
+// and reference tables consistent with actual fragment counts. It is used
+// by tests and by the engine's paranoid mode.
+func (p *Partitioned) Validate() error {
+	total := 0
+	frags := make(map[string]int)
+	sizes := make(map[string]int)
+	for _, bl := range p.Blocks {
+		perBlock := make(map[string]bool)
+		for _, ks := range bl.Keys {
+			total += len(ks.Tuples)
+			sizes[ks.Key] += len(ks.Tuples)
+			if !perBlock[ks.Key] {
+				perBlock[ks.Key] = true
+				frags[ks.Key]++
+			}
+		}
+	}
+	if total != p.Batch.Len() {
+		return fmt.Errorf("tuple: partitioned batch has %d tuples, want %d", total, p.Batch.Len())
+	}
+	want := make(map[string]int, len(sizes))
+	for i := range p.Batch.Tuples {
+		want[p.Batch.Tuples[i].Key]++
+	}
+	for k, n := range want {
+		if sizes[k] != n {
+			return fmt.Errorf("tuple: key %q has %d tuples across blocks, want %d", k, sizes[k], n)
+		}
+	}
+	for _, bl := range p.Blocks {
+		for k, info := range bl.Ref {
+			if info.Split != (frags[k] > 1) {
+				return fmt.Errorf("tuple: block %d labels key %q split=%v but key has %d fragments",
+					bl.ID, k, info.Split, frags[k])
+			}
+		}
+	}
+	return nil
+}
+
+// KeyFrequency aggregates a batch into per-key tuple lists, preserving
+// arrival order inside each key. It is the reference ("post-sort")
+// implementation of what the frequency-aware accumulator computes online.
+func KeyFrequency(b *Batch) map[string][]Tuple {
+	m := make(map[string][]Tuple)
+	for i := range b.Tuples {
+		t := b.Tuples[i]
+		m[t.Key] = append(m[t.Key], t)
+	}
+	return m
+}

@@ -1,0 +1,157 @@
+package tuple
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromDuration(1500 * time.Millisecond); got != 1500*Millisecond {
+		t.Errorf("FromDuration(1.5s) = %v, want %v", got, 1500*Millisecond)
+	}
+	if got := (2 * Second).Duration(); got != 2*time.Second {
+		t.Errorf("(2s).Duration() = %v, want 2s", got)
+	}
+	if got := (250 * Millisecond).Seconds(); got != 0.25 {
+		t.Errorf("(250ms).Seconds() = %v, want 0.25", got)
+	}
+	if got := (Second + Millisecond).String(); got != "1.001000s" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("sub-second unit ratios broken")
+	}
+	if Minute != 60*Second || Hour != 60*Minute {
+		t.Fatal("super-second unit ratios broken")
+	}
+}
+
+func TestNewTuple(t *testing.T) {
+	tp := NewTuple(5*Second, "k", 2.5)
+	if tp.TS != 5*Second || tp.Key != "k" || tp.Val != 2.5 || tp.Weight != 1 {
+		t.Errorf("NewTuple = %+v", tp)
+	}
+}
+
+func makeBatch(keys ...string) *Batch {
+	b := &Batch{Start: 0, End: Second}
+	for i, k := range keys {
+		b.Tuples = append(b.Tuples, NewTuple(Time(i), k, 1))
+	}
+	return b
+}
+
+func TestBatchStats(t *testing.T) {
+	b := makeBatch("a", "b", "a", "c", "a")
+	if b.Len() != 5 {
+		t.Errorf("Len = %d, want 5", b.Len())
+	}
+	if b.TotalWeight() != 5 {
+		t.Errorf("TotalWeight = %d, want 5", b.TotalWeight())
+	}
+	if b.Cardinality() != 3 {
+		t.Errorf("Cardinality = %d, want 3", b.Cardinality())
+	}
+	if b.Span() != Second {
+		t.Errorf("Span = %v, want 1s", b.Span())
+	}
+}
+
+func TestBlockAccounting(t *testing.T) {
+	bl := NewBlock(3)
+	if bl.ID != 3 {
+		t.Fatalf("ID = %d", bl.ID)
+	}
+	bl.Add("a", []Tuple{NewTuple(0, "a", 1), NewTuple(1, "a", 1)})
+	bl.Add("b", []Tuple{NewTuple(2, "b", 1)})
+	if bl.Weight() != 3 || bl.Size() != 3 {
+		t.Errorf("Weight=%d Size=%d, want 3/3", bl.Weight(), bl.Size())
+	}
+	if bl.Cardinality() != 2 {
+		t.Errorf("Cardinality = %d, want 2", bl.Cardinality())
+	}
+	// A second fragment of "a" in the same block still counts once.
+	bl.Add("a", []Tuple{NewTuple(3, "a", 1)})
+	if bl.Cardinality() != 2 {
+		t.Errorf("Cardinality after same-key add = %d, want 2", bl.Cardinality())
+	}
+	if got := len(bl.Tuples()); got != 4 {
+		t.Errorf("Tuples() len = %d, want 4", got)
+	}
+}
+
+func TestBlockVariableWeights(t *testing.T) {
+	bl := NewBlock(0)
+	bl.Add("a", []Tuple{{TS: 0, Key: "a", Weight: 5}, {TS: 1, Key: "a", Weight: 3}})
+	if bl.Weight() != 8 {
+		t.Errorf("Weight = %d, want 8", bl.Weight())
+	}
+	if bl.Size() != 2 {
+		t.Errorf("Size = %d, want 2", bl.Size())
+	}
+}
+
+func TestPartitionedValidateOK(t *testing.T) {
+	b := makeBatch("a", "b", "a", "c")
+	bl0, bl1 := NewBlock(0), NewBlock(1)
+	bl0.Add("a", []Tuple{b.Tuples[0], b.Tuples[2]})
+	bl0.Ref["a"] = SplitInfo{Split: false, TotalSize: 2, Fragments: 1}
+	bl1.Add("b", []Tuple{b.Tuples[1]})
+	bl1.Add("c", []Tuple{b.Tuples[3]})
+	p := &Partitioned{Batch: b, Blocks: []*Block{bl0, bl1}}
+	if err := p.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestPartitionedValidateDetectsLoss(t *testing.T) {
+	b := makeBatch("a", "b")
+	bl := NewBlock(0)
+	bl.Add("a", []Tuple{b.Tuples[0]})
+	p := &Partitioned{Batch: b, Blocks: []*Block{bl}}
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted a partition that dropped a tuple")
+	}
+}
+
+func TestPartitionedValidateDetectsWrongRef(t *testing.T) {
+	b := makeBatch("a", "a")
+	bl0, bl1 := NewBlock(0), NewBlock(1)
+	bl0.Add("a", []Tuple{b.Tuples[0]})
+	bl1.Add("a", []Tuple{b.Tuples[1]})
+	// Key "a" is split across two blocks but labelled non-split.
+	bl0.Ref["a"] = SplitInfo{Split: false, TotalSize: 2, Fragments: 1}
+	p := &Partitioned{Batch: b, Blocks: []*Block{bl0, bl1}}
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted an inconsistent reference table")
+	}
+}
+
+func TestPartitionedValidateDetectsDuplicates(t *testing.T) {
+	b := makeBatch("a")
+	bl0, bl1 := NewBlock(0), NewBlock(1)
+	bl0.Add("a", []Tuple{b.Tuples[0]})
+	bl1.Add("a", []Tuple{b.Tuples[0]}) // same tuple placed twice
+	p := &Partitioned{Batch: b, Blocks: []*Block{bl0, bl1}}
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted a duplicated tuple")
+	}
+}
+
+func TestKeyFrequency(t *testing.T) {
+	b := makeBatch("x", "y", "x", "x")
+	m := KeyFrequency(b)
+	if len(m) != 2 {
+		t.Fatalf("KeyFrequency returned %d keys, want 2", len(m))
+	}
+	if len(m["x"]) != 3 || len(m["y"]) != 1 {
+		t.Errorf("frequencies: x=%d y=%d, want 3/1", len(m["x"]), len(m["y"]))
+	}
+	// Arrival order preserved inside a key.
+	if m["x"][0].TS != 0 || m["x"][1].TS != 2 || m["x"][2].TS != 3 {
+		t.Errorf("arrival order not preserved: %+v", m["x"])
+	}
+}

@@ -1,0 +1,257 @@
+// Package window implements windowed aggregation over micro-batch results
+// (Figure 3 of the paper): the query answer is the aggregate of all batch
+// outputs inside the window's time predicate, maintained incrementally.
+// Batches that exit the window are reflected onto the answer with an
+// inverse Reduce function, avoiding re-evaluation; when no inverse exists,
+// the aggregator falls back to recomputing from the retained batch outputs.
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"prompt/internal/tuple"
+)
+
+// ReduceFn combines two partial aggregate values for the same key.
+type ReduceFn func(a, b float64) float64
+
+// Sum is the additive reduce used by the counting and total queries.
+func Sum(a, b float64) float64 { return a + b }
+
+// SumInverse removes b from a, the inverse of Sum.
+func SumInverse(a, b float64) float64 { return a - b }
+
+// Max keeps the larger value. It has no inverse; windows using it fall
+// back to recompute-on-evict.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Spec defines a sliding window. Slide == Length gives a tumbling window.
+type Spec struct {
+	Length tuple.Time
+	Slide  tuple.Time
+}
+
+// Validate rejects degenerate windows.
+func (s Spec) Validate() error {
+	if s.Length <= 0 {
+		return fmt.Errorf("window: length must be positive, got %v", s.Length)
+	}
+	if s.Slide <= 0 {
+		return fmt.Errorf("window: slide must be positive, got %v", s.Slide)
+	}
+	if s.Slide > s.Length {
+		return fmt.Errorf("window: slide %v exceeds length %v", s.Slide, s.Length)
+	}
+	return nil
+}
+
+// Tumbling returns a window whose slide equals its length.
+func Tumbling(length tuple.Time) Spec { return Spec{Length: length, Slide: length} }
+
+// Sliding returns a sliding window spec.
+func Sliding(length, slide tuple.Time) Spec { return Spec{Length: length, Slide: slide} }
+
+// batchOutput is one batch's per-key partial aggregate, kept while the
+// batch is inside the window (it doubles as the replicated batch state the
+// paper's consistency section describes).
+type batchOutput struct {
+	end    tuple.Time
+	result map[string]float64
+}
+
+// Aggregator maintains the per-key window state across batch outputs.
+// It is not safe for concurrent use; the engine's driver owns it.
+type Aggregator struct {
+	spec    Spec
+	reduce  ReduceFn
+	inverse ReduceFn // nil => recompute on evict
+	batches []batchOutput
+	state   map[string]float64
+	contrib map[string]int // batches currently contributing to each key
+}
+
+// NewAggregator returns a window aggregator. inverse may be nil for
+// non-invertible reduce functions.
+func NewAggregator(spec Spec, reduce, inverse ReduceFn) (*Aggregator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if reduce == nil {
+		return nil, fmt.Errorf("window: reduce function is required")
+	}
+	return &Aggregator{
+		spec:    spec,
+		reduce:  reduce,
+		inverse: inverse,
+		state:   make(map[string]float64),
+		contrib: make(map[string]int),
+	}, nil
+}
+
+// Spec returns the window specification.
+func (ag *Aggregator) Spec() Spec { return ag.spec }
+
+// Batches returns the number of batch outputs currently inside the window.
+func (ag *Aggregator) Batches() int { return len(ag.batches) }
+
+// AddBatch merges one batch output (keyed partial aggregates) ending at the
+// given time into the window state and evicts batches that have fallen out
+// of [end-Length, end). Batch ends must be non-decreasing.
+func (ag *Aggregator) AddBatch(end tuple.Time, result map[string]float64) error {
+	if n := len(ag.batches); n > 0 && end < ag.batches[n-1].end {
+		return fmt.Errorf("window: batch end %v precedes previous %v", end, ag.batches[n-1].end)
+	}
+	// Retain a copy: the caller may reuse its map.
+	cp := make(map[string]float64, len(result))
+	for k, v := range result {
+		cp[k] = v
+		if _, ok := ag.state[k]; ok {
+			ag.state[k] = ag.reduce(ag.state[k], v)
+		} else {
+			ag.state[k] = v
+		}
+		ag.contrib[k]++
+	}
+	ag.batches = append(ag.batches, batchOutput{end: end, result: cp})
+	ag.evict(end)
+	return nil
+}
+
+// evict removes batches whose end time is at or before now-Length.
+func (ag *Aggregator) evict(now tuple.Time) {
+	cutoff := now - ag.spec.Length
+	i := 0
+	for i < len(ag.batches) && ag.batches[i].end <= cutoff {
+		i++
+	}
+	if i == 0 {
+		return
+	}
+	expired := ag.batches[:i]
+	ag.batches = ag.batches[i:]
+	if ag.inverse != nil {
+		for _, b := range expired {
+			for k, v := range b.result {
+				ag.state[k] = ag.inverse(ag.state[k], v)
+				ag.contrib[k]--
+				if ag.contrib[k] == 0 {
+					delete(ag.state, k)
+					delete(ag.contrib, k)
+				}
+			}
+		}
+		return
+	}
+	// No inverse: recompute from the retained batches.
+	ag.state = make(map[string]float64)
+	ag.contrib = make(map[string]int)
+	for _, b := range ag.batches {
+		for k, v := range b.result {
+			if _, ok := ag.state[k]; ok {
+				ag.state[k] = ag.reduce(ag.state[k], v)
+			} else {
+				ag.state[k] = v
+			}
+			ag.contrib[k]++
+		}
+	}
+}
+
+// Snapshot returns a copy of the current window answer.
+func (ag *Aggregator) Snapshot() map[string]float64 {
+	out := make(map[string]float64, len(ag.state))
+	for k, v := range ag.state {
+		out[k] = v
+	}
+	return out
+}
+
+// Value returns the current aggregate for one key.
+func (ag *Aggregator) Value(key string) (float64, bool) {
+	v, ok := ag.state[key]
+	return v, ok
+}
+
+// Recompute returns the window answer computed from scratch over the
+// retained batch outputs. Tests use it to verify that incremental
+// maintenance with the inverse function matches full recomputation.
+func (ag *Aggregator) Recompute() map[string]float64 {
+	out := make(map[string]float64)
+	for _, b := range ag.batches {
+		for k, v := range b.result {
+			if cur, ok := out[k]; ok {
+				out[k] = ag.reduce(cur, v)
+			} else {
+				out[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// BatchState is one retained batch output, exported for checkpointing.
+type BatchState struct {
+	End    tuple.Time
+	Result map[string]float64
+}
+
+// State returns the retained batch outputs in order — everything needed
+// to reconstruct the aggregator after a restart.
+func (ag *Aggregator) State() []BatchState {
+	out := make([]BatchState, len(ag.batches))
+	for i, b := range ag.batches {
+		cp := make(map[string]float64, len(b.result))
+		for k, v := range b.result {
+			cp[k] = v
+		}
+		out[i] = BatchState{End: b.end, Result: cp}
+	}
+	return out
+}
+
+// Restore replaces the aggregator's contents with the checkpointed batch
+// outputs, replaying them through the normal add/evict path so the
+// incremental state is rebuilt consistently.
+func (ag *Aggregator) Restore(states []BatchState) error {
+	ag.batches = nil
+	ag.state = make(map[string]float64)
+	ag.contrib = make(map[string]int)
+	for _, s := range states {
+		if err := ag.AddBatch(s.End, s.Result); err != nil {
+			return fmt.Errorf("window: restoring batch ending %v: %w", s.End, err)
+		}
+	}
+	return nil
+}
+
+// Entry is one (key, value) pair of a window answer.
+type Entry struct {
+	Key string
+	Val float64
+}
+
+// TopK returns the k largest entries of the current window answer, ordered
+// by value descending with key ascending as tie-break (the TopKCount
+// workload of the evaluation).
+func (ag *Aggregator) TopK(k int) []Entry {
+	entries := make([]Entry, 0, len(ag.state))
+	for key, v := range ag.state {
+		entries = append(entries, Entry{Key: key, Val: v})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Val != entries[j].Val {
+			return entries[i].Val > entries[j].Val
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	if k < len(entries) {
+		entries = entries[:k]
+	}
+	return entries
+}

@@ -1,0 +1,192 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prompt/internal/tuple"
+)
+
+func TestSpecValidate(t *testing.T) {
+	if err := Sliding(30*tuple.Second, tuple.Second).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (Spec{Length: 0, Slide: 1}).Validate(); err == nil {
+		t.Error("zero length accepted")
+	}
+	if err := (Spec{Length: 5, Slide: 10}).Validate(); err == nil {
+		t.Error("slide > length accepted")
+	}
+	tw := Tumbling(10 * tuple.Second)
+	if tw.Slide != tw.Length {
+		t.Error("Tumbling slide != length")
+	}
+}
+
+func TestAggregatorRequiresReduce(t *testing.T) {
+	if _, err := NewAggregator(Tumbling(tuple.Second), nil, nil); err == nil {
+		t.Error("nil reduce accepted")
+	}
+}
+
+func TestAggregatorSlidingSum(t *testing.T) {
+	ag, err := NewAggregator(Sliding(3*tuple.Second, tuple.Second), Sum, SumInverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Batches end at 1s, 2s, 3s, 4s with key "a" values 1, 2, 3, 4.
+	for i := 1; i <= 4; i++ {
+		err := ag.AddBatch(tuple.Time(i)*tuple.Second, map[string]float64{"a": float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Window [1s, 4s]: batch ending at 1s expired (1s <= 4s-3s), so 2+3+4.
+	if v, ok := ag.Value("a"); !ok || v != 9 {
+		t.Errorf("a = %v,%v, want 9", v, ok)
+	}
+	if ag.Batches() != 3 {
+		t.Errorf("window holds %d batches, want 3", ag.Batches())
+	}
+}
+
+func TestAggregatorEvictsKeysEntirely(t *testing.T) {
+	ag, err := NewAggregator(Sliding(2*tuple.Second, tuple.Second), Sum, SumInverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(e error) {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	must(ag.AddBatch(1*tuple.Second, map[string]float64{"gone": 7}))
+	must(ag.AddBatch(2*tuple.Second, map[string]float64{"stay": 1}))
+	must(ag.AddBatch(3*tuple.Second, map[string]float64{"stay": 2}))
+	if _, ok := ag.Value("gone"); ok {
+		t.Error("expired key still present")
+	}
+	snap := ag.Snapshot()
+	if len(snap) != 1 || snap["stay"] != 3 {
+		t.Errorf("snapshot = %v, want {stay:3}", snap)
+	}
+}
+
+func TestAggregatorRejectsOutOfOrder(t *testing.T) {
+	ag, _ := NewAggregator(Tumbling(tuple.Second), Sum, SumInverse)
+	if err := ag.AddBatch(2*tuple.Second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ag.AddBatch(1*tuple.Second, nil); err == nil {
+		t.Error("out-of-order batch accepted")
+	}
+}
+
+func TestIncrementalMatchesRecompute(t *testing.T) {
+	// Property: after any sequence of batches, the inverse-maintained
+	// state equals recomputation over the retained batches.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ag, err := NewAggregator(Sliding(5*tuple.Second, tuple.Second), Sum, SumInverse)
+		if err != nil {
+			return false
+		}
+		for i := 1; i <= 30; i++ {
+			batch := map[string]float64{}
+			for j := 0; j < rng.Intn(8); j++ {
+				batch[fmt.Sprintf("k%d", rng.Intn(10))] = float64(rng.Intn(100))
+			}
+			if err := ag.AddBatch(tuple.Time(i)*tuple.Second, batch); err != nil {
+				return false
+			}
+			inc := ag.Snapshot()
+			ref := ag.Recompute()
+			if len(inc) != len(ref) {
+				return false
+			}
+			for k, v := range ref {
+				if math.Abs(inc[k]-v) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNoInverseFallsBackToRecompute(t *testing.T) {
+	ag, err := NewAggregator(Sliding(2*tuple.Second, tuple.Second), Max, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must := func(e error) {
+		if e != nil {
+			t.Fatal(e)
+		}
+	}
+	must(ag.AddBatch(1*tuple.Second, map[string]float64{"a": 100}))
+	must(ag.AddBatch(2*tuple.Second, map[string]float64{"a": 5}))
+	if v, _ := ag.Value("a"); v != 100 {
+		t.Fatalf("max before eviction = %v, want 100", v)
+	}
+	// The 100 expires; max must drop to the surviving batches.
+	must(ag.AddBatch(3*tuple.Second, map[string]float64{"a": 7}))
+	if v, _ := ag.Value("a"); v != 7 {
+		t.Errorf("max after eviction = %v, want 7", v)
+	}
+}
+
+func TestCallerMapReuseIsSafe(t *testing.T) {
+	ag, _ := NewAggregator(Sliding(10*tuple.Second, tuple.Second), Sum, SumInverse)
+	m := map[string]float64{"a": 1}
+	if err := ag.AddBatch(tuple.Second, m); err != nil {
+		t.Fatal(err)
+	}
+	m["a"] = 999 // caller mutates its map after handing it over
+	if err := ag.AddBatch(2*tuple.Second, map[string]float64{"a": 2}); err != nil {
+		t.Fatal(err)
+	}
+	ref := ag.Recompute()
+	if ref["a"] != 3 {
+		t.Errorf("aggregator shared caller's map: recompute = %v, want 3", ref["a"])
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ag, _ := NewAggregator(Tumbling(10*tuple.Second), Sum, SumInverse)
+	err := ag.AddBatch(tuple.Second, map[string]float64{"a": 5, "b": 9, "c": 9, "d": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := ag.TopK(3)
+	want := []Entry{{"b", 9}, {"c", 9}, {"a", 5}}
+	if len(top) != 3 {
+		t.Fatalf("TopK returned %d entries", len(top))
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Errorf("TopK[%d] = %+v, want %+v", i, top[i], want[i])
+		}
+	}
+	if got := ag.TopK(100); len(got) != 4 {
+		t.Errorf("TopK(100) returned %d entries, want all 4", len(got))
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	ag, _ := NewAggregator(Tumbling(10*tuple.Second), Sum, SumInverse)
+	if err := ag.AddBatch(tuple.Second, map[string]float64{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap := ag.Snapshot()
+	snap["a"] = 42
+	if v, _ := ag.Value("a"); v != 1 {
+		t.Error("Snapshot exposed internal state")
+	}
+}

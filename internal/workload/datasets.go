@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prompt/internal/tuple"
+)
+
+// This file defines the synthetic stand-ins for the paper's five datasets
+// (Table 1). Each generator reproduces the key-distribution profile and
+// value semantics the corresponding queries depend on; sizes scale down to
+// laptop cardinalities by default (the paper's values are recorded in the
+// Paper* metadata fields and printed by the Table 1 harness).
+
+// DatasetDefaults controls generator scale. Cardinality is the local key
+// universe; the paper's cardinality is recorded separately.
+type DatasetDefaults struct {
+	Cardinality int
+	Seed        int64
+}
+
+// Tweets returns a stand-in for the paper's 50 GB Tweets sample (790 k
+// distinct words): word keys drawn from a Zipf(z≈1.0) distribution, the
+// empirical shape of word frequency, with unit values for the WordCount
+// and TopKCount queries.
+func Tweets(rate RateShape, d DatasetDefaults) (*Source, error) {
+	card := d.Cardinality
+	if card <= 0 {
+		card = 100_000
+	}
+	keys, err := NewZipfSampler("w", card, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		Name:             "tweets",
+		Rate:             rate,
+		Keys:             keys,
+		Value:            UnitValue,
+		Seed:             d.Seed,
+		PaperSizeGB:      50,
+		PaperCardinality: "790k",
+	}, nil
+}
+
+// SynD returns the paper's synthetic dataset: keys drawn from Zipf with
+// the given exponent z ∈ [0.1, 2.0] over up to 10^7 distinct keys.
+func SynD(rate RateShape, z float64, d DatasetDefaults) (*Source, error) {
+	card := d.Cardinality
+	if card <= 0 {
+		card = 500_000
+	}
+	keys, err := NewZipfSampler("k", card, z)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		Name:             fmt.Sprintf("synd-z%.1f", z),
+		Rate:             rate,
+		Keys:             keys,
+		Value:            UnitValue,
+		Seed:             d.Seed,
+		PaperSizeGB:      40,
+		PaperCardinality: "500k-1M",
+	}, nil
+}
+
+// DEBS returns a stand-in for the DEBS 2015 Grand Challenge taxi dataset
+// (32 GB, 8 M keys): taxi-medallion keys with the mild skew of ride
+// frequency (Zipf z=0.5), fare-amount values for Query 1. Timestamps are
+// drop-off ordered, which the source guarantees by construction.
+func DEBS(rate RateShape, d DatasetDefaults) (*Source, error) {
+	card := d.Cardinality
+	if card <= 0 {
+		card = 100_000
+	}
+	keys, err := NewZipfSampler("taxi", card, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		Name: "debs",
+		Rate: rate,
+		Keys: keys,
+		// Fare: base fee plus a skewed metered amount, in dollars.
+		Value: func(r *rand.Rand, _ string, _ tuple.Time) float64 {
+			return 2.50 + r.ExpFloat64()*9.5
+		},
+		Seed:             d.Seed,
+		PaperSizeGB:      32,
+		PaperCardinality: "8M",
+	}, nil
+}
+
+// DEBSDistance is the DEBS source with trip-distance values for Query 2.
+func DEBSDistance(rate RateShape, d DatasetDefaults) (*Source, error) {
+	s, err := DEBS(rate, d)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = "debs-distance"
+	s.Value = func(r *rand.Rand, _ string, _ tuple.Time) float64 {
+		return 0.3 + r.ExpFloat64()*2.7 // miles
+	}
+	return s, nil
+}
+
+// GCM returns a stand-in for the Google Cluster Monitoring trace (16 GB,
+// 600 k keys): job-id keys whose event volume is heavy-tailed (a few jobs
+// dominate, Zipf z=1.2), with CPU-usage values for the per-job aggregate
+// queries used in [25].
+func GCM(rate RateShape, d DatasetDefaults) (*Source, error) {
+	card := d.Cardinality
+	if card <= 0 {
+		card = 100_000
+	}
+	keys, err := NewZipfSampler("job", card, 1.2)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		Name: "gcm",
+		Rate: rate,
+		Keys: keys,
+		// Normalized CPU usage sample in [0, 1).
+		Value: func(r *rand.Rand, _ string, _ tuple.Time) float64 {
+			return r.Float64()
+		},
+		Seed:             d.Seed,
+		PaperSizeGB:      16,
+		PaperCardinality: "600K",
+	}, nil
+}
+
+// TPCH returns a stand-in for the TPC-H LineItem order stream (100 GB, 1 M
+// keys): part-id keys distributed near-uniformly (TPC-H's uniform part
+// popularity), with order-quantity values for the Q1/Q6-style windowed
+// summary reports.
+func TPCH(rate RateShape, d DatasetDefaults) (*Source, error) {
+	card := d.Cardinality
+	if card <= 0 {
+		card = 200_000
+	}
+	keys, err := NewUniformSampler("part", card)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{
+		Name: "tpch",
+		Rate: rate,
+		Keys: keys,
+		// Quantity 1..50 as in LineItem.
+		Value: func(r *rand.Rand, _ string, _ tuple.Time) float64 {
+			return float64(1 + r.Intn(50))
+		},
+		Seed:             d.Seed,
+		PaperSizeGB:      100,
+		PaperCardinality: "1M",
+	}, nil
+}
+
+// DatasetNames lists the generator names the CLI accepts.
+func DatasetNames() []string {
+	return []string{"tweets", "synd", "debs", "debs-distance", "gcm", "tpch"}
+}
+
+// ByName builds a dataset source by CLI name with a constant rate. SynD
+// uses the given Zipf exponent; other datasets ignore it.
+func ByName(name string, rate RateShape, z float64, d DatasetDefaults) (*Source, error) {
+	switch name {
+	case "tweets":
+		return Tweets(rate, d)
+	case "synd":
+		return SynD(rate, z, d)
+	case "debs":
+		return DEBS(rate, d)
+	case "debs-distance":
+		return DEBSDistance(rate, d)
+	case "gcm":
+		return GCM(rate, d)
+	case "tpch":
+		return TPCH(rate, d)
+	default:
+		return nil, fmt.Errorf("workload: unknown dataset %q (want one of %v)", name, DatasetNames())
+	}
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace parser never panics on arbitrary input
+// and that anything it accepts survives a write/read round trip.
+func FuzzReadTrace(f *testing.F) {
+	f.Add("100,key,1.5\n200,other,2\n")
+	f.Add("")
+	f.Add("\n\n")
+	f.Add("100,a,b,2.5")
+	f.Add("-5,k,0")
+	f.Add("100,k,NaN")
+	f.Add(strings.Repeat("1,k,1\n", 100))
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadTrace("fuzz", strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		back, err := ReadTrace("fuzz2", &buf)
+		if err != nil {
+			t.Fatalf("serialized trace failed to parse: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed length: %d -> %d", tr.Len(), back.Len())
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"prompt/internal/tuple"
+)
+
+// Arrival is a tuple paired with its ingestion time at the receiver. In
+// the generated streams arrival equals the event timestamp; the Jittered
+// wrapper separates the two to model network delay and out-of-order
+// delivery, which the engine's Reorderer (§8's bounded-delay ordering
+// guarantee) then repairs.
+type Arrival struct {
+	Tuple tuple.Tuple
+	At    tuple.Time
+}
+
+// Jittered delays each tuple of an inner stream by a seeded random jitter
+// in [0, MaxJitter], keeping event timestamps intact. Tuples therefore
+// arrive out of order within the jitter horizon.
+type Jittered struct {
+	Inner     Stream
+	MaxJitter tuple.Time
+	Seed      int64
+	// Chunk is the granularity at which the inner stream is consumed
+	// (default one second). Generated Sources discretize their arrival
+	// process per slice, so the chunking is fixed — independent of the
+	// arrival windows requested — to keep the underlying stream identical
+	// to an unjittered run pulled at the same granularity.
+	Chunk tuple.Time
+
+	rng     *rand.Rand
+	pulled  tuple.Time // inner stream consumed up to here
+	pending []Arrival  // arrivals at or after the released horizon
+	next    tuple.Time
+}
+
+// NewJittered wraps a stream with arrival jitter.
+func NewJittered(inner Stream, maxJitter tuple.Time, seed int64) (*Jittered, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("workload: jittered needs an inner stream")
+	}
+	if maxJitter < 0 {
+		return nil, fmt.Errorf("workload: negative jitter %v", maxJitter)
+	}
+	return &Jittered{Inner: inner, MaxJitter: maxJitter, Seed: seed}, nil
+}
+
+// Reset rewinds both the wrapper and the inner stream.
+func (j *Jittered) Reset() {
+	j.Inner.Reset()
+	j.rng = nil
+	j.pulled = 0
+	j.pending = nil
+	j.next = 0
+}
+
+// Arrivals returns the tuples arriving in [start, end), ordered by arrival
+// time. Requests must be sequential.
+func (j *Jittered) Arrivals(start, end tuple.Time) ([]Arrival, error) {
+	if j.rng == nil {
+		j.rng = rand.New(rand.NewSource(j.Seed))
+	}
+	if start != j.next && !(j.next == 0 && start == 0) {
+		return nil, fmt.Errorf("workload: non-sequential arrivals [%v,%v), expected start %v", start, end, j.next)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("workload: empty arrival window [%v,%v)", start, end)
+	}
+	// Every tuple with event time < end may arrive before end (jitter is
+	// non-negative), so the inner stream must be consumed up to end —
+	// in whole chunks, so the inner slicing never depends on the arrival
+	// windows requested.
+	chunk := j.Chunk
+	if chunk <= 0 {
+		chunk = tuple.Second
+	}
+	for j.pulled < end {
+		ts, err := j.Inner.Slice(j.pulled, j.pulled+chunk)
+		if err != nil {
+			return nil, err
+		}
+		for i := range ts {
+			delay := tuple.Time(0)
+			if j.MaxJitter > 0 {
+				delay = tuple.Time(j.rng.Int63n(int64(j.MaxJitter) + 1))
+			}
+			j.pending = append(j.pending, Arrival{Tuple: ts[i], At: ts[i].TS + delay})
+		}
+		j.pulled += chunk
+	}
+	sort.SliceStable(j.pending, func(a, b int) bool { return j.pending[a].At < j.pending[b].At })
+	cut := sort.Search(len(j.pending), func(i int) bool { return j.pending[i].At >= end })
+	out := make([]Arrival, cut)
+	copy(out, j.pending[:cut])
+	j.pending = append(j.pending[:0], j.pending[cut:]...)
+	j.next = end
+	return out, nil
+}

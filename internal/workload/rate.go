@@ -1,0 +1,130 @@
+// Package workload generates the evaluation's input streams: Zipf-skewed
+// synthetic keys (SynD), and synthetic stand-ins for the paper's Tweets,
+// DEBS taxi, Google Cluster Monitoring, and TPC-H LineItem datasets, driven
+// by configurable arrival-rate shapes (constant, sinusoidal, steps, ramps).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"prompt/internal/tuple"
+)
+
+// RateShape yields the instantaneous arrival rate, in tuples per second,
+// at virtual time t. Shapes must be non-negative everywhere.
+type RateShape interface {
+	RateAt(t tuple.Time) float64
+}
+
+// ConstantRate is a fixed arrival rate.
+type ConstantRate float64
+
+// RateAt implements RateShape.
+func (c ConstantRate) RateAt(tuple.Time) float64 { return float64(c) }
+
+// SinusoidalRate oscillates around Base with the given Amplitude and
+// Period, simulating the variable spikes of the Figure 11 experiments:
+// rate(t) = Base + Amplitude * sin(2π t / Period).
+type SinusoidalRate struct {
+	Base      float64
+	Amplitude float64
+	Period    tuple.Time
+	Phase     float64
+}
+
+// RateAt implements RateShape. Negative excursions clamp to zero.
+func (s SinusoidalRate) RateAt(t tuple.Time) float64 {
+	r := s.Base + s.Amplitude*math.Sin(2*math.Pi*float64(t)/float64(s.Period)+s.Phase)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// RampRate rises (or falls) linearly from From to To between Start and
+// End, holding the boundary values outside that span. Figure 12 uses rising
+// and falling ramps to trigger scale-out and scale-in.
+type RampRate struct {
+	From, To   float64
+	Start, End tuple.Time
+}
+
+// RateAt implements RateShape.
+func (rr RampRate) RateAt(t tuple.Time) float64 {
+	switch {
+	case t <= rr.Start:
+		return rr.From
+	case t >= rr.End:
+		return rr.To
+	default:
+		f := float64(t-rr.Start) / float64(rr.End-rr.Start)
+		return rr.From + f*(rr.To-rr.From)
+	}
+}
+
+// StepRate switches between levels at the given boundaries. Steps must be
+// ordered by At ascending; the rate before the first step is Initial.
+type StepRate struct {
+	Initial float64
+	Steps   []RateStep
+}
+
+// RateStep is one level change.
+type RateStep struct {
+	At    tuple.Time
+	Level float64
+}
+
+// RateAt implements RateShape.
+func (sr StepRate) RateAt(t tuple.Time) float64 {
+	rate := sr.Initial
+	for _, s := range sr.Steps {
+		if t < s.At {
+			break
+		}
+		rate = s.Level
+	}
+	return rate
+}
+
+// ScaledRate multiplies an underlying shape by Factor; the back-pressure
+// controller uses it to throttle a source without altering its shape.
+type ScaledRate struct {
+	Shape  RateShape
+	Factor float64
+}
+
+// RateAt implements RateShape.
+func (s ScaledRate) RateAt(t tuple.Time) float64 { return s.Factor * s.Shape.RateAt(t) }
+
+// Validate sanity-checks a shape over a horizon by sampling.
+func Validate(shape RateShape, horizon tuple.Time) error {
+	if shape == nil {
+		return fmt.Errorf("workload: nil rate shape")
+	}
+	const samples = 256
+	for i := 0; i <= samples; i++ {
+		t := tuple.Time(int64(horizon) * int64(i) / samples)
+		if r := shape.RateAt(t); r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("workload: rate shape yields invalid rate %v at %v", r, t)
+		}
+	}
+	return nil
+}
+
+// ExpectedCount integrates the shape over [start, end) with a fixed-step
+// trapezoid rule, returning the expected number of arrivals.
+func ExpectedCount(shape RateShape, start, end tuple.Time) float64 {
+	if end <= start {
+		return 0
+	}
+	const steps = 64
+	span := float64(end - start)
+	h := span / steps
+	sum := 0.5 * (shape.RateAt(start) + shape.RateAt(end))
+	for i := 1; i < steps; i++ {
+		sum += shape.RateAt(start + tuple.Time(float64(i)*h))
+	}
+	return sum * h / float64(tuple.Second)
+}

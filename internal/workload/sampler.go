@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"prompt/internal/tuple"
+)
+
+// KeySampler draws partitioning keys for generated tuples. Samplers may be
+// time-dependent (the drift samplers used by the elasticity experiments).
+type KeySampler interface {
+	// Next draws a key for a tuple stamped t.
+	Next(r *rand.Rand, t tuple.Time) string
+	// Cardinality reports the size of the key universe at time t.
+	Cardinality(t tuple.Time) int
+}
+
+// ZipfSampler draws keys from a Zipf distribution with arbitrary exponent
+// z >= 0 over a finite universe (stdlib rand.Zipf requires s > 1, but the
+// SynD experiments sweep z from 0.1 to 2.0, so the CDF is materialized and
+// sampled by binary search). Rank i (0-based) has probability proportional
+// to 1/(i+1)^z; z = 0 degenerates to uniform.
+type ZipfSampler struct {
+	prefix string
+	cdf    []float64
+}
+
+// NewZipfSampler materializes the CDF for the given universe size and
+// exponent. Cardinalities up to a few million are practical (8 bytes/key).
+func NewZipfSampler(prefix string, keys int, z float64) (*ZipfSampler, error) {
+	if keys <= 0 {
+		return nil, fmt.Errorf("workload: zipf needs keys > 0, got %d", keys)
+	}
+	if z < 0 || math.IsNaN(z) {
+		return nil, fmt.Errorf("workload: zipf exponent must be >= 0, got %v", z)
+	}
+	cdf := make([]float64, keys)
+	sum := 0.0
+	for i := 0; i < keys; i++ {
+		sum += 1 / math.Pow(float64(i+1), z)
+		cdf[i] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[keys-1] = 1 // guard against rounding
+	return &ZipfSampler{prefix: prefix, cdf: cdf}, nil
+}
+
+// Next implements KeySampler.
+func (zs *ZipfSampler) Next(r *rand.Rand, _ tuple.Time) string {
+	u := r.Float64()
+	idx := sort.SearchFloat64s(zs.cdf, u)
+	if idx >= len(zs.cdf) {
+		idx = len(zs.cdf) - 1
+	}
+	return zs.prefix + strconv.Itoa(idx)
+}
+
+// Cardinality implements KeySampler.
+func (zs *ZipfSampler) Cardinality(tuple.Time) int { return len(zs.cdf) }
+
+// UniformSampler draws keys uniformly from a fixed universe.
+type UniformSampler struct {
+	prefix string
+	keys   int
+}
+
+// NewUniformSampler returns a uniform sampler over the given universe.
+func NewUniformSampler(prefix string, keys int) (*UniformSampler, error) {
+	if keys <= 0 {
+		return nil, fmt.Errorf("workload: uniform needs keys > 0, got %d", keys)
+	}
+	return &UniformSampler{prefix: prefix, keys: keys}, nil
+}
+
+// Next implements KeySampler.
+func (us *UniformSampler) Next(r *rand.Rand, _ tuple.Time) string {
+	return us.prefix + strconv.Itoa(r.Intn(us.keys))
+}
+
+// Cardinality implements KeySampler.
+func (us *UniformSampler) Cardinality(tuple.Time) int { return us.keys }
+
+// GrowingSampler widens the active key universe linearly from From keys at
+// Start to To keys at End, drawing uniformly from the active range. The
+// elasticity experiments (Figure 12) use it to change the data
+// *distribution* (number of distinct keys) independently of the data rate.
+type GrowingSampler struct {
+	prefix     string
+	From, To   int
+	Start, End tuple.Time
+}
+
+// NewGrowingSampler returns a sampler whose cardinality ramps over time.
+func NewGrowingSampler(prefix string, from, to int, start, end tuple.Time) (*GrowingSampler, error) {
+	if from <= 0 || to <= 0 {
+		return nil, fmt.Errorf("workload: growing sampler needs positive cardinalities, got %d..%d", from, to)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("workload: growing sampler needs end > start")
+	}
+	return &GrowingSampler{prefix: prefix, From: from, To: to, Start: start, End: end}, nil
+}
+
+// Cardinality implements KeySampler.
+func (gs *GrowingSampler) Cardinality(t tuple.Time) int {
+	switch {
+	case t <= gs.Start:
+		return gs.From
+	case t >= gs.End:
+		return gs.To
+	default:
+		f := float64(t-gs.Start) / float64(gs.End-gs.Start)
+		return gs.From + int(f*float64(gs.To-gs.From))
+	}
+}
+
+// Next implements KeySampler.
+func (gs *GrowingSampler) Next(r *rand.Rand, t tuple.Time) string {
+	return gs.prefix + strconv.Itoa(r.Intn(gs.Cardinality(t)))
+}
+
+// HotSetSampler sends a Hot fraction of the traffic to a small set of hot
+// keys and the rest uniformly to the cold universe. Failure-injection and
+// adversarial skew tests use it to create worst-case single-key hotspots.
+type HotSetSampler struct {
+	prefix   string
+	HotKeys  int
+	ColdKeys int
+	Hot      float64 // fraction of tuples drawn from the hot set
+}
+
+// NewHotSetSampler returns a hot-set sampler.
+func NewHotSetSampler(prefix string, hotKeys, coldKeys int, hot float64) (*HotSetSampler, error) {
+	if hotKeys <= 0 || coldKeys <= 0 {
+		return nil, fmt.Errorf("workload: hot-set sampler needs positive key counts")
+	}
+	if hot < 0 || hot > 1 {
+		return nil, fmt.Errorf("workload: hot fraction must be in [0,1], got %v", hot)
+	}
+	return &HotSetSampler{prefix: prefix, HotKeys: hotKeys, ColdKeys: coldKeys, Hot: hot}, nil
+}
+
+// Next implements KeySampler.
+func (hs *HotSetSampler) Next(r *rand.Rand, _ tuple.Time) string {
+	if r.Float64() < hs.Hot {
+		return hs.prefix + "hot" + strconv.Itoa(r.Intn(hs.HotKeys))
+	}
+	return hs.prefix + strconv.Itoa(r.Intn(hs.ColdKeys))
+}
+
+// Cardinality implements KeySampler.
+func (hs *HotSetSampler) Cardinality(tuple.Time) int { return hs.HotKeys + hs.ColdKeys }

@@ -1,0 +1,144 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"prompt/internal/tuple"
+)
+
+// Stream is the engine-facing face of a workload: anything that can be
+// pulled one batch interval at a time. Source (generated) and Trace
+// (recorded) both implement it.
+type Stream interface {
+	// Slice returns the tuples arriving in [start, end), in timestamp
+	// order. Requests must be sequential.
+	Slice(start, end tuple.Time) ([]tuple.Tuple, error)
+	// Reset rewinds the stream to time zero.
+	Reset()
+}
+
+// ValueFn produces the numeric payload of a tuple given its key and time.
+type ValueFn func(r *rand.Rand, key string, t tuple.Time) float64
+
+// UnitValue assigns every tuple the value 1 (counting queries).
+func UnitValue(*rand.Rand, string, tuple.Time) float64 { return 1 }
+
+// Source is a deterministic, seeded stream generator: given a time span it
+// materializes the tuples that arrive in it, honoring the rate shape and
+// key distribution. The engine's receiver pulls one batch interval at a
+// time; repeated runs with the same seed produce identical streams.
+type Source struct {
+	// Name identifies the workload in reports.
+	Name string
+	// Rate is the arrival-rate shape (tuples/second).
+	Rate RateShape
+	// Keys draws partitioning keys.
+	Keys KeySampler
+	// Value draws tuple payloads; nil means UnitValue.
+	Value ValueFn
+	// Seed makes generation reproducible.
+	Seed int64
+
+	// PaperSizeGB and PaperCardinality record the corresponding dataset's
+	// properties from Table 1 of the paper, for the Table 1 harness.
+	PaperSizeGB      float64
+	PaperCardinality string
+
+	rng  *rand.Rand
+	next tuple.Time // resume point for sequential generation
+}
+
+// Validate checks the source is fully specified.
+func (s *Source) Validate() error {
+	if s.Rate == nil {
+		return fmt.Errorf("workload: source %q has no rate shape", s.Name)
+	}
+	if s.Keys == nil {
+		return fmt.Errorf("workload: source %q has no key sampler", s.Name)
+	}
+	return nil
+}
+
+// Reset rewinds the source to time zero with a fresh RNG.
+func (s *Source) Reset() {
+	s.rng = rand.New(rand.NewSource(s.Seed))
+	s.next = 0
+}
+
+// Slice materializes the tuples arriving in [start, end), in timestamp
+// order. Slices must be requested sequentially (each start matching the
+// previous end) for the stream to be well defined; out-of-order requests
+// return an error. The arrival process is a time-inhomogeneous Poisson
+// process discretized in 64 sub-steps per slice.
+func (s *Source) Slice(start, end tuple.Time) ([]tuple.Tuple, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if s.rng == nil {
+		s.Reset()
+	}
+	if start != s.next && !(s.next == 0 && start == 0) {
+		return nil, fmt.Errorf("workload: non-sequential slice [%v,%v), expected start %v", start, end, s.next)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("workload: empty slice [%v,%v)", start, end)
+	}
+	valFn := s.Value
+	if valFn == nil {
+		valFn = UnitValue
+	}
+
+	const steps = 64
+	span := end - start
+	out := make([]tuple.Tuple, 0, int(ExpectedCount(s.Rate, start, end))+16)
+	for i := 0; i < steps; i++ {
+		subStart := start + tuple.Time(int64(span)*int64(i)/steps)
+		subEnd := start + tuple.Time(int64(span)*int64(i+1)/steps)
+		if subEnd <= subStart {
+			continue
+		}
+		mid := subStart + (subEnd-subStart)/2
+		expect := s.Rate.RateAt(mid) * float64(subEnd-subStart) / float64(tuple.Second)
+		n := poisson(s.rng, expect)
+		for j := 0; j < n; j++ {
+			ts := subStart + tuple.Time(s.rng.Int63n(int64(subEnd-subStart)))
+			key := s.Keys.Next(s.rng, ts)
+			out = append(out, tuple.Tuple{TS: ts, Key: key, Val: valFn(s.rng, key, ts), Weight: 1})
+		}
+	}
+	sortByTS(out)
+	s.next = end
+	return out, nil
+}
+
+// poisson draws from Poisson(mean). For large means it uses the normal
+// approximation, which is plenty for arrival counts.
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 64 {
+		n := int(mean + r.NormFloat64()*math.Sqrt(mean) + 0.5)
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	// Knuth's method for small means.
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func sortByTS(ts []tuple.Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].TS < ts[j].TS })
+}

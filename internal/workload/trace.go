@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"prompt/internal/tuple"
+)
+
+// Trace is a recorded stream: tuples in timestamp order, replayable slice
+// by slice like a generated Source. It closes the loop with cmd/streamgen
+// (whose CSV output a Trace reads back) and lets real recorded workloads
+// drive the engine.
+type Trace struct {
+	Name   string
+	tuples []tuple.Tuple
+	next   int
+	nextTS tuple.Time
+}
+
+// NewTrace builds a trace from tuples, sorting them by timestamp.
+func NewTrace(name string, tuples []tuple.Tuple) *Trace {
+	cp := make([]tuple.Tuple, len(tuples))
+	copy(cp, tuples)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].TS < cp[j].TS })
+	return &Trace{Name: name, tuples: cp}
+}
+
+// ReadTrace parses the CSV format cmd/streamgen emits —
+// "timestamp_us,key,value" per line, no header — into a trace. Blank
+// lines are skipped; malformed lines are an error with their line number.
+func ReadTrace(name string, r io.Reader) (*Trace, error) {
+	var tuples []tuple.Tuple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		// Split on the first and last comma so keys may contain commas
+		// only if quoted elsewhere; streamgen never emits such keys.
+		first := strings.IndexByte(text, ',')
+		last := strings.LastIndexByte(text, ',')
+		if first < 0 || last <= first {
+			return nil, fmt.Errorf("workload: trace line %d: want ts,key,value, got %q", line, text)
+		}
+		ts, err := strconv.ParseInt(text[:first], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad timestamp: %w", line, err)
+		}
+		val, err := strconv.ParseFloat(text[last+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad value: %w", line, err)
+		}
+		key := text[first+1 : last]
+		if key == "" {
+			return nil, fmt.Errorf("workload: trace line %d: empty key", line)
+		}
+		tuples = append(tuples, tuple.Tuple{TS: tuple.Time(ts), Key: key, Val: val, Weight: 1})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	return NewTrace(name, tuples), nil
+}
+
+// Len returns the total number of tuples in the trace.
+func (t *Trace) Len() int { return len(t.tuples) }
+
+// Span returns the trace's last timestamp plus one microsecond (the end of
+// stream), or 0 for an empty trace.
+func (t *Trace) Span() tuple.Time {
+	if len(t.tuples) == 0 {
+		return 0
+	}
+	return t.tuples[len(t.tuples)-1].TS + 1
+}
+
+// Reset rewinds the trace to its start.
+func (t *Trace) Reset() {
+	t.next = 0
+	t.nextTS = 0
+}
+
+// Slice returns the tuples with start <= TS < end. Like Source.Slice,
+// requests must be sequential.
+func (t *Trace) Slice(start, end tuple.Time) ([]tuple.Tuple, error) {
+	if start != t.nextTS && !(t.nextTS == 0 && start == 0) {
+		return nil, fmt.Errorf("workload: non-sequential trace slice [%v,%v), expected start %v", start, end, t.nextTS)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("workload: empty trace slice [%v,%v)", start, end)
+	}
+	lo := t.next
+	hi := lo
+	for hi < len(t.tuples) && t.tuples[hi].TS < end {
+		hi++
+	}
+	t.next = hi
+	t.nextTS = end
+	return t.tuples[lo:hi], nil
+}
+
+// WriteCSV writes the trace in streamgen's CSV format.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range t.tuples {
+		tp := &t.tuples[i]
+		if _, err := fmt.Fprintf(bw, "%d,%s,%s\n",
+			int64(tp.TS), tp.Key, strconv.FormatFloat(tp.Val, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

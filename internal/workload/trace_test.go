@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	keys, err := NewUniformSampler("k", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &Source{Name: "gen", Rate: ConstantRate(5000), Keys: keys, Seed: 8}
+	var all []tuple.Tuple
+	for i := 0; i < 3; i++ {
+		ts, err := src.Slice(tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ts...)
+	}
+	tr := NewTrace("t", all)
+
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace("t2", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round trip lost tuples: %d vs %d", back.Len(), tr.Len())
+	}
+
+	// Replaying the trace slice by slice yields the original stream.
+	for i := 0; i < 3; i++ {
+		got, err := back.Slice(tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j].Key == "" || got[j].TS < tuple.Time(i)*tuple.Second || got[j].TS >= tuple.Time(i+1)*tuple.Second {
+				t.Fatalf("slice %d tuple %d out of range: %+v", i, j, got[j])
+			}
+		}
+	}
+}
+
+func TestTraceSliceSequencing(t *testing.T) {
+	tr := NewTrace("t", []tuple.Tuple{
+		tuple.NewTuple(100, "a", 1),
+		tuple.NewTuple(tuple.Second+5, "b", 2),
+	})
+	got, err := tr.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "a" {
+		t.Fatalf("first slice: %+v", got)
+	}
+	if _, err := tr.Slice(5*tuple.Second, 6*tuple.Second); err == nil {
+		t.Error("non-sequential slice accepted")
+	}
+	got, err = tr.Slice(tuple.Second, 2*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Key != "b" {
+		t.Fatalf("second slice: %+v", got)
+	}
+	tr.Reset()
+	got, err = tr.Slice(0, tuple.Second)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("after Reset: %v, %v", got, err)
+	}
+}
+
+func TestTraceSortsInput(t *testing.T) {
+	tr := NewTrace("t", []tuple.Tuple{
+		tuple.NewTuple(500, "late", 1),
+		tuple.NewTuple(100, "early", 1),
+	})
+	got, err := tr.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Key != "early" || got[1].Key != "late" {
+		t.Errorf("trace not sorted: %+v", got)
+	}
+	if tr.Span() != 501 {
+		t.Errorf("Span = %v", tr.Span())
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []string{
+		"notanumber,k,1",
+		"100,k,notafloat",
+		"100,,1",
+		"justonefield",
+		"100,missingvalue",
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("accepted malformed line %q", c)
+		}
+	}
+	// Blank lines are fine.
+	tr, err := ReadTrace("ok", strings.NewReader("\n100,k,1.5\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestReadTraceKeyWithComma(t *testing.T) {
+	// First/last comma split: middle commas stay in the key.
+	tr, err := ReadTrace("c", strings.NewReader("100,a,b,2.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Key != "a,b" || got[0].Val != 2.5 {
+		t.Errorf("parsed %+v", got[0])
+	}
+}

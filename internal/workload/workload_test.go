@@ -1,0 +1,323 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+func TestConstantRate(t *testing.T) {
+	r := ConstantRate(5000)
+	if r.RateAt(0) != 5000 || r.RateAt(tuple.Hour) != 5000 {
+		t.Error("constant rate not constant")
+	}
+}
+
+func TestSinusoidalRate(t *testing.T) {
+	s := SinusoidalRate{Base: 1000, Amplitude: 500, Period: 10 * tuple.Second}
+	if got := s.RateAt(0); math.Abs(got-1000) > 1e-6 {
+		t.Errorf("rate at 0 = %v, want 1000", got)
+	}
+	if got := s.RateAt(2500 * tuple.Millisecond); math.Abs(got-1500) > 1e-6 {
+		t.Errorf("rate at quarter period = %v, want 1500", got)
+	}
+	// Clamped at zero for amplitude > base.
+	neg := SinusoidalRate{Base: 100, Amplitude: 500, Period: 10 * tuple.Second}
+	if got := neg.RateAt(7500 * tuple.Millisecond); got != 0 {
+		t.Errorf("negative excursion not clamped: %v", got)
+	}
+}
+
+func TestRampRate(t *testing.T) {
+	r := RampRate{From: 100, To: 1100, Start: tuple.Second, End: 11 * tuple.Second}
+	if r.RateAt(0) != 100 {
+		t.Error("before ramp")
+	}
+	if got := r.RateAt(6 * tuple.Second); math.Abs(got-600) > 1e-6 {
+		t.Errorf("mid-ramp = %v, want 600", got)
+	}
+	if r.RateAt(time20()) != 1100 {
+		t.Error("after ramp")
+	}
+}
+
+func time20() tuple.Time { return 20 * tuple.Second }
+
+func TestStepRate(t *testing.T) {
+	s := StepRate{Initial: 10, Steps: []RateStep{{At: tuple.Second, Level: 20}, {At: 2 * tuple.Second, Level: 5}}}
+	cases := []struct {
+		t    tuple.Time
+		want float64
+	}{{0, 10}, {tuple.Second, 20}, {1500 * tuple.Millisecond, 20}, {3 * tuple.Second, 5}}
+	for _, c := range cases {
+		if got := s.RateAt(c.t); got != c.want {
+			t.Errorf("RateAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestScaledRate(t *testing.T) {
+	s := ScaledRate{Shape: ConstantRate(100), Factor: 0.5}
+	if got := s.RateAt(0); got != 50 {
+		t.Errorf("scaled rate = %v, want 50", got)
+	}
+}
+
+func TestValidateShapes(t *testing.T) {
+	if err := Validate(ConstantRate(100), tuple.Minute); err != nil {
+		t.Errorf("constant rate invalid: %v", err)
+	}
+	if err := Validate(nil, tuple.Minute); err == nil {
+		t.Error("nil shape accepted")
+	}
+}
+
+func TestExpectedCount(t *testing.T) {
+	got := ExpectedCount(ConstantRate(1000), 0, 2*tuple.Second)
+	if math.Abs(got-2000) > 1 {
+		t.Errorf("ExpectedCount = %v, want 2000", got)
+	}
+	if got := ExpectedCount(ConstantRate(1000), tuple.Second, tuple.Second); got != 0 {
+		t.Errorf("empty interval count = %v", got)
+	}
+}
+
+func TestZipfSamplerValidation(t *testing.T) {
+	if _, err := NewZipfSampler("k", 0, 1); err == nil {
+		t.Error("zero keys accepted")
+	}
+	if _, err := NewZipfSampler("k", 10, -1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+}
+
+func TestZipfSkewIncreasesWithExponent(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, keys = 50000, 1000
+	topShare := func(z float64) float64 {
+		s, err := NewZipfSampler("k", keys, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for i := 0; i < n; i++ {
+			counts[s.Next(rng, 0)]++
+		}
+		return float64(counts["k0"]) / n
+	}
+	flat := topShare(0.0)
+	mild := topShare(1.0)
+	steep := topShare(2.0)
+	if !(flat < mild && mild < steep) {
+		t.Errorf("top-key share not increasing with z: %v %v %v", flat, mild, steep)
+	}
+	// z=0 is uniform: top key ~ 1/1000.
+	if flat > 0.01 {
+		t.Errorf("z=0 top share %v too high for uniform", flat)
+	}
+	// z=2 concentrates the mass: top key well above 50%.
+	if steep < 0.5 {
+		t.Errorf("z=2 top share %v too low", steep)
+	}
+}
+
+func TestUniformSampler(t *testing.T) {
+	s, err := NewUniformSampler("u", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cardinality(0) != 100 {
+		t.Error("cardinality")
+	}
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		seen[s.Next(rng, 0)] = true
+	}
+	if len(seen) < 95 {
+		t.Errorf("uniform sampler hit only %d/100 keys", len(seen))
+	}
+}
+
+func TestGrowingSampler(t *testing.T) {
+	s, err := NewGrowingSampler("g", 100, 1100, tuple.Second, 11*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Cardinality(0); got != 100 {
+		t.Errorf("cardinality before ramp = %d", got)
+	}
+	if got := s.Cardinality(6 * tuple.Second); got != 600 {
+		t.Errorf("cardinality mid-ramp = %d, want 600", got)
+	}
+	if got := s.Cardinality(time20()); got != 1100 {
+		t.Errorf("cardinality after ramp = %d", got)
+	}
+	if _, err := NewGrowingSampler("g", 0, 10, 0, tuple.Second); err == nil {
+		t.Error("zero from-cardinality accepted")
+	}
+}
+
+func TestHotSetSampler(t *testing.T) {
+	s, err := NewHotSetSampler("h", 2, 1000, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	hot := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := s.Next(rng, 0)
+		if len(k) >= 4 && k[:4] == "hhot" {
+			hot++
+		}
+	}
+	if hot < n*85/100 || hot > n*95/100 {
+		t.Errorf("hot fraction %d/%d, want ~90%%", hot, n)
+	}
+	if _, err := NewHotSetSampler("h", 1, 1, 1.5); err == nil {
+		t.Error("hot fraction > 1 accepted")
+	}
+}
+
+func TestSourceDeterministicAndSequential(t *testing.T) {
+	mk := func() *Source {
+		keys, _ := NewUniformSampler("k", 50)
+		return &Source{Name: "t", Rate: ConstantRate(10000), Keys: keys, Seed: 42}
+	}
+	a, b := mk(), mk()
+	sliceA, err := a.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliceB, err := b.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sliceA) != len(sliceB) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(sliceA), len(sliceB))
+	}
+	for i := range sliceA {
+		if sliceA[i] != sliceB[i] {
+			t.Fatal("same seed, different tuples")
+		}
+	}
+	// Count near the expected rate.
+	if n := len(sliceA); n < 9000 || n > 11000 {
+		t.Errorf("got %d tuples for rate 10000/s over 1s", n)
+	}
+	// Timestamps ordered and in range.
+	for i := range sliceA {
+		if sliceA[i].TS < 0 || sliceA[i].TS >= tuple.Second {
+			t.Fatalf("tuple %d ts %v out of slice", i, sliceA[i].TS)
+		}
+		if i > 0 && sliceA[i].TS < sliceA[i-1].TS {
+			t.Fatal("timestamps not sorted")
+		}
+	}
+	// Non-sequential request rejected.
+	if _, err := a.Slice(5*tuple.Second, 6*tuple.Second); err == nil {
+		t.Error("non-sequential slice accepted")
+	}
+	// Sequential works.
+	if _, err := a.Slice(tuple.Second, 2*tuple.Second); err != nil {
+		t.Errorf("sequential slice rejected: %v", err)
+	}
+	// Reset rewinds.
+	a.Reset()
+	again, err := a.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(sliceA) {
+		t.Error("Reset did not rewind the stream")
+	}
+}
+
+func TestSourceFollowsSinusoidalRate(t *testing.T) {
+	keys, _ := NewUniformSampler("k", 10)
+	s := &Source{
+		Name: "sin",
+		Rate: SinusoidalRate{Base: 10000, Amplitude: 8000, Period: 4 * tuple.Second},
+		Keys: keys,
+		Seed: 1,
+	}
+	// Quarter 1 (rising, ~peak at 1s) vs quarter 3 (trough).
+	q1, err := s.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Slice(tuple.Second, 2*tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := s.Slice(2*tuple.Second, 3*tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q1) <= len(q3)*2 {
+		t.Errorf("sinusoidal rate not reflected: q1=%d q3=%d", len(q1), len(q3))
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	d := DatasetDefaults{Cardinality: 1000, Seed: 9}
+	for _, name := range DatasetNames() {
+		src, err := ByName(name, ConstantRate(5000), 1.0, d)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		ts, err := src.Slice(0, tuple.Second)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(ts) < 4000 || len(ts) > 6000 {
+			t.Errorf("%s produced %d tuples for 5000/s", name, len(ts))
+		}
+		if src.PaperSizeGB == 0 && name != "debs-distance" {
+			t.Errorf("%s missing paper metadata", name)
+		}
+		for i := range ts {
+			if ts[i].Weight != 1 {
+				t.Errorf("%s produced non-unit weight", name)
+				break
+			}
+		}
+	}
+	if _, err := ByName("nosuch", ConstantRate(1), 1, d); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestDatasetValues(t *testing.T) {
+	d := DatasetDefaults{Cardinality: 100, Seed: 4}
+	src, err := DEBS(ConstantRate(2000), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := src.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if ts[i].Val < 2.50 {
+			t.Fatalf("DEBS fare %v below base fee", ts[i].Val)
+		}
+	}
+	tp, err := TPCH(ConstantRate(2000), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err = tp.Slice(0, tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ts {
+		if ts[i].Val < 1 || ts[i].Val > 50 {
+			t.Fatalf("TPC-H quantity %v outside 1..50", ts[i].Val)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package prompt
+
+import (
+	"fmt"
+
+	"prompt/internal/core"
+	"prompt/internal/engine"
+)
+
+// MultiStream runs several queries over one input stream. The batching
+// phase — frequency-aware statistics and partitioning — executes once per
+// batch and all queries share the resulting data blocks; each query then
+// runs as its own Map-Reduce job. Reports describe the primary query
+// (index 0) in their per-stage details, while ProcessingTime and stability
+// account for all jobs.
+type MultiStream struct {
+	eng    *engine.Engine
+	scheme core.Scheme
+	names  []string
+}
+
+// NewMulti builds a multi-query stream. At least one query is required.
+func NewMulti(cfg Config, queries ...Query) (*MultiStream, error) {
+	ec, scheme, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.NewMulti(ec, queries)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(queries))
+	for i, q := range queries {
+		names[i] = q.Name
+	}
+	return &MultiStream{eng: eng, scheme: scheme, names: names}, nil
+}
+
+// SchemeName reports which partitioning scheme the stream runs.
+func (m *MultiStream) SchemeName() string { return m.scheme.Name }
+
+// Queries returns the query names in index order.
+func (m *MultiStream) Queries() []string { return append([]string(nil), m.names...) }
+
+// Now returns the start of the next batch interval.
+func (m *MultiStream) Now() Time { return m.eng.Now() }
+
+// BatchInterval returns the configured heartbeat.
+func (m *MultiStream) BatchInterval() Time { return m.eng.Config().BatchInterval }
+
+// ProcessBatch ingests the next batch interval's tuples and runs every
+// query's job over the shared blocks.
+func (m *MultiStream) ProcessBatch(tuples []Tuple) (BatchReport, error) {
+	start := m.eng.Now()
+	end := start + m.eng.Config().BatchInterval
+	return m.eng.Step(tuples, start, end)
+}
+
+// Result returns query i's previous batch output.
+func (m *MultiStream) Result(i int) (map[string]float64, error) {
+	if err := m.check(i); err != nil {
+		return nil, err
+	}
+	return m.eng.LastResultOf(i), nil
+}
+
+// Window returns query i's current window answer (nil for windowless
+// queries).
+func (m *MultiStream) Window(i int) (map[string]float64, error) {
+	if err := m.check(i); err != nil {
+		return nil, err
+	}
+	agg := m.eng.WindowOf(i)
+	if agg == nil {
+		return nil, nil
+	}
+	return agg.Snapshot(), nil
+}
+
+// TopK returns the k largest entries of query i's window answer.
+func (m *MultiStream) TopK(i, k int) ([]WindowEntry, error) {
+	if err := m.check(i); err != nil {
+		return nil, err
+	}
+	agg := m.eng.WindowOf(i)
+	if agg == nil {
+		return nil, fmt.Errorf("prompt: query %d (%s) has no window", i, m.names[i])
+	}
+	return agg.TopK(k), nil
+}
+
+// Reports returns all batch reports since the stream started.
+func (m *MultiStream) Reports() []BatchReport { return m.eng.Reports() }
+
+func (m *MultiStream) check(i int) error {
+	if i < 0 || i >= len(m.names) {
+		return fmt.Errorf("prompt: query index %d outside [0,%d)", i, len(m.names))
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package prompt_test
+
+import (
+	"testing"
+	"time"
+
+	"prompt"
+)
+
+func TestMultiStream(t *testing.T) {
+	ms, err := prompt.NewMulti(prompt.Config{BatchInterval: time.Second, Validate: true},
+		prompt.WordCount(5*time.Second, time.Second),
+		prompt.SlidingSum("totals", 5*time.Second, time.Second),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ms.Queries(); len(got) != 2 || got[0] != "wordcount" || got[1] != "totals" {
+		t.Fatalf("Queries = %v", got)
+	}
+	batch := []prompt.Tuple{
+		prompt.NewTuple(1, "x", 2.5),
+		prompt.NewTuple(2, "x", 1.5),
+		prompt.NewTuple(3, "y", 4.0),
+	}
+	rep, err := ms.ProcessBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tuples != 3 {
+		t.Errorf("report tuples = %d", rep.Tuples)
+	}
+
+	counts, err := ms.Result(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["x"] != 2 || counts["y"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	totals, err := ms.Result(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals["x"] != 4.0 || totals["y"] != 4.0 {
+		t.Errorf("totals = %v", totals)
+	}
+
+	win, err := ms.Window(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win["x"] != 4.0 {
+		t.Errorf("window totals = %v", win)
+	}
+	top, err := ms.TopK(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 1 || top[0].Key != "x" {
+		t.Errorf("TopK = %v", top)
+	}
+
+	if _, err := ms.Result(5); err == nil {
+		t.Error("out-of-range query index accepted")
+	}
+	if _, err := prompt.NewMulti(prompt.Config{}); err == nil {
+		t.Error("zero queries accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package prompt
+
+import (
+	"fmt"
+
+	"prompt/internal/core"
+	"prompt/internal/engine"
+)
+
+// Stream is a running streaming query on the micro-batch engine. Feed it
+// one batch interval of tuples at a time with ProcessBatch; read windowed
+// answers with Window/TopK and performance measurements from the returned
+// reports. A Stream is not safe for concurrent use — like the Spark
+// driver, one goroutine owns the batch lifecycle.
+type Stream struct {
+	eng    *engine.Engine
+	scheme core.Scheme
+}
+
+// New builds a Stream for the query under the given configuration.
+func New(cfg Config, q Query) (*Stream, error) {
+	ec, scheme, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(ec, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{eng: eng, scheme: scheme}, nil
+}
+
+// SchemeName reports which partitioning scheme the stream runs.
+func (s *Stream) SchemeName() string { return s.scheme.Name }
+
+// Now returns the start of the next batch interval: tuples passed to the
+// next ProcessBatch call must have timestamps in [Now, Now+BatchInterval).
+func (s *Stream) Now() Time { return s.eng.Now() }
+
+// BatchInterval returns the configured heartbeat.
+func (s *Stream) BatchInterval() Time { return s.eng.Config().BatchInterval }
+
+// ProcessBatch ingests the tuples of the next batch interval and runs the
+// full micro-batch lifecycle: statistics, partitioning, Map stage, bucket
+// assignment, Reduce stage, and window maintenance. Tuples must be stamped
+// within [Now, Now+BatchInterval).
+func (s *Stream) ProcessBatch(tuples []Tuple) (BatchReport, error) {
+	start := s.eng.Now()
+	end := start + s.eng.Config().BatchInterval
+	return s.eng.Step(tuples, start, end)
+}
+
+// Result returns the previous batch's per-key Reduce output.
+func (s *Stream) Result() map[string]float64 { return s.eng.LastResult() }
+
+// Window returns the current window answer (nil for windowless queries).
+func (s *Stream) Window() map[string]float64 { return s.eng.WindowSnapshot() }
+
+// TopK returns the k largest entries of the current window answer.
+func (s *Stream) TopK(k int) ([]WindowEntry, error) {
+	agg := s.eng.Window()
+	if agg == nil {
+		return nil, fmt.Errorf("prompt: the query has no window")
+	}
+	return agg.TopK(k), nil
+}
+
+// Reports returns all batch reports since the stream started.
+func (s *Stream) Reports() []BatchReport { return s.eng.Reports() }
+
+// SetParallelism changes the Map/Reduce task counts for subsequent batches.
+func (s *Stream) SetParallelism(mapTasks, reduceTasks int) error {
+	return s.eng.SetParallelism(mapTasks, reduceTasks)
+}
+
+// SetCores changes the simulated core budget for subsequent batches.
+func (s *Stream) SetCores(cores int) error { return s.eng.SetCores(cores) }
+
+// Engine exposes the underlying engine for advanced integrations (the
+// benchmark harness and the elastic driver use it).
+func (s *Stream) Engine() *engine.Engine { return s.eng }

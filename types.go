@@ -1,0 +1,87 @@
+package prompt
+
+import (
+	"time"
+
+	"prompt/internal/engine"
+	"prompt/internal/metrics"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+// Tuple is a stream record ⟨timestamp, key, value⟩. Keys partition tuples
+// for distributed processing; Val is the numeric payload aggregate queries
+// fold. The alias exposes the engine's native type so no conversion cost
+// is paid at the API boundary.
+type Tuple = tuple.Tuple
+
+// Time is the engine's virtual timestamp (microseconds).
+type Time = tuple.Time
+
+// BatchReport is the per-batch measurement record: input statistics,
+// partitioning quality (BSI/BCI/KSR/MPI), simulated stage times, queueing,
+// end-to-end latency, and the stability ratio W.
+type BatchReport = engine.BatchReport
+
+// RunSummary aggregates batch reports (throughput, mean/max latency,
+// instability count).
+type RunSummary = engine.RunSummary
+
+// Summarize folds batch reports into a RunSummary.
+func Summarize(reports []BatchReport) RunSummary { return engine.Summarize(reports) }
+
+// NewTuple returns a unit-weight tuple stamped with the given virtual time.
+func NewTuple(ts Time, key string, val float64) Tuple { return tuple.NewTuple(ts, key, val) }
+
+// At converts a wall-clock-style duration since stream start into a
+// virtual timestamp.
+func At(d time.Duration) Time { return tuple.FromDuration(d) }
+
+// Query is a continuous Map-Reduce streaming query: a per-tuple Map
+// (transform/filter), a per-key Reduce, an optional inverse Reduce, and a
+// time window over batch outputs.
+type Query = engine.Query
+
+// CostModel maps simulated task inputs to execution times; see
+// Config.Cost. The zero value selects DefaultCostModel.
+type CostModel = metrics.CostModel
+
+// DefaultCostModel returns the evaluation's calibrated task costs.
+func DefaultCostModel() CostModel { return metrics.DefaultCostModel() }
+
+// QualityReport bundles a batch's partitioning metrics (BSI, BCI, KSR,
+// MPI) as reported in BatchReport.Quality.
+type QualityReport = metrics.Report
+
+// MapFn transforms one tuple into its aggregate contribution; returning
+// false filters the tuple out.
+type MapFn = engine.MapFn
+
+// ReduceFn combines two partial aggregate values of the same key.
+type ReduceFn = window.ReduceFn
+
+// WindowEntry is one (key, value) pair of a window answer.
+type WindowEntry = window.Entry
+
+// WordCount returns the evaluation's WordCount query: a per-key count over
+// a sliding window of the given length and slide.
+func WordCount(length, slide time.Duration) Query {
+	return engine.WordCount(window.Sliding(tuple.FromDuration(length), tuple.FromDuration(slide)))
+}
+
+// SlidingSum returns a per-key sum of tuple values over a sliding window —
+// the shape of the DEBS taxi queries and the TPC-H order summaries.
+func SlidingSum(name string, length, slide time.Duration) Query {
+	return engine.SumQuery(name, window.Sliding(tuple.FromDuration(length), tuple.FromDuration(slide)))
+}
+
+// TumblingSum returns a per-key sum over a tumbling window.
+func TumblingSum(name string, length time.Duration) Query {
+	return engine.SumQuery(name, window.Tumbling(tuple.FromDuration(length)))
+}
+
+// PerBatch returns a query with no window: each batch's Reduce output is
+// the result.
+func PerBatch(name string, mapFn MapFn, reduce, inverse ReduceFn) Query {
+	return Query{Name: name, Map: mapFn, Reduce: reduce, Inverse: inverse}
+}
