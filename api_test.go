@@ -1,0 +1,191 @@
+package prompt_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"prompt"
+)
+
+func TestParseScheme(t *testing.T) {
+	cases := []struct {
+		in   string
+		want prompt.Scheme
+	}{
+		{"", prompt.SchemePrompt},
+		{"prompt", prompt.SchemePrompt},
+		{"prompt-postsort", prompt.SchemePromptPostSort},
+		{"hash", prompt.SchemeHash},
+		{"time", prompt.SchemeTime},
+		{"shuffle", prompt.SchemeShuffle},
+		{"pk2", prompt.SchemePK2},
+		{"pk5", prompt.SchemePK5},
+		{"cam", prompt.SchemeCAM},
+		{"ffd", prompt.SchemeFFD},
+		{"fragmin", prompt.SchemeFragMin},
+	}
+	for _, c := range cases {
+		got, err := prompt.ParseScheme(c.in)
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("ParseScheme(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if _, err := prompt.ParseScheme("nosuch"); !errors.Is(err, prompt.ErrBadConfig) {
+		t.Errorf("ParseScheme(nosuch) error = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestSchemesRoundTrip(t *testing.T) {
+	schemes := prompt.Schemes()
+	if len(schemes) != len(prompt.SchemeNames()) {
+		t.Fatalf("Schemes/SchemeNames length mismatch: %d vs %d", len(schemes), len(prompt.SchemeNames()))
+	}
+	for _, s := range schemes {
+		got, err := prompt.ParseScheme(string(s))
+		if err != nil || got != s {
+			t.Errorf("scheme %q does not round-trip: %q, %v", s, got, err)
+		}
+	}
+	var zero prompt.Scheme
+	if zero.String() != "prompt" {
+		t.Errorf("zero Scheme.String() = %q, want prompt", zero.String())
+	}
+}
+
+func TestNewWrapsErrBadConfig(t *testing.T) {
+	bad := []prompt.Config{
+		{Scheme: "nosuch"},
+		{BatchInterval: -time.Second},
+		{StatsShards: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := prompt.New(cfg, prompt.WordCount(time.Minute, time.Second)); !errors.Is(err, prompt.ErrBadConfig) {
+			t.Errorf("New(%+v) error = %v, want ErrBadConfig", cfg, err)
+		}
+	}
+	if _, err := prompt.NewMulti(prompt.Config{}); !errors.Is(err, prompt.ErrBadConfig) {
+		t.Errorf("NewMulti with no queries: %v, want ErrBadConfig", err)
+	}
+}
+
+func TestNewWithOptions(t *testing.T) {
+	st, err := prompt.NewWithOptions(prompt.WordCount(time.Minute, time.Second),
+		prompt.WithBatchInterval(500*time.Millisecond),
+		prompt.WithParallelism(16, 12),
+		prompt.WithScheme(prompt.SchemeHash),
+		prompt.WithCores(16),
+		prompt.WithWorkers(4),
+		prompt.WithStatsShards(2),
+		prompt.WithEarlyRelease(0.05),
+		prompt.WithValidation(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SchemeName() != "hash" {
+		t.Errorf("scheme = %q, want hash", st.SchemeName())
+	}
+	if got := st.BatchInterval(); got.Seconds() != 0.5 {
+		t.Errorf("batch interval = %v, want 0.5s", got)
+	}
+}
+
+func TestOptionsValidateEagerly(t *testing.T) {
+	bad := []prompt.Option{
+		prompt.WithBatchInterval(0),
+		prompt.WithBatchInterval(-time.Second),
+		prompt.WithParallelism(0, 4),
+		prompt.WithParallelism(4, -1),
+		prompt.WithScheme("nosuch"),
+		prompt.WithCores(0),
+		prompt.WithStatsShards(0),
+		prompt.WithEarlyRelease(-0.1),
+		prompt.WithEarlyRelease(0.6),
+	}
+	for i, opt := range bad {
+		if _, err := prompt.NewWithOptions(prompt.WordCount(time.Minute, time.Second), opt); !errors.Is(err, prompt.ErrBadConfig) {
+			t.Errorf("bad option %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+}
+
+func TestHasWindowAndErrNoWindow(t *testing.T) {
+	windowed := testStream(t, prompt.SchemePrompt)
+	if !windowed.HasWindow() {
+		t.Error("sliding word count reports HasWindow() = false")
+	}
+
+	perBatch, err := prompt.New(prompt.Config{}, prompt.PerBatch("count", nil, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perBatch.HasWindow() {
+		t.Error("per-batch query reports HasWindow() = true")
+	}
+	if _, err := perBatch.TopK(3); !errors.Is(err, prompt.ErrNoWindow) {
+		t.Errorf("TopK on windowless stream: %v, want ErrNoWindow", err)
+	}
+}
+
+func TestMultiStreamHasWindowAndErrNoWindow(t *testing.T) {
+	m, err := prompt.NewMulti(prompt.Config{},
+		prompt.WordCount(time.Minute, time.Second),
+		prompt.PerBatch("count", nil, nil, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if has, err := m.HasWindow(0); err != nil || !has {
+		t.Errorf("HasWindow(0) = %v, %v; want true", has, err)
+	}
+	if has, err := m.HasWindow(1); err != nil || has {
+		t.Errorf("HasWindow(1) = %v, %v; want false", has, err)
+	}
+	if _, err := m.HasWindow(2); err == nil {
+		t.Error("HasWindow(2) accepted out-of-range index")
+	}
+	if _, err := m.TopK(1, 3); !errors.Is(err, prompt.ErrNoWindow) {
+		t.Errorf("TopK on windowless query: %v, want ErrNoWindow", err)
+	}
+}
+
+func TestStreamSetWorkersMidRun(t *testing.T) {
+	st := testStream(t, prompt.SchemePrompt)
+	ref := testStream(t, prompt.SchemePrompt)
+	for batch := 0; batch < 4; batch++ {
+		if err := st.SetWorkers(batch % 3); err != nil { // 0, 1, 2, 0 workers
+			t.Fatal(err)
+		}
+		tuples := apiTestBatch(st, batch)
+		if _, err := st.ProcessBatch(tuples); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.ProcessBatch(apiTestBatch(ref, batch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, want := st.Window(), ref.Window()
+	if len(got) != len(want) {
+		t.Fatalf("window size %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("key %s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// apiTestBatch deterministically fills one batch interval of the stream.
+func apiTestBatch(st *prompt.Stream, batch int) []prompt.Tuple {
+	start := st.Now()
+	keys := []string{"a", "b", "c", "d", "e"}
+	tuples := make([]prompt.Tuple, 0, 200)
+	for i := 0; i < 200; i++ {
+		ts := start + prompt.Time(i)*st.BatchInterval()/200
+		tuples = append(tuples, prompt.NewTuple(ts, keys[(i+batch)%len(keys)], 1))
+	}
+	return tuples
+}

@@ -126,8 +126,8 @@ func BenchmarkSourceGeneration(b *testing.B) {
 }
 
 func BenchmarkEngineStepPromptVsHash(b *testing.B) {
-	for _, scheme := range []string{"prompt", "hash", "time"} {
-		b.Run(scheme, func(b *testing.B) {
+	for _, scheme := range []prompt.Scheme{prompt.SchemePrompt, prompt.SchemeHash, prompt.SchemeTime} {
+		b.Run(string(scheme), func(b *testing.B) {
 			src, err := workload.Tweets(workload.ConstantRate(100_000),
 				workload.DatasetDefaults{Cardinality: 20_000, Seed: 3})
 			if err != nil {
@@ -152,7 +152,7 @@ func BenchmarkEngineStepPromptVsHash(b *testing.B) {
 }
 
 // newBenchStream builds a public-API stream for the step benchmarks.
-func newBenchStream(b *testing.B, scheme string) *prompt.Stream {
+func newBenchStream(b *testing.B, scheme prompt.Scheme) *prompt.Stream {
 	b.Helper()
 	st, err := prompt.New(prompt.Config{Scheme: scheme},
 		prompt.WordCount(30*time.Second, time.Second))

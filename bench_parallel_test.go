@@ -1,0 +1,137 @@
+// Benchmarks for the concurrent batch-pipeline runtime: the same
+// micro-batch processed by the classic single-goroutine driver and by the
+// shared worker pool. Workers changes wall-clock time only — the
+// BatchReport equivalence is asserted by the tests in
+// internal/engine/parallel_test.go and revalidated in TestParallelSpeedup
+// below.
+package prompt_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"prompt"
+
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+// pipelineBatchTuples materializes one Tweets batch interval of n tuples.
+func pipelineBatchTuples(tb testing.TB, n int) []prompt.Tuple {
+	tb.Helper()
+	src, err := workload.Tweets(workload.ConstantRate(float64(n)),
+		workload.DatasetDefaults{Cardinality: 50_000, Seed: 3})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts, err := src.Slice(0, tuple.Second)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ts
+}
+
+// pipelineConfig is the benchmark configuration: 16-way simulated
+// parallelism and a sharded statistics pass so every pipeline stage has
+// enough independent tasks to occupy the worker pool.
+func pipelineConfig(workers int) prompt.Config {
+	return prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      16,
+		ReduceTasks:   16,
+		Cores:         16,
+		Workers:       workers,
+		StatsShards:   16,
+	}
+}
+
+// processOneBatch runs the full pipeline once and returns its report.
+func processOneBatch(tb testing.TB, workers int, tuples []prompt.Tuple) prompt.BatchReport {
+	tb.Helper()
+	st, err := prompt.New(pipelineConfig(workers), prompt.WordCount(10*time.Second, time.Second))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rep, err := st.ProcessBatch(tuples)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rep
+}
+
+// BenchmarkBatchPipelineParallel processes a one-million-tuple batch
+// through the full pipeline — Algorithm 1 statistics, B-BPFI
+// partitioning, Map, Algorithm 3 assignment, Reduce, window merge — under
+// increasing worker counts. workers=1 is the pool-backed sequential
+// baseline; compare against workers=8 (or GOMAXPROCS) for the speedup.
+func BenchmarkBatchPipelineParallel(b *testing.B) {
+	tuples := pipelineBatchTuples(b, 1_000_000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.SetBytes(int64(len(tuples)))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st, err := prompt.New(pipelineConfig(workers), prompt.WordCount(10*time.Second, time.Second))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := st.ProcessBatch(tuples); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSpeedup asserts the acceptance bound: on a machine with at
+// least 8 cores, the worker pool processes a one-million-tuple batch at
+// least twice as fast as the single-goroutine driver, while producing an
+// identical report. Skipped on smaller machines, where the bound is not
+// meaningful.
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("speedup measurement skipped in -short mode")
+	}
+	cores := runtime.GOMAXPROCS(0)
+	if cores < 8 {
+		t.Skipf("need >= 8 cores for the 2x bound, have GOMAXPROCS=%d", cores)
+	}
+	tuples := pipelineBatchTuples(t, 1_000_000)
+
+	measure := func(workers int) (time.Duration, prompt.BatchReport) {
+		best := time.Duration(1<<63 - 1)
+		var rep prompt.BatchReport
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			rep = processOneBatch(t, workers, tuples)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best, rep
+	}
+
+	seqTime, seqRep := measure(1)
+	parTime, parRep := measure(8)
+
+	// Identical reports first: the speedup must not come from computing
+	// something different.
+	scrub := func(r prompt.BatchReport) prompt.BatchReport {
+		r.PartitionTime, r.PartitionOverflow = 0, 0
+		r.ProcessingTime, r.QueueWait, r.Latency = 0, 0, 0
+		r.W, r.Stable = 0, false
+		return r
+	}
+	if fmt.Sprintf("%+v", scrub(seqRep)) != fmt.Sprintf("%+v", scrub(parRep)) {
+		t.Fatalf("reports differ between workers=1 and workers=8:\n seq: %+v\n par: %+v", seqRep, parRep)
+	}
+
+	speedup := float64(seqTime) / float64(parTime)
+	t.Logf("sequential %v, parallel %v, speedup %.2fx", seqTime, parTime, speedup)
+	if speedup < 2 {
+		t.Errorf("speedup %.2fx below the 2x acceptance bound (seq %v, par %v)", speedup, seqTime, parTime)
+	}
+}

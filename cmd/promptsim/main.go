@@ -90,18 +90,9 @@ func main() {
 		src = gen
 	}
 
-	var scheme core.Scheme
-	switch *schemeName {
-	case "prompt":
-		scheme = core.PromptScheme()
-	case "prompt-postsort":
-		scheme = core.PromptPostSort()
-	default:
-		s, err := core.Baseline(*schemeName)
-		if err != nil {
-			fatal(err)
-		}
-		scheme = s
+	scheme, err := core.ByName(*schemeName)
+	if err != nil {
+		fatal(err)
 	}
 
 	params := experiment.Default()

@@ -2,16 +2,18 @@ package prompt
 
 import (
 	"fmt"
+
 	"time"
 
 	"prompt/internal/core"
 	"prompt/internal/engine"
-	"prompt/internal/partition"
 	"prompt/internal/tuple"
 )
 
 // Config configures a Stream. The zero value runs Prompt with the
-// evaluation defaults (1 s batches, 8 Map and 8 Reduce tasks).
+// evaluation defaults (1 s batches, 8 Map and 8 Reduce tasks) on the
+// classic single-goroutine driver. NewWithOptions offers the same knobs
+// as functional options.
 type Config struct {
 	// BatchInterval is the micro-batch heartbeat; it bounds end-to-end
 	// latency (latency = interval + processing time while stable).
@@ -22,10 +24,19 @@ type Config struct {
 	// Cores is the simulated core budget for stage execution; 0 means one
 	// core per Map task.
 	Cores int
-	// Scheme selects the partitioning technique: "prompt" (default),
-	// "prompt-postsort", or a baseline: "time", "shuffle", "hash", "pk2",
-	// "pk5", "cam", "ffd", "fragmin".
-	Scheme string
+	// Workers is the number of real OS worker goroutines executing the
+	// batch pipeline (Map tasks, Reduce folds, per-query jobs, window
+	// merges, statistics shards). 0 keeps the single-goroutine driver;
+	// negative selects GOMAXPROCS. Workers changes wall-clock time only:
+	// reports are identical at any worker count.
+	Workers int
+	// StatsShards splits the Algorithm 1 statistics pass across that many
+	// accumulator shards with a deterministic merge at the heartbeat.
+	// 0 or 1 keeps the single accumulator. See engine.Config.StatsShards.
+	StatsShards int
+	// Scheme selects the partitioning technique; the zero value selects
+	// SchemePrompt. See the Scheme constants and ParseScheme.
+	Scheme Scheme
 	// EarlyReleaseFraction is the slice of the batch interval reserved for
 	// partitioning (default 0.05, the paper's bound).
 	EarlyReleaseFraction float64
@@ -36,37 +47,25 @@ type Config struct {
 	Cost CostModel
 }
 
-// SchemeNames lists the accepted Scheme values.
-func SchemeNames() []string {
-	return append(partition.Names(), "prompt-postsort")
-}
-
 // build resolves the configuration into an engine config and scheme.
 func (c Config) build() (engine.Config, core.Scheme, error) {
-	var scheme core.Scheme
-	switch c.Scheme {
-	case "", "prompt":
-		scheme = core.PromptScheme()
-	case "prompt-postsort":
-		scheme = core.PromptPostSort()
-	default:
-		s, err := core.Baseline(c.Scheme)
-		if err != nil {
-			return engine.Config{}, core.Scheme{}, err
-		}
-		scheme = s
+	scheme, err := c.Scheme.resolve()
+	if err != nil {
+		return engine.Config{}, core.Scheme{}, err
 	}
 	interval := tuple.FromDuration(c.BatchInterval)
 	if c.BatchInterval == 0 {
 		interval = tuple.Second
 	} else if interval <= 0 {
-		return engine.Config{}, core.Scheme{}, fmt.Errorf("prompt: batch interval %v must be positive", c.BatchInterval)
+		return engine.Config{}, core.Scheme{}, fmt.Errorf("%w: batch interval %v must be positive", ErrBadConfig, c.BatchInterval)
 	}
 	ec := engine.Config{
 		BatchInterval:        interval,
 		MapTasks:             c.MapTasks,
 		ReduceTasks:          c.ReduceTasks,
 		Cores:                c.Cores,
+		Workers:              c.Workers,
+		StatsShards:          c.StatsShards,
 		Cost:                 c.Cost,
 		EarlyReleaseFraction: c.EarlyReleaseFraction,
 		ValidateBatches:      c.Validate,

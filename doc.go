@@ -33,11 +33,37 @@
 //		BatchInterval: time.Second,
 //		MapTasks:      8,
 //		ReduceTasks:   8,
-//		Scheme:        "prompt",
+//		Scheme:        prompt.SchemePrompt,
 //	}
 //	st, err := prompt.New(cfg, prompt.WordCount(30*time.Second, time.Second))
 //	if err != nil { ... }
 //	rep, err := st.ProcessBatch(tuples) // tuples from your receiver
+//
+// The same configuration is available as functional options:
+//
+//	st, err := prompt.NewWithOptions(prompt.WordCount(30*time.Second, time.Second),
+//		prompt.WithBatchInterval(time.Second),
+//		prompt.WithParallelism(8, 8),
+//		prompt.WithScheme(prompt.SchemePrompt),
+//		prompt.WithWorkers(-1), // execute the pipeline on GOMAXPROCS goroutines
+//	)
+//
+// Scheme is a typed string with constants for every accepted technique
+// (SchemePrompt, SchemeHash, …); ParseScheme validates runtime strings
+// from flags or config files. Construction and option errors wrap
+// ErrBadConfig, and TopK on a windowless query returns ErrNoWindow, so
+// callers can branch with errors.Is.
+//
+// # Runtime parallelism
+//
+// By default the whole batch lifecycle runs on the calling goroutine, like
+// the classic Spark driver. Config.Workers (or WithWorkers, or
+// SetWorkers mid-run) executes the pipeline on a shared worker pool
+// instead: Map tasks, per-bucket Reduce folds, per-query jobs, window
+// merges, and — with Config.StatsShards > 1 — the Algorithm 1 statistics
+// pass all fan out across real goroutines. Results merge
+// deterministically, so the worker count changes wall-clock time only:
+// every BatchReport field is identical at any Workers setting.
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the harness
 // that regenerates the paper's tables and figures.

@@ -1,0 +1,20 @@
+package prompt
+
+import "errors"
+
+// Sentinel errors for programmatic handling with errors.Is. Error strings
+// remain descriptive, but callers should match on these values instead of
+// substrings.
+var (
+	// ErrBadConfig reports an invalid configuration: a non-positive batch
+	// interval, an unknown scheme, out-of-range parallelism, or a query
+	// the engine rejects (e.g. a window shorter than the batch interval).
+	// New, NewMulti, NewWithOptions, ParseScheme, and every Option wrap
+	// their validation failures in it.
+	ErrBadConfig = errors.New("prompt: invalid configuration")
+
+	// ErrNoWindow reports that a windowed answer was requested from a
+	// windowless (per-batch) query. Stream.TopK and MultiStream.TopK
+	// return it; Stream.HasWindow checks ahead of time.
+	ErrNoWindow = errors.New("prompt: query has no window")
+)

@@ -36,7 +36,7 @@ func main() {
 			BatchInterval: time.Second,
 			MapTasks:      8,
 			ReduceTasks:   8,
-			Scheme:        "prompt",
+			Scheme:        prompt.SchemePrompt,
 		}, q)
 		if err != nil {
 			log.Fatal(err)

@@ -30,7 +30,7 @@ func main() {
 		BatchInterval: time.Second,
 		MapTasks:      8,
 		ReduceTasks:   8,
-		Scheme:        "prompt",
+		Scheme:        prompt.SchemePrompt,
 	}, countQ, fareQ, premiumQ)
 	if err != nil {
 		log.Fatal(err)

@@ -24,7 +24,7 @@ func main() {
 		BatchInterval: time.Second,
 		MapTasks:      8,
 		ReduceTasks:   8,
-		Scheme:        "prompt",
+		Scheme:        prompt.SchemePrompt,
 		Validate:      true, // paranoid per-batch invariant checks
 	}, prompt.WordCount(10*time.Second, time.Second))
 	if err != nil {

@@ -27,7 +27,7 @@ func main() {
 			BatchInterval: time.Second,
 			MapTasks:      8,
 			ReduceTasks:   8,
-			Scheme:        "prompt",
+			Scheme:        prompt.SchemePrompt,
 		}, prompt.SlidingSum(name, winLen, slide))
 		if err != nil {
 			log.Fatal(err)

@@ -16,7 +16,7 @@ import (
 	"prompt/internal/workload"
 )
 
-func run(scheme string) (*prompt.Stream, prompt.RunSummary) {
+func run(scheme prompt.Scheme) (*prompt.Stream, prompt.RunSummary) {
 	st, err := prompt.New(prompt.Config{
 		BatchInterval: time.Second,
 		MapTasks:      8,
@@ -48,7 +48,7 @@ func run(scheme string) (*prompt.Stream, prompt.RunSummary) {
 func main() {
 	fmt.Println("TopKCount on SynD (Zipf z=1.5, 150k tuples/s), hash vs prompt")
 
-	for _, scheme := range []string{"hash", "prompt"} {
+	for _, scheme := range []prompt.Scheme{prompt.SchemeHash, prompt.SchemePrompt} {
 		st, s := run(scheme)
 		last := st.Reports()[len(st.Reports())-1]
 		fmt.Printf("\nscheme=%s\n", scheme)

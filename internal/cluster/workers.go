@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPool executes stage tasks on real OS goroutines — the concurrent
+// counterpart of the discrete-event simulator above. One pool is shared by
+// every stage of the batch pipeline: Map tasks, per-bucket Reduce tasks,
+// per-query jobs, window merges, and the parallel statistics and weight
+// passes all dispatch through it, so total concurrency stays bounded by
+// the pool size instead of multiplying across stages.
+//
+// Results must be merged deterministically by the caller: tasks write to
+// index-addressed slots and the driver combines them in index order after
+// the barrier, so the number of workers changes wall-clock time only,
+// never the computed values.
+//
+// A nil *WorkerPool is valid and runs everything inline on the calling
+// goroutine — the classic single-goroutine driver. This is what makes the
+// sequential and parallel runtimes share one code path.
+type WorkerPool struct {
+	workers int
+}
+
+// NewWorkerPool returns a pool of the given size. Sizes <= 0 select
+// GOMAXPROCS, matching "as many workers as the hardware allows".
+func NewWorkerPool(workers int) *WorkerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &WorkerPool{workers: workers}
+}
+
+// Workers returns the pool size; a nil pool reports 1.
+func (p *WorkerPool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// parallel reports whether the pool actually runs tasks concurrently.
+func (p *WorkerPool) parallel() bool { return p != nil && p.workers > 1 }
+
+// Do executes task(0..n-1), returning after all tasks complete (a stage
+// barrier). Tasks run concurrently on up to Workers() goroutines; with a
+// nil pool, one worker, or n <= 1 they run inline in index order. Do may
+// be called from inside a running task (nested stages spawn their own
+// goroutines), so a per-query job can fan out its Map tasks without
+// deadlocking the pool.
+func (p *WorkerPool) Do(n int, task func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if !p.parallel() || n == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// DoRanges splits [0, n) into contiguous chunks of at least minChunk
+// elements — one chunk per worker at most — and executes fn(lo, hi) for
+// each chunk. It amortizes dispatch overhead for fine-grained per-element
+// work (per-key weight sums, per-tuple statistics) where a goroutine per
+// element would cost more than the work itself.
+func (p *WorkerPool) DoRanges(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if !p.parallel() || n <= minChunk {
+		fn(0, n)
+		return
+	}
+	chunks := p.workers
+	if max := (n + minChunk - 1) / minChunk; chunks > max {
+		chunks = max
+	}
+	size := (n + chunks - 1) / chunks
+	bounds := make([][2]int, 0, chunks)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		bounds = append(bounds, [2]int{lo, hi})
+	}
+	p.Do(len(bounds), func(i int) { fn(bounds[i][0], bounds[i][1]) })
+}

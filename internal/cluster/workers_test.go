@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkerPoolNilRunsInline(t *testing.T) {
+	var p *WorkerPool
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("nil pool Workers() = %d, want 1", got)
+	}
+	order := make([]int, 0, 5)
+	p.Do(5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool ran out of order: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("nil pool ran %d tasks, want 5", len(order))
+	}
+}
+
+func TestWorkerPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		p := NewWorkerPool(workers)
+		if got := p.Workers(); got != workers {
+			t.Fatalf("Workers() = %d, want %d", got, workers)
+		}
+		const n = 1000
+		counts := make([]atomic.Int64, n)
+		p.Do(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestWorkerPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	p := NewWorkerPool(0)
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("NewWorkerPool(0).Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+	p = NewWorkerPool(-7)
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("NewWorkerPool(-7).Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestWorkerPoolDoEmptyAndSingle(t *testing.T) {
+	p := NewWorkerPool(4)
+	ran := 0
+	p.Do(0, func(int) { ran++ })
+	p.Do(-3, func(int) { ran++ })
+	if ran != 0 {
+		t.Fatalf("Do with n<=0 ran %d tasks", ran)
+	}
+	p.Do(1, func(i int) { ran += i + 1 })
+	if ran != 1 {
+		t.Fatalf("Do(1) ran wrong task: %d", ran)
+	}
+}
+
+func TestWorkerPoolNestedDo(t *testing.T) {
+	// A per-query job fanning out its Map tasks dispatches Do from inside
+	// a running Do task; the pool must not deadlock.
+	p := NewWorkerPool(2)
+	var total atomic.Int64
+	p.Do(4, func(int) {
+		p.Do(8, func(int) { total.Add(1) })
+	})
+	if got := total.Load(); got != 32 {
+		t.Fatalf("nested Do ran %d inner tasks, want 32", got)
+	}
+}
+
+func TestWorkerPoolDoRangesCoversEveryElement(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 5, 100, 1001} {
+			p := NewWorkerPool(workers)
+			covered := make([]atomic.Int64, n)
+			p.DoRanges(n, 16, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad range [%d,%d)", workers, n, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			for i := range covered {
+				if c := covered[i].Load(); c != 1 {
+					t.Fatalf("workers=%d n=%d: element %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestWorkerPoolDoRangesRespectsMinChunk(t *testing.T) {
+	p := NewWorkerPool(8)
+	calls := 0
+	p.DoRanges(10, 16, func(lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n below minChunk split into %d chunks, want 1 inline call", calls)
+	}
+}

@@ -55,7 +55,7 @@ func Baseline(name string) (Scheme, error) {
 	reg := partition.Registry()
 	p, ok := reg[name]
 	if !ok {
-		return Scheme{}, fmt.Errorf("core: unknown scheme %q (want one of %v or \"prompt\")", name, partition.Names())
+		return Scheme{}, fmt.Errorf("core: unknown scheme %q (want one of %v or \"prompt-postsort\")", name, partition.Names())
 	}
 	if name == "prompt" {
 		return PromptScheme(), nil
@@ -66,6 +66,20 @@ func Baseline(name string) (Scheme, error) {
 		Assigner:    reducer.NewHash(),
 		Accum:       engine.PostSortMode,
 	}, nil
+}
+
+// ByName resolves any accepted scheme name — "" or "prompt" (the full
+// Prompt design), "prompt-postsort", or a baseline technique. The public
+// API and the CLIs share this switch.
+func ByName(name string) (Scheme, error) {
+	switch name {
+	case "", "prompt":
+		return PromptScheme(), nil
+	case "prompt-postsort":
+		return PromptPostSort(), nil
+	default:
+		return Baseline(name)
+	}
 }
 
 // Schemes returns the evaluation's comparison set in presentation order:

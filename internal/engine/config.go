@@ -56,6 +56,21 @@ type Config struct {
 	// Cores is the number of simulated cores available to run tasks. The
 	// elasticity experiments adjust it through an executor pool instead.
 	Cores int
+	// Workers is the number of real OS worker goroutines executing the
+	// batch pipeline: Map tasks, per-bucket Reduce folds, per-query jobs,
+	// window merges, and the parallel statistics and weight passes. 0
+	// keeps the classic single-goroutine driver (everything inline);
+	// negative selects GOMAXPROCS. Workers changes wall-clock time only —
+	// all merging is deterministic, so reports are identical at any
+	// worker count.
+	Workers int
+	// StatsShards splits Algorithm 1 across that many independent
+	// accumulator shards (routed by key hash, merged at the heartbeat
+	// into an exactly sorted key list). 0 or 1 keeps the single
+	// accumulator with its CountTree quasi-sorted order. The shard count
+	// — not the worker count — determines the merged output, so a fixed
+	// StatsShards yields identical reports at any Workers setting.
+	StatsShards int
 	// Partitioner is the batching-phase partitioner (Problem I).
 	Partitioner partition.Partitioner
 	// Assigner is the processing-phase bucket assigner (Problem II).
@@ -167,6 +182,9 @@ func (c Config) Validate() error {
 	}
 	if c.EarlyReleaseFraction < 0 || c.EarlyReleaseFraction > 0.5 {
 		return fmt.Errorf("engine: early release fraction %v outside [0, 0.5]", c.EarlyReleaseFraction)
+	}
+	if c.StatsShards < 0 {
+		return fmt.Errorf("engine: stats shards must be >= 0, got %d", c.StatsShards)
 	}
 	if err := c.Cost.Validate(); err != nil {
 		return err

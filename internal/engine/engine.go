@@ -15,10 +15,14 @@ import (
 )
 
 // Engine runs one or more streaming queries on the micro-batch substrate.
-// It is single-goroutine by design: the driver (scheduler) serializes
-// batch lifecycle decisions exactly as the Spark driver does, while the
-// parallel Map/Reduce execution inside a batch is modelled by the cluster
-// simulator.
+// The driver (scheduler) serializes batch lifecycle decisions exactly as
+// the Spark driver does, while execution inside a batch runs on a shared
+// worker pool when Config.Workers is set: Map tasks, per-bucket Reduce
+// folds, per-query jobs, and window merges execute on real goroutines
+// with deterministic result merging, so simulated-time reports are
+// identical at any worker count and concurrency changes wall-clock time
+// only. With Workers == 0 everything runs inline on the driver goroutine
+// (the classic sequential mode).
 //
 // With several queries, the batching phase — statistics (Algorithm 1) and
 // partitioning (Algorithm 2) — runs once per batch and the queries share
@@ -38,7 +42,12 @@ type Engine struct {
 	lastResults []map[string]float64
 	reports     []BatchReport
 
-	acc *stats.Accumulator
+	acc   *stats.Accumulator
+	shacc *stats.ShardedAccumulator
+
+	// pool executes batch-pipeline tasks on real goroutines; nil runs the
+	// classic single-goroutine driver.
+	pool *cluster.WorkerPool
 
 	// taskSeq numbers every simulated task across batches and stages, so
 	// straggler injection afflicts a deterministic, evenly spread subset.
@@ -66,6 +75,7 @@ func NewMulti(cfg Config, queries []Query) (*Engine, error) {
 		queries:     make([]Query, len(queries)),
 		aggs:        make([]*window.Aggregator, len(queries)),
 		lastResults: make([]map[string]float64, len(queries)),
+		pool:        poolFor(cfg.Workers),
 	}
 	for i, q := range queries {
 		q = q.normalized()
@@ -106,6 +116,27 @@ func (e *Engine) SetCores(cores int) error {
 	}
 	e.cfg.Cores = cores
 	return nil
+}
+
+// SetWorkers changes the number of real worker goroutines for subsequent
+// batches: 0 restores the single-goroutine driver, negative selects
+// GOMAXPROCS. Reports are unaffected — workers change wall-clock time
+// only.
+func (e *Engine) SetWorkers(workers int) error {
+	e.cfg.Workers = workers
+	e.pool = poolFor(workers)
+	return nil
+}
+
+// Workers returns the effective worker-goroutine count (1 when inline).
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// poolFor resolves a Workers setting into a pool; 0 means inline.
+func poolFor(workers int) *cluster.WorkerPool {
+	if workers == 0 {
+		return nil
+	}
+	return cluster.NewWorkerPool(workers)
 }
 
 // LastResult returns the previous batch's per-key Reduce output of the
@@ -178,6 +209,16 @@ func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport,
 	wallStart := time.Now()
 	switch e.cfg.Accum {
 	case FrequencyAware:
+		if e.cfg.StatsShards > 1 {
+			// Sharded Algorithm 1: per-shard accumulators run on the
+			// worker pool and merge deterministically at the heartbeat.
+			if err := e.feedSharded(batch); err != nil {
+				return BatchReport{}, err
+			}
+			wallStart = time.Now()
+			sorted, batchStats = e.shacc.Finalize(e.pool)
+			break
+		}
 		if err := e.feedAccumulator(batch); err != nil {
 			return BatchReport{}, err
 		}
@@ -192,7 +233,7 @@ func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport,
 		return BatchReport{}, fmt.Errorf("engine: unknown accumulation mode %v", e.cfg.Accum)
 	}
 
-	blocks, err := e.cfg.Partitioner.Partition(partition.Input{Batch: batch, Sorted: sorted}, e.cfg.MapTasks)
+	blocks, err := e.cfg.Partitioner.Partition(partition.Input{Batch: batch, Sorted: sorted, Pool: e.pool}, e.cfg.MapTasks)
 	if err != nil {
 		return BatchReport{}, fmt.Errorf("engine: partitioning batch %d: %w", e.batchIdx, err)
 	}
@@ -212,24 +253,50 @@ func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport,
 	}
 
 	// --- Processing phase: one Map-Reduce job per query -------------------
-	var processing tuple.Time = overflow
-	var primary queryRun
-	for qi := range e.queries {
-		run, err := e.runQuery(qi, blocks)
-		if err != nil {
-			return BatchReport{}, fmt.Errorf("engine: batch %d query %d: %w", e.batchIdx, qi, err)
-		}
-		processing += run.mapMakespan + run.reduceMakespan
-		e.lastResults[qi] = run.result
-		if e.aggs[qi] != nil {
-			if err := e.aggs[qi].AddBatch(end, run.result); err != nil {
-				return BatchReport{}, err
-			}
-		}
-		if qi == 0 {
-			primary = run
+	// Jobs run concurrently on the worker pool behind the driver barrier.
+	// Task sequence numbers are pre-assigned per query so straggler
+	// injection afflicts the same tasks the sequential driver would, and
+	// per-query results land in index-addressed slots for deterministic
+	// merging.
+	for _, bl := range blocks {
+		// Warm the cardinality caches: concurrent jobs then share the
+		// blocks strictly read-only.
+		bl.Cardinality()
+	}
+	seqBase := e.taskSeq
+	perQuery := len(blocks) + e.cfg.ReduceTasks
+	runs := make([]queryRun, len(e.queries))
+	qerrs := make([]error, len(e.queries))
+	e.pool.Do(len(e.queries), func(qi int) {
+		runs[qi], qerrs[qi] = e.runQuery(qi, blocks, seqBase+qi*perQuery)
+	})
+	e.taskSeq = seqBase + len(e.queries)*perQuery
+	for qi, qerr := range qerrs {
+		if qerr != nil {
+			return BatchReport{}, fmt.Errorf("engine: batch %d query %d: %w", e.batchIdx, qi, qerr)
 		}
 	}
+
+	// Window maintenance: each query's window merge is independent, so the
+	// merges run on the pool too.
+	aggErrs := make([]error, len(e.queries))
+	e.pool.Do(len(e.queries), func(qi int) {
+		e.lastResults[qi] = runs[qi].result
+		if e.aggs[qi] != nil {
+			aggErrs[qi] = e.aggs[qi].AddBatch(end, runs[qi].result)
+		}
+	})
+	for _, aggErr := range aggErrs {
+		if aggErr != nil {
+			return BatchReport{}, aggErr
+		}
+	}
+
+	var processing tuple.Time = overflow
+	for qi := range runs {
+		processing += runs[qi].mapMakespan + runs[qi].reduceMakespan
+	}
+	primary := runs[0]
 
 	// --- Timing, queueing, stability -------------------------------------
 	readyAt := end // batch becomes processable at the heartbeat
@@ -279,59 +346,84 @@ type queryRun struct {
 }
 
 // runQuery executes query qi's Map-Reduce job over the shared blocks:
-// simulated Map stage, local bucket assignment (Algorithm 3 or hashing),
-// simulated Reduce stage, and the real per-key aggregation.
-func (e *Engine) runQuery(qi int, blocks []*tuple.Block) (queryRun, error) {
+// Map tasks (block fold + local bucket assignment, Algorithm 3 or
+// hashing) run on the worker pool, the shuffle merges their outputs in
+// block order on the calling goroutine, and per-bucket Reduce folds run
+// on the pool again. seqBase numbers this job's simulated tasks: Map task
+// i is seqBase+i and Reduce task j is seqBase+p+j, reproducing the
+// sequential driver's straggler-injection pattern exactly.
+func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun, error) {
 	q := e.queries[qi]
+	p := len(blocks)
+	r := e.cfg.ReduceTasks
 
-	mapDurations := make([]tuple.Time, len(blocks))
-	for i, bl := range blocks {
-		mapDurations[i] = e.cfg.Stragglers.apply(e.taskSeq,
+	// --- Map stage: independent tasks, index-addressed output slots.
+	type mapOut struct {
+		clusters []tuple.Cluster
+		values   []float64
+		assign   []int
+		err      error
+	}
+	outs := make([]mapOut, p)
+	mapDurations := make([]tuple.Time, p)
+	e.pool.Do(p, func(i int) {
+		bl := blocks[i]
+		mapDurations[i] = e.cfg.Stragglers.apply(seqBase+i,
 			e.cfg.Cost.MapTaskTime(bl.Size(), bl.Cardinality()))
-		e.taskSeq++
+		clusters, values := mapBlockFor(q, bl)
+		out := mapOut{clusters: clusters, values: values}
+		if len(clusters) > 0 {
+			out.assign, out.err = e.cfg.Assigner.Assign(bl.ID, clusters, bl.Ref, r)
+		}
+		outs[i] = out
+	})
+	for i := range outs {
+		if outs[i].err != nil {
+			return queryRun{}, fmt.Errorf("bucket assignment: %w", outs[i].err)
+		}
 	}
 	mapMakespan, _, err := cluster.ListSchedule(mapDurations, e.cfg.Cores)
 	if err != nil {
 		return queryRun{}, err
 	}
 
-	// Each Map task assigns its key clusters to Reduce buckets and
-	// pre-folds its partial aggregates.
-	buckets := reducer.NewBucketSet(e.cfg.ReduceTasks)
-	partials := make([]map[string]float64, e.cfg.ReduceTasks)
-	for i := range partials {
-		partials[i] = make(map[string]float64)
+	// --- Shuffle: group Map outputs per bucket in block order, enforcing
+	// key locality. Per-(bucket, key) contribution order matches the
+	// sequential driver, so non-commutative reduce functions fold
+	// identically at any worker count.
+	type contrib struct {
+		key string
+		val float64
 	}
-	for _, bl := range blocks {
-		clusters, values := mapBlockFor(q, bl)
-		if len(clusters) == 0 {
-			continue
-		}
-		assign, err := e.cfg.Assigner.Assign(bl.ID, clusters, bl.Ref, e.cfg.ReduceTasks)
-		if err != nil {
-			return queryRun{}, fmt.Errorf("bucket assignment: %w", err)
-		}
-		for ci, b := range assign {
-			if err := buckets.Place(clusters[ci], b); err != nil {
-				return queryRun{}, fmt.Errorf("block %d: %w", bl.ID, err)
+	buckets := reducer.NewBucketSet(r)
+	perBucket := make([][]contrib, r)
+	for i := range outs {
+		for ci, b := range outs[i].assign {
+			if err := buckets.Place(outs[i].clusters[ci], b); err != nil {
+				return queryRun{}, fmt.Errorf("block %d: %w", blocks[i].ID, err)
 			}
-			k := clusters[ci].Key
-			if cur, ok := partials[b][k]; ok {
-				partials[b][k] = q.Reduce(cur, values[ci])
-			} else {
-				partials[b][k] = values[ci]
-			}
+			perBucket[b] = append(perBucket[b], contrib{key: outs[i].clusters[ci].Key, val: outs[i].values[ci]})
 		}
 	}
 
+	// --- Reduce stage: one fold task per bucket on the pool.
 	sizes := buckets.Sizes()
 	extra := buckets.ExtraFragments()
-	reduceDurations := make([]tuple.Time, e.cfg.ReduceTasks)
-	for j := 0; j < e.cfg.ReduceTasks; j++ {
-		reduceDurations[j] = e.cfg.Stragglers.apply(e.taskSeq,
+	reduceDurations := make([]tuple.Time, r)
+	partials := make([]map[string]float64, r)
+	e.pool.Do(r, func(j int) {
+		reduceDurations[j] = e.cfg.Stragglers.apply(seqBase+p+j,
 			e.cfg.Cost.ReduceTaskTime(sizes[j], extra[j]))
-		e.taskSeq++
-	}
+		agg := make(map[string]float64, len(perBucket[j]))
+		for _, c := range perBucket[j] {
+			if cur, ok := agg[c.key]; ok {
+				agg[c.key] = q.Reduce(cur, c.val)
+			} else {
+				agg[c.key] = c.val
+			}
+		}
+		partials[j] = agg
+	})
 	reduceMakespan, _, err := cluster.ListSchedule(reduceDurations, e.cfg.Cores)
 	if err != nil {
 		return queryRun{}, err
@@ -384,4 +476,30 @@ func (e *Engine) feedAccumulator(batch *tuple.Batch) error {
 		}
 	}
 	return nil
+}
+
+// feedSharded is feedAccumulator's parallel counterpart: the batch's
+// tuples route by key hash to per-shard accumulators that run Algorithm 1
+// concurrently on the worker pool.
+func (e *Engine) feedSharded(batch *tuple.Batch) error {
+	cfg := e.cfg.AccumConfig
+	if last := len(e.reports) - 1; last >= 0 {
+		// Seed estimates with the previous batch (N_Est, K_Avg).
+		if n := e.reports[last].Tuples; n > 0 {
+			cfg.EstimatedTuples = n
+		}
+		if k := e.reports[last].Keys; k > 0 {
+			cfg.EstimatedKeys = k
+		}
+	}
+	if e.shacc == nil || e.shacc.Shards() != e.cfg.StatsShards {
+		sa, err := stats.NewSharded(cfg, e.cfg.StatsShards, batch.Start, batch.End)
+		if err != nil {
+			return err
+		}
+		e.shacc = sa
+	} else if err := e.shacc.Reset(cfg, batch.Start, batch.End); err != nil {
+		return err
+	}
+	return e.shacc.AddAll(batch.Tuples, e.pool)
 }

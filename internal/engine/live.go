@@ -2,10 +2,9 @@ package engine
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
+	"prompt/internal/cluster"
 	"prompt/internal/reducer"
 	"prompt/internal/tuple"
 )
@@ -65,9 +64,7 @@ func RunLive(parted *tuple.Partitioned, q Query, assigner reducer.Assigner, redu
 	if reduceTasks <= 0 {
 		return nil, fmt.Errorf("engine: live run needs reduceTasks > 0, got %d", reduceTasks)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	pool := cluster.NewWorkerPool(workers)
 	q = q.normalized()
 
 	// --- Map stage -------------------------------------------------------
@@ -80,7 +77,7 @@ func RunLive(parted *tuple.Partitioned, q Query, assigner reducer.Assigner, redu
 	taskWall := make([]time.Duration, len(blocks))
 
 	mapStart := time.Now()
-	runPool(len(blocks), workers, func(i int) {
+	pool.Do(len(blocks), func(i int) {
 		t0 := time.Now()
 		bl := blocks[i]
 		clusters, values := mapBlockFor(q, bl)
@@ -126,7 +123,7 @@ func RunLive(parted *tuple.Partitioned, q Query, assigner reducer.Assigner, redu
 	reduceWallTimes := make([]time.Duration, reduceTasks)
 	results := make([]map[string]float64, reduceTasks)
 	reduceStart := time.Now()
-	runPool(reduceTasks, workers, func(j int) {
+	pool.Do(reduceTasks, func(j int) {
 		t0 := time.Now()
 		agg := make(map[string]float64)
 		for _, lc := range perBucket[j] {
@@ -193,27 +190,4 @@ func mapBlockFor(q Query, bl *tuple.Block) ([]tuple.Cluster, []float64) {
 		values = append(values, folded)
 	}
 	return clusters, values
-}
-
-// runPool executes fn(0..n-1) on at most workers concurrent goroutines.
-func runPool(n, workers int, fn func(int)) {
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }

@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+// scrubWallClock zeroes the report fields derived from measured wall time
+// (partitioning overhead and everything downstream of it). The remaining
+// fields — batch statistics, quality metrics, simulated stage times,
+// bucket sizes — must be bit-identical at any worker count.
+func scrubWallClock(reps []BatchReport) []BatchReport {
+	out := append([]BatchReport(nil), reps...)
+	for i := range out {
+		out[i].PartitionTime = 0
+		out[i].PartitionOverflow = 0
+		out[i].ProcessingTime = 0
+		out[i].QueueWait = 0
+		out[i].Latency = 0
+		out[i].W = 0
+		out[i].Stable = false
+	}
+	return out
+}
+
+// runWorkers runs n word-count batches over the same deterministic source
+// with the given worker and stats-shard settings and returns the reports
+// plus the final window answer.
+func runWorkers(t *testing.T, workers, shards, n int) ([]BatchReport, map[string]float64) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Workers = workers
+	cfg.StatsShards = shards
+	eng, err := New(cfg, WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(20000, 200, 42)
+	reports, err := eng.RunBatches(src, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reports, eng.WindowSnapshot()
+}
+
+func TestParallelReportsMatchSequential(t *testing.T) {
+	// The acceptance invariant: Workers changes wall-clock time only.
+	// Workers=0 (inline driver), 1, and 8 must produce identical
+	// BatchReports and window answers once measured wall time is scrubbed.
+	for _, shards := range []int{1, 4} {
+		refReps, refWin := runWorkers(t, 0, shards, 5)
+		ref := scrubWallClock(refReps)
+		for _, workers := range []int{1, 3, 8} {
+			reps, win := runWorkers(t, workers, shards, 5)
+			if got := scrubWallClock(reps); !reflect.DeepEqual(got, ref) {
+				t.Fatalf("shards=%d workers=%d: reports diverge from sequential driver\n got: %+v\nwant: %+v",
+					shards, workers, got, ref)
+			}
+			if !reflect.DeepEqual(win, refWin) {
+				t.Fatalf("shards=%d workers=%d: window answer diverges", shards, workers)
+			}
+		}
+	}
+}
+
+func TestShardedStatsDeterministicAcrossWorkers(t *testing.T) {
+	// With StatsShards > 1 the partitioner's input changes (exact sort vs
+	// quasi-sort) but must itself be invariant under the worker count.
+	ref, _ := runWorkers(t, 0, 8, 4)
+	got, _ := runWorkers(t, -1, 8, 4)
+	if !reflect.DeepEqual(scrubWallClock(got), scrubWallClock(ref)) {
+		t.Fatal("StatsShards=8 reports differ between Workers=0 and GOMAXPROCS")
+	}
+}
+
+func TestSetWorkersMidRun(t *testing.T) {
+	// Switching the worker pool between batches must not perturb results:
+	// a run that toggles 0 -> 8 -> 1 -> GOMAXPROCS matches a pure
+	// sequential run batch for batch.
+	cfg := testConfig()
+	ref, err := New(cfg, WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrc := testSource(15000, 150, 9)
+	refReps, err := ref.RunBatches(refSrc, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng, err := New(cfg, WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(15000, 150, 9)
+	var got []BatchReport
+	for _, step := range []struct {
+		workers int
+		batches int
+	}{{0, 2}, {8, 2}, {1, 2}, {-1, 2}} {
+		if err := eng.SetWorkers(step.workers); err != nil {
+			t.Fatal(err)
+		}
+		reps, err := eng.RunBatches(src, step.batches)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, reps...)
+	}
+	if !reflect.DeepEqual(scrubWallClock(got), scrubWallClock(refReps)) {
+		t.Fatal("mid-run SetWorkers changed report contents")
+	}
+	if !reflect.DeepEqual(eng.WindowSnapshot(), ref.WindowSnapshot()) {
+		t.Fatal("mid-run SetWorkers changed the window answer")
+	}
+}
+
+func TestSetParallelismAndCoresMidRunParallel(t *testing.T) {
+	// Reconfiguring simulated parallelism while running on a real worker
+	// pool must behave exactly like the sequential driver doing the same
+	// transitions.
+	transitions := func(eng *Engine) error {
+		if err := eng.SetParallelism(8, 8); err != nil {
+			return err
+		}
+		return eng.SetCores(8)
+	}
+	run := func(workers int) []BatchReport {
+		cfg := testConfig()
+		cfg.Workers = workers
+		eng, err := New(cfg, WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := testSource(15000, 150, 21)
+		first, err := eng.RunBatches(src, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := transitions(eng); err != nil {
+			t.Fatal(err)
+		}
+		rest, err := eng.RunBatches(src, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(first, rest...)
+	}
+	ref := run(0)
+	if ref[0].MapTasks != 4 || ref[len(ref)-1].MapTasks != 8 {
+		t.Fatalf("transition not reflected in reports: %d -> %d tasks", ref[0].MapTasks, ref[len(ref)-1].MapTasks)
+	}
+	got := run(6)
+	if !reflect.DeepEqual(scrubWallClock(got), scrubWallClock(ref)) {
+		t.Fatal("parallel driver diverges from sequential across SetParallelism/SetCores transitions")
+	}
+}
+
+func TestSetWorkersReflectsPoolSize(t *testing.T) {
+	eng, err := New(testConfig(), WordCount(window.Sliding(10*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Workers(); got != 1 {
+		t.Fatalf("default Workers() = %d, want 1 (inline driver)", got)
+	}
+	if err := eng.SetWorkers(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Workers(); got != 5 {
+		t.Fatalf("after SetWorkers(5): Workers() = %d", got)
+	}
+	if err := eng.SetWorkers(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Workers(); got != 1 {
+		t.Fatalf("after SetWorkers(0): Workers() = %d, want 1", got)
+	}
+}
+
+func TestMultiQueryParallelMatchesSequential(t *testing.T) {
+	// Concurrent per-query jobs behind the driver barrier must reproduce
+	// the sequential multi-query run, including straggler-sensitive task
+	// numbering (exercised indirectly: stage times are part of the report).
+	queries := []Query{
+		WordCount(window.Sliding(10*tuple.Second, tuple.Second)),
+		SumQuery("sum", window.Sliding(5*tuple.Second, tuple.Second)),
+		WordCount(window.Spec{}),
+	}
+	run := func(workers int) ([]BatchReport, []map[string]float64) {
+		cfg := testConfig()
+		cfg.Workers = workers
+		eng, err := NewMulti(cfg, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := testSource(15000, 120, 33)
+		reps, err := eng.RunBatches(src, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := make([]map[string]float64, len(queries))
+		for i := range queries {
+			results[i] = eng.LastResultOf(i)
+		}
+		return reps, results
+	}
+	refReps, refRes := run(0)
+	gotReps, gotRes := run(8)
+	if !reflect.DeepEqual(scrubWallClock(gotReps), scrubWallClock(refReps)) {
+		t.Fatal("multi-query parallel reports diverge from sequential")
+	}
+	if !reflect.DeepEqual(gotRes, refRes) {
+		t.Fatal("multi-query parallel results diverge from sequential")
+	}
+}

@@ -37,7 +37,7 @@ func (f *FirstFitDecreasing) Partition(in Input, p int) ([]*tuple.Block, error) 
 	if err := checkArgs(in, p); err != nil {
 		return nil, err
 	}
-	items := itemsFromSorted(in.sortedKeys())
+	items := in.items()
 	total := 0
 	for i := range items {
 		total += items[i].size
@@ -93,7 +93,7 @@ func (f *FragMin) Partition(in Input, p int) ([]*tuple.Block, error) {
 	if err := checkArgs(in, p); err != nil {
 		return nil, err
 	}
-	items := itemsFromSorted(in.sortedKeys())
+	items := in.items()
 	total := 0
 	for i := range items {
 		total += items[i].size

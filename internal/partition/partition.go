@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"prompt/internal/cluster"
 	"prompt/internal/stats"
 	"prompt/internal/tuple"
 )
@@ -18,10 +19,13 @@ import (
 // Input is everything a partitioner may consult. Batch is always present
 // with tuples in arrival order. Sorted is the frequency-aware accumulator's
 // quasi-sorted key list; when absent, sorted-input partitioners derive it
-// with a post-sort (the Figure 14a baseline behaviour).
+// with a post-sort (the Figure 14a baseline behaviour). Pool, when set,
+// lets partitioners parallelize their data-independent passes (the per-key
+// weight computation); a nil pool runs them inline.
 type Input struct {
 	Batch  *tuple.Batch
 	Sorted []stats.SortedKey
+	Pool   *cluster.WorkerPool
 }
 
 // sortedKeys returns the descending key list, computing it if the
@@ -147,17 +151,29 @@ type keyItem struct {
 }
 
 // itemsFromSorted converts the accumulator's output into packing items,
-// preserving its descending order.
-func itemsFromSorted(sorted []stats.SortedKey) []keyItem {
+// preserving its descending order. The per-key weight sums touch every
+// tuple in the batch, so the pass runs on the worker pool when one is
+// supplied: each chunk of keys is independent and writes its own item
+// slots, making the output identical at any worker count.
+func itemsFromSorted(sorted []stats.SortedKey, pool *cluster.WorkerPool) []keyItem {
 	items := make([]keyItem, len(sorted))
-	for i, sk := range sorted {
-		w := 0
-		for j := range sk.Tuples {
-			w += sk.Tuples[j].Weight
+	pool.DoRanges(len(sorted), 256, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sk := sorted[i]
+			w := 0
+			for j := range sk.Tuples {
+				w += sk.Tuples[j].Weight
+			}
+			items[i] = keyItem{key: sk.Key, tuples: sk.Tuples, size: w}
 		}
-		items[i] = keyItem{key: sk.Key, tuples: sk.Tuples, size: w}
-	}
+	})
 	return items
+}
+
+// items returns the input's packing items, computing weights on the
+// input's pool.
+func (in Input) items() []keyItem {
+	return itemsFromSorted(in.sortedKeys(), in.Pool)
 }
 
 // assignment records fragment placements key -> block -> tuples during

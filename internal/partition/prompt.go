@@ -150,7 +150,7 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 	if err := checkArgs(in, p); err != nil {
 		return nil, err
 	}
-	items := itemsFromSorted(in.sortedKeys())
+	items := in.items()
 	total := 0
 	for i := range items {
 		total += items[i].size

@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"fmt"
+
+	"prompt/internal/cluster"
+	"prompt/internal/hashutil"
+	"prompt/internal/tuple"
+)
+
+// ShardedAccumulator runs Algorithm 1 across several independent
+// accumulator shards so the per-tuple statistics pass can use every core.
+// Tuples route to shards by key hash, so each key's exact count and
+// buffered tuple list live wholly in one shard; at the heartbeat the
+// shards finalize independently and their outputs merge into one exactly
+// sorted key list.
+//
+// The merge is deterministic by construction — shard routing depends only
+// on the key and the (fixed) shard count, per-shard accumulation preserves
+// arrival order, and the merged list is sorted with the canonical
+// descending order — so the number of worker goroutines executing the
+// shards changes wall-clock time only, never the partitioner's input.
+// Relative to the single accumulator, the ordering handed to the
+// partitioner is exactly sorted rather than CountTree-quasi-sorted (each
+// shard's tree sees only its own keys, so the global quasi-order is not
+// reconstructible); counts and tuple lists are identical.
+type ShardedAccumulator struct {
+	shards []*Accumulator
+	// route[s] collects the tuple indices of shard s for the current batch;
+	// reused across batches to avoid reallocation.
+	route [][]tuple.Tuple
+}
+
+// NewSharded returns a sharded accumulator with the given number of shards
+// (>= 1) for the batch interval [start, end). The configured estimates are
+// split evenly across shards so each shard's initial f.step matches its
+// expected share of the batch.
+func NewSharded(cfg AccumulatorConfig, shards int, start, end tuple.Time) (*ShardedAccumulator, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("stats: need >= 1 shard, got %d", shards)
+	}
+	sa := &ShardedAccumulator{
+		shards: make([]*Accumulator, shards),
+		route:  make([][]tuple.Tuple, shards),
+	}
+	scfg := cfg.perShard(shards)
+	for i := range sa.shards {
+		acc, err := NewAccumulator(scfg, start, end)
+		if err != nil {
+			return nil, err
+		}
+		sa.shards[i] = acc
+	}
+	return sa, nil
+}
+
+// perShard divides the batch-level estimates across shards, flooring at 1.
+func (c AccumulatorConfig) perShard(shards int) AccumulatorConfig {
+	if shards <= 1 {
+		return c
+	}
+	c.EstimatedTuples = c.EstimatedTuples / shards
+	if c.EstimatedTuples < 1 {
+		c.EstimatedTuples = 1
+	}
+	c.EstimatedKeys = c.EstimatedKeys / shards
+	if c.EstimatedKeys < 1 {
+		c.EstimatedKeys = 1
+	}
+	return c
+}
+
+// Shards returns the shard count.
+func (sa *ShardedAccumulator) Shards() int { return len(sa.shards) }
+
+// Reset prepares every shard for the next batch interval.
+func (sa *ShardedAccumulator) Reset(cfg AccumulatorConfig, start, end tuple.Time) error {
+	scfg := cfg.perShard(len(sa.shards))
+	for _, acc := range sa.shards {
+		if err := acc.Reset(scfg, start, end); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAll ingests one batch interval's tuples: a single routing scan splits
+// them by key hash, then each shard accumulates its slice on the pool (or
+// inline with a nil pool). Arrival time equals the tuple timestamp, as in
+// the engine's simulated stream.
+func (sa *ShardedAccumulator) AddAll(tuples []tuple.Tuple, pool *cluster.WorkerPool) error {
+	n := len(sa.shards)
+	for s := range sa.route {
+		sa.route[s] = sa.route[s][:0]
+	}
+	for i := range tuples {
+		s := hashutil.Bucket(tuples[i].Key, n)
+		sa.route[s] = append(sa.route[s], tuples[i])
+	}
+	errs := make([]error, n)
+	pool.Do(n, func(s int) {
+		acc := sa.shards[s]
+		for _, t := range sa.route[s] {
+			if err := acc.Add(t, t.TS); err != nil {
+				errs[s] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finalize finalizes every shard on the pool, merges the outputs, and
+// returns the exactly sorted key list plus the combined batch statistics.
+func (sa *ShardedAccumulator) Finalize(pool *cluster.WorkerPool) ([]SortedKey, BatchStats) {
+	n := len(sa.shards)
+	keys := make([][]SortedKey, n)
+	stats := make([]BatchStats, n)
+	pool.Do(n, func(s int) {
+		keys[s], stats[s] = sa.shards[s].Finalize()
+	})
+	total := 0
+	for s := range keys {
+		total += len(keys[s])
+	}
+	merged := make([]SortedKey, 0, total)
+	var st BatchStats
+	for s := range keys {
+		merged = append(merged, keys[s]...)
+		st.Tuples += stats[s].Tuples
+		st.Keys += stats[s].Keys
+		st.TreeUpdates += stats[s].TreeUpdates
+	}
+	if n > 0 {
+		st.Start, st.End = stats[0].Start, stats[0].End
+	}
+	SortKeysDesc(merged)
+	return merged, st
+}

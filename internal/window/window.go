@@ -9,6 +9,7 @@ package window
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"prompt/internal/tuple"
 )
@@ -66,8 +67,14 @@ type batchOutput struct {
 }
 
 // Aggregator maintains the per-key window state across batch outputs.
-// It is not safe for concurrent use; the engine's driver owns it.
+// It is safe for concurrent use: merges (AddBatch, Restore) take an
+// exclusive lock while reads (Snapshot, Value, TopK, State, Recompute)
+// share one, so the parallel runtime can merge different queries' windows
+// on worker goroutines while observers read current answers. Batch ends
+// must still be non-decreasing, so each aggregator has one logical writer
+// per batch — the engine's driver barrier provides that ordering.
 type Aggregator struct {
+	mu      sync.RWMutex
 	spec    Spec
 	reduce  ReduceFn
 	inverse ReduceFn // nil => recompute on evict
@@ -98,12 +105,23 @@ func NewAggregator(spec Spec, reduce, inverse ReduceFn) (*Aggregator, error) {
 func (ag *Aggregator) Spec() Spec { return ag.spec }
 
 // Batches returns the number of batch outputs currently inside the window.
-func (ag *Aggregator) Batches() int { return len(ag.batches) }
+func (ag *Aggregator) Batches() int {
+	ag.mu.RLock()
+	defer ag.mu.RUnlock()
+	return len(ag.batches)
+}
 
 // AddBatch merges one batch output (keyed partial aggregates) ending at the
 // given time into the window state and evicts batches that have fallen out
 // of [end-Length, end). Batch ends must be non-decreasing.
 func (ag *Aggregator) AddBatch(end tuple.Time, result map[string]float64) error {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	return ag.addBatchLocked(end, result)
+}
+
+// addBatchLocked is AddBatch's body; the caller holds the write lock.
+func (ag *Aggregator) addBatchLocked(end tuple.Time, result map[string]float64) error {
 	if n := len(ag.batches); n > 0 && end < ag.batches[n-1].end {
 		return fmt.Errorf("window: batch end %v precedes previous %v", end, ag.batches[n-1].end)
 	}
@@ -165,6 +183,8 @@ func (ag *Aggregator) evict(now tuple.Time) {
 
 // Snapshot returns a copy of the current window answer.
 func (ag *Aggregator) Snapshot() map[string]float64 {
+	ag.mu.RLock()
+	defer ag.mu.RUnlock()
 	out := make(map[string]float64, len(ag.state))
 	for k, v := range ag.state {
 		out[k] = v
@@ -174,6 +194,8 @@ func (ag *Aggregator) Snapshot() map[string]float64 {
 
 // Value returns the current aggregate for one key.
 func (ag *Aggregator) Value(key string) (float64, bool) {
+	ag.mu.RLock()
+	defer ag.mu.RUnlock()
 	v, ok := ag.state[key]
 	return v, ok
 }
@@ -182,6 +204,8 @@ func (ag *Aggregator) Value(key string) (float64, bool) {
 // retained batch outputs. Tests use it to verify that incremental
 // maintenance with the inverse function matches full recomputation.
 func (ag *Aggregator) Recompute() map[string]float64 {
+	ag.mu.RLock()
+	defer ag.mu.RUnlock()
 	out := make(map[string]float64)
 	for _, b := range ag.batches {
 		for k, v := range b.result {
@@ -204,6 +228,8 @@ type BatchState struct {
 // State returns the retained batch outputs in order — everything needed
 // to reconstruct the aggregator after a restart.
 func (ag *Aggregator) State() []BatchState {
+	ag.mu.RLock()
+	defer ag.mu.RUnlock()
 	out := make([]BatchState, len(ag.batches))
 	for i, b := range ag.batches {
 		cp := make(map[string]float64, len(b.result))
@@ -219,11 +245,13 @@ func (ag *Aggregator) State() []BatchState {
 // outputs, replaying them through the normal add/evict path so the
 // incremental state is rebuilt consistently.
 func (ag *Aggregator) Restore(states []BatchState) error {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
 	ag.batches = nil
 	ag.state = make(map[string]float64)
 	ag.contrib = make(map[string]int)
 	for _, s := range states {
-		if err := ag.AddBatch(s.End, s.Result); err != nil {
+		if err := ag.addBatchLocked(s.End, s.Result); err != nil {
 			return fmt.Errorf("window: restoring batch ending %v: %w", s.End, err)
 		}
 	}
@@ -240,6 +268,8 @@ type Entry struct {
 // by value descending with key ascending as tie-break (the TopKCount
 // workload of the evaluation).
 func (ag *Aggregator) TopK(k int) []Entry {
+	ag.mu.RLock()
+	defer ag.mu.RUnlock()
 	entries := make([]Entry, 0, len(ag.state))
 	for key, v := range ag.state {
 		entries = append(entries, Entry{Key: key, Val: v})

@@ -20,6 +20,7 @@ type MultiStream struct {
 }
 
 // NewMulti builds a multi-query stream. At least one query is required.
+// Construction failures wrap ErrBadConfig.
 func NewMulti(cfg Config, queries ...Query) (*MultiStream, error) {
 	ec, scheme, err := cfg.build()
 	if err != nil {
@@ -27,7 +28,7 @@ func NewMulti(cfg Config, queries ...Query) (*MultiStream, error) {
 	}
 	eng, err := engine.NewMulti(ec, queries)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	names := make([]string, len(queries))
 	for i, q := range queries {
@@ -84,10 +85,23 @@ func (m *MultiStream) TopK(i, k int) ([]WindowEntry, error) {
 	}
 	agg := m.eng.WindowOf(i)
 	if agg == nil {
-		return nil, fmt.Errorf("prompt: query %d (%s) has no window", i, m.names[i])
+		return nil, fmt.Errorf("%w: query %d (%s)", ErrNoWindow, i, m.names[i])
 	}
 	return agg.TopK(k), nil
 }
+
+// HasWindow reports whether query i maintains a time window.
+func (m *MultiStream) HasWindow(i int) (bool, error) {
+	if err := m.check(i); err != nil {
+		return false, err
+	}
+	return m.eng.WindowOf(i) != nil, nil
+}
+
+// SetWorkers changes the number of real worker goroutines executing the
+// batch pipeline for subsequent batches (0 = single-goroutine driver,
+// negative = GOMAXPROCS).
+func (m *MultiStream) SetWorkers(workers int) error { return m.eng.SetWorkers(workers) }
 
 // Reports returns all batch reports since the stream started.
 func (m *MultiStream) Reports() []BatchReport { return m.eng.Reports() }

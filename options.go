@@ -1,0 +1,133 @@
+package prompt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Option adjusts a Config under construction. Options validate eagerly:
+// an out-of-range value fails NewWithOptions with an error wrapping
+// ErrBadConfig, naming the offending option.
+type Option func(*Config) error
+
+// NewWithOptions builds a Stream for the query from functional options
+// layered over the zero Config (the evaluation defaults):
+//
+//	st, err := prompt.NewWithOptions(q,
+//		prompt.WithBatchInterval(500*time.Millisecond),
+//		prompt.WithParallelism(16, 16),
+//		prompt.WithScheme(prompt.SchemePrompt),
+//		prompt.WithWorkers(-1), // GOMAXPROCS goroutines
+//	)
+func NewWithOptions(q Query, opts ...Option) (*Stream, error) {
+	var cfg Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return New(cfg, q)
+}
+
+// WithBatchInterval sets the micro-batch heartbeat.
+func WithBatchInterval(d time.Duration) Option {
+	return func(c *Config) error {
+		if d <= 0 {
+			return fmt.Errorf("%w: WithBatchInterval(%v): interval must be positive", ErrBadConfig, d)
+		}
+		c.BatchInterval = d
+		return nil
+	}
+}
+
+// WithParallelism sets the Map (p) and Reduce (r) task counts.
+func WithParallelism(mapTasks, reduceTasks int) Option {
+	return func(c *Config) error {
+		if mapTasks <= 0 || reduceTasks <= 0 {
+			return fmt.Errorf("%w: WithParallelism(%d, %d): task counts must be positive", ErrBadConfig, mapTasks, reduceTasks)
+		}
+		c.MapTasks = mapTasks
+		c.ReduceTasks = reduceTasks
+		return nil
+	}
+}
+
+// WithScheme selects the partitioning technique; the name is validated
+// immediately.
+func WithScheme(s Scheme) Option {
+	return func(c *Config) error {
+		parsed, err := ParseScheme(string(s))
+		if err != nil {
+			return err
+		}
+		c.Scheme = parsed
+		return nil
+	}
+}
+
+// WithCores sets the simulated core budget for stage execution.
+func WithCores(cores int) Option {
+	return func(c *Config) error {
+		if cores <= 0 {
+			return fmt.Errorf("%w: WithCores(%d): cores must be positive", ErrBadConfig, cores)
+		}
+		c.Cores = cores
+		return nil
+	}
+}
+
+// WithWorkers sets the number of real worker goroutines executing the
+// batch pipeline. Zero keeps the single-goroutine driver; negative
+// selects GOMAXPROCS. Reports are identical at any worker count.
+func WithWorkers(workers int) Option {
+	return func(c *Config) error {
+		c.Workers = workers
+		return nil
+	}
+}
+
+// WithStatsShards splits the Algorithm 1 statistics pass across shards
+// (>= 1) merged deterministically at the heartbeat.
+func WithStatsShards(shards int) Option {
+	return func(c *Config) error {
+		if shards < 1 {
+			return fmt.Errorf("%w: WithStatsShards(%d): need >= 1 shard", ErrBadConfig, shards)
+		}
+		c.StatsShards = shards
+		return nil
+	}
+}
+
+// WithEarlyRelease sets the fraction of the batch interval reserved for
+// partitioning (the paper bounds it at 0.05).
+func WithEarlyRelease(fraction float64) Option {
+	return func(c *Config) error {
+		if fraction < 0 || fraction > 0.5 {
+			return fmt.Errorf("%w: WithEarlyRelease(%v): fraction outside [0, 0.5]", ErrBadConfig, fraction)
+		}
+		c.EarlyReleaseFraction = fraction
+		return nil
+	}
+}
+
+// WithValidation toggles per-batch invariant checking.
+func WithValidation(on bool) Option {
+	return func(c *Config) error {
+		c.Validate = on
+		return nil
+	}
+}
+
+// WithCost overrides the simulated task cost model; the zero model keeps
+// the defaults.
+func WithCost(cm CostModel) Option {
+	return func(c *Config) error {
+		if cm != (CostModel{}) {
+			if err := cm.Validate(); err != nil {
+				return fmt.Errorf("%w: WithCost: %v", ErrBadConfig, err)
+			}
+		}
+		c.Cost = cm
+		return nil
+	}
+}

@@ -11,7 +11,7 @@ import (
 	"prompt/internal/workload"
 )
 
-func testStream(t *testing.T, scheme string) *prompt.Stream {
+func testStream(t *testing.T, scheme prompt.Scheme) *prompt.Stream {
 	t.Helper()
 	st, err := prompt.New(prompt.Config{
 		BatchInterval: time.Second,
@@ -89,7 +89,7 @@ func TestSchemeNames(t *testing.T) {
 	}
 	// Every advertised scheme must construct.
 	for _, n := range names {
-		if _, err := prompt.New(prompt.Config{Scheme: n}, prompt.WordCount(time.Minute, time.Second)); err != nil {
+		if _, err := prompt.New(prompt.Config{Scheme: prompt.Scheme(n)}, prompt.WordCount(time.Minute, time.Second)); err != nil {
 			t.Errorf("scheme %q does not construct: %v", n, err)
 		}
 	}
@@ -128,7 +128,7 @@ func TestEndToEndWordCount(t *testing.T) {
 
 func TestAllSchemesAgreeOnAnswers(t *testing.T) {
 	var reference map[string]float64
-	for _, scheme := range prompt.SchemeNames() {
+	for _, scheme := range prompt.Schemes() {
 		st := testStream(t, scheme)
 		feed(t, st, tweetsSource(t, 5_000), 2)
 		got := st.Window()

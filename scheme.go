@@ -1,0 +1,90 @@
+package prompt
+
+import (
+	"fmt"
+
+	"prompt/internal/core"
+	"prompt/internal/partition"
+)
+
+// Scheme selects a partitioning technique. The zero value selects Prompt.
+// Scheme is a typed string, so the named constants below are the intended
+// spelling, while legacy code assigning string literals ("prompt",
+// "hash", …) keeps compiling; ParseScheme converts and validates runtime
+// strings (flags, config files).
+type Scheme string
+
+// The accepted schemes: Prompt's full design, its post-sort ablation, the
+// existing techniques the paper surveys, the key-splitting state of the
+// art, and two classical bin-packing heuristics.
+const (
+	// SchemePrompt is the full Prompt design: frequency-aware buffering
+	// (Algorithm 1), the B-BPFI batch partitioner (Algorithm 2), and the
+	// worst-fit reduce allocator (Algorithm 3).
+	SchemePrompt Scheme = "prompt"
+	// SchemePromptPostSort is the Figure 14a ablation: Prompt's
+	// partitioners with post-sort statistics instead of Algorithm 1.
+	SchemePromptPostSort Scheme = "prompt-postsort"
+	// SchemeTime assigns tuples to blocks by arrival time (Spark's
+	// default batching).
+	SchemeTime Scheme = "time"
+	// SchemeShuffle deals tuples round-robin.
+	SchemeShuffle Scheme = "shuffle"
+	// SchemeHash routes every tuple by key hash.
+	SchemeHash Scheme = "hash"
+	// SchemePK2 and SchemePK5 are the partial-key-grouping baselines with
+	// 2 and 5 candidate blocks per key.
+	SchemePK2 Scheme = "pk2"
+	SchemePK5 Scheme = "pk5"
+	// SchemeCAM is the cardinality-aware key-splitting baseline.
+	SchemeCAM Scheme = "cam"
+	// SchemeFFD is First-Fit-Decreasing bin packing.
+	SchemeFFD Scheme = "ffd"
+	// SchemeFragMin is the fragmentation-minimizing packing heuristic.
+	SchemeFragMin Scheme = "fragmin"
+)
+
+// String returns the scheme's canonical name; the zero value prints as
+// "prompt".
+func (s Scheme) String() string {
+	if s == "" {
+		return string(SchemePrompt)
+	}
+	return string(s)
+}
+
+// ParseScheme validates a scheme name and returns its canonical Scheme.
+// The empty string parses to SchemePrompt. Unknown names return an error
+// wrapping ErrBadConfig.
+func ParseScheme(name string) (Scheme, error) {
+	sch, err := core.ByName(name)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return Scheme(sch.Name), nil
+}
+
+// Schemes returns every accepted scheme in deterministic order.
+func Schemes() []Scheme {
+	names := SchemeNames()
+	out := make([]Scheme, len(names))
+	for i, n := range names {
+		out[i] = Scheme(n)
+	}
+	return out
+}
+
+// SchemeNames lists the accepted scheme names as strings, for flag help
+// texts and legacy callers.
+func SchemeNames() []string {
+	return append(partition.Names(), string(SchemePromptPostSort))
+}
+
+// resolve turns the configured scheme into its internal bundle.
+func (s Scheme) resolve() (core.Scheme, error) {
+	sch, err := core.ByName(string(s))
+	if err != nil {
+		return core.Scheme{}, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return sch, nil
+}

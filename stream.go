@@ -18,6 +18,7 @@ type Stream struct {
 }
 
 // New builds a Stream for the query under the given configuration.
+// Construction failures wrap ErrBadConfig.
 func New(cfg Config, q Query) (*Stream, error) {
 	ec, scheme, err := cfg.build()
 	if err != nil {
@@ -25,7 +26,7 @@ func New(cfg Config, q Query) (*Stream, error) {
 	}
 	eng, err := engine.New(ec, q)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	return &Stream{eng: eng, scheme: scheme}, nil
 }
@@ -56,11 +57,16 @@ func (s *Stream) Result() map[string]float64 { return s.eng.LastResult() }
 // Window returns the current window answer (nil for windowless queries).
 func (s *Stream) Window() map[string]float64 { return s.eng.WindowSnapshot() }
 
-// TopK returns the k largest entries of the current window answer.
+// HasWindow reports whether the query maintains a time window; when it
+// does not, Window returns nil and TopK returns ErrNoWindow.
+func (s *Stream) HasWindow() bool { return s.eng.Window() != nil }
+
+// TopK returns the k largest entries of the current window answer. For a
+// windowless query it returns an error wrapping ErrNoWindow.
 func (s *Stream) TopK(k int) ([]WindowEntry, error) {
 	agg := s.eng.Window()
 	if agg == nil {
-		return nil, fmt.Errorf("prompt: the query has no window")
+		return nil, ErrNoWindow
 	}
 	return agg.TopK(k), nil
 }
@@ -75,6 +81,11 @@ func (s *Stream) SetParallelism(mapTasks, reduceTasks int) error {
 
 // SetCores changes the simulated core budget for subsequent batches.
 func (s *Stream) SetCores(cores int) error { return s.eng.SetCores(cores) }
+
+// SetWorkers changes the number of real worker goroutines executing the
+// batch pipeline for subsequent batches: 0 restores the single-goroutine
+// driver, negative selects GOMAXPROCS. Reports are unaffected.
+func (s *Stream) SetWorkers(workers int) error { return s.eng.SetWorkers(workers) }
 
 // Engine exposes the underlying engine for advanced integrations (the
 // benchmark harness and the elastic driver use it).
