@@ -18,6 +18,7 @@ import (
 	"prompt/internal/elastic"
 	"prompt/internal/engine"
 	"prompt/internal/experiment"
+	"prompt/internal/metrics"
 	"prompt/internal/tuple"
 	"prompt/internal/window"
 	"prompt/internal/workload"
@@ -42,6 +43,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "workload seed")
 		input       = flag.String("input", "", "replay a recorded CSV trace (streamgen format) instead of generating")
 		csvOut      = flag.String("csv", "", "also write the per-batch reports as CSV to this file")
+		trace       = flag.Bool("trace", false, "attach the per-stage lifecycle collector and print stage timings")
+		traceJSON   = flag.String("trace-json", "", "with -trace, also write the collector snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -104,6 +107,11 @@ func main() {
 		Cost:          params.Cost,
 	}
 	cfg = scheme.Apply(cfg)
+	var col *metrics.Collector
+	if *trace {
+		col = metrics.NewCollector()
+		cfg.Observer = col
+	}
 	eng, err := engine.New(cfg, engine.Query{Name: "wordcount", Map: engine.CountMap, Reduce: window.Sum})
 	if err != nil {
 		fatal(err)
@@ -149,6 +157,32 @@ func main() {
 	s := engine.Summarize(reports)
 	fmt.Printf("\nsummary: %d batches, %d tuples, throughput %.0f/s, mean proc %v, max latency %v, unstable %d\n",
 		s.Batches, s.Tuples, s.Throughput, s.MeanProcessing, s.MaxLatency, s.UnstableCount)
+
+	if col != nil {
+		fmt.Println("\nper-stage lifecycle timings (wall = host time, sim = virtual time):")
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "stage\tbatches\twall min\twall mean\twall max\tsim min\tsim mean\tsim max")
+		for _, st := range col.Snapshot() {
+			fmt.Fprintf(tw, "%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\n",
+				st.Stage, st.Count, st.WallMin, st.WallMean, st.WallMax,
+				st.SimMin, st.SimMean, st.SimMax)
+		}
+		tw.Flush()
+		if *traceJSON != "" {
+			f, err := os.Create(*traceJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := col.WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote per-stage trace JSON to %s\n", *traceJSON)
+		}
+	}
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

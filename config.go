@@ -45,6 +45,10 @@ type Config struct {
 	Validate bool
 	// Cost overrides the simulated task cost model; zero uses defaults.
 	Cost CostModel
+	// Observer, when set, receives batch-lifecycle events (batch start,
+	// per-stage timings, batch end); see Observer and Collector. Nil —
+	// the default — keeps the pipeline instrumentation-free.
+	Observer Observer
 }
 
 // build resolves the configuration into an engine config and scheme.
@@ -69,6 +73,7 @@ func (c Config) build() (engine.Config, core.Scheme, error) {
 		Cost:                 c.Cost,
 		EarlyReleaseFraction: c.EarlyReleaseFraction,
 		ValidateBatches:      c.Validate,
+		Observer:             c.Observer,
 	}
 	ec = scheme.Apply(ec)
 	return ec, scheme, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"prompt/internal/cluster"
@@ -50,11 +51,68 @@ func TestBaselines(t *testing.T) {
 
 func TestSchemesOrder(t *testing.T) {
 	ss := Schemes()
-	if len(ss) != 7 {
+	if len(ss) != 10 {
 		t.Fatalf("Schemes returned %d entries", len(ss))
 	}
 	if ss[0].Name != "time" || ss[len(ss)-1].Name != "prompt" {
 		t.Errorf("scheme order: first=%s last=%s", ss[0].Name, ss[len(ss)-1].Name)
+	}
+	if len(ss) != len(Names()) {
+		t.Errorf("Schemes (%d) and Names (%d) disagree on registry size", len(ss), len(Names()))
+	}
+}
+
+func TestRegistryResolvesEveryName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name != name {
+			t.Errorf("ByName(%q) resolved to %q", name, s.Name)
+		}
+		if s.Partitioner == nil || s.Assigner == nil {
+			t.Errorf("ByName(%q) returned nil components", name)
+		}
+	}
+	if s, err := ByName(""); err != nil || s.Name != "prompt" {
+		t.Errorf("ByName(\"\") = %+v, %v; want prompt", s, err)
+	}
+}
+
+func TestRegistryHandsOutFreshInstances(t *testing.T) {
+	a, err := ByName("prompt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ByName("prompt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Partitioner == b.Partitioner {
+		t.Error("ByName returned a shared partitioner instance")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(PromptScheme)
+}
+
+func TestByNameUnknownListsAllNames(t *testing.T) {
+	_, err := ByName("nosuch")
+	if err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-scheme error omits registered name %q: %v", name, err)
+		}
 	}
 }
 

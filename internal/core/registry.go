@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Builder constructs a fresh Scheme instance. Builders rather than values
+// are registered because partitioners and assigners may carry per-run
+// state: every lookup hands out independent instances.
+type Builder func() Scheme
+
+// regEntry pairs a builder with its registration rank, which fixes the
+// presentation order Schemes returns.
+type regEntry struct {
+	rank  int
+	build Builder
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]regEntry)
+)
+
+// Register adds a scheme constructor to the registry under the name of
+// the scheme it builds. It panics on an empty name or a duplicate — both
+// are programming errors surfaced at init time. Registration order fixes
+// the order Schemes returns, so register comparison baselines before the
+// techniques they are compared against.
+//
+// The registry is the single point a new scheme plugs into: the public
+// API (prompt.Schemes, ParseScheme), the CLIs, and the harness all
+// resolve names through it.
+func Register(build Builder) {
+	s := build()
+	if s.Name == "" {
+		panic("core: Register called with an unnamed scheme")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("core: scheme %q registered twice", s.Name))
+	}
+	registry[s.Name] = regEntry{rank: len(registry), build: build}
+}
+
+// ByName resolves a registered scheme name to a fresh Scheme instance.
+// The empty string resolves to the full Prompt design. Unknown names
+// return an error listing every registered name.
+func ByName(name string) (Scheme, error) {
+	if name == "" {
+		name = "prompt"
+	}
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Scheme{}, fmt.Errorf("core: unknown scheme %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return e.build(), nil
+}
+
+// Names returns every registered scheme name sorted alphabetically.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schemes returns a fresh instance of every registered scheme in
+// registration (presentation) order: the existing techniques first, the
+// key-splitting state of the art, the classical packers, the post-sort
+// ablation, and Prompt last.
+func Schemes() []Scheme {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	type ranked struct {
+		rank  int
+		build Builder
+	}
+	ordered := make([]ranked, 0, len(registry))
+	for _, e := range registry {
+		ordered = append(ordered, ranked{e.rank, e.build})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].rank < ordered[j].rank })
+	out := make([]Scheme, len(ordered))
+	for i, e := range ordered {
+		out[i] = e.build()
+	}
+	return out
+}

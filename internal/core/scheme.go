@@ -46,58 +46,46 @@ func PromptPostSort() Scheme {
 	return s
 }
 
-// Baseline returns a comparison scheme by name. Baseline partitioners
-// decide per tuple during buffering, so they use post-sort mode (they pay
-// no finalize cost: their Partition consumes the raw batch) and the
-// conventional hash bucket assigner, matching how the paper configures
-// them.
-func Baseline(name string) (Scheme, error) {
-	reg := partition.Registry()
-	p, ok := reg[name]
-	if !ok {
-		return Scheme{}, fmt.Errorf("core: unknown scheme %q (want one of %v or \"prompt-postsort\")", name, partition.Names())
-	}
-	if name == "prompt" {
-		return PromptScheme(), nil
-	}
+// baseline bundles a comparison partitioner into a scheme. Baseline
+// partitioners decide per tuple during buffering, so they use post-sort
+// mode (they pay no finalize cost: their Partition consumes the raw
+// batch) and the conventional hash bucket assigner, matching how the
+// paper configures them.
+func baseline(name string, p partition.Partitioner) Scheme {
 	return Scheme{
 		Name:        name,
 		Partitioner: p,
 		Assigner:    reducer.NewHash(),
 		Accum:       engine.PostSortMode,
-	}, nil
-}
-
-// ByName resolves any accepted scheme name — "" or "prompt" (the full
-// Prompt design), "prompt-postsort", or a baseline technique. The public
-// API and the CLIs share this switch.
-func ByName(name string) (Scheme, error) {
-	switch name {
-	case "", "prompt":
-		return PromptScheme(), nil
-	case "prompt-postsort":
-		return PromptPostSort(), nil
-	default:
-		return Baseline(name)
 	}
 }
 
-// Schemes returns the evaluation's comparison set in presentation order:
-// the existing techniques, the key-splitting state of the art, and Prompt.
-func Schemes() []Scheme {
-	names := []string{"time", "shuffle", "hash", "pk2", "pk5", "cam"}
-	out := make([]Scheme, 0, len(names)+1)
-	for _, n := range names {
-		s, err := Baseline(n)
-		if err != nil {
-			// Registry and names are static; a mismatch is a programming
-			// error surfaced immediately in tests.
-			panic(err)
-		}
-		out = append(out, s)
+// The registry is populated here, in presentation order: the existing
+// techniques the paper surveys, the key-splitting state of the art, the
+// classical bin packers, the post-sort ablation, and Prompt itself.
+// Adding a scheme is one Register call — every consumer (public API,
+// CLIs, harness) resolves names through the registry.
+func init() {
+	Register(func() Scheme { return baseline("time", partition.NewTimeBased()) })
+	Register(func() Scheme { return baseline("shuffle", partition.NewShuffle()) })
+	Register(func() Scheme { return baseline("hash", partition.NewHash()) })
+	Register(func() Scheme { return baseline("pk2", partition.NewPKd(2)) })
+	Register(func() Scheme { return baseline("pk5", partition.NewPKd(5)) })
+	Register(func() Scheme { return baseline("cam", partition.NewCAM(5)) })
+	Register(func() Scheme { return baseline("ffd", partition.NewFirstFitDecreasing()) })
+	Register(func() Scheme { return baseline("fragmin", partition.NewFragMin()) })
+	Register(PromptPostSort)
+	Register(PromptScheme)
+}
+
+// Baseline resolves a comparison scheme by registry name. It is ByName
+// minus the empty-string default, kept for the harness and tests that
+// iterate explicit baseline lists.
+func Baseline(name string) (Scheme, error) {
+	if name == "" {
+		return Scheme{}, fmt.Errorf("core: empty baseline name (registered: %v)", Names())
 	}
-	out = append(out, PromptScheme())
-	return out
+	return ByName(name)
 }
 
 // Apply copies the scheme into an engine configuration.

@@ -19,6 +19,12 @@ import (
 	"prompt/internal/tuple"
 )
 
+// Observer receives batch-lifecycle events from the staged pipeline; see
+// metrics.Observer. The alias keeps the engine's configuration surface
+// self-contained while the interface lives in the leaf metrics package
+// (so the built-in Collector needs no engine import).
+type Observer = metrics.Observer
+
 // AccumMode selects how batch statistics are produced.
 type AccumMode int
 
@@ -97,6 +103,10 @@ type Config struct {
 	// Stragglers injects deterministic task slowdowns (Figure 2's
 	// unbalanced-execution cases II-IV): zero value disables injection.
 	Stragglers StragglerModel
+	// Observer, when set, receives batch-lifecycle events (batch start,
+	// per-stage timings, batch end). Nil — the default — keeps the
+	// pipeline observer-free with zero instrumentation overhead.
+	Observer Observer
 }
 
 // StragglerModel makes every Every-th task (counted deterministically

@@ -2,11 +2,8 @@ package engine
 
 import (
 	"fmt"
-	"time"
 
 	"prompt/internal/cluster"
-	"prompt/internal/metrics"
-	"prompt/internal/partition"
 	"prompt/internal/reducer"
 	"prompt/internal/stats"
 	"prompt/internal/tuple"
@@ -49,6 +46,9 @@ type Engine struct {
 	// classic single-goroutine driver.
 	pool *cluster.WorkerPool
 
+	// pipeline is the staged batch lifecycle Step drives; see stage.go.
+	pipeline []Stage
+
 	// taskSeq numbers every simulated task across batches and stages, so
 	// straggler injection afflicts a deterministic, evenly spread subset.
 	taskSeq int
@@ -76,6 +76,7 @@ func NewMulti(cfg Config, queries []Query) (*Engine, error) {
 		aggs:        make([]*window.Aggregator, len(queries)),
 		lastResults: make([]map[string]float64, len(queries)),
 		pool:        poolFor(cfg.Workers),
+		pipeline:    defaultPipeline(),
 	}
 	for i, q := range queries {
 		q = q.normalized()
@@ -130,6 +131,15 @@ func (e *Engine) SetWorkers(workers int) error {
 
 // Workers returns the effective worker-goroutine count (1 when inline).
 func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// SetObserver installs (or, with nil, removes) the lifecycle observer for
+// subsequent batches. Observers see per-stage events but never influence
+// reports; with none registered the pipeline records no timings at all.
+func (e *Engine) SetObserver(obs Observer) { e.cfg.Observer = obs }
+
+// Observer returns the currently installed lifecycle observer (nil when
+// none is registered).
+func (e *Engine) Observer() Observer { return e.cfg.Observer }
 
 // poolFor resolves a Workers setting into a pool; 0 means inline.
 func poolFor(workers int) *cluster.WorkerPool {
@@ -186,7 +196,11 @@ func (e *Engine) RunBatches(src workload.Stream, n int) ([]BatchReport, error) {
 }
 
 // Step processes one micro-batch whose tuples arrived in [start, end).
-// Tuples must carry timestamps inside the interval.
+// Tuples must carry timestamps inside the interval. Step only validates
+// the interval and composes the staged pipeline (stage.go): Accumulate
+// (Algorithm 1), Partition (Algorithm 2), Shuffle+Process (Algorithm 3),
+// and Window commit each run as an explicit Stage over a shared
+// BatchContext, with observer events around every stage.
 func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport, error) {
 	if end <= start {
 		return BatchReport{}, fmt.Errorf("engine: empty batch interval [%v,%v)", start, end)
@@ -194,146 +208,21 @@ func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport,
 	if start != e.now {
 		return BatchReport{}, fmt.Errorf("engine: non-consecutive batch start %v, expected %v", start, e.now)
 	}
-	// The batch's own interval: normally cfg.BatchInterval, but the
-	// adaptive batch-sizing extension may vary it per batch, and all
-	// stability accounting follows the actual interval.
-	interval := end - start
-	batch := &tuple.Batch{Start: start, End: end, Tuples: tuples}
-
-	// --- Batching phase -------------------------------------------------
-	// Accumulate statistics (Algorithm 1) or buffer blindly, then
-	// partition (Algorithm 2 or a baseline). The measured wall time of the
-	// finalize+partition step is charged against the early-release slack.
-	var sorted []stats.SortedKey
-	var batchStats stats.BatchStats
-	wallStart := time.Now()
-	switch e.cfg.Accum {
-	case FrequencyAware:
-		if e.cfg.StatsShards > 1 {
-			// Sharded Algorithm 1: per-shard accumulators run on the
-			// worker pool and merge deterministically at the heartbeat.
-			if err := e.feedSharded(batch); err != nil {
-				return BatchReport{}, err
-			}
-			wallStart = time.Now()
-			sorted, batchStats = e.shacc.Finalize(e.pool)
-			break
-		}
-		if err := e.feedAccumulator(batch); err != nil {
-			return BatchReport{}, err
-		}
-		// Only finalization happens at the release point; the per-tuple
-		// accumulation above overlapped the batching interval.
-		wallStart = time.Now()
-		sorted, batchStats = e.acc.Finalize()
-	case PostSortMode:
-		sorted = stats.PostSort(batch)
-		batchStats = stats.BatchStats{Tuples: batch.Len(), Keys: len(sorted), Start: start, End: end}
-	default:
-		return BatchReport{}, fmt.Errorf("engine: unknown accumulation mode %v", e.cfg.Accum)
+	ctx := &BatchContext{
+		Index: e.batchIdx,
+		Batch: &tuple.Batch{Start: start, End: end, Tuples: tuples},
+		// The batch's own interval: normally cfg.BatchInterval, but the
+		// adaptive batch-sizing extension may vary it per batch, and all
+		// stability accounting follows the actual interval.
+		Interval: end - start,
 	}
-
-	blocks, err := e.cfg.Partitioner.Partition(partition.Input{Batch: batch, Sorted: sorted, Pool: e.pool}, e.cfg.MapTasks)
-	if err != nil {
-		return BatchReport{}, fmt.Errorf("engine: partitioning batch %d: %w", e.batchIdx, err)
+	if err := e.runPipeline(ctx); err != nil {
+		return BatchReport{}, err
 	}
-	partTime := tuple.FromDuration(time.Since(wallStart))
-
-	parted := &tuple.Partitioned{Batch: batch, Blocks: blocks, PartitionTime: partTime}
-	if e.cfg.ValidateBatches {
-		if err := parted.Validate(); err != nil {
-			return BatchReport{}, fmt.Errorf("engine: batch %d: %w", e.batchIdx, err)
-		}
-	}
-
-	slack := tuple.Time(float64(interval) * e.cfg.EarlyReleaseFraction)
-	overflow := partTime - slack
-	if overflow < 0 {
-		overflow = 0
-	}
-
-	// --- Processing phase: one Map-Reduce job per query -------------------
-	// Jobs run concurrently on the worker pool behind the driver barrier.
-	// Task sequence numbers are pre-assigned per query so straggler
-	// injection afflicts the same tasks the sequential driver would, and
-	// per-query results land in index-addressed slots for deterministic
-	// merging.
-	for _, bl := range blocks {
-		// Warm the cardinality caches: concurrent jobs then share the
-		// blocks strictly read-only.
-		bl.Cardinality()
-	}
-	seqBase := e.taskSeq
-	perQuery := len(blocks) + e.cfg.ReduceTasks
-	runs := make([]queryRun, len(e.queries))
-	qerrs := make([]error, len(e.queries))
-	e.pool.Do(len(e.queries), func(qi int) {
-		runs[qi], qerrs[qi] = e.runQuery(qi, blocks, seqBase+qi*perQuery)
-	})
-	e.taskSeq = seqBase + len(e.queries)*perQuery
-	for qi, qerr := range qerrs {
-		if qerr != nil {
-			return BatchReport{}, fmt.Errorf("engine: batch %d query %d: %w", e.batchIdx, qi, qerr)
-		}
-	}
-
-	// Window maintenance: each query's window merge is independent, so the
-	// merges run on the pool too.
-	aggErrs := make([]error, len(e.queries))
-	e.pool.Do(len(e.queries), func(qi int) {
-		e.lastResults[qi] = runs[qi].result
-		if e.aggs[qi] != nil {
-			aggErrs[qi] = e.aggs[qi].AddBatch(end, runs[qi].result)
-		}
-	})
-	for _, aggErr := range aggErrs {
-		if aggErr != nil {
-			return BatchReport{}, aggErr
-		}
-	}
-
-	var processing tuple.Time = overflow
-	for qi := range runs {
-		processing += runs[qi].mapMakespan + runs[qi].reduceMakespan
-	}
-	primary := runs[0]
-
-	// --- Timing, queueing, stability -------------------------------------
-	readyAt := end // batch becomes processable at the heartbeat
-	startProc := readyAt
-	if e.procFree > startProc {
-		startProc = e.procFree
-	}
-	finish := startProc + processing
-	e.procFree = finish
-
-	rep := BatchReport{
-		Index:             e.batchIdx,
-		Start:             start,
-		End:               end,
-		Tuples:            batchStats.Tuples,
-		Keys:              batchStats.Keys,
-		MapTasks:          e.cfg.MapTasks,
-		ReduceTasks:       e.cfg.ReduceTasks,
-		Cores:             e.cfg.Cores,
-		Quality:           metrics.EvaluateWithKeys(blocks, e.cfg.MPIWeights, batchStats.Keys),
-		BucketSizes:       primary.sizes,
-		BucketBSI:         metrics.BSISizes(primary.sizes),
-		PartitionTime:     partTime,
-		PartitionOverflow: overflow,
-		MapStageTime:      primary.mapMakespan,
-		ReduceStageTime:   primary.reduceMakespan,
-		ReduceTaskTimes:   primary.reduceDurations,
-		ProcessingTime:    processing,
-		QueueWait:         startProc - readyAt,
-		Latency:           finish - start,
-		W:                 float64(processing) / float64(interval),
-		Stable:            finish <= end+interval,
-	}
-	e.reports = append(e.reports, rep)
+	e.reports = append(e.reports, ctx.Report)
 	e.batchIdx++
 	e.now = end
-	return rep, nil
+	return ctx.Report, nil
 }
 
 // queryRun is the outcome of one query's Map-Reduce job over a batch.
@@ -446,19 +335,39 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun,
 	}, nil
 }
 
-// feedAccumulator routes the batch's tuples through Algorithm 1, creating
-// or resetting the accumulator with estimates learned from the previous
-// batch.
-func (e *Engine) feedAccumulator(batch *tuple.Batch) error {
+// accumCfg returns the Algorithm 1 configuration with estimates learned
+// from the previous batch (N_Est, K_Avg).
+func (e *Engine) accumCfg() stats.AccumulatorConfig {
 	cfg := e.cfg.AccumConfig
 	if last := len(e.reports) - 1; last >= 0 {
-		// Seed estimates with the previous batch (N_Est, K_Avg).
 		if n := e.reports[last].Tuples; n > 0 {
 			cfg.EstimatedTuples = n
 		}
 		if k := e.reports[last].Keys; k > 0 {
 			cfg.EstimatedKeys = k
 		}
+	}
+	return cfg
+}
+
+// accumulate routes the batch's tuples through Algorithm 1, creating or
+// resetting the accumulator with estimates learned from the previous
+// batch. With StatsShards > 1 the tuples route by key hash to per-shard
+// accumulators running concurrently on the worker pool; otherwise a
+// single accumulator is fed on the driver goroutine.
+func (e *Engine) accumulate(batch *tuple.Batch) error {
+	cfg := e.accumCfg()
+	if e.cfg.StatsShards > 1 {
+		if e.shacc == nil || e.shacc.Shards() != e.cfg.StatsShards {
+			sa, err := stats.NewSharded(cfg, e.cfg.StatsShards, batch.Start, batch.End)
+			if err != nil {
+				return err
+			}
+			e.shacc = sa
+		} else if err := e.shacc.Reset(cfg, batch.Start, batch.End); err != nil {
+			return err
+		}
+		return e.shacc.AddAll(batch.Tuples, e.pool)
 	}
 	if e.acc == nil {
 		acc, err := stats.NewAccumulator(cfg, batch.Start, batch.End)
@@ -478,28 +387,13 @@ func (e *Engine) feedAccumulator(batch *tuple.Batch) error {
 	return nil
 }
 
-// feedSharded is feedAccumulator's parallel counterpart: the batch's
-// tuples route by key hash to per-shard accumulators that run Algorithm 1
-// concurrently on the worker pool.
-func (e *Engine) feedSharded(batch *tuple.Batch) error {
-	cfg := e.cfg.AccumConfig
-	if last := len(e.reports) - 1; last >= 0 {
-		// Seed estimates with the previous batch (N_Est, K_Avg).
-		if n := e.reports[last].Tuples; n > 0 {
-			cfg.EstimatedTuples = n
-		}
-		if k := e.reports[last].Keys; k > 0 {
-			cfg.EstimatedKeys = k
-		}
+// finalizeStats closes Algorithm 1 at the heartbeat, returning the
+// descending key list and batch statistics. Only finalization happens at
+// the release point — the per-tuple accumulation overlapped the batching
+// interval — so the partition stage times this call.
+func (e *Engine) finalizeStats() ([]stats.SortedKey, stats.BatchStats) {
+	if e.cfg.StatsShards > 1 {
+		return e.shacc.Finalize(e.pool)
 	}
-	if e.shacc == nil || e.shacc.Shards() != e.cfg.StatsShards {
-		sa, err := stats.NewSharded(cfg, e.cfg.StatsShards, batch.Start, batch.End)
-		if err != nil {
-			return err
-		}
-		e.shacc = sa
-	} else if err := e.shacc.Reset(cfg, batch.Start, batch.End); err != nil {
-		return err
-	}
-	return e.shacc.AddAll(batch.Tuples, e.pool)
+	return e.acc.Finalize()
 }

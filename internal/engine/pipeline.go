@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"prompt/internal/metrics"
+	"prompt/internal/partition"
+	"prompt/internal/stats"
+	"prompt/internal/tuple"
+)
+
+// timeNow is the pipeline's wall clock; tests freeze it to make the
+// measured partitioning cost (and everything downstream) deterministic.
+var timeNow = time.Now
+
+// defaultPipeline is the standard batch lifecycle. Engines copy it at
+// construction; future work can splice stages (e.g. a spill stage or a
+// pipelined-overlap boundary) without touching Step.
+func defaultPipeline() []Stage {
+	return []Stage{accumulateStage{}, partitionStage{}, processStage{}, commitStage{}}
+}
+
+// runPipeline drives one batch through the engine's stages, emitting
+// observer events around each. With no observer registered the loop
+// degenerates to plain sequential stage calls: no timings are recorded
+// and nothing beyond the stages' own work is allocated.
+func (e *Engine) runPipeline(ctx *BatchContext) error {
+	obs := e.cfg.Observer
+	if obs == nil {
+		for _, st := range e.pipeline {
+			if err := st.Run(e, ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	batchStart := timeNow()
+	obs.OnBatchStart(metrics.BatchStart{
+		Batch:  ctx.Index,
+		Start:  ctx.Batch.Start,
+		End:    ctx.Batch.End,
+		Tuples: len(ctx.Batch.Tuples),
+	})
+	ctx.Timings = make([]StageTiming, 0, len(e.pipeline))
+	for _, st := range e.pipeline {
+		stageStart := timeNow()
+		if err := st.Run(e, ctx); err != nil {
+			return err
+		}
+		timing := StageTiming{
+			Stage:     st.Name(),
+			Wall:      timeNow().Sub(stageStart),
+			Simulated: st.Simulated(ctx),
+		}
+		ctx.Timings = append(ctx.Timings, timing)
+		obs.OnStageEnd(metrics.StageEnd{
+			Batch:     ctx.Index,
+			Stage:     string(timing.Stage),
+			Wall:      timing.Wall,
+			Simulated: timing.Simulated,
+		})
+	}
+	obs.OnBatchEnd(metrics.BatchEnd{
+		Batch:      ctx.Index,
+		Wall:       timeNow().Sub(batchStart),
+		Tuples:     ctx.Report.Tuples,
+		Keys:       ctx.Report.Keys,
+		Processing: ctx.Report.ProcessingTime,
+		Latency:    ctx.Report.Latency,
+		Stable:     ctx.Report.Stable,
+	})
+	return nil
+}
+
+// --- Accumulate (Algorithm 1) -------------------------------------------
+
+// accumulateStage feeds the batch's tuples through the statistics
+// accumulator while the batch buffers. In post-sort mode it is a no-op:
+// the baseline buffers blindly and pays its sorting cost at the release
+// point, inside the partition stage's measured window.
+type accumulateStage struct{}
+
+func (accumulateStage) Name() StageName { return StageAccumulate }
+
+func (accumulateStage) Run(e *Engine, ctx *BatchContext) error {
+	switch e.cfg.Accum {
+	case FrequencyAware:
+		return e.accumulate(ctx.Batch)
+	case PostSortMode:
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown accumulation mode %v", e.cfg.Accum)
+	}
+}
+
+// Simulated is zero: per-tuple accumulation overlaps the batching
+// interval, so it charges nothing at the release point.
+func (accumulateStage) Simulated(*BatchContext) tuple.Time { return 0 }
+
+// --- Partition (Algorithm 2) --------------------------------------------
+
+// partitionStage finalizes the batch statistics (or post-sorts the raw
+// batch) and splits the batch into data blocks. Its measured wall time is
+// the partitioning cost charged against the early-release slack; the
+// excess becomes Overflow and delays processing.
+type partitionStage struct{}
+
+func (partitionStage) Name() StageName { return StagePartition }
+
+func (partitionStage) Run(e *Engine, ctx *BatchContext) error {
+	wallStart := timeNow()
+	switch e.cfg.Accum {
+	case FrequencyAware:
+		ctx.Sorted, ctx.Stats = e.finalizeStats()
+	case PostSortMode:
+		ctx.Sorted = stats.PostSort(ctx.Batch)
+		ctx.Stats = stats.BatchStats{
+			Tuples: ctx.Batch.Len(), Keys: len(ctx.Sorted),
+			Start: ctx.Batch.Start, End: ctx.Batch.End,
+		}
+	}
+
+	blocks, err := e.cfg.Partitioner.Partition(
+		partition.Input{Batch: ctx.Batch, Sorted: ctx.Sorted, Pool: e.pool}, e.cfg.MapTasks)
+	if err != nil {
+		return fmt.Errorf("engine: partitioning batch %d: %w", ctx.Index, err)
+	}
+	ctx.Blocks = blocks
+	ctx.PartitionTime = tuple.FromDuration(timeNow().Sub(wallStart))
+
+	if e.cfg.ValidateBatches {
+		parted := &tuple.Partitioned{Batch: ctx.Batch, Blocks: blocks, PartitionTime: ctx.PartitionTime}
+		if err := parted.Validate(); err != nil {
+			return fmt.Errorf("engine: batch %d: %w", ctx.Index, err)
+		}
+	}
+
+	slack := tuple.Time(float64(ctx.Interval) * e.cfg.EarlyReleaseFraction)
+	ctx.Overflow = ctx.PartitionTime - slack
+	if ctx.Overflow < 0 {
+		ctx.Overflow = 0
+	}
+	return nil
+}
+
+func (partitionStage) Simulated(ctx *BatchContext) tuple.Time { return ctx.PartitionTime }
+
+// --- Shuffle + Process (Algorithm 3) ------------------------------------
+
+// processStage runs one Map-Reduce job per query over the shared blocks:
+// Map tasks with local bucket assignment, the shuffle, and per-bucket
+// Reduce folds. Jobs run concurrently on the worker pool behind the
+// driver barrier; task sequence numbers are pre-assigned per query so
+// straggler injection afflicts the same tasks the sequential driver
+// would, and per-query results land in index-addressed slots for
+// deterministic merging.
+type processStage struct{}
+
+func (processStage) Name() StageName { return StageProcess }
+
+func (processStage) Run(e *Engine, ctx *BatchContext) error {
+	for _, bl := range ctx.Blocks {
+		// Warm the cardinality caches: concurrent jobs then share the
+		// blocks strictly read-only.
+		bl.Cardinality()
+	}
+	seqBase := e.taskSeq
+	perQuery := len(ctx.Blocks) + e.cfg.ReduceTasks
+	runs := make([]queryRun, len(e.queries))
+	qerrs := make([]error, len(e.queries))
+	e.pool.Do(len(e.queries), func(qi int) {
+		runs[qi], qerrs[qi] = e.runQuery(qi, ctx.Blocks, seqBase+qi*perQuery)
+	})
+	e.taskSeq = seqBase + len(e.queries)*perQuery
+	for qi, qerr := range qerrs {
+		if qerr != nil {
+			return fmt.Errorf("engine: batch %d query %d: %w", ctx.Index, qi, qerr)
+		}
+	}
+	ctx.runs = runs
+
+	processing := ctx.Overflow
+	for qi := range runs {
+		processing += runs[qi].mapMakespan + runs[qi].reduceMakespan
+	}
+	ctx.Processing = processing
+	return nil
+}
+
+func (processStage) Simulated(ctx *BatchContext) tuple.Time { return ctx.Processing }
+
+// --- Window commit -------------------------------------------------------
+
+// commitStage merges each query's batch output into its window state,
+// settles queueing and stability against the processing-pipeline
+// occupancy, and assembles the BatchReport.
+type commitStage struct{}
+
+func (commitStage) Name() StageName { return StageCommit }
+
+func (commitStage) Run(e *Engine, ctx *BatchContext) error {
+	// Window maintenance: each query's window merge is independent, so
+	// the merges run on the pool too.
+	aggErrs := make([]error, len(e.queries))
+	e.pool.Do(len(e.queries), func(qi int) {
+		e.lastResults[qi] = ctx.runs[qi].result
+		if e.aggs[qi] != nil {
+			aggErrs[qi] = e.aggs[qi].AddBatch(ctx.Batch.End, ctx.runs[qi].result)
+		}
+	})
+	for _, aggErr := range aggErrs {
+		if aggErr != nil {
+			return aggErr
+		}
+	}
+	primary := ctx.runs[0]
+
+	// Timing, queueing, stability: the batch becomes processable at the
+	// heartbeat and may wait for the previous batch's processing.
+	readyAt := ctx.Batch.End
+	startProc := readyAt
+	if e.procFree > startProc {
+		startProc = e.procFree
+	}
+	finish := startProc + ctx.Processing
+	e.procFree = finish
+
+	ctx.Report = BatchReport{
+		Index:             ctx.Index,
+		Start:             ctx.Batch.Start,
+		End:               ctx.Batch.End,
+		Tuples:            ctx.Stats.Tuples,
+		Keys:              ctx.Stats.Keys,
+		MapTasks:          e.cfg.MapTasks,
+		ReduceTasks:       e.cfg.ReduceTasks,
+		Cores:             e.cfg.Cores,
+		Quality:           metrics.EvaluateWithKeys(ctx.Blocks, e.cfg.MPIWeights, ctx.Stats.Keys),
+		BucketSizes:       primary.sizes,
+		BucketBSI:         metrics.BSISizes(primary.sizes),
+		PartitionTime:     ctx.PartitionTime,
+		PartitionOverflow: ctx.Overflow,
+		MapStageTime:      primary.mapMakespan,
+		ReduceStageTime:   primary.reduceMakespan,
+		ReduceTaskTimes:   primary.reduceDurations,
+		ProcessingTime:    ctx.Processing,
+		QueueWait:         startProc - readyAt,
+		Latency:           finish - ctx.Batch.Start,
+		W:                 float64(ctx.Processing) / float64(ctx.Interval),
+		Stable:            finish <= ctx.Batch.End+ctx.Interval,
+	}
+	return nil
+}
+
+func (commitStage) Simulated(*BatchContext) tuple.Time { return 0 }

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"time"
+
+	"prompt/internal/stats"
+	"prompt/internal/tuple"
+)
+
+// StageName identifies one step of the batch lifecycle.
+type StageName string
+
+// The four stages of the staged batch pipeline, in execution order. Each
+// maps onto one of the paper's extension points.
+const (
+	// StageAccumulate is the receiver/buffering step (Algorithm 1 when
+	// frequency-aware accumulation is on; a no-op for post-sort mode,
+	// whose sorting cost belongs to the partition stage).
+	StageAccumulate StageName = "accumulate"
+	// StagePartition finalizes batch statistics and splits the batch into
+	// data blocks (Algorithm 2 or a baseline). Its measured wall time is
+	// the partition time charged against the early-release slack.
+	StagePartition StageName = "partition"
+	// StageProcess runs every query's Map-Reduce job over the shared
+	// blocks: Map tasks, bucket assignment (Algorithm 3 or hashing),
+	// shuffle, and per-bucket Reduce folds.
+	StageProcess StageName = "process"
+	// StageCommit merges batch outputs into window state and closes the
+	// batch: queueing, latency, and stability accounting plus the final
+	// BatchReport.
+	StageCommit StageName = "commit"
+)
+
+// StageTiming is one stage's recorded cost for one batch: measured host
+// time and the virtual time the stage charged to the batch. Timings are
+// only collected when an observer is registered.
+type StageTiming struct {
+	Stage     StageName
+	Wall      time.Duration
+	Simulated tuple.Time
+}
+
+// BatchContext carries one micro-batch through the staged pipeline. Each
+// stage reads the products of its predecessors and fills in its own;
+// after the commit stage, Report holds the finished BatchReport. The
+// context lives for exactly one Engine.Step call.
+type BatchContext struct {
+	// Index is the batch sequence number (0-based).
+	Index int
+	// Batch is the raw input: tuples with timestamps in [Start, End).
+	Batch *tuple.Batch
+	// Interval is the batch's own interval length (End - Start). It
+	// normally equals Config.BatchInterval, but adaptive batch sizing may
+	// vary it per batch; stability accounting follows the actual value.
+	Interval tuple.Time
+
+	// Sorted and Stats are the accumulate/partition products: the
+	// descending key list and the batch input statistics.
+	Sorted []stats.SortedKey
+	Stats  stats.BatchStats
+
+	// Blocks, PartitionTime, and Overflow are the partition stage
+	// products: the data blocks, the measured partitioning cost in
+	// virtual time, and the part of it exceeding the early-release slack.
+	Blocks        []*tuple.Block
+	PartitionTime tuple.Time
+	Overflow      tuple.Time
+
+	// runs and Processing are the process stage products: each query's
+	// job outcome and the total simulated processing time (overflow plus
+	// all stage makespans).
+	runs       []queryRun
+	Processing tuple.Time
+
+	// Timings records per-stage costs when an observer is registered;
+	// nil otherwise (the no-observer hot path allocates nothing extra).
+	Timings []StageTiming
+
+	// Report is the finished batch report, filled by the commit stage.
+	Report BatchReport
+}
+
+// Stage is one composable step of the batch pipeline. Stages run in order
+// on the driver goroutine; a stage may fan work out to the engine's
+// worker pool, but all BatchContext mutation happens between stages'
+// sequential Run calls.
+type Stage interface {
+	// Name identifies the stage in timings and observer events.
+	Name() StageName
+	// Run executes the stage for one batch.
+	Run(e *Engine, ctx *BatchContext) error
+	// Simulated reports the virtual time the stage charged to the batch,
+	// read after Run for observer events.
+	Simulated(ctx *BatchContext) tuple.Time
+}

@@ -1,0 +1,289 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"prompt/internal/tuple"
+)
+
+// BatchStart announces a micro-batch entering the staged pipeline.
+type BatchStart struct {
+	// Batch is the batch sequence number (0-based).
+	Batch int
+	// Start and End bound the batch interval in virtual time.
+	Start, End tuple.Time
+	// Tuples is the batch input size.
+	Tuples int
+}
+
+// StageEnd reports one completed pipeline stage of one batch.
+type StageEnd struct {
+	// Batch is the batch sequence number.
+	Batch int
+	// Stage names the pipeline stage ("accumulate", "partition",
+	// "process", "commit").
+	Stage string
+	// Wall is the measured host time the stage took.
+	Wall time.Duration
+	// Simulated is the virtual time the stage charged to the batch:
+	// the partition time for the partition stage, the processing time
+	// (partition overflow + stage makespans across all query jobs) for
+	// the process stage, zero for stages that overlap the batching
+	// interval or only commit state.
+	Simulated tuple.Time
+}
+
+// BatchEnd reports a batch leaving the pipeline with its headline outcome.
+type BatchEnd struct {
+	// Batch is the batch sequence number.
+	Batch int
+	// Wall is the measured host time for the whole pipeline pass.
+	Wall time.Duration
+	// Tuples and Keys are the batch input statistics.
+	Tuples int
+	Keys   int
+	// Processing and Latency are the simulated outcome times.
+	Processing tuple.Time
+	Latency    tuple.Time
+	// Stable reports whether the batch finished within its interval.
+	Stable bool
+}
+
+// Observer receives batch-lifecycle events from the staged pipeline.
+// Implementations must be cheap: callbacks run on the driver goroutine
+// between stages, so a slow observer stretches real batch latency (never
+// the simulated reports). Callbacks are never invoked concurrently for
+// one engine, but an observer shared between engines must synchronize.
+type Observer interface {
+	// OnBatchStart fires before the first stage of a batch runs.
+	OnBatchStart(BatchStart)
+	// OnStageEnd fires after each pipeline stage completes.
+	OnStageEnd(StageEnd)
+	// OnBatchEnd fires after the last stage committed the batch.
+	OnBatchEnd(BatchEnd)
+}
+
+// MultiObserver fans every lifecycle event out to several observers in
+// order. The engine treats a nil or empty MultiObserver like no observer.
+type MultiObserver []Observer
+
+// OnBatchStart implements Observer.
+func (m MultiObserver) OnBatchStart(b BatchStart) {
+	for _, o := range m {
+		o.OnBatchStart(b)
+	}
+}
+
+// OnStageEnd implements Observer.
+func (m MultiObserver) OnStageEnd(s StageEnd) {
+	for _, o := range m {
+		o.OnStageEnd(s)
+	}
+}
+
+// OnBatchEnd implements Observer.
+func (m MultiObserver) OnBatchEnd(b BatchEnd) {
+	for _, o := range m {
+		o.OnBatchEnd(b)
+	}
+}
+
+// StageStats summarizes every observation of one pipeline stage.
+type StageStats struct {
+	Stage string `json:"stage"`
+	// Count is the number of batches the stage ran for.
+	Count int `json:"count"`
+	// WallMin/WallMean/WallMax aggregate the measured host time.
+	WallMin  time.Duration `json:"wall_min_ns"`
+	WallMean time.Duration `json:"wall_mean_ns"`
+	WallMax  time.Duration `json:"wall_max_ns"`
+	// SimMin/SimMean/SimMax aggregate the simulated time charged.
+	SimMin  tuple.Time `json:"sim_min_us"`
+	SimMean tuple.Time `json:"sim_mean_us"`
+	SimMax  tuple.Time `json:"sim_max_us"`
+}
+
+// stageAgg is the running aggregate behind one StageStats.
+type stageAgg struct {
+	count            int
+	wallSum          time.Duration
+	wallMin, wallMax time.Duration
+	simSum           tuple.Time
+	simMin, simMax   tuple.Time
+}
+
+func (a *stageAgg) add(wall time.Duration, sim tuple.Time) {
+	if a.count == 0 || wall < a.wallMin {
+		a.wallMin = wall
+	}
+	if wall > a.wallMax {
+		a.wallMax = wall
+	}
+	if a.count == 0 || sim < a.simMin {
+		a.simMin = sim
+	}
+	if sim > a.simMax {
+		a.simMax = sim
+	}
+	a.count++
+	a.wallSum += wall
+	a.simSum += sim
+}
+
+func (a *stageAgg) stats(stage string) StageStats {
+	s := StageStats{
+		Stage:   stage,
+		Count:   a.count,
+		WallMin: a.wallMin, WallMax: a.wallMax,
+		SimMin: a.simMin, SimMax: a.simMax,
+	}
+	if a.count > 0 {
+		s.WallMean = a.wallSum / time.Duration(a.count)
+		s.SimMean = a.simSum / tuple.Time(a.count)
+	}
+	return s
+}
+
+// CollectorSummary is the batch-level roll-up a Collector maintains next
+// to its per-stage aggregates.
+type CollectorSummary struct {
+	Batches  int `json:"batches"`
+	Tuples   int `json:"tuples"`
+	Unstable int `json:"unstable"`
+	// Wall is the total measured host time across all observed batches.
+	Wall time.Duration `json:"wall_ns"`
+}
+
+// Collector is the built-in Observer: it keeps per-stage counters and
+// min/mean/max wall and simulated timings plus a batch-level summary, and
+// exports them as JSON or CSV. A Collector is safe for concurrent use and
+// may be shared between engines.
+type Collector struct {
+	mu      sync.Mutex
+	stages  map[string]*stageAgg
+	order   []string // first-seen stage order, the pipeline order
+	summary CollectorSummary
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{stages: make(map[string]*stageAgg)}
+}
+
+// OnBatchStart implements Observer.
+func (c *Collector) OnBatchStart(BatchStart) {}
+
+// OnStageEnd implements Observer.
+func (c *Collector) OnStageEnd(s StageEnd) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg, ok := c.stages[s.Stage]
+	if !ok {
+		agg = &stageAgg{}
+		c.stages[s.Stage] = agg
+		c.order = append(c.order, s.Stage)
+	}
+	agg.add(s.Wall, s.Simulated)
+}
+
+// OnBatchEnd implements Observer.
+func (c *Collector) OnBatchEnd(b BatchEnd) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.summary.Batches++
+	c.summary.Tuples += b.Tuples
+	c.summary.Wall += b.Wall
+	if !b.Stable {
+		c.summary.Unstable++
+	}
+}
+
+// Reset clears all collected aggregates.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stages = make(map[string]*stageAgg)
+	c.order = nil
+	c.summary = CollectorSummary{}
+}
+
+// Summary returns the batch-level roll-up.
+func (c *Collector) Summary() CollectorSummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.summary
+}
+
+// Snapshot returns the per-stage statistics in pipeline (first-seen)
+// order.
+func (c *Collector) Snapshot() []StageStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]StageStats, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, c.stages[name].stats(name))
+	}
+	return out
+}
+
+// StageNames returns the observed stage names sorted alphabetically.
+func (c *Collector) StageNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := append([]string(nil), c.order...)
+	sort.Strings(names)
+	return names
+}
+
+// collectorExport is the JSON shape WriteJSON emits.
+type collectorExport struct {
+	Summary CollectorSummary `json:"summary"`
+	Stages  []StageStats     `json:"stages"`
+}
+
+// WriteJSON exports the summary and per-stage statistics as indented
+// JSON.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	exp := collectorExport{Summary: c.Summary(), Stages: c.Snapshot()}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(exp)
+}
+
+// WriteCSV exports the per-stage statistics as CSV with a header row.
+// Wall columns are nanoseconds; simulated columns are virtual
+// microseconds.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"stage", "count",
+		"wall_min_ns", "wall_mean_ns", "wall_max_ns",
+		"sim_min_us", "sim_mean_us", "sim_max_us",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: writing collector CSV header: %w", err)
+	}
+	for _, s := range c.Snapshot() {
+		row := []string{
+			s.Stage, strconv.Itoa(s.Count),
+			strconv.FormatInt(int64(s.WallMin), 10),
+			strconv.FormatInt(int64(s.WallMean), 10),
+			strconv.FormatInt(int64(s.WallMax), 10),
+			strconv.FormatInt(int64(s.SimMin), 10),
+			strconv.FormatInt(int64(s.SimMean), 10),
+			strconv.FormatInt(int64(s.SimMax), 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: writing collector CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"prompt/internal/tuple"
+)
+
+func feed(c *Collector) {
+	c.OnBatchStart(BatchStart{Batch: 0, Tuples: 10})
+	c.OnStageEnd(StageEnd{Batch: 0, Stage: "partition", Wall: 2 * time.Millisecond, Simulated: 2000})
+	c.OnStageEnd(StageEnd{Batch: 0, Stage: "process", Wall: 8 * time.Millisecond, Simulated: 9000})
+	c.OnBatchEnd(BatchEnd{Batch: 0, Tuples: 10, Keys: 3, Stable: true, Wall: 10 * time.Millisecond})
+	c.OnBatchStart(BatchStart{Batch: 1, Tuples: 20})
+	c.OnStageEnd(StageEnd{Batch: 1, Stage: "partition", Wall: 4 * time.Millisecond, Simulated: 4000})
+	c.OnStageEnd(StageEnd{Batch: 1, Stage: "process", Wall: 4 * time.Millisecond, Simulated: 5000})
+	c.OnBatchEnd(BatchEnd{Batch: 1, Tuples: 20, Keys: 5, Stable: false, Wall: 9 * time.Millisecond})
+}
+
+func TestCollectorStats(t *testing.T) {
+	c := NewCollector()
+	feed(c)
+
+	snap := c.Snapshot()
+	want := []StageStats{
+		{
+			Stage: "partition", Count: 2,
+			WallMin: 2 * time.Millisecond, WallMean: 3 * time.Millisecond, WallMax: 4 * time.Millisecond,
+			SimMin: 2000, SimMean: 3000, SimMax: 4000,
+		},
+		{
+			Stage: "process", Count: 2,
+			WallMin: 4 * time.Millisecond, WallMean: 6 * time.Millisecond, WallMax: 8 * time.Millisecond,
+			SimMin: 5000, SimMean: 7000, SimMax: 9000,
+		},
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("Snapshot() = %+v\nwant %+v", snap, want)
+	}
+	sum := c.Summary()
+	if sum.Batches != 2 || sum.Tuples != 30 || sum.Unstable != 1 || sum.Wall != 19*time.Millisecond {
+		t.Errorf("Summary() = %+v", sum)
+	}
+	if names := c.StageNames(); !reflect.DeepEqual(names, []string{"partition", "process"}) {
+		t.Errorf("StageNames() = %v", names)
+	}
+
+	c.Reset()
+	if len(c.Snapshot()) != 0 || c.Summary().Batches != 0 {
+		t.Error("Reset did not clear the collector")
+	}
+}
+
+func TestCollectorJSONExport(t *testing.T) {
+	c := NewCollector()
+	feed(c)
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Summary CollectorSummary `json:"summary"`
+		Stages  []StageStats     `json:"stages"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Summary.Batches != 2 || len(decoded.Stages) != 2 {
+		t.Errorf("decoded export = %+v", decoded)
+	}
+	if decoded.Stages[0].Stage != "partition" || decoded.Stages[0].SimMean != 3000 {
+		t.Errorf("decoded stage[0] = %+v", decoded.Stages[0])
+	}
+}
+
+func TestCollectorCSVExport(t *testing.T) {
+	c := NewCollector()
+	feed(c)
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("WriteCSV produced invalid CSV: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("CSV has %d rows, want header + 2 stages", len(rows))
+	}
+	if rows[0][0] != "stage" || len(rows[0]) != 8 {
+		t.Errorf("CSV header = %v", rows[0])
+	}
+	if rows[1][0] != "partition" || rows[1][1] != "2" {
+		t.Errorf("CSV row 1 = %v", rows[1])
+	}
+}
+
+func TestMultiObserverFansOut(t *testing.T) {
+	a, b := NewCollector(), NewCollector()
+	var obs Observer = MultiObserver{a, b}
+	obs.OnBatchStart(BatchStart{Batch: 0})
+	obs.OnStageEnd(StageEnd{Batch: 0, Stage: "partition", Wall: time.Millisecond, Simulated: 1000})
+	obs.OnBatchEnd(BatchEnd{Batch: 0, Tuples: 7, Stable: true})
+	for i, c := range []*Collector{a, b} {
+		if c.Summary().Batches != 1 || c.Summary().Tuples != 7 {
+			t.Errorf("observer %d summary = %+v", i, c.Summary())
+		}
+		if len(c.Snapshot()) != 1 {
+			t.Errorf("observer %d saw %d stages", i, len(c.Snapshot()))
+		}
+	}
+}
+
+func TestCollectorConcurrentSafety(t *testing.T) {
+	c := NewCollector()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				c.OnStageEnd(StageEnd{Batch: i, Stage: "process", Wall: time.Duration(g+1) * time.Microsecond, Simulated: tuple.Time(i)})
+				c.OnBatchEnd(BatchEnd{Batch: i, Tuples: 1, Stable: true})
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := c.Summary().Batches; got != 400 {
+		t.Errorf("concurrent batches = %d, want 400", got)
+	}
+	if snap := c.Snapshot(); len(snap) != 1 || snap[0].Count != 400 {
+		t.Errorf("concurrent snapshot = %+v", snap)
+	}
+}

@@ -103,6 +103,11 @@ func (m *MultiStream) HasWindow(i int) (bool, error) {
 // negative = GOMAXPROCS).
 func (m *MultiStream) SetWorkers(workers int) error { return m.eng.SetWorkers(workers) }
 
+// SetObserver installs (or, with nil, removes) a batch-lifecycle observer
+// for subsequent batches; see Observer and Collector. Observers never
+// influence reports.
+func (m *MultiStream) SetObserver(obs Observer) { m.eng.SetObserver(obs) }
+
 // Reports returns all batch reports since the stream started.
 func (m *MultiStream) Reports() []BatchReport { return m.eng.Reports() }
 

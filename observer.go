@@ -1,0 +1,39 @@
+package prompt
+
+import "prompt/internal/metrics"
+
+// Observer receives batch-lifecycle events from the staged pipeline:
+// OnBatchStart before the first stage of each batch, OnStageEnd after
+// every stage (accumulate, partition, process, commit) with measured wall
+// and simulated timings, and OnBatchEnd with the batch outcome. Register
+// one with Config.Observer or WithObserver. Callbacks run on the driver
+// goroutine between stages, so they must be cheap; they never influence
+// reports. With no observer registered the pipeline records no timings
+// and adds no allocations to the hot path.
+type Observer = metrics.Observer
+
+// BatchStart, StageEnd, and BatchEnd are the observer event payloads.
+type (
+	BatchStart = metrics.BatchStart
+	StageEnd   = metrics.StageEnd
+	BatchEnd   = metrics.BatchEnd
+)
+
+// Collector is the built-in Observer: per-stage counters with
+// min/mean/max wall and simulated timings, a batch-level summary, and
+// JSON/CSV export. It is safe for concurrent use and may be shared
+// between streams.
+type Collector = metrics.Collector
+
+// StageStats is one stage's aggregate in a Collector snapshot.
+type StageStats = metrics.StageStats
+
+// CollectorSummary is the Collector's batch-level roll-up.
+type CollectorSummary = metrics.CollectorSummary
+
+// NewCollector returns an empty Collector, ready to pass to WithObserver.
+func NewCollector() *Collector { return metrics.NewCollector() }
+
+// MultiObserver fans lifecycle events out to several observers in order.
+// WithObserver composes one automatically when called more than once.
+type MultiObserver = metrics.MultiObserver

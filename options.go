@@ -110,6 +110,26 @@ func WithEarlyRelease(fraction float64) Option {
 	}
 }
 
+// WithObserver registers a batch-lifecycle observer (see Observer and
+// Collector). Calling it more than once composes the observers: each
+// receives every event in registration order.
+func WithObserver(obs Observer) Option {
+	return func(c *Config) error {
+		if obs == nil {
+			return fmt.Errorf("%w: WithObserver(nil): observer must not be nil", ErrBadConfig)
+		}
+		switch prev := c.Observer.(type) {
+		case nil:
+			c.Observer = obs
+		case MultiObserver:
+			c.Observer = append(prev, obs)
+		default:
+			c.Observer = MultiObserver{prev, obs}
+		}
+		return nil
+	}
+}
+
 // WithValidation toggles per-batch invariant checking.
 func WithValidation(on bool) Option {
 	return func(c *Config) error {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"prompt/internal/core"
-	"prompt/internal/partition"
 )
 
 // Scheme selects a partitioning technique. The zero value selects Prompt.
@@ -64,7 +63,9 @@ func ParseScheme(name string) (Scheme, error) {
 	return Scheme(sch.Name), nil
 }
 
-// Schemes returns every accepted scheme in deterministic order.
+// Schemes returns every registered scheme in deterministic (sorted)
+// order. The set is sourced from the core registry, so schemes added via
+// core.Register appear here without further wiring.
 func Schemes() []Scheme {
 	names := SchemeNames()
 	out := make([]Scheme, len(names))
@@ -74,10 +75,10 @@ func Schemes() []Scheme {
 	return out
 }
 
-// SchemeNames lists the accepted scheme names as strings, for flag help
-// texts and legacy callers.
+// SchemeNames lists the registered scheme names as sorted strings, for
+// flag help texts and legacy callers.
 func SchemeNames() []string {
-	return append(partition.Names(), string(SchemePromptPostSort))
+	return core.Names()
 }
 
 // resolve turns the configured scheme into its internal bundle.

@@ -1,0 +1,87 @@
+package prompt_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"prompt"
+)
+
+// TestSchemeRoundTrip: every registered scheme name must parse back to
+// itself via ParseScheme, so the registry and the parser can never drift.
+func TestSchemeRoundTrip(t *testing.T) {
+	names := prompt.SchemeNames()
+	if len(names) == 0 {
+		t.Fatal("SchemeNames() is empty")
+	}
+	for _, name := range names {
+		got, err := prompt.ParseScheme(name)
+		if err != nil {
+			t.Errorf("ParseScheme(%q) failed: %v", name, err)
+			continue
+		}
+		if got.String() != name {
+			t.Errorf("ParseScheme(%q) = %q, want the same name back", name, got)
+		}
+	}
+	for i, s := range prompt.Schemes() {
+		if s.String() != names[i] {
+			t.Errorf("Schemes()[%d] = %q, want %q", i, s, names[i])
+		}
+	}
+}
+
+// TestParseSchemeUnknownListsAllNames: an unknown-scheme error must
+// enumerate every registered name so users can self-serve the fix.
+func TestParseSchemeUnknownListsAllNames(t *testing.T) {
+	_, err := prompt.ParseScheme("no-such-scheme")
+	if err == nil {
+		t.Fatal("ParseScheme accepted an unknown name")
+	}
+	if !errors.Is(err, prompt.ErrBadConfig) {
+		t.Errorf("error does not wrap ErrBadConfig: %v", err)
+	}
+	for _, name := range prompt.SchemeNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not mention registered scheme %q", err, name)
+		}
+	}
+}
+
+// FuzzParseScheme checks ParseScheme's contract on arbitrary input: it
+// either returns a registered canonical scheme or an error wrapping
+// ErrBadConfig — never both, never neither.
+func FuzzParseScheme(f *testing.F) {
+	for _, name := range prompt.SchemeNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("nosuch")
+	f.Add("PROMPT")
+	f.Add("prompt ")
+	registered := make(map[string]bool)
+	for _, name := range prompt.SchemeNames() {
+		registered[name] = true
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		s, err := prompt.ParseScheme(name)
+		if err != nil {
+			if !errors.Is(err, prompt.ErrBadConfig) {
+				t.Errorf("ParseScheme(%q) error does not wrap ErrBadConfig: %v", name, err)
+			}
+			if s != "" {
+				t.Errorf("ParseScheme(%q) returned both a scheme %q and an error", name, s)
+			}
+			return
+		}
+		if !registered[s.String()] {
+			t.Errorf("ParseScheme(%q) = %q, which is not a registered scheme", name, s)
+		}
+		// Successful parses must be stable under a second round trip.
+		again, err := prompt.ParseScheme(s.String())
+		if err != nil || again != s {
+			t.Errorf("round trip of %q failed: %q, %v", s, again, err)
+		}
+	})
+}

@@ -87,6 +87,11 @@ func (s *Stream) SetCores(cores int) error { return s.eng.SetCores(cores) }
 // driver, negative selects GOMAXPROCS. Reports are unaffected.
 func (s *Stream) SetWorkers(workers int) error { return s.eng.SetWorkers(workers) }
 
+// SetObserver installs (or, with nil, removes) a batch-lifecycle observer
+// for subsequent batches; see Observer and Collector. Observers never
+// influence reports.
+func (s *Stream) SetObserver(obs Observer) { s.eng.SetObserver(obs) }
+
 // Engine exposes the underlying engine for advanced integrations (the
 // benchmark harness and the elastic driver use it).
 func (s *Stream) Engine() *engine.Engine { return s.eng }
