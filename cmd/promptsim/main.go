@@ -5,6 +5,8 @@
 //	promptsim -scheme prompt -dataset tweets -rate 200000 -batches 20
 //	promptsim -scheme time -rate-shape sin -amplitude 0.6
 //	promptsim -scheme prompt -elastic -rate-shape ramp -rate 50000 -rate-to 400000
+//	promptsim -scheme prompt -faults "kill@3:cores=2,after=40ms;lose@7:fails=1"
+//	promptsim -scheme prompt -fault-seed 5
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"prompt/internal/elastic"
 	"prompt/internal/engine"
 	"prompt/internal/experiment"
+	"prompt/internal/fault"
 	"prompt/internal/metrics"
 	"prompt/internal/tuple"
 	"prompt/internal/window"
@@ -45,6 +48,8 @@ func main() {
 		csvOut      = flag.String("csv", "", "also write the per-batch reports as CSV to this file")
 		trace       = flag.Bool("trace", false, "attach the per-stage lifecycle collector and print stage timings")
 		traceJSON   = flag.String("trace-json", "", "with -trace, also write the collector snapshot as JSON to this file")
+		faults      = flag.String("faults", "", "fault plan script, e.g. \"kill@3:cores=2,after=40ms;straggle@5:factor=8;lose@7:fails=1\"")
+		faultSeed   = flag.Int64("fault-seed", 0, "generate a random fault plan from this seed (ignored with -faults)")
 	)
 	flag.Parse()
 
@@ -107,6 +112,19 @@ func main() {
 		Cost:          params.Cost,
 	}
 	cfg = scheme.Apply(cfg)
+	var plan *fault.Plan
+	switch {
+	case *faults != "":
+		p, err := fault.ParsePlan(*faults)
+		if err != nil {
+			fatal(err)
+		}
+		plan = p
+	case *faultSeed != 0:
+		plan = fault.RandomPlan(*faultSeed, *batches, 4)
+		fmt.Printf("fault plan (seed %d): %s\n", *faultSeed, plan)
+	}
+	cfg.Faults = plan
 	var col *metrics.Collector
 	if *trace {
 		col = metrics.NewCollector()
@@ -144,19 +162,41 @@ func main() {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "scheme=%s dataset=%s interval=%v\n", scheme.Name, srcName, interval)
-	fmt.Fprintln(tw, "batch\ttuples\tkeys\tproc(ms)\twait(ms)\tW\tp\tr\tcores\tBSI\tBCI\tKSR\tstable")
+	header := "batch\ttuples\tkeys\tproc(ms)\twait(ms)\tW\tp\tr\tcores\tBSI\tBCI\tKSR\tstable"
+	if plan != nil {
+		header += "\tretry\trecov(ms)"
+	}
+	fmt.Fprintln(tw, header)
 	for _, r := range reports {
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.1f\t%.2f\t%d\t%d\t%d\t%.0f\t%.0f\t%.3f\t%v\n",
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.1f\t%.2f\t%d\t%d\t%d\t%.0f\t%.0f\t%.3f\t%v",
 			r.Index, r.Tuples, r.Keys,
 			float64(r.ProcessingTime)/1000, float64(r.QueueWait)/1000, r.W,
 			r.MapTasks, r.ReduceTasks, r.Cores,
 			r.Quality.BSI, r.Quality.BCI, r.Quality.KSR, r.Stable)
+		if plan != nil {
+			fmt.Fprintf(tw, "\t%d\t%.1f", r.TaskRetries, float64(r.RecoveryTime)/1000)
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
 
 	s := engine.Summarize(reports)
 	fmt.Printf("\nsummary: %d batches, %d tuples, throughput %.0f/s, mean proc %v, max latency %v, unstable %d\n",
 		s.Batches, s.Tuples, s.Throughput, s.MeanProcessing, s.MaxLatency, s.UnstableCount)
+	if plan != nil {
+		var retries, recoveries, coresLost int
+		var recTime tuple.Time
+		for _, r := range reports {
+			retries += r.TaskRetries
+			if r.RecoveryAttempts > 0 {
+				recoveries++
+			}
+			recTime += r.RecoveryTime
+			coresLost = r.CoresLost
+		}
+		fmt.Printf("faults: %d task retries, %d batch outputs recovered (%v simulated recovery), %d cores still down\n",
+			retries, recoveries, recTime, coresLost)
+	}
 
 	if col != nil {
 		fmt.Println("\nper-stage lifecycle timings (wall = host time, sim = virtual time):")

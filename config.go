@@ -49,6 +49,12 @@ type Config struct {
 	// per-stage timings, batch end); see Observer and Collector. Nil —
 	// the default — keeps the pipeline instrumentation-free.
 	Observer Observer
+	// Faults, when set, scripts deterministic failure injection for the
+	// run; see FaultPlan and WithFaultPlan. Nil runs fault-free.
+	Faults *FaultPlan
+	// Retry tunes the recovery response to injected faults; the zero
+	// value selects the defaults. See RetryPolicy.
+	Retry RetryPolicy
 }
 
 // build resolves the configuration into an engine config and scheme.
@@ -74,6 +80,8 @@ func (c Config) build() (engine.Config, core.Scheme, error) {
 		EarlyReleaseFraction: c.EarlyReleaseFraction,
 		ValidateBatches:      c.Validate,
 		Observer:             c.Observer,
+		Faults:               c.Faults,
+		Retry:                c.Retry,
 	}
 	ec = scheme.Apply(ec)
 	return ec, scheme, nil

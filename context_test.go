@@ -1,0 +1,192 @@
+package prompt_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prompt"
+
+	"prompt/internal/workload"
+)
+
+// TestRunContextCancelledMidBatch cancels from inside the Map function —
+// the worst case: the pipeline is mid-barrier on the worker pool — and
+// asserts the run stops before committing the in-flight batch, i.e.
+// within one batch interval of simulated work.
+func TestRunContextCancelledMidBatch(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var seen atomic.Int64
+		q := prompt.PerBatch("cancelling",
+			func(tp prompt.Tuple) (float64, bool) {
+				if seen.Add(1) == 500 {
+					cancel()
+				}
+				return 1, true
+			},
+			func(a, b float64) float64 { return a + b }, nil)
+		st, err := prompt.New(prompt.Config{
+			BatchInterval: time.Second,
+			MapTasks:      4,
+			ReduceTasks:   4,
+			Workers:       workers,
+		}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := workload.Tweets(workload.ConstantRate(5000),
+			workload.DatasetDefaults{Cardinality: 300, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps, rerr := st.RunContext(ctx, func(start, end prompt.Time) ([]prompt.Tuple, error) {
+			return src.Slice(start, end)
+		}, 10)
+		if !errors.Is(rerr, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, rerr)
+		}
+		// The cancel fires during batch 0's Map stage: nothing commits.
+		if len(reps) != 0 {
+			t.Errorf("workers=%d: %d batches committed after mid-batch cancel, want 0", workers, len(reps))
+		}
+		if len(st.Reports()) != 0 {
+			t.Errorf("workers=%d: stream kept %d reports", workers, len(st.Reports()))
+		}
+	}
+}
+
+// TestRunContextLeavesNoGoroutines pins the leak bound: after a
+// cancelled parallel run, the process returns to its baseline goroutine
+// count (the pool drains instead of abandoning workers).
+func TestRunContextLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var seen atomic.Int64
+		q := prompt.PerBatch("leakcheck",
+			func(tp prompt.Tuple) (float64, bool) {
+				if seen.Add(1) == 100 {
+					cancel()
+				}
+				return 1, true
+			},
+			func(a, b float64) float64 { return a + b }, nil)
+		st, err := prompt.New(prompt.Config{Workers: 8, MapTasks: 8, ReduceTasks: 8}, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src, err := workload.Tweets(workload.ConstantRate(5000),
+			workload.DatasetDefaults{Cardinality: 300, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, rerr := st.RunContext(ctx, func(start, end prompt.Time) ([]prompt.Tuple, error) {
+			return src.Slice(start, end)
+		}, 5); !errors.Is(rerr, context.Canceled) {
+			t.Fatalf("run %d: err = %v, want context.Canceled", i, rerr)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancelled runs", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestProcessBatchContextPreCancelled checks the fast path: an already
+// cancelled context stops the batch before any source work and the
+// stream stays usable with a live context afterwards.
+func TestProcessBatchContextPreCancelled(t *testing.T) {
+	st := testStream(t, prompt.SchemePrompt)
+	src := tweetsSource(t, 3000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	ts, err := src.Slice(0, prompt.Time(1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ProcessBatchContext(ctx, ts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := st.Now(); got != 0 {
+		t.Fatalf("cancelled batch advanced the clock to %v", got)
+	}
+	rep, err := st.ProcessBatchContext(context.Background(), ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Index != 0 || rep.Tuples == 0 {
+		t.Errorf("recovered batch report = %+v, want index 0 with tuples", rep)
+	}
+}
+
+// TestMultiStreamRunContext drives the multi-query surface through the
+// same context plumbing.
+func TestMultiStreamRunContext(t *testing.T) {
+	ms, err := prompt.NewMulti(prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      4,
+		ReduceTasks:   4,
+	},
+		prompt.SlidingSum("sum", 5*time.Second, time.Second),
+		prompt.PerBatch("count", func(prompt.Tuple) (float64, bool) { return 1, true },
+			func(a, b float64) float64 { return a + b }, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tweetsSource(t, 3000)
+	reps, err := ms.RunContext(context.Background(), func(start, end prompt.Time) ([]prompt.Tuple, error) {
+		return src.Slice(start, end)
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reps))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ms.RunContext(ctx, func(start, end prompt.Time) ([]prompt.Tuple, error) {
+		return src.Slice(start, end)
+	}, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := len(ms.Reports()); got != 3 {
+		t.Fatalf("cancelled run changed report count to %d", got)
+	}
+}
+
+// TestFixedBatches covers the slice-backed source adapter.
+func TestFixedBatches(t *testing.T) {
+	st := testStream(t, prompt.SchemePrompt)
+	mk := func(start prompt.Time) []prompt.Tuple {
+		out := make([]prompt.Tuple, 100)
+		for i := range out {
+			out[i] = prompt.NewTuple(start+prompt.Time(i), "k", 1)
+		}
+		return out
+	}
+	reps, err := st.Run(prompt.FixedBatches(mk(0), mk(prompt.Time(1_000_000))), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[1].Index != 1 {
+		t.Fatalf("fixed-batch run reports = %+v", reps)
+	}
+	if _, err := st.Run(prompt.FixedBatches(), 1); err == nil {
+		t.Error("exhausted source did not error")
+	}
+}

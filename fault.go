@@ -1,0 +1,89 @@
+package prompt
+
+import (
+	"fmt"
+
+	"prompt/internal/fault"
+)
+
+// FaultPlan is a deterministic, seeded script of failures to inject into
+// a run: executor kills, task stragglers, and batch-output losses. Build
+// one programmatically from FaultEvent values or parse the compact text
+// grammar with ParseFaultPlan. The same plan against the same input
+// produces the same failures — and, by the recovery invariant, the same
+// windowed answers as a fault-free run.
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scripted failure; see the fault-kind constants.
+type FaultEvent = fault.Event
+
+// The fault kinds a plan can script.
+const (
+	// KillExecutor removes Cores simulated cores After virtual time into
+	// the batch's Map stage; mid-flight tasks are retried on survivors.
+	KillExecutor = fault.KillExecutor
+	// StraggleTask multiplies one task's simulated duration by Factor.
+	StraggleTask = fault.StraggleTask
+	// LoseBatchOutput drops the batch's in-memory output after the
+	// process stage; the engine recomputes it from the input replica.
+	LoseBatchOutput = fault.LoseBatchOutput
+)
+
+// RetryPolicy tunes the engine's response to failures: how many
+// recomputation attempts a lost output gets (MaxAttempts), the simulated
+// backoff between attempts (Backoff, BackoffFactor), and the speculative
+// re-execution threshold for stragglers (SpeculativeAfter). The zero
+// value selects the defaults; see WithRetryPolicy.
+type RetryPolicy = fault.RetryPolicy
+
+// ParseFaultPlan parses the compact fault-plan grammar:
+//
+//	seed=7;kill@3:node=1,cores=2,after=40ms;straggle@5:stage=map,task=0,factor=8;lose@6:fails=1
+//
+// Events are ';'-separated as kind@batch:key=value,...; String on the
+// returned plan round-trips exactly. Errors wrap ErrBadConfig.
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	p, err := fault.ParsePlan(s)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return p, nil
+}
+
+// WithFaultPlan injects the scripted failures into the run; nil clears a
+// previously set plan. The plan is validated eagerly.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *Config) error {
+		if p != nil {
+			if err := p.Validate(); err != nil {
+				return fmt.Errorf("%w: WithFaultPlan: %v", ErrBadConfig, err)
+			}
+		}
+		c.Faults = p
+		return nil
+	}
+}
+
+// WithFaultScript is WithFaultPlan(ParseFaultPlan(s)).
+func WithFaultScript(s string) Option {
+	return func(c *Config) error {
+		p, err := ParseFaultPlan(s)
+		if err != nil {
+			return fmt.Errorf("WithFaultScript: %w", err)
+		}
+		c.Faults = p
+		return nil
+	}
+}
+
+// WithRetryPolicy tunes the recovery response to injected faults; the
+// policy is validated eagerly (after defaulting zero fields).
+func WithRetryPolicy(rp RetryPolicy) Option {
+	return func(c *Config) error {
+		if err := rp.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("%w: WithRetryPolicy: %v", ErrBadConfig, err)
+		}
+		c.Retry = rp
+		return nil
+	}
+}

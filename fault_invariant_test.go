@@ -1,0 +1,214 @@
+// The keystone recovery invariant of the fault-injection harness: for
+// every registered partitioning scheme, a run under any seeded fault plan
+// produces exactly the fault-free windowed answers — kills, stragglers,
+// and output losses may change timings, never results.
+package prompt_test
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"prompt"
+
+	"prompt/internal/fault"
+	"prompt/internal/workload"
+)
+
+// faultedStream builds a WordCount stream for the scheme with the given
+// plan (nil = fault-free) and worker count.
+func faultedStream(t *testing.T, scheme prompt.Scheme, plan *prompt.FaultPlan, workers int) *prompt.Stream {
+	t.Helper()
+	st, err := prompt.New(prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      4,
+		ReduceTasks:   4,
+		Cores:         4,
+		Workers:       workers,
+		Scheme:        scheme,
+		Validate:      true,
+		Faults:        plan,
+	}, prompt.WordCount(5*time.Second, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// sourceBatches adapts a workload source into a BatchSource.
+func sourceBatches(src *workload.Source) prompt.BatchSource {
+	return func(start, end prompt.Time) ([]prompt.Tuple, error) {
+		return src.Slice(start, end)
+	}
+}
+
+// invariantPlans are the scripted plans of the table: one of each fault
+// kind alone, plus a compound plan mixing all three.
+func invariantPlans(t *testing.T) map[string]*prompt.FaultPlan {
+	t.Helper()
+	plans := map[string]*prompt.FaultPlan{}
+	for name, script := range map[string]string{
+		"kill":     "kill@1:node=0,cores=2,after=2ms",
+		"straggle": "straggle@2:stage=map,factor=9;straggle@3:stage=reduce,task=1,factor=4",
+		"lose":     "lose@2:fails=1",
+		"compound": "seed=5;kill@1:cores=1,after=1ms;straggle@2:factor=6;lose@3:fails=2",
+	} {
+		p, err := prompt.ParseFaultPlan(script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans[name] = p
+	}
+	// Extra randomized plans from the environment (the nightly CI job sets
+	// PROMPT_FAULT_SEEDS=1,2,3,4,5).
+	if env := os.Getenv("PROMPT_FAULT_SEEDS"); env != "" {
+		for _, f := range strings.Split(env, ",") {
+			seed, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				t.Fatalf("PROMPT_FAULT_SEEDS: %v", err)
+			}
+			plans["seed-"+strings.TrimSpace(f)] = fault.RandomPlan(seed, 5, 4)
+		}
+	}
+	return plans
+}
+
+func TestFaultPlanPreservesResultsEveryScheme(t *testing.T) {
+	const batches = 6
+	plans := invariantPlans(t)
+	for _, scheme := range prompt.Schemes() {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			t.Parallel()
+			for _, workers := range []int{0, 4} {
+				// The fault-free reference run for this scheme/worker pair.
+				clean := faultedStream(t, scheme, nil, workers)
+				cleanSrc, err := workload.Tweets(workload.ConstantRate(3000),
+					workload.DatasetDefaults{Cardinality: 500, Seed: 7})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cleanReps, err := clean.Run(sourceBatches(cleanSrc), batches)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cleanWin := clean.Window()
+				if len(cleanWin) == 0 {
+					t.Fatal("reference run produced an empty window")
+				}
+
+				for name, plan := range plans {
+					st := faultedStream(t, scheme, plan, workers)
+					src, err := workload.Tweets(workload.ConstantRate(3000),
+						workload.DatasetDefaults{Cardinality: 500, Seed: 7})
+					if err != nil {
+						t.Fatal(err)
+					}
+					reps, err := st.Run(sourceBatches(src), batches)
+					if err != nil {
+						t.Fatalf("workers=%d plan %s: %v", workers, name, err)
+					}
+					if !reflect.DeepEqual(st.Window(), cleanWin) {
+						t.Errorf("workers=%d plan %s: windowed results diverged from fault-free run", workers, name)
+					}
+					for i := range reps {
+						if reps[i].Tuples != cleanReps[i].Tuples || reps[i].Keys != cleanReps[i].Keys {
+							t.Errorf("workers=%d plan %s batch %d: input statistics changed", workers, name, i)
+						}
+						if !reflect.DeepEqual(reps[i].BucketSizes, cleanReps[i].BucketSizes) {
+							t.Errorf("workers=%d plan %s batch %d: partitioning changed under faults", workers, name, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFaultPlanRoundTrip pins the public grammar: String re-parses to an
+// equal plan and invalid scripts are rejected with ErrBadConfig.
+func TestFaultPlanRoundTrip(t *testing.T) {
+	p, err := prompt.ParseFaultPlan("seed=3;kill@2:cores=1,after=5ms;lose@4:fails=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := prompt.ParseFaultPlan(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, p) {
+		t.Errorf("round-trip changed the plan: %v vs %v", back, p)
+	}
+	if _, err := prompt.ParseFaultPlan("explode@1"); err == nil {
+		t.Error("invalid fault kind accepted")
+	}
+}
+
+// TestFaultReportsSurfaceRecovery checks the typed report view carries
+// the recovery info end to end through the public API.
+func TestFaultReportsSurfaceRecovery(t *testing.T) {
+	plan, err := prompt.ParseFaultPlan("kill@1:cores=2,after=1ms;lose@2:fails=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := faultedStream(t, prompt.SchemePrompt, plan, 0)
+	src, err := workload.Tweets(workload.ConstantRate(3000),
+		workload.DatasetDefaults{Cardinality: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps, err := st.Run(sourceBatches(src), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reps[0].Recovery.Clean() {
+		t.Errorf("batch 0 recovery info not clean: %+v", reps[0].Recovery)
+	}
+	if reps[1].Recovery.CoresLost != 2 || reps[1].Recovery.TaskRetries == 0 {
+		t.Errorf("killed batch recovery info = %+v, want 2 cores lost with retries", reps[1].Recovery)
+	}
+	if reps[2].Recovery.Attempts != 2 || reps[2].Recovery.Time <= 0 {
+		t.Errorf("lost batch recovery info = %+v, want 2 attempts and time > 0", reps[2].Recovery)
+	}
+	if st.CoresLost() != 2 {
+		t.Errorf("CoresLost() = %d, want 2", st.CoresLost())
+	}
+	if err := st.SetCores(4); err != nil {
+		t.Fatal(err)
+	}
+	if st.CoresLost() != 0 {
+		t.Errorf("CoresLost() = %d after SetCores, want 0", st.CoresLost())
+	}
+	sum := prompt.Summarize(reps)
+	if sum.TaskRetries == 0 || sum.Recoveries != 1 || sum.RecoveryTime != reps[2].Recovery.Time {
+		t.Errorf("summary fault roll-up wrong: %+v", sum)
+	}
+	for _, r := range reps {
+		if r.Scheme != "prompt" {
+			t.Fatalf("report scheme %q, want %q", r.Scheme, "prompt")
+		}
+	}
+}
+
+func TestFaultOptionsValidateEagerly(t *testing.T) {
+	if _, err := prompt.NewWithOptions(prompt.WordCount(time.Minute, time.Second),
+		prompt.WithFaultScript("kill@-1:cores=2")); err == nil {
+		t.Error("negative batch index accepted")
+	}
+	if _, err := prompt.NewWithOptions(prompt.WordCount(time.Minute, time.Second),
+		prompt.WithRetryPolicy(prompt.RetryPolicy{MaxAttempts: -3})); err == nil {
+		t.Error("negative MaxAttempts accepted")
+	}
+	st, err := prompt.NewWithOptions(prompt.WordCount(time.Minute, time.Second),
+		prompt.WithFaultScript("straggle@1:factor=4"),
+		prompt.WithRetryPolicy(prompt.RetryPolicy{MaxAttempts: 2, SpeculativeAfter: prompt.Time(1000)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("stream not built")
+	}
+}

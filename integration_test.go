@@ -20,6 +20,7 @@ import (
 	"prompt/internal/elastic"
 	"prompt/internal/engine"
 	"prompt/internal/experiment"
+	"prompt/internal/fault"
 	"prompt/internal/partition"
 	"prompt/internal/tuple"
 	"prompt/internal/window"
@@ -308,4 +309,59 @@ func mustBaseline(t *testing.T, name string) core.Scheme {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// TestIntegrationBackpressureRecoveryAware closes the loop between fault
+// recovery and the AIMD throttle: a batch that overshoots its interval
+// only because it recomputed a lost output takes the gentle RecoveryCut,
+// while a naive stability-only controller over-throttles on the same
+// run. The rate is chosen so processing fits the interval comfortably
+// and only the recovery surcharge pushes the faulted batch over.
+func TestIntegrationBackpressureRecoveryAware(t *testing.T) {
+	plan, err := fault.ParsePlan("lose@2:fails=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := experiment.Default()
+	cfg := engine.Config{
+		BatchInterval: tuple.Second,
+		MapTasks:      8,
+		ReduceTasks:   8,
+		Cores:         8,
+		Cost:          params.Cost,
+		Faults:        plan,
+	}
+	eng, err := engine.New(cfg, engine.Query{Name: "wc", Map: engine.CountMap, Reduce: window.Sum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := workload.Tweets(workload.ConstantRate(120_000),
+		workload.DatasetDefaults{Cardinality: 50_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := eng.RunBatches(src, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted := reports[2]
+	if faulted.RecoveryTime <= 0 || faulted.Stable {
+		t.Fatalf("batch 2 not recovery-destabilized as intended: %+v", faulted)
+	}
+	if faulted.ProcessingTime-faulted.RecoveryTime > cfg.BatchInterval {
+		t.Fatalf("batch 2 would be late even without recovery (proc %v, recovery %v); lower the rate",
+			faulted.ProcessingTime, faulted.RecoveryTime)
+	}
+
+	aware := backpressure.NewAIMD()
+	naive := backpressure.NewAIMD()
+	for _, r := range reports {
+		stable := r.Stable && r.QueueWait == 0
+		aware.ObserveBatch(stable, int64(r.ProcessingTime), int64(r.RecoveryTime), int64(cfg.BatchInterval))
+		naive.Observe(stable)
+	}
+	if aware.Factor <= naive.Factor {
+		t.Errorf("recovery-aware throttle (%.3f) should hold more rate than the naive one (%.3f)",
+			aware.Factor, naive.Factor)
+	}
 }

@@ -20,11 +20,18 @@ type AIMD struct {
 	Increase float64
 	// Decrease is the multiplicative cut on instability (default 0.7).
 	Decrease float64
+	// RecoveryCut is the gentler multiplicative cut applied when a
+	// batch's instability is explained by fault recovery (default 0.9):
+	// recomputing a lost output or re-running tasks caught on a killed
+	// executor is a transient surcharge, not evidence the offered rate
+	// exceeds capacity, so the throttle backs off less aggressively. See
+	// ObserveBatch.
+	RecoveryCut float64
 }
 
 // NewAIMD returns a controller starting at factor 1 with the defaults.
 func NewAIMD() *AIMD {
-	return &AIMD{Factor: 1, Min: 0.05, Max: 1, Increase: 0.05, Decrease: 0.7}
+	return &AIMD{Factor: 1, Min: 0.05, Max: 1, Increase: 0.05, Decrease: 0.7, RecoveryCut: 0.9}
 }
 
 // Validate rejects inconsistent settings.
@@ -34,6 +41,9 @@ func (a *AIMD) Validate() error {
 	}
 	if a.Increase <= 0 || a.Decrease <= 0 || a.Decrease >= 1 {
 		return fmt.Errorf("backpressure: increase %v / decrease %v invalid", a.Increase, a.Decrease)
+	}
+	if a.RecoveryCut != 0 && (a.RecoveryCut <= a.Decrease || a.RecoveryCut > 1) {
+		return fmt.Errorf("backpressure: recovery cut %v outside (%v,1]", a.RecoveryCut, a.Decrease)
 	}
 	return nil
 }
@@ -49,6 +59,29 @@ func (a *AIMD) Observe(stable bool) float64 {
 	if a.Factor > a.Max {
 		a.Factor = a.Max
 	}
+	if a.Factor < a.Min {
+		a.Factor = a.Min
+	}
+	return a.Factor
+}
+
+// ObserveBatch updates the factor from one batch's outcome with the
+// fault-recovery context the plain Observe lacks: processing is the
+// batch's total simulated time, recovery the share of it spent on retry
+// and recomputation work, and interval the batch heartbeat. A batch that
+// only overshot its interval because of the recovery surcharge
+// (processing - recovery <= interval) takes the gentle RecoveryCut; a
+// batch that would have been late anyway takes the full Decrease cut.
+// Stable batches get the usual additive increase.
+func (a *AIMD) ObserveBatch(stable bool, processing, recovery, interval int64) float64 {
+	if stable || recovery <= 0 || processing-recovery > interval {
+		return a.Observe(stable)
+	}
+	cut := a.RecoveryCut
+	if cut == 0 {
+		cut = 0.9
+	}
+	a.Factor *= cut
 	if a.Factor < a.Min {
 		a.Factor = a.Min
 	}

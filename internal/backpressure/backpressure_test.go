@@ -57,6 +57,66 @@ func TestAIMDRespectsBounds(t *testing.T) {
 	}
 }
 
+func TestAIMDObserveBatchRecoveryAware(t *testing.T) {
+	const interval = 1_000_000 // 1 s in virtual microseconds
+
+	// An unstable batch whose overshoot is fully explained by recovery
+	// work takes the gentle cut, not the overload cut.
+	a := NewAIMD()
+	f := a.ObserveBatch(false, 1_400_000, 600_000, interval)
+	if want := 1 * a.RecoveryCut; math.Abs(f-want) > 1e-12 {
+		t.Errorf("recovery-inflated batch cut factor to %v, want %v", f, want)
+	}
+
+	// The same overshoot without recovery context is sustained overload.
+	b := NewAIMD()
+	if f := b.ObserveBatch(false, 1_400_000, 0, interval); f != b.Decrease {
+		t.Errorf("overloaded batch cut factor to %v, want %v", f, b.Decrease)
+	}
+
+	// Recovery present but the batch would have been late regardless:
+	// full cut.
+	c := NewAIMD()
+	if f := c.ObserveBatch(false, 1_800_000, 100_000, interval); f != c.Decrease {
+		t.Errorf("late-anyway batch cut factor to %v, want %v", f, c.Decrease)
+	}
+
+	// Stable batches increase as usual whatever the recovery share.
+	d := NewAIMD()
+	d.Factor = 0.5
+	if f := d.ObserveBatch(true, 800_000, 300_000, interval); f != 0.5+d.Increase {
+		t.Errorf("stable batch moved factor to %v, want additive increase", f)
+	}
+
+	// The gentle cut still respects the floor.
+	e := NewAIMD()
+	e.Factor = e.Min * 1.01
+	for i := 0; i < 10; i++ {
+		e.ObserveBatch(false, 1_400_000, 600_000, interval)
+	}
+	if e.Factor < e.Min {
+		t.Errorf("factor %v fell below min %v", e.Factor, e.Min)
+	}
+
+	// A zero RecoveryCut (legacy struct literals) defaults to 0.9.
+	g := &AIMD{Factor: 1, Min: 0.05, Max: 1, Increase: 0.05, Decrease: 0.7}
+	if f := g.ObserveBatch(false, 1_200_000, 400_000, interval); math.Abs(f-0.9) > 1e-12 {
+		t.Errorf("zero RecoveryCut cut factor to %v, want 0.9", f)
+	}
+}
+
+func TestAIMDValidateRecoveryCut(t *testing.T) {
+	a := NewAIMD()
+	a.RecoveryCut = 1.2
+	if err := a.Validate(); err == nil {
+		t.Error("accepted recovery cut > 1")
+	}
+	a.RecoveryCut = 0.5 // below Decrease: would punish recovery harder than overload
+	if err := a.Validate(); err == nil {
+		t.Error("accepted recovery cut below the overload cut")
+	}
+}
+
 func TestSearchMaxRateFindsThreshold(t *testing.T) {
 	const trueMax = 73000.0
 	rate, err := SearchMaxRate(1000, 200000, 0.01, func(r float64) bool { return r <= trueMax })

@@ -78,6 +78,122 @@ func ListSchedule(durations []tuple.Time, cores int) (tuple.Time, []tuple.Time, 
 	return makespan, completions, nil
 }
 
+// Failure describes an executor loss inside a stage: Cores cores die at
+// simulated offset Time from the stage start. Tasks running on the dead
+// cores at that moment fail and must be re-executed on the survivors.
+type Failure struct {
+	// Time is the offset into the stage at which the executor dies.
+	Time tuple.Time
+	// Cores is how many cores the dead executor contributed.
+	Cores int
+}
+
+// ListScheduleWithFailure is failure-aware list scheduling: tasks are
+// assigned greedily to the earliest-free core exactly as ListSchedule
+// until the failure point, when the last f.Cores cores die. Tasks caught
+// mid-flight on a dead core fail and are re-queued after retryDelay; tasks
+// not yet started, and the failed tasks after their delay, continue on the
+// surviving cores (at least one core always survives — the resource
+// manager never releases the last executor). It returns the stage
+// makespan, per-task completion times, and the indices of the retried
+// tasks in submission order.
+func ListScheduleWithFailure(durations []tuple.Time, cores int, f Failure, retryDelay tuple.Time) (tuple.Time, []tuple.Time, []int, error) {
+	if f.Cores <= 0 {
+		makespan, completions, err := ListSchedule(durations, cores)
+		return makespan, completions, nil, err
+	}
+	if cores <= 0 {
+		return 0, nil, nil, fmt.Errorf("cluster: need cores > 0, got %d", cores)
+	}
+	if f.Time < 0 || retryDelay < 0 {
+		return 0, nil, nil, fmt.Errorf("cluster: negative failure time %v or retry delay %v", f.Time, retryDelay)
+	}
+	if len(durations) == 0 {
+		return 0, nil, nil, nil
+	}
+	survivors := cores - f.Cores
+	if survivors < 1 {
+		survivors = 1
+	}
+
+	// Phase 1: greedy assignment on the full core set, tracked per core so
+	// we know which tasks the failure catches. Stops once every core is
+	// busy past the failure point — nothing else starts before the kill.
+	free := make([]tuple.Time, cores)
+	assigned := make([]int, len(durations)) // task -> core, -1 = not yet placed
+	completions := make([]tuple.Time, len(durations))
+	next := 0
+	for ; next < len(durations); next++ {
+		if durations[next] < 0 {
+			return 0, nil, nil, fmt.Errorf("cluster: negative task duration %v", durations[next])
+		}
+		c := 0
+		for i := 1; i < cores; i++ {
+			if free[i] < free[c] {
+				c = i
+			}
+		}
+		if free[c] >= f.Time {
+			break
+		}
+		assigned[next] = c
+		completions[next] = free[c] + durations[next]
+		free[c] = completions[next]
+	}
+	for i := next; i < len(durations); i++ {
+		if durations[i] < 0 {
+			return 0, nil, nil, fmt.Errorf("cluster: negative task duration %v", durations[i])
+		}
+		assigned[i] = -1
+	}
+
+	// The failure: cores [survivors, cores) die at f.Time. Placed tasks
+	// still running there fail; completed ones keep their results.
+	var retried []int
+	for i := 0; i < next; i++ {
+		if assigned[i] >= survivors && completions[i] > f.Time {
+			retried = append(retried, i)
+		}
+	}
+
+	// Phase 2: the queued tasks continue on the survivors, then the failed
+	// tasks rejoin once their retry delay elapses.
+	surviving := free[:survivors]
+	for i := range surviving {
+		if surviving[i] < f.Time {
+			surviving[i] = f.Time
+		}
+	}
+	place := func(task int, availableAt tuple.Time) {
+		c := 0
+		for i := 1; i < survivors; i++ {
+			if surviving[i] < surviving[c] {
+				c = i
+			}
+		}
+		start := surviving[c]
+		if start < availableAt {
+			start = availableAt
+		}
+		completions[task] = start + durations[task]
+		surviving[c] = completions[task]
+	}
+	for i := next; i < len(durations); i++ {
+		place(i, f.Time)
+	}
+	for _, i := range retried {
+		place(i, f.Time+retryDelay)
+	}
+
+	var makespan tuple.Time
+	for _, fin := range completions {
+		if fin > makespan {
+			makespan = fin
+		}
+	}
+	return makespan, completions, retried, nil
+}
+
 // LPTSchedule sorts tasks by duration descending before list scheduling
 // (Longest Processing Time first), the classic 4/3-approximation. The
 // engine uses plain submission order — the paper's point is that balanced

@@ -155,6 +155,144 @@ func TestSchedulesSatisfyGrahamBound(t *testing.T) {
 	}
 }
 
+func TestListScheduleWithFailureNoFailureMatchesPlain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		cores := 1 + rng.Intn(8)
+		durations := make([]tuple.Time, n)
+		for i := range durations {
+			durations[i] = tuple.Time(rng.Intn(1000))
+		}
+		plainMS, plainComps, err := ListSchedule(durations, cores)
+		if err != nil {
+			return false
+		}
+		ms, comps, retried, err := ListScheduleWithFailure(durations, cores, Failure{}, 0)
+		if err != nil || retried != nil || ms != plainMS {
+			return false
+		}
+		for i := range comps {
+			if comps[i] != plainComps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListScheduleWithFailureRetriesCaughtTasks(t *testing.T) {
+	// 4 tasks of 10 on 4 cores; 2 cores die at t=5. Tasks 2,3 (on the dead
+	// cores) fail at 5 and restart on the survivors after the retry delay.
+	durations := []tuple.Time{10, 10, 10, 10}
+	ms, comps, retried, err := ListScheduleWithFailure(durations, 4, Failure{Time: 5, Cores: 2}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retried) != 2 || retried[0] != 2 || retried[1] != 3 {
+		t.Fatalf("retried = %v, want [2 3]", retried)
+	}
+	// Survivors are busy until 10; retried tasks become available at 5+3=8
+	// but the earliest-free survivors are free at 10, so both finish at 20.
+	if comps[2] != 20 || comps[3] != 20 {
+		t.Errorf("retried completions = %v, want 20 each", comps[2:])
+	}
+	if ms != 20 {
+		t.Errorf("makespan = %v, want 20", ms)
+	}
+	if comps[0] != 10 || comps[1] != 10 {
+		t.Errorf("surviving completions = %v, want 10 each", comps[:2])
+	}
+}
+
+func TestListScheduleWithFailureCompletedWorkSurvives(t *testing.T) {
+	// Tasks that finished on a doomed core before the kill keep their
+	// results — only mid-flight tasks are retried.
+	durations := []tuple.Time{2, 2, 9, 9}
+	_, comps, retried, err := ListScheduleWithFailure(durations, 2, Failure{Time: 5, Cores: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy: t0->core0(0..2), t1->core1(0..2), t2->core0(2..11),
+	// t3->core1(2..11). Core 1 dies at 5: t1 had completed (keep), t3 is
+	// mid-flight (retry). Core 0 is busy until 11; t3 reruns 11..20.
+	if len(retried) != 1 || retried[0] != 3 {
+		t.Fatalf("retried = %v, want [3]", retried)
+	}
+	if comps[1] != 2 {
+		t.Errorf("completed-before-kill task moved: %v", comps[1])
+	}
+	if comps[3] != 20 {
+		t.Errorf("retried completion = %v, want 20", comps[3])
+	}
+}
+
+func TestListScheduleWithFailureNeverBeatsPlain(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		cores := 2 + rng.Intn(7)
+		durations := make([]tuple.Time, n)
+		for i := range durations {
+			durations[i] = tuple.Time(rng.Intn(500))
+		}
+		fail := Failure{
+			Time:  tuple.Time(rng.Intn(800)),
+			Cores: 1 + rng.Intn(cores),
+		}
+		delay := tuple.Time(rng.Intn(50))
+		plain, _, err := ListSchedule(durations, cores)
+		if err != nil {
+			return false
+		}
+		ms, comps, retried, err := ListScheduleWithFailure(durations, cores, fail, delay)
+		if err != nil || ms < plain || len(comps) != n {
+			return false
+		}
+		// Every retried task completes after the failure point plus delay.
+		for _, i := range retried {
+			if comps[i] < fail.Time+delay+durations[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListScheduleWithFailureKeepsLastCore(t *testing.T) {
+	// Killing more cores than exist still leaves one survivor: the resource
+	// manager never releases the last executor.
+	durations := []tuple.Time{4, 4, 4}
+	ms, _, _, err := ListScheduleWithFailure(durations, 2, Failure{Time: 0, Cores: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != 12 {
+		t.Errorf("makespan = %v, want 12 (serial on the lone survivor)", ms)
+	}
+}
+
+func TestListScheduleWithFailureErrors(t *testing.T) {
+	if _, _, _, err := ListScheduleWithFailure([]tuple.Time{1}, 0, Failure{Cores: 1}, 0); err == nil {
+		t.Error("accepted zero cores")
+	}
+	if _, _, _, err := ListScheduleWithFailure([]tuple.Time{-1}, 2, Failure{Cores: 1}, 0); err == nil {
+		t.Error("accepted negative duration")
+	}
+	if _, _, _, err := ListScheduleWithFailure([]tuple.Time{1}, 2, Failure{Time: -1, Cores: 1}, 0); err == nil {
+		t.Error("accepted negative failure time")
+	}
+	if _, _, _, err := ListScheduleWithFailure([]tuple.Time{1}, 2, Failure{Cores: 1}, -1); err == nil {
+		t.Error("accepted negative retry delay")
+	}
+}
+
 func TestExecutorPool(t *testing.T) {
 	p, err := NewExecutorPool(10, 4, 2)
 	if err != nil {

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkerPoolNilRunsInline(t *testing.T) {
@@ -107,5 +110,197 @@ func TestWorkerPoolDoRangesRespectsMinChunk(t *testing.T) {
 	p.DoRanges(10, 16, func(lo, hi int) { calls++ })
 	if calls != 1 {
 		t.Fatalf("n below minChunk split into %d chunks, want 1 inline call", calls)
+	}
+}
+
+// catchTaskPanic runs fn and returns the *TaskPanic it re-raises, failing
+// the test if fn panics with anything else or does not panic at all.
+func catchTaskPanic(t *testing.T, fn func()) *TaskPanic {
+	t.Helper()
+	var tp *TaskPanic
+	func() {
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Fatal("no panic reached the caller")
+			}
+			var ok bool
+			if tp, ok = v.(*TaskPanic); !ok {
+				t.Fatalf("panic value is %T, want *TaskPanic", v)
+			}
+		}()
+		fn()
+	}()
+	return tp
+}
+
+func TestWorkerPoolPanicDoesNotDeadlock(t *testing.T) {
+	// A panicking task used to kill its worker goroutine, leaving the
+	// batch's result slot unfilled. Now the barrier completes, every other
+	// task still runs, and the panic resurfaces on the caller as a
+	// *TaskPanic.
+	for _, workers := range []int{0, 1, 4} {
+		var p *WorkerPool
+		if workers > 0 {
+			p = NewWorkerPool(workers)
+		}
+		const n = 50
+		var ran atomic.Int64
+		tp := catchTaskPanic(t, func() {
+			p.Do(n, func(i int) {
+				ran.Add(1)
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		})
+		if tp.Index != 7 || tp.Value != "boom" {
+			t.Fatalf("workers=%d: TaskPanic = {Index:%d Value:%v}", workers, tp.Index, tp.Value)
+		}
+		if len(tp.Stack) == 0 {
+			t.Errorf("workers=%d: TaskPanic has no stack", workers)
+		}
+		if tp.Error() == "" {
+			t.Errorf("workers=%d: TaskPanic.Error empty", workers)
+		}
+		// The inline path stops at the panicking task; the parallel path
+		// drains everything. Either way nothing deadlocks and at least the
+		// tasks up to the panic ran.
+		if got := ran.Load(); got < 8 || got > n {
+			t.Fatalf("workers=%d: %d tasks ran", workers, got)
+		}
+	}
+}
+
+func TestWorkerPoolLowestIndexPanicWins(t *testing.T) {
+	// With several panicking tasks the caller must see the same one at any
+	// worker count: the lowest index.
+	for trial := 0; trial < 20; trial++ {
+		p := NewWorkerPool(8)
+		tp := catchTaskPanic(t, func() {
+			p.Do(64, func(i int) {
+				if i%3 == 2 { // panics at 2, 5, 8, ...
+					panic(i)
+				}
+			})
+		})
+		if tp.Index != 2 {
+			t.Fatalf("trial %d: surfaced panic from task %d, want 2", trial, tp.Index)
+		}
+	}
+}
+
+func TestWorkerPoolNestedPanicKeepsInnermost(t *testing.T) {
+	p := NewWorkerPool(2)
+	tp := catchTaskPanic(t, func() {
+		p.Do(3, func(outer int) {
+			if outer == 1 {
+				p.Do(4, func(inner int) {
+					if inner == 3 {
+						panic("inner boom")
+					}
+				})
+			}
+		})
+	})
+	// The report names the task that actually failed, not the outer task
+	// whose nested barrier re-raised it.
+	if tp.Index != 3 || tp.Value != "inner boom" {
+		t.Fatalf("nested TaskPanic = {Index:%d Value:%v}, want inner task 3", tp.Index, tp.Value)
+	}
+}
+
+func TestWorkerPoolUsableAfterPanic(t *testing.T) {
+	p := NewWorkerPool(4)
+	catchTaskPanic(t, func() {
+		p.Do(8, func(i int) {
+			if i == 0 {
+				panic("first batch fails")
+			}
+		})
+	})
+	var ran atomic.Int64
+	p.Do(8, func(int) { ran.Add(1) })
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("pool ran %d tasks after a panic, want 8", got)
+	}
+}
+
+func TestWorkerPoolDoContextCancelStopsEarly(t *testing.T) {
+	// Cancelling mid-batch stops workers from pulling new tasks; tasks
+	// already in flight finish (no abandoned slots) and DoContext returns
+	// the context error with the tail of the batch unexecuted.
+	for _, workers := range []int{0, 1, 4} {
+		var p *WorkerPool
+		if workers > 0 {
+			p = NewWorkerPool(workers)
+		}
+		const n = 100_000
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := p.DoContext(ctx, n, func(i int) {
+			if i == 5 {
+				cancel()
+			}
+			ran.Add(1)
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: cancellation did not stop the batch (%d tasks ran)", workers, got)
+		}
+	}
+}
+
+func TestWorkerPoolDoContextPreCancelled(t *testing.T) {
+	p := NewWorkerPool(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	// Racy workers could still start a few tasks; the inline path must run
+	// none. Either way the call returns promptly with the context error.
+	if err := p.DoContext(ctx, 100, func(int) { ran++ }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var nilPool *WorkerPool
+	ran = 0
+	if err := nilPool.DoContext(ctx, 100, func(int) { ran++ }); !errors.Is(err, context.Canceled) || ran != 0 {
+		t.Fatalf("nil pool: err=%v ran=%d", err, ran)
+	}
+}
+
+func TestWorkerPoolDoContextCompletesWithoutCancel(t *testing.T) {
+	p := NewWorkerPool(4)
+	var ran atomic.Int64
+	if err := p.DoContext(context.Background(), 500, func(int) { ran.Add(1) }); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if got := ran.Load(); got != 500 {
+		t.Fatalf("ran %d tasks, want 500", got)
+	}
+}
+
+func TestWorkerPoolDoContextLeavesNoGoroutines(t *testing.T) {
+	p := NewWorkerPool(8)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for trial := 0; trial < 50; trial++ {
+		_ = p.DoContext(ctx, 1000, func(i int) {
+			if i == 3 {
+				cancel()
+			}
+		})
+	}
+	// Workers exit with the barrier, cancelled or not; give the runtime a
+	// beat to reap them before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before+2 {
+		t.Fatalf("goroutines grew from %d to %d after cancelled batches", before, got)
 	}
 }

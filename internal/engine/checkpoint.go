@@ -18,6 +18,7 @@ type checkpointImage struct {
 	Now         tuple.Time
 	ProcFree    tuple.Time
 	TaskSeq     int
+	CoresLost   int
 	QueryCount  int
 	LastResults []map[string]float64
 	Windows     [][]window.BatchState // nil entry = windowless query
@@ -35,6 +36,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		Now:         e.now,
 		ProcFree:    e.procFree,
 		TaskSeq:     e.taskSeq,
+		CoresLost:   e.coresLost,
 		QueryCount:  len(e.queries),
 		LastResults: e.lastResults,
 		Windows:     make([][]window.BatchState, len(e.queries)),
@@ -84,6 +86,7 @@ func Restore(cfg Config, queries []Query, r io.Reader) (*Engine, error) {
 	e.now = img.Now
 	e.procFree = img.ProcFree
 	e.taskSeq = img.TaskSeq
+	e.coresLost = img.CoresLost
 	e.lastResults = img.LastResults
 	e.reports = img.Reports
 	return e, nil

@@ -12,6 +12,7 @@ package engine
 import (
 	"fmt"
 
+	"prompt/internal/fault"
 	"prompt/internal/metrics"
 	"prompt/internal/partition"
 	"prompt/internal/reducer"
@@ -107,6 +108,17 @@ type Config struct {
 	// per-stage timings, batch end). Nil — the default — keeps the
 	// pipeline observer-free with zero instrumentation overhead.
 	Observer Observer
+	// Faults is the scripted fault plan injected into the simulated
+	// substrate: executor kills, per-task stragglers, and lost batch
+	// outputs, all addressed by batch index. Nil or empty injects nothing.
+	// Enabling faults also enables input replication (every batch is
+	// stored until its output exits the widest query window) so lost
+	// outputs can be recomputed.
+	Faults *fault.Plan
+	// Retry is the policy answering injected faults: attempt budget,
+	// retry backoff, and the speculative-execution threshold. Zero-valued
+	// fields take the defaults (4 attempts, 50ms backoff doubling).
+	Retry fault.RetryPolicy
 }
 
 // StragglerModel makes every Every-th task (counted deterministically
@@ -200,6 +212,12 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Stragglers.validate(); err != nil {
+		return err
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if err := c.Retry.WithDefaults().Validate(); err != nil {
 		return err
 	}
 	return c.MPIWeights.Validate()

@@ -1,9 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"prompt/internal/cluster"
+	"prompt/internal/fault"
+	"prompt/internal/metrics"
 	"prompt/internal/reducer"
 	"prompt/internal/stats"
 	"prompt/internal/tuple"
@@ -52,6 +55,17 @@ type Engine struct {
 	// taskSeq numbers every simulated task across batches and stages, so
 	// straggler injection afflicts a deterministic, evenly spread subset.
 	taskSeq int
+
+	// injector indexes the scripted fault plan; nil injects nothing.
+	injector *fault.Injector
+	// store replicates batch inputs when faults are enabled, so scripted
+	// output losses can be recomputed (the paper's §8 consistency path).
+	store *BatchStore
+	// coresLost is how many simulated cores injected kills have removed.
+	// It persists across batches until the resource manager re-provisions
+	// (SetCores), mirroring a real cluster waiting on replacement
+	// executors.
+	coresLost int
 }
 
 // New builds an engine for a single query. Zero-valued config fields take
@@ -87,6 +101,22 @@ func NewMulti(cfg Config, queries []Query) (*Engine, error) {
 		e.queries[i] = q
 		e.aggs[i] = agg
 	}
+	if !cfg.Faults.Empty() {
+		in, err := fault.NewInjector(cfg.Faults, cfg.Retry)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+		e.injector = in
+		// Replicate inputs as long as any query window can still need
+		// them; windowless queries need only the batch itself.
+		retain := cfg.BatchInterval
+		for _, q := range e.queries {
+			if q.Window.Length > retain {
+				retain = q.Window.Length
+			}
+		}
+		e.store = NewBatchStore(retain)
+	}
 	return e, nil
 }
 
@@ -110,13 +140,40 @@ func (e *Engine) SetParallelism(mapTasks, reduceTasks int) error {
 	return nil
 }
 
-// SetCores adjusts the simulated core count for subsequent batches.
+// SetCores adjusts the simulated core count for subsequent batches. It is
+// the resource manager's re-provisioning act, so it also restores any
+// cores lost to injected executor kills.
 func (e *Engine) SetCores(cores int) error {
 	if cores <= 0 {
 		return fmt.Errorf("engine: cores must be positive, got %d", cores)
 	}
 	e.cfg.Cores = cores
+	e.coresLost = 0
 	return nil
+}
+
+// effectiveCores is the schedulable core count: the configured cores
+// minus those lost to injected kills, never below one (the resource
+// manager never releases the last executor).
+func (e *Engine) effectiveCores() int {
+	c := e.cfg.Cores - e.coresLost
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// CoresLost returns how many simulated cores injected executor kills have
+// removed and SetCores has not yet restored.
+func (e *Engine) CoresLost() int { return e.coresLost }
+
+// loseCores charges an executor kill against the schedulable core set,
+// keeping at least one core.
+func (e *Engine) loseCores(n int) {
+	e.coresLost += n
+	if e.coresLost > e.cfg.Cores-1 {
+		e.coresLost = e.cfg.Cores - 1
+	}
 }
 
 // SetWorkers changes the number of real worker goroutines for subsequent
@@ -178,15 +235,28 @@ func (e *Engine) Reports() []BatchReport { return e.reports }
 // RunBatches pulls n consecutive batch intervals from the source and
 // processes them, returning their reports.
 func (e *Engine) RunBatches(src workload.Stream, n int) ([]BatchReport, error) {
+	return e.RunBatchesContext(context.Background(), src, n)
+}
+
+// RunBatchesContext is RunBatches with cooperative cancellation: once ctx
+// is done the run stops between stages with the context's error and the
+// reports of the batches already committed.
+func (e *Engine) RunBatchesContext(ctx context.Context, src workload.Stream, n int) ([]BatchReport, error) {
 	out := make([]BatchReport, 0, n)
 	for i := 0; i < n; i++ {
+		// Check before pulling from the source: sources are sequential, so
+		// consuming an interval the engine then refuses to process would
+		// desynchronize a later resume.
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		start := e.now
 		end := start + e.cfg.BatchInterval
 		tuples, err := src.Slice(start, end)
 		if err != nil {
 			return out, err
 		}
-		rep, err := e.Step(tuples, start, end)
+		rep, err := e.StepContext(ctx, tuples, start, end)
 		if err != nil {
 			return out, err
 		}
@@ -199,30 +269,61 @@ func (e *Engine) RunBatches(src workload.Stream, n int) ([]BatchReport, error) {
 // Tuples must carry timestamps inside the interval. Step only validates
 // the interval and composes the staged pipeline (stage.go): Accumulate
 // (Algorithm 1), Partition (Algorithm 2), Shuffle+Process (Algorithm 3),
-// and Window commit each run as an explicit Stage over a shared
-// BatchContext, with observer events around every stage.
+// Recover (fault answers), and Window commit each run as an explicit
+// Stage over a shared BatchContext, with observer events around every
+// stage.
 func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport, error) {
+	return e.StepContext(context.Background(), tuples, start, end)
+}
+
+// StepContext is Step with cooperative cancellation: the pipeline checks
+// ctx between stages and the process stage's query dispatch honors it
+// mid-barrier, so cancellation surfaces well within one batch's work. A
+// cancelled batch commits nothing. If a pipeline task panics, StepContext
+// converts the re-raised *cluster.TaskPanic into an error and fails the
+// batch instead of unwinding the caller.
+func (e *Engine) StepContext(ctx context.Context, tuples []tuple.Tuple, start, end tuple.Time) (rep BatchReport, err error) {
 	if end <= start {
 		return BatchReport{}, fmt.Errorf("engine: empty batch interval [%v,%v)", start, end)
 	}
 	if start != e.now {
 		return BatchReport{}, fmt.Errorf("engine: non-consecutive batch start %v, expected %v", start, e.now)
 	}
-	ctx := &BatchContext{
+	if ctx != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return BatchReport{}, cerr
+		}
+	}
+	defer func() {
+		if v := recover(); v != nil {
+			tp, ok := v.(*cluster.TaskPanic)
+			if !ok {
+				panic(v)
+			}
+			rep, err = BatchReport{}, fmt.Errorf("engine: batch %d: %w", e.batchIdx, tp)
+		}
+	}()
+	if e.store != nil {
+		// Replicate the raw input before any processing: the recover
+		// stage recomputes lost outputs from this copy.
+		e.store.Put(e.batchIdx, start, end, tuples)
+	}
+	bc := &BatchContext{
 		Index: e.batchIdx,
+		Ctx:   ctx,
 		Batch: &tuple.Batch{Start: start, End: end, Tuples: tuples},
 		// The batch's own interval: normally cfg.BatchInterval, but the
 		// adaptive batch-sizing extension may vary it per batch, and all
 		// stability accounting follows the actual interval.
 		Interval: end - start,
 	}
-	if err := e.runPipeline(ctx); err != nil {
+	if err := e.runPipeline(bc); err != nil {
 		return BatchReport{}, err
 	}
-	e.reports = append(e.reports, ctx.Report)
+	e.reports = append(e.reports, bc.Report)
 	e.batchIdx++
 	e.now = end
-	return ctx.Report, nil
+	return bc.Report, nil
 }
 
 // queryRun is the outcome of one query's Map-Reduce job over a batch.
@@ -232,6 +333,37 @@ type queryRun struct {
 	reduceDurations []tuple.Time
 	sizes           []int
 	result          map[string]float64
+	// retries are the job's simulated task re-executions (speculative
+	// backups and executor-loss retries) in deterministic task order.
+	retries []metrics.TaskRetry
+}
+
+// jobSpec pins the simulated substrate one query job runs on for one
+// batch: the schedulable cores per stage and the executor kill (if any)
+// afflicting the Map stage. Values are fixed by the driver before the
+// jobs fan out, so concurrent jobs stay deterministic.
+type jobSpec struct {
+	batch       int
+	mapCores    int
+	reduceCores int
+	kill        fault.Event
+	hasKill     bool
+}
+
+// injectTask applies scripted fault inflation to one simulated task
+// duration: a straggle event stretches it, and speculative re-execution
+// (when enabled) caps the stretch at threshold + original, modeling the
+// backup copy that launches at the threshold and wins. The returned flag
+// reports that a backup actually ran.
+func (e *Engine) injectTask(batch int, stage fault.Stage, task, ntasks int, base tuple.Time) (tuple.Time, bool) {
+	if e.injector == nil {
+		return base, false
+	}
+	d := e.injector.Straggle(batch, stage, task, ntasks, base)
+	if th := e.injector.Policy().SpeculativeAfter; th > 0 && d > th && th+base < d {
+		return th + base, true
+	}
+	return d, false
 }
 
 // runQuery executes query qi's Map-Reduce job over the shared blocks:
@@ -241,7 +373,7 @@ type queryRun struct {
 // on the pool again. seqBase numbers this job's simulated tasks: Map task
 // i is seqBase+i and Reduce task j is seqBase+p+j, reproducing the
 // sequential driver's straggler-injection pattern exactly.
-func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun, error) {
+func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSpec) (queryRun, error) {
 	q := e.queries[qi]
 	p := len(blocks)
 	r := e.cfg.ReduceTasks
@@ -255,10 +387,12 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun,
 	}
 	outs := make([]mapOut, p)
 	mapDurations := make([]tuple.Time, p)
+	mapSpec := make([]bool, p)
 	e.pool.Do(p, func(i int) {
 		bl := blocks[i]
-		mapDurations[i] = e.cfg.Stragglers.apply(seqBase+i,
+		base := e.cfg.Stragglers.apply(seqBase+i,
 			e.cfg.Cost.MapTaskTime(bl.Size(), bl.Cardinality()))
+		mapDurations[i], mapSpec[i] = e.injectTask(spec.batch, fault.StageMap, i, p, base)
 		clusters, values := mapBlockFor(q, bl)
 		out := mapOut{clusters: clusters, values: values}
 		if len(clusters) > 0 {
@@ -271,7 +405,33 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun,
 			return queryRun{}, fmt.Errorf("bucket assignment: %w", outs[i].err)
 		}
 	}
-	mapMakespan, _, err := cluster.ListSchedule(mapDurations, e.cfg.Cores)
+	var retries []metrics.TaskRetry
+	for i, sp := range mapSpec {
+		if sp {
+			retries = append(retries, metrics.TaskRetry{
+				Batch: spec.batch, Query: qi, Stage: "map", Task: i,
+				Attempt: 2, Reason: "speculative",
+			})
+		}
+	}
+	var mapMakespan tuple.Time
+	var err error
+	if spec.hasKill {
+		retryDelay := e.injector.Policy().Delay(2)
+		var retried []int
+		mapMakespan, _, retried, err = cluster.ListScheduleWithFailure(
+			mapDurations, spec.mapCores,
+			cluster.Failure{Time: spec.kill.After, Cores: spec.kill.Cores},
+			retryDelay)
+		for _, i := range retried {
+			retries = append(retries, metrics.TaskRetry{
+				Batch: spec.batch, Query: qi, Stage: "map", Task: i,
+				Attempt: 2, Delay: retryDelay, Reason: "executor-lost",
+			})
+		}
+	} else {
+		mapMakespan, _, err = cluster.ListSchedule(mapDurations, spec.mapCores)
+	}
 	if err != nil {
 		return queryRun{}, err
 	}
@@ -299,10 +459,12 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun,
 	sizes := buckets.Sizes()
 	extra := buckets.ExtraFragments()
 	reduceDurations := make([]tuple.Time, r)
+	reduceSpec := make([]bool, r)
 	partials := make([]map[string]float64, r)
 	e.pool.Do(r, func(j int) {
-		reduceDurations[j] = e.cfg.Stragglers.apply(seqBase+p+j,
+		base := e.cfg.Stragglers.apply(seqBase+p+j,
 			e.cfg.Cost.ReduceTaskTime(sizes[j], extra[j]))
+		reduceDurations[j], reduceSpec[j] = e.injectTask(spec.batch, fault.StageReduce, j, r, base)
 		agg := make(map[string]float64, len(perBucket[j]))
 		for _, c := range perBucket[j] {
 			if cur, ok := agg[c.key]; ok {
@@ -313,7 +475,15 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun,
 		}
 		partials[j] = agg
 	})
-	reduceMakespan, _, err := cluster.ListSchedule(reduceDurations, e.cfg.Cores)
+	for j, sp := range reduceSpec {
+		if sp {
+			retries = append(retries, metrics.TaskRetry{
+				Batch: spec.batch, Query: qi, Stage: "reduce", Task: j,
+				Attempt: 2, Reason: "speculative",
+			})
+		}
+	}
+	reduceMakespan, _, err := cluster.ListSchedule(reduceDurations, spec.reduceCores)
 	if err != nil {
 		return queryRun{}, err
 	}
@@ -332,6 +502,7 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int) (queryRun,
 		reduceDurations: reduceDurations,
 		sizes:           append([]int(nil), sizes...),
 		result:          result,
+		retries:         retries,
 	}, nil
 }
 

@@ -95,8 +95,9 @@ func legacyStep(e *Engine, tuples []tuple.Tuple, start, end tuple.Time) (BatchRe
 	perQuery := len(blocks) + e.cfg.ReduceTasks
 	runs := make([]queryRun, len(e.queries))
 	qerrs := make([]error, len(e.queries))
+	spec := jobSpec{batch: e.batchIdx, mapCores: e.cfg.Cores, reduceCores: e.cfg.Cores}
 	e.pool.Do(len(e.queries), func(qi int) {
-		runs[qi], qerrs[qi] = e.runQuery(qi, blocks, seqBase+qi*perQuery)
+		runs[qi], qerrs[qi] = e.runQuery(qi, blocks, seqBase+qi*perQuery, spec)
 	})
 	e.taskSeq = seqBase + len(e.queries)*perQuery
 	for qi, qerr := range qerrs {

@@ -57,13 +57,25 @@ type liveCluster struct {
 // on a pool of at most workers concurrent goroutines per stage (0 means
 // GOMAXPROCS). The per-tuple work is the query's actual Map/Reduce
 // functions, so wall times scale with real input sizes.
-func RunLive(parted *tuple.Partitioned, q Query, assigner reducer.Assigner, reduceTasks, workers int) (*LiveResult, error) {
+func RunLive(parted *tuple.Partitioned, q Query, assigner reducer.Assigner, reduceTasks, workers int) (lr *LiveResult, err error) {
 	if parted == nil || len(parted.Blocks) == 0 {
 		return nil, fmt.Errorf("engine: live run needs a partitioned batch")
 	}
 	if reduceTasks <= 0 {
 		return nil, fmt.Errorf("engine: live run needs reduceTasks > 0, got %d", reduceTasks)
 	}
+	// A panicking map or reduce function surfaces as a failed batch, not a
+	// torn-down process: the pool completes its barrier and re-raises the
+	// panic here as a *cluster.TaskPanic.
+	defer func() {
+		if v := recover(); v != nil {
+			tp, ok := v.(*cluster.TaskPanic)
+			if !ok {
+				panic(v)
+			}
+			lr, err = nil, fmt.Errorf("engine: live run: %w", tp)
+		}
+	}()
 	pool := cluster.NewWorkerPool(workers)
 	q = q.normalized()
 

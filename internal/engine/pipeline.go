@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,17 +19,38 @@ var timeNow = time.Now
 // construction; future work can splice stages (e.g. a spill stage or a
 // pipelined-overlap boundary) without touching Step.
 func defaultPipeline() []Stage {
-	return []Stage{accumulateStage{}, partitionStage{}, processStage{}, commitStage{}}
+	return []Stage{accumulateStage{}, partitionStage{}, processStage{}, recoverStage{}, commitStage{}}
+}
+
+// stageContext resolves the batch's cancellation context, which is nil
+// when the caller used the plain (non-context) entry points.
+func (ctx *BatchContext) stageContext() context.Context {
+	if ctx.Ctx != nil {
+		return ctx.Ctx
+	}
+	return context.Background()
+}
+
+// cancelled returns the batch's context error, if any.
+func (ctx *BatchContext) cancelled() error {
+	if ctx.Ctx != nil {
+		return ctx.Ctx.Err()
+	}
+	return nil
 }
 
 // runPipeline drives one batch through the engine's stages, emitting
 // observer events around each. With no observer registered the loop
 // degenerates to plain sequential stage calls: no timings are recorded
-// and nothing beyond the stages' own work is allocated.
+// and nothing beyond the stages' own work is allocated. Cancellation is
+// checked between stages, so an abandoned batch never commits.
 func (e *Engine) runPipeline(ctx *BatchContext) error {
 	obs := e.cfg.Observer
 	if obs == nil {
 		for _, st := range e.pipeline {
+			if err := ctx.cancelled(); err != nil {
+				return err
+			}
 			if err := st.Run(e, ctx); err != nil {
 				return err
 			}
@@ -45,6 +67,9 @@ func (e *Engine) runPipeline(ctx *BatchContext) error {
 	})
 	ctx.Timings = make([]StageTiming, 0, len(e.pipeline))
 	for _, st := range e.pipeline {
+		if err := ctx.cancelled(); err != nil {
+			return err
+		}
 		stageStart := timeNow()
 		if err := st.Run(e, ctx); err != nil {
 			return err
@@ -166,13 +191,44 @@ func (processStage) Run(e *Engine, ctx *BatchContext) error {
 		// blocks strictly read-only.
 		bl.Cardinality()
 	}
+
+	// Pin the simulated substrate before the jobs fan out: the effective
+	// core count, and the executor kill (if scripted for this batch). The
+	// kill strikes during the primary query's Map stage; everything after
+	// it — the primary's Reduce stage and the secondary jobs — runs on the
+	// survivors. Fixing this on the driver keeps concurrent jobs
+	// deterministic.
+	coresNow := e.effectiveCores()
+	spec := jobSpec{batch: ctx.Index, mapCores: coresNow, reduceCores: coresNow}
+	if e.injector != nil {
+		if kill, ok := e.injector.Kill(ctx.Index); ok {
+			spec.kill = kill
+			spec.hasKill = true
+			after := coresNow - kill.Cores
+			if after < 1 {
+				after = 1
+			}
+			spec.reduceCores = after
+		}
+	}
+	ctx.Cores = coresNow
+
 	seqBase := e.taskSeq
 	perQuery := len(ctx.Blocks) + e.cfg.ReduceTasks
 	runs := make([]queryRun, len(e.queries))
 	qerrs := make([]error, len(e.queries))
-	e.pool.Do(len(e.queries), func(qi int) {
-		runs[qi], qerrs[qi] = e.runQuery(qi, ctx.Blocks, seqBase+qi*perQuery)
-	})
+	if err := e.pool.DoContext(ctx.stageContext(), len(e.queries), func(qi int) {
+		sp := spec
+		if qi != 0 {
+			// Secondary jobs run after the primary's Map stage, so they
+			// see the post-kill core set and no mid-stage failure.
+			sp.hasKill = false
+			sp.mapCores = sp.reduceCores
+		}
+		runs[qi], qerrs[qi] = e.runQuery(qi, ctx.Blocks, seqBase+qi*perQuery, sp)
+	}); err != nil {
+		return err
+	}
 	e.taskSeq = seqBase + len(e.queries)*perQuery
 	for qi, qerr := range qerrs {
 		if qerr != nil {
@@ -180,6 +236,22 @@ func (processStage) Run(e *Engine, ctx *BatchContext) error {
 		}
 	}
 	ctx.runs = runs
+
+	// Fault bookkeeping, post-barrier on the driver: observer events fire
+	// in deterministic (query, task) order, and the kill's cores leave the
+	// schedulable set for subsequent batches until SetCores re-provisions.
+	for qi := range runs {
+		ctx.retries = append(ctx.retries, runs[qi].retries...)
+	}
+	if obs := e.cfg.Observer; obs != nil {
+		for _, r := range ctx.retries {
+			obs.OnTaskRetry(r)
+		}
+	}
+	if spec.hasKill {
+		ctx.killed = true
+		e.loseCores(spec.kill.Cores)
+	}
 
 	processing := ctx.Overflow
 	for qi := range runs {
@@ -190,6 +262,65 @@ func (processStage) Run(e *Engine, ctx *BatchContext) error {
 }
 
 func (processStage) Simulated(ctx *BatchContext) tuple.Time { return ctx.Processing }
+
+// --- Recover (fault answers) ---------------------------------------------
+
+// recoverStage answers a scripted output loss: the batch's results are
+// recomputed from the replicated input, deterministically, so the
+// recovered outputs are bit-identical to the lost ones. Each scripted
+// failed attempt charges a full recompute pass plus the retry backoff;
+// exceeding the retry budget fails the batch. Without a fault plan (or
+// without a loss for this batch) the stage is a no-op.
+type recoverStage struct{}
+
+func (recoverStage) Name() StageName { return StageRecover }
+
+func (recoverStage) Run(e *Engine, ctx *BatchContext) error {
+	if e.injector == nil {
+		return nil
+	}
+	lose, ok := e.injector.LostOutput(ctx.Index)
+	if !ok {
+		return nil
+	}
+	policy := e.injector.Policy()
+	attempts := lose.Fails + 1
+	if attempts > policy.MaxAttempts {
+		return fmt.Errorf("engine: batch %d: output lost and unrecoverable (%d attempts needed, retry budget %d)",
+			ctx.Index, attempts, policy.MaxAttempts)
+	}
+	wallStart := timeNow()
+	results, sim, err := e.store.Replay(ctx.Index, e.cfg, e.queries)
+	if err != nil {
+		return fmt.Errorf("engine: batch %d: %w", ctx.Index, err)
+	}
+	// The lost in-memory outputs are replaced by the recomputed ones; the
+	// commit stage then folds the recovered results into the windows, so
+	// any divergence would surface in the final answers.
+	for qi := range ctx.runs {
+		ctx.runs[qi].result = results[qi]
+	}
+	// Every attempt (the scripted failures and the final success) pays a
+	// full recompute pass; retries additionally wait out the backoff.
+	var recovery tuple.Time
+	for a := 1; a <= attempts; a++ {
+		recovery += sim + policy.Delay(a)
+	}
+	ctx.RecoveryAttempts = attempts
+	ctx.RecoveryTime = recovery
+	ctx.Processing += recovery
+	if obs := e.cfg.Observer; obs != nil {
+		obs.OnRecovery(metrics.Recovery{
+			Batch:     ctx.Index,
+			Attempts:  attempts,
+			Simulated: recovery,
+			Wall:      timeNow().Sub(wallStart),
+		})
+	}
+	return nil
+}
+
+func (recoverStage) Simulated(ctx *BatchContext) tuple.Time { return ctx.RecoveryTime }
 
 // --- Window commit -------------------------------------------------------
 
@@ -235,7 +366,11 @@ func (commitStage) Run(e *Engine, ctx *BatchContext) error {
 		Keys:              ctx.Stats.Keys,
 		MapTasks:          e.cfg.MapTasks,
 		ReduceTasks:       e.cfg.ReduceTasks,
-		Cores:             e.cfg.Cores,
+		Cores:             ctx.Cores,
+		CoresLost:         e.coresLost,
+		TaskRetries:       len(ctx.retries),
+		RecoveryAttempts:  ctx.RecoveryAttempts,
+		RecoveryTime:      ctx.RecoveryTime,
 		Quality:           metrics.EvaluateWithKeys(ctx.Blocks, e.cfg.MPIWeights, ctx.Stats.Keys),
 		BucketSizes:       primary.sizes,
 		BucketBSI:         metrics.BSISizes(primary.sizes),

@@ -11,14 +11,19 @@ import (
 
 // recordingObserver captures every lifecycle event in order.
 type recordingObserver struct {
-	starts []metrics.BatchStart
-	stages []metrics.StageEnd
-	ends   []metrics.BatchEnd
+	metrics.NopObserver
+	starts     []metrics.BatchStart
+	stages     []metrics.StageEnd
+	ends       []metrics.BatchEnd
+	retries    []metrics.TaskRetry
+	recoveries []metrics.Recovery
 }
 
 func (r *recordingObserver) OnBatchStart(b metrics.BatchStart) { r.starts = append(r.starts, b) }
 func (r *recordingObserver) OnStageEnd(s metrics.StageEnd)     { r.stages = append(r.stages, s) }
 func (r *recordingObserver) OnBatchEnd(b metrics.BatchEnd)     { r.ends = append(r.ends, b) }
+func (r *recordingObserver) OnTaskRetry(e metrics.TaskRetry)   { r.retries = append(r.retries, e) }
+func (r *recordingObserver) OnRecovery(e metrics.Recovery)     { r.recoveries = append(r.recoveries, e) }
 
 func runObserved(t *testing.T, obs Observer, workers, n int) ([]BatchReport, *Engine) {
 	t.Helper()
@@ -44,7 +49,7 @@ func TestObserverLifecycleEvents(t *testing.T) {
 	if len(rec.starts) != 3 || len(rec.ends) != 3 {
 		t.Fatalf("got %d batch starts, %d batch ends, want 3 each", len(rec.starts), len(rec.ends))
 	}
-	wantStages := []string{"accumulate", "partition", "process", "commit"}
+	wantStages := []string{"accumulate", "partition", "process", "recover", "commit"}
 	if len(rec.stages) != 3*len(wantStages) {
 		t.Fatalf("got %d stage events, want %d", len(rec.stages), 3*len(wantStages))
 	}
@@ -92,10 +97,10 @@ func TestCollectorAggregatesPerStage(t *testing.T) {
 	_, _ = runObserved(t, col, 0, 5)
 
 	snap := col.Snapshot()
-	if len(snap) != 4 {
-		t.Fatalf("collector saw %d stages, want 4: %+v", len(snap), snap)
+	if len(snap) != 5 {
+		t.Fatalf("collector saw %d stages, want 5: %+v", len(snap), snap)
 	}
-	order := []string{"accumulate", "partition", "process", "commit"}
+	order := []string{"accumulate", "partition", "process", "recover", "commit"}
 	for i, st := range snap {
 		if st.Stage != order[i] {
 			t.Errorf("snapshot[%d] = %q, want %q", i, st.Stage, order[i])

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sync"
 
 	"prompt/internal/tuple"
 )
@@ -12,7 +13,10 @@ import (
 // (executor failure), the output is recomputed deterministically from the
 // replicated input. A batch's replica is discarded once its output has
 // exited the query window, at which point it can never be needed again.
+// A BatchStore is safe for concurrent use: recoveries may replay old
+// batches while the driver keeps ingesting new ones.
 type BatchStore struct {
+	mu      sync.RWMutex
 	retain  tuple.Time // window length: how long outputs stay relevant
 	batches map[int]storedBatch
 }
@@ -30,18 +34,25 @@ func NewBatchStore(retain tuple.Time) *BatchStore {
 }
 
 // Len returns the number of replicated batches currently held.
-func (s *BatchStore) Len() int { return len(s.batches) }
+func (s *BatchStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.batches)
+}
 
 // Put replicates one batch's raw input. The tuples are copied: the store
 // must survive the engine mutating or releasing its buffers.
 func (s *BatchStore) Put(index int, start, end tuple.Time, tuples []tuple.Tuple) {
 	cp := make([]tuple.Tuple, len(tuples))
 	copy(cp, tuples)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.batches[index] = storedBatch{start: start, end: end, tuples: cp}
 	s.evict(end)
 }
 
 // evict drops batches whose output has exited the window ending at now.
+// Callers hold the write lock.
 func (s *BatchStore) evict(now tuple.Time) {
 	cutoff := now - s.retain
 	for idx, b := range s.batches {
@@ -54,6 +65,8 @@ func (s *BatchStore) evict(now tuple.Time) {
 // Get returns a stored batch's input, or false if it was never stored or
 // already expired.
 func (s *BatchStore) Get(index int) ([]tuple.Tuple, tuple.Time, tuple.Time, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	b, ok := s.batches[index]
 	if !ok {
 		return nil, 0, 0, false
@@ -67,22 +80,48 @@ func (s *BatchStore) Get(index int) ([]tuple.Tuple, tuple.Time, tuple.Time, bool
 // lost one (the exactly-once guarantee). It runs on a throwaway engine so
 // the live engine's accumulator and window state are untouched.
 func (s *BatchStore) Recompute(index int, cfg Config, q Query) (map[string]float64, error) {
-	b, ok := s.batches[index]
-	if !ok {
-		return nil, fmt.Errorf("engine: batch %d not in the replica store (expired or never stored)", index)
-	}
-	// A fresh single-batch engine at the stored interval. Windowing is
-	// irrelevant for one batch's output.
-	cfg.ValidateBatches = true
-	replay, err := New(cfg, Query{Name: q.Name, Map: q.Map, Reduce: q.Reduce})
+	results, _, err := s.Replay(index, cfg, []Query{q})
 	if err != nil {
 		return nil, err
 	}
-	replay.now = b.start
-	if _, err := replay.Step(b.tuples, b.start, b.end); err != nil {
-		return nil, fmt.Errorf("engine: recomputing batch %d: %w", index, err)
+	return results[0], nil
+}
+
+// Replay recomputes every query's output for a replicated batch,
+// returning the per-query results and the simulated processing time one
+// recompute pass costs. The replay engine strips anything that could
+// perturb the recomputation — the fault plan (a recovery must not injure
+// itself), the observer, and the query windows (only the single batch's
+// output matters) — so the recovered outputs are bit-identical to the
+// originals.
+func (s *BatchStore) Replay(index int, cfg Config, queries []Query) ([]map[string]float64, tuple.Time, error) {
+	s.mu.RLock()
+	b, ok := s.batches[index]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: batch %d not in the replica store (expired or never stored)", index)
 	}
-	return replay.LastResult(), nil
+	cfg.Faults = nil
+	cfg.Observer = nil
+	cfg.ValidateBatches = true
+	stripped := make([]Query, len(queries))
+	for i, q := range queries {
+		stripped[i] = Query{Name: q.Name, Map: q.Map, Reduce: q.Reduce}
+	}
+	replay, err := NewMulti(cfg, stripped)
+	if err != nil {
+		return nil, 0, err
+	}
+	replay.now = b.start
+	rep, err := replay.Step(b.tuples, b.start, b.end)
+	if err != nil {
+		return nil, 0, fmt.Errorf("engine: recomputing batch %d: %w", index, err)
+	}
+	results := make([]map[string]float64, len(queries))
+	for i := range queries {
+		results[i] = replay.LastResultOf(i)
+	}
+	return results, rep.ProcessingTime, nil
 }
 
 // RecoverableEngine couples an engine with a batch store so every ingested

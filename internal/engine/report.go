@@ -24,8 +24,20 @@ type BatchReport struct {
 	// MapTasks and ReduceTasks are the parallelism used for this batch.
 	MapTasks    int
 	ReduceTasks int
-	// Cores is the simulated core count the stages ran on.
+	// Cores is the effective simulated core count the stages ran on: the
+	// configured cores minus executors lost to injected kills.
 	Cores int
+	// CoresLost is how many cores injected kills had removed as of this
+	// batch's commit (restored when SetCores re-provisions).
+	CoresLost int
+	// TaskRetries counts this batch's simulated task re-executions:
+	// tasks caught on a killed executor plus speculative backup copies.
+	TaskRetries int
+	// RecoveryAttempts is how many recomputation attempts a scripted
+	// output loss took (0 when nothing was lost); RecoveryTime is the
+	// simulated time those attempts added to ProcessingTime.
+	RecoveryAttempts int
+	RecoveryTime     tuple.Time
 
 	// Quality holds the partitioning imbalance metrics of the block set.
 	Quality metrics.Report
@@ -48,7 +60,8 @@ type BatchReport struct {
 	// (Figure 13 plots their spread).
 	ReduceTaskTimes []tuple.Time
 
-	// ProcessingTime = PartitionOverflow + MapStageTime + ReduceStageTime.
+	// ProcessingTime = PartitionOverflow + MapStageTime + ReduceStageTime
+	// (summed across all query jobs) + RecoveryTime.
 	ProcessingTime tuple.Time
 	// QueueWait is how long the batch waited for the previous batch's
 	// processing to finish (nonzero once the system destabilizes).

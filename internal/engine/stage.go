@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"context"
 	"time"
 
+	"prompt/internal/metrics"
 	"prompt/internal/stats"
 	"prompt/internal/tuple"
 )
@@ -25,6 +27,11 @@ const (
 	// blocks: Map tasks, bucket assignment (Algorithm 3 or hashing),
 	// shuffle, and per-bucket Reduce folds.
 	StageProcess StageName = "process"
+	// StageRecover answers injected faults after processing: a batch whose
+	// in-memory output was scripted lost is recomputed from the replicated
+	// input, retrying with backoff per the RetryPolicy. Without a fault
+	// plan the stage is a no-op charging zero time.
+	StageRecover StageName = "recover"
 	// StageCommit merges batch outputs into window state and closes the
 	// batch: queueing, latency, and stability accounting plus the final
 	// BatchReport.
@@ -47,6 +54,10 @@ type StageTiming struct {
 type BatchContext struct {
 	// Index is the batch sequence number (0-based).
 	Index int
+	// Ctx carries the caller's cancellation signal through the pipeline:
+	// stages check it between runs and the process stage's query dispatch
+	// honors it mid-barrier. Nil means no cancellation (background).
+	Ctx context.Context
 	// Batch is the raw input: tuples with timestamps in [Start, End).
 	Batch *tuple.Batch
 	// Interval is the batch's own interval length (End - Start). It
@@ -68,9 +79,25 @@ type BatchContext struct {
 
 	// runs and Processing are the process stage products: each query's
 	// job outcome and the total simulated processing time (overflow plus
-	// all stage makespans).
+	// all stage makespans, plus any recovery time added by the recover
+	// stage).
 	runs       []queryRun
 	Processing tuple.Time
+
+	// Cores is the effective simulated core count this batch's stages ran
+	// on: the configured cores minus executors lost to injected kills.
+	Cores int
+	// retries are the simulated task re-executions this batch suffered
+	// (executor losses and speculative backups), in (query, task) order.
+	retries []metrics.TaskRetry
+	// killed notes an executor kill fired this batch; the lost cores are
+	// charged to the engine after the process stage.
+	killed bool
+	// RecoveryAttempts and RecoveryTime are the recover stage products:
+	// how many recomputation attempts a scripted output loss took and the
+	// simulated time they added to Processing.
+	RecoveryAttempts int
+	RecoveryTime     tuple.Time
 
 	// Timings records per-stage costs when an observer is registered;
 	// nil otherwise (the no-observer hot path allocates nothing extra).

@@ -1,0 +1,233 @@
+// Package fault is the deterministic fault-injection subsystem: scripted
+// failure plans that kill executors mid-stage, straggle individual Map or
+// Reduce tasks, and drop a batch's in-memory output, plus the retry policy
+// the engine answers them with. Every event is addressed by batch index
+// (and, where relevant, stage and task), so a plan afflicts exactly the
+// same simulated work at any worker count — fault runs stay reproducible,
+// and the recovery invariant (same final results as a fault-free run, only
+// the timings differ) is testable.
+//
+// Plans are values: the injector never mutates them, so one plan can drive
+// many concurrent runs. The textual grammar (ParsePlan / Plan.String) is
+// the CLI and config-file surface:
+//
+//	kill@3:node=1,cores=2,after=40ms;straggle@2:stage=map,factor=6;lose@5:fails=1
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"prompt/internal/tuple"
+)
+
+// Kind enumerates the scripted fault event types.
+type Kind int
+
+const (
+	// KillExecutor removes an executor's cores from the schedulable set at
+	// a simulated offset into the batch's Map stage. Tasks running on the
+	// lost cores at that moment fail and are retried on the survivors; the
+	// cores stay lost for subsequent batches until the resource manager
+	// re-provisions (Engine.SetCores, which the elastic driver calls).
+	KillExecutor Kind = iota
+	// StraggleTask multiplies one task's simulated duration in one stage
+	// of one batch, reproducing node interference and GC pauses. With
+	// speculative re-execution enabled (RetryPolicy.SpeculativeAfter) the
+	// engine launches a backup copy and takes whichever finishes first.
+	StraggleTask
+	// LoseBatchOutput discards a batch's in-memory output after the
+	// process stage. The engine recomputes it from the replicated input
+	// (BatchStore), retrying with backoff per the RetryPolicy.
+	LoseBatchOutput
+)
+
+// String returns the event kind's grammar keyword.
+func (k Kind) String() string {
+	switch k {
+	case KillExecutor:
+		return "kill"
+	case StraggleTask:
+		return "straggle"
+	case LoseBatchOutput:
+		return "lose"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Stage addresses one side of the Map-Reduce job inside a batch.
+type Stage int
+
+const (
+	// StageMap is the Map (block-processing) stage.
+	StageMap Stage = iota
+	// StageReduce is the Reduce (bucket-fold) stage.
+	StageReduce
+)
+
+// String returns the stage's grammar keyword.
+func (s Stage) String() string {
+	if s == StageReduce {
+		return "reduce"
+	}
+	return "map"
+}
+
+// Event is one scripted fault. Which fields matter depends on Kind; the
+// flat shape keeps parsing, fuzzing, and table-driven plans simple.
+type Event struct {
+	// Kind selects the fault type.
+	Kind Kind
+	// Batch is the batch index the event fires at (the grammar's "@n").
+	Batch int
+
+	// Node identifies the killed executor (KillExecutor; reporting only).
+	Node int
+	// Cores is the number of cores the killed executor contributed
+	// (KillExecutor; at least 1).
+	Cores int
+	// After is the simulated offset into the Map stage at which the
+	// executor dies (KillExecutor). Zero kills it before any task starts,
+	// which shrinks the core set without failing tasks.
+	After tuple.Time
+
+	// Stage selects the afflicted stage (StraggleTask).
+	Stage Stage
+	// Task is the afflicted task index (StraggleTask); negative picks a
+	// task pseudo-randomly from the plan seed, deterministically per
+	// (seed, batch, stage).
+	Task int
+	// Factor multiplies the afflicted task's duration (StraggleTask, >= 1).
+	Factor float64
+
+	// Fails is how many recovery attempts fail before one succeeds
+	// (LoseBatchOutput). The total attempt count Fails+1 must stay within
+	// RetryPolicy.MaxAttempts or the batch fails for good.
+	Fails int
+}
+
+// Validate rejects a malformed event.
+func (e Event) Validate() error {
+	if e.Batch < 0 {
+		return fmt.Errorf("fault: %s event at negative batch %d", e.Kind, e.Batch)
+	}
+	switch e.Kind {
+	case KillExecutor:
+		if e.Cores < 1 {
+			return fmt.Errorf("fault: kill@%d needs cores >= 1, got %d", e.Batch, e.Cores)
+		}
+		if e.After < 0 {
+			return fmt.Errorf("fault: kill@%d needs after >= 0, got %v", e.Batch, e.After)
+		}
+		if e.Node < 0 {
+			return fmt.Errorf("fault: kill@%d needs node >= 0, got %d", e.Batch, e.Node)
+		}
+	case StraggleTask:
+		// The negated form also rejects NaN, which no comparison satisfies.
+		if !(e.Factor >= 1) || math.IsInf(e.Factor, 1) {
+			return fmt.Errorf("fault: straggle@%d needs a finite factor >= 1, got %v", e.Batch, e.Factor)
+		}
+		if e.Stage != StageMap && e.Stage != StageReduce {
+			return fmt.Errorf("fault: straggle@%d has unknown stage %d", e.Batch, int(e.Stage))
+		}
+	case LoseBatchOutput:
+		if e.Fails < 0 {
+			return fmt.Errorf("fault: lose@%d needs fails >= 0, got %d", e.Batch, e.Fails)
+		}
+	default:
+		return fmt.Errorf("fault: unknown event kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// Plan is a scripted fault schedule. The zero value injects nothing.
+type Plan struct {
+	// Seed drives every pseudo-random choice the plan leaves open (e.g. a
+	// StraggleTask without an explicit task index) and RandomPlan's event
+	// generation. Two runs of the same plan make identical choices.
+	Seed int64
+	// Events are the scripted faults, in any order; the injector indexes
+	// them by batch.
+	Events []Event
+}
+
+// Validate rejects a plan containing malformed events.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, e := range p.Events {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// RetryPolicy governs how the engine answers injected faults: how many
+// attempts a task or batch recomputation gets, how retries back off, and
+// when a straggling task earns a speculative backup copy.
+type RetryPolicy struct {
+	// MaxAttempts bounds the total attempts (first run included) for a
+	// failed task or a lost batch output. Zero selects the default of 4.
+	MaxAttempts int
+	// Backoff is the simulated delay before the first retry; each further
+	// retry multiplies it by BackoffFactor. Zero selects 50ms.
+	Backoff tuple.Time
+	// BackoffFactor grows the backoff exponentially across attempts.
+	// Zero selects 2.
+	BackoffFactor float64
+	// SpeculativeAfter enables straggler mitigation: when a task's
+	// simulated duration exceeds this threshold, a backup copy launches at
+	// the threshold and the task completes at whichever copy finishes
+	// first. Zero disables speculation.
+	SpeculativeAfter tuple.Time
+}
+
+// WithDefaults fills unset fields with the evaluation defaults.
+func (p RetryPolicy) WithDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.Backoff == 0 {
+		p.Backoff = 50 * tuple.Millisecond
+	}
+	if p.BackoffFactor == 0 {
+		p.BackoffFactor = 2
+	}
+	return p
+}
+
+// Validate rejects inconsistent policies (after defaulting).
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 1 {
+		return fmt.Errorf("fault: retry MaxAttempts must be >= 1, got %d", p.MaxAttempts)
+	}
+	if p.Backoff < 0 {
+		return fmt.Errorf("fault: retry Backoff must be >= 0, got %v", p.Backoff)
+	}
+	if !(p.BackoffFactor >= 1) || math.IsInf(p.BackoffFactor, 1) {
+		return fmt.Errorf("fault: retry BackoffFactor must be finite and >= 1, got %v", p.BackoffFactor)
+	}
+	if p.SpeculativeAfter < 0 {
+		return fmt.Errorf("fault: retry SpeculativeAfter must be >= 0, got %v", p.SpeculativeAfter)
+	}
+	return nil
+}
+
+// Delay returns the simulated backoff before the given attempt (attempt 2
+// is the first retry). Attempts <= 1 wait nothing.
+func (p RetryPolicy) Delay(attempt int) tuple.Time {
+	if attempt <= 1 {
+		return 0
+	}
+	d := float64(p.Backoff)
+	for a := 2; a < attempt; a++ {
+		d *= p.BackoffFactor
+	}
+	return tuple.Time(d)
+}

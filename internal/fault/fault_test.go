@@ -1,0 +1,230 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	cases := []string{
+		"kill@3:node=1,cores=2,after=40ms",
+		"straggle@2:stage=map,factor=6,task=-1",
+		"straggle@4:stage=reduce,factor=3.5,task=2",
+		"lose@5:fails=1",
+		"seed=7;kill@1:node=0,cores=1,after=0s;lose@2:fails=0",
+		"seed=-3;straggle@0:stage=map,factor=2,task=-1;straggle@0:stage=reduce,factor=2,task=-1",
+	}
+	for _, s := range cases {
+		p, err := ParsePlan(s)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", s, err)
+		}
+		back, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (-> %q): %v", s, p.String(), err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Errorf("round trip of %q: %+v != %+v", s, p, back)
+		}
+	}
+}
+
+func TestParsePlanDefaults(t *testing.T) {
+	p, err := ParsePlan("kill@2;straggle@1;lose@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 3 {
+		t.Fatalf("got %d events", len(p.Events))
+	}
+	kill := p.Events[0]
+	if kill.Kind != KillExecutor || kill.Cores != 1 || kill.After != 0 {
+		t.Errorf("kill defaults wrong: %+v", kill)
+	}
+	str := p.Events[1]
+	if str.Kind != StraggleTask || str.Stage != StageMap || str.Factor != 2 || str.Task != -1 {
+		t.Errorf("straggle defaults wrong: %+v", str)
+	}
+	lose := p.Events[2]
+	if lose.Kind != LoseBatchOutput || lose.Fails != 0 {
+		t.Errorf("lose defaults wrong: %+v", lose)
+	}
+}
+
+func TestParsePlanRejectsGarbage(t *testing.T) {
+	for _, s := range []string{
+		"kill",                     // missing @batch
+		"kill@x",                   // bad batch
+		"explode@1",                // unknown kind
+		"kill@1:cores=0",           // invalid cores
+		"kill@1:fails=2",           // wrong key for kind
+		"straggle@1:factor=0.5",    // factor < 1
+		"straggle@1:stage=shuffle", // unknown stage
+		"lose@-1",                  // negative batch
+		"kill@1:after=banana",      // bad duration
+		"seed=abc",                 // bad seed
+		"straggle@1:stage",         // malformed kv
+	} {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", s)
+		}
+	}
+}
+
+func TestInjectorIndexesEvents(t *testing.T) {
+	p, err := ParsePlan("kill@3:node=1,cores=2,after=40ms;lose@5:fails=1;straggle@2:stage=reduce,factor=4,task=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewInjector(p, RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := in.Kill(2); ok {
+		t.Error("kill reported for batch 2")
+	}
+	k, ok := in.Kill(3)
+	if !ok || k.Cores != 2 || k.After != 40*tuple.Millisecond {
+		t.Errorf("Kill(3) = %+v, %v", k, ok)
+	}
+	l, ok := in.LostOutput(5)
+	if !ok || l.Fails != 1 {
+		t.Errorf("LostOutput(5) = %+v, %v", l, ok)
+	}
+	// Straggle multiplies only the addressed task in the addressed stage.
+	if d := in.Straggle(2, StageReduce, 1, 4, 100); d != 400 {
+		t.Errorf("straggled task duration = %v, want 400", d)
+	}
+	if d := in.Straggle(2, StageReduce, 0, 4, 100); d != 100 {
+		t.Errorf("unafflicted task duration = %v, want 100", d)
+	}
+	if d := in.Straggle(2, StageMap, 1, 4, 100); d != 100 {
+		t.Errorf("wrong-stage task duration = %v, want 100", d)
+	}
+}
+
+func TestSeededStragglePickIsDeterministic(t *testing.T) {
+	mk := func(seed int64) *Injector {
+		in, err := NewInjector(&Plan{
+			Seed:   seed,
+			Events: []Event{{Kind: StraggleTask, Batch: 1, Stage: StageMap, Factor: 2, Task: -1}},
+		}, RetryPolicy{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	afflicted := func(in *Injector) int {
+		for i := 0; i < 8; i++ {
+			if in.Straggle(1, StageMap, i, 8, 100) != 100 {
+				return i
+			}
+		}
+		return -1
+	}
+	a, b := afflicted(mk(42)), afflicted(mk(42))
+	if a < 0 || a != b {
+		t.Errorf("seeded pick not deterministic: %d vs %d", a, b)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Kill(0); ok {
+		t.Error("nil injector reported a kill")
+	}
+	if _, ok := in.LostOutput(0); ok {
+		t.Error("nil injector reported a loss")
+	}
+	if d := in.Straggle(0, StageMap, 0, 4, 7); d != 7 {
+		t.Errorf("nil injector changed a duration: %v", d)
+	}
+	if got := in.Policy().MaxAttempts; got != 4 {
+		t.Errorf("nil injector policy MaxAttempts = %d, want default 4", got)
+	}
+}
+
+func TestInjectorRejectsDuplicates(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{Kind: KillExecutor, Batch: 1, Cores: 1},
+		{Kind: KillExecutor, Batch: 1, Cores: 1},
+	}}
+	if _, err := NewInjector(p, RetryPolicy{}); err == nil {
+		t.Error("duplicate kill events accepted")
+	}
+}
+
+func TestRetryPolicyDelay(t *testing.T) {
+	p := RetryPolicy{Backoff: 10 * tuple.Millisecond, BackoffFactor: 3}.WithDefaults()
+	if d := p.Delay(1); d != 0 {
+		t.Errorf("Delay(1) = %v, want 0", d)
+	}
+	if d := p.Delay(2); d != 10*tuple.Millisecond {
+		t.Errorf("Delay(2) = %v, want 10ms", d)
+	}
+	if d := p.Delay(4); d != 90*tuple.Millisecond {
+		t.Errorf("Delay(4) = %v, want 90ms", d)
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	if err := (RetryPolicy{}).WithDefaults().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := RetryPolicy{MaxAttempts: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("negative MaxAttempts accepted")
+	}
+	if err := (RetryPolicy{MaxAttempts: 1, BackoffFactor: 0.5, Backoff: 1}).Validate(); err == nil {
+		t.Error("BackoffFactor < 1 accepted")
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(5, 8, 4)
+	b := RandomPlan(5, 8, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("RandomPlan(5) differs between calls:\n%v\n%v", a, b)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("random plan invalid: %v", err)
+	}
+	if a.Empty() {
+		t.Error("random plan empty")
+	}
+	// Must survive the grammar round trip like any hand-written plan.
+	back, err := ParsePlan(a.String())
+	if err != nil {
+		t.Fatalf("reparse of random plan %q: %v", a.String(), err)
+	}
+	if len(back.Events) != len(a.Events) {
+		t.Errorf("round trip lost events: %d != %d", len(back.Events), len(a.Events))
+	}
+	c := RandomPlan(6, 8, 4)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Error("different seeds produced identical plans")
+	}
+}
+
+func TestPlanStringEmpty(t *testing.T) {
+	var p *Plan
+	if s := p.String(); s != "" {
+		t.Errorf("nil plan string = %q", s)
+	}
+	if !p.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if got, err := ParsePlan(" ; ;"); err != nil || !got.Empty() {
+		t.Errorf("blank plan = %+v, %v", got, err)
+	}
+}
+
+func TestEventStringIsGrammar(t *testing.T) {
+	e := Event{Kind: KillExecutor, Batch: 3, Node: 1, Cores: 2, After: 40 * tuple.Millisecond}
+	if s := e.String(); !strings.HasPrefix(s, "kill@3:") {
+		t.Errorf("kill event string = %q", s)
+	}
+}

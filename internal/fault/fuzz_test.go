@@ -1,0 +1,43 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlan drives ParsePlan with arbitrary input: it must never
+// panic, and any string it accepts must survive the canonical round trip
+// (String then reparse yields an equal plan that still validates).
+func FuzzFaultPlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"kill@3:node=1,cores=2,after=40ms",
+		"straggle@2:stage=map,factor=6,task=-1",
+		"lose@5:fails=1",
+		"seed=7;kill@1;straggle@2;lose@3",
+		"kill@1:after=1h2m3s",
+		"straggle@0:factor=1.25",
+		"seed=-9223372036854775808",
+		"kill@1:cores=0",
+		"a@b:c=d",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("ParsePlan(%q) returned an invalid plan: %v", s, err)
+		}
+		canon := p.String()
+		back, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Fatalf("round trip of %q changed the plan:\n%+v\n%+v", s, p, back)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package fault
+
+import (
+	"fmt"
+
+	"prompt/internal/tuple"
+)
+
+// Injector answers the engine's per-batch fault queries from a validated
+// plan. It is read-only after construction — concurrent query jobs may
+// consult it freely — and a nil *Injector injects nothing, so the engine
+// needs no branches on the fault-free path.
+type Injector struct {
+	policy RetryPolicy
+	seed   int64
+
+	kills     map[int]Event   // batch -> kill event (at most one fires per batch)
+	losses    map[int]Event   // batch -> lose event
+	straggles map[int][]Event // batch -> straggle events, in plan order
+}
+
+// NewInjector validates the plan and retry policy (after defaulting) and
+// builds the batch index. A nil or empty plan returns a nil injector.
+func NewInjector(p *Plan, policy RetryPolicy) (*Injector, error) {
+	pol := policy.WithDefaults()
+	if err := pol.Validate(); err != nil {
+		return nil, err
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		policy:    pol,
+		seed:      p.Seed,
+		kills:     make(map[int]Event),
+		losses:    make(map[int]Event),
+		straggles: make(map[int][]Event),
+	}
+	for _, e := range p.Events {
+		switch e.Kind {
+		case KillExecutor:
+			if _, dup := in.kills[e.Batch]; dup {
+				return nil, fmt.Errorf("fault: two kill events at batch %d", e.Batch)
+			}
+			in.kills[e.Batch] = e
+		case LoseBatchOutput:
+			if _, dup := in.losses[e.Batch]; dup {
+				return nil, fmt.Errorf("fault: two lose events at batch %d", e.Batch)
+			}
+			in.losses[e.Batch] = e
+		case StraggleTask:
+			in.straggles[e.Batch] = append(in.straggles[e.Batch], e)
+		}
+	}
+	return in, nil
+}
+
+// Policy returns the defaulted retry policy. Safe on a nil injector.
+func (in *Injector) Policy() RetryPolicy {
+	if in == nil {
+		return RetryPolicy{}.WithDefaults()
+	}
+	return in.policy
+}
+
+// Kill reports the executor failure scripted for the batch, if any.
+func (in *Injector) Kill(batch int) (Event, bool) {
+	if in == nil {
+		return Event{}, false
+	}
+	e, ok := in.kills[batch]
+	return e, ok
+}
+
+// LostOutput reports whether the batch's in-memory output is scripted to
+// be lost after processing.
+func (in *Injector) LostOutput(batch int) (Event, bool) {
+	if in == nil {
+		return Event{}, false
+	}
+	e, ok := in.losses[batch]
+	return e, ok
+}
+
+// Straggle returns the task's simulated duration after applying every
+// straggle event addressing (batch, stage, task). Events with a negative
+// task index afflict a pseudo-random task drawn deterministically from the
+// plan seed and ntasks.
+func (in *Injector) Straggle(batch int, stage Stage, task, ntasks int, d tuple.Time) tuple.Time {
+	if in == nil {
+		return d
+	}
+	for _, e := range in.straggles[batch] {
+		if e.Stage != stage {
+			continue
+		}
+		target := e.Task
+		if target < 0 && ntasks > 0 {
+			target = pick(in.seed, batch, stage, ntasks)
+		}
+		if target == task {
+			d = tuple.Time(float64(d) * e.Factor)
+		}
+	}
+	return d
+}
+
+// pick chooses a task index from (seed, batch, stage) with an FNV-1a mix —
+// deterministic, uniform enough for injection, and dependency-free.
+func pick(seed int64, batch int, stage Stage, ntasks int) int {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, v := range [...]uint64{uint64(seed), uint64(batch), uint64(stage)} {
+		for b := 0; b < 8; b++ {
+			h ^= (v >> (8 * b)) & 0xff
+			h *= prime
+		}
+	}
+	return int(h % uint64(ntasks))
+}

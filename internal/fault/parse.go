@@ -1,0 +1,233 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"prompt/internal/tuple"
+)
+
+// ParsePlan parses the textual fault-plan grammar:
+//
+//	plan    := entry (';' entry)*
+//	entry   := "seed=" int
+//	         | kind '@' batch [':' kv (',' kv)*]
+//	kind    := "kill" | "straggle" | "lose"
+//	kv      := key '=' value
+//
+// Keys by kind — kill: node (int), cores (int, default 1), after (Go
+// duration, default 0); straggle: stage (map|reduce, default map), factor
+// (float, default 2), task (int, -1 = seeded pick); lose: fails (int,
+// default 0). Example:
+//
+//	seed=7;kill@3:node=1,cores=2,after=40ms;straggle@2:stage=map,factor=6;lose@5:fails=1
+//
+// The result round-trips: ParsePlan(p.String()) reproduces p exactly.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	for _, raw := range strings.Split(s, ";") {
+		entry := strings.TrimSpace(raw)
+		if entry == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(entry, "seed="); ok {
+			seed, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q: %v", rest, err)
+			}
+			p.Seed = seed
+			continue
+		}
+		ev, err := parseEvent(entry)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseEvent(entry string) (Event, error) {
+	head, args, hasArgs := strings.Cut(entry, ":")
+	kindName, batchStr, ok := strings.Cut(head, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("fault: event %q is missing '@batch'", entry)
+	}
+	batch, err := strconv.Atoi(batchStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("fault: event %q has bad batch index: %v", entry, err)
+	}
+	ev := Event{Batch: batch}
+	switch kindName {
+	case "kill":
+		ev.Kind = KillExecutor
+		ev.Cores = 1
+	case "straggle":
+		ev.Kind = StraggleTask
+		ev.Stage = StageMap
+		ev.Factor = 2
+		ev.Task = -1
+	case "lose":
+		ev.Kind = LoseBatchOutput
+	default:
+		return Event{}, fmt.Errorf("fault: unknown event kind %q (want kill, straggle, or lose)", kindName)
+	}
+	if !hasArgs {
+		return ev, nil
+	}
+	for _, kv := range strings.Split(args, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Event{}, fmt.Errorf("fault: event %q has malformed argument %q", entry, kv)
+		}
+		if err := ev.setArg(key, val); err != nil {
+			return Event{}, fmt.Errorf("fault: event %q: %w", entry, err)
+		}
+	}
+	return ev, nil
+}
+
+// setArg applies one key=value argument to the event.
+func (e *Event) setArg(key, val string) error {
+	atoi := func() (int, error) { return strconv.Atoi(val) }
+	switch {
+	case e.Kind == KillExecutor && key == "node":
+		n, err := atoi()
+		if err != nil {
+			return fmt.Errorf("bad node: %v", err)
+		}
+		e.Node = n
+	case e.Kind == KillExecutor && key == "cores":
+		n, err := atoi()
+		if err != nil {
+			return fmt.Errorf("bad cores: %v", err)
+		}
+		e.Cores = n
+	case e.Kind == KillExecutor && key == "after":
+		d, err := time.ParseDuration(val)
+		if err != nil {
+			return fmt.Errorf("bad after: %v", err)
+		}
+		e.After = tuple.FromDuration(d)
+	case e.Kind == StraggleTask && key == "stage":
+		switch val {
+		case "map":
+			e.Stage = StageMap
+		case "reduce":
+			e.Stage = StageReduce
+		default:
+			return fmt.Errorf("bad stage %q (want map or reduce)", val)
+		}
+	case e.Kind == StraggleTask && key == "factor":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("bad factor: %v", err)
+		}
+		e.Factor = f
+	case e.Kind == StraggleTask && key == "task":
+		n, err := atoi()
+		if err != nil {
+			return fmt.Errorf("bad task: %v", err)
+		}
+		e.Task = n
+	case e.Kind == LoseBatchOutput && key == "fails":
+		n, err := atoi()
+		if err != nil {
+			return fmt.Errorf("bad fails: %v", err)
+		}
+		e.Fails = n
+	default:
+		return fmt.Errorf("unknown argument %q for %s", key, e.Kind)
+	}
+	return nil
+}
+
+// String renders the event in canonical grammar form (all fields explicit,
+// so parsing it back reproduces the event exactly).
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%d", e.Kind, e.Batch)
+	switch e.Kind {
+	case KillExecutor:
+		fmt.Fprintf(&b, ":node=%d,cores=%d,after=%s", e.Node, e.Cores, e.After.Duration())
+	case StraggleTask:
+		fmt.Fprintf(&b, ":stage=%s,factor=%s,task=%d",
+			e.Stage, strconv.FormatFloat(e.Factor, 'g', -1, 64), e.Task)
+	case LoseBatchOutput:
+		fmt.Fprintf(&b, ":fails=%d", e.Fails)
+	}
+	return b.String()
+}
+
+// String renders the plan in canonical grammar form; ParsePlan reverses it.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	parts := make([]string, 0, len(p.Events)+1)
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, e := range p.Events {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// RandomPlan generates a seeded plan of nEvents faults spread over batches
+// [1, batches): a rotating mix of kills, straggles, and losses with bounded
+// parameters. Identical (seed, batches, nEvents) yield identical plans, so
+// the CI invariant suite can sweep seeds reproducibly.
+func RandomPlan(seed int64, batches, nEvents int) *Plan {
+	if batches < 2 {
+		batches = 2
+	}
+	if nEvents < 1 {
+		nEvents = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	usedKill := map[int]bool{}
+	usedLose := map[int]bool{}
+	for i := 0; i < nEvents; i++ {
+		batch := 1 + rng.Intn(batches-1)
+		switch i % 3 {
+		case 0:
+			p.Events = append(p.Events, Event{
+				Kind: StraggleTask, Batch: batch,
+				Stage:  Stage(rng.Intn(2)),
+				Factor: 2 + 6*rng.Float64(),
+				Task:   -1,
+			})
+		case 1:
+			if usedKill[batch] {
+				continue
+			}
+			usedKill[batch] = true
+			p.Events = append(p.Events, Event{
+				Kind: KillExecutor, Batch: batch,
+				Node:  rng.Intn(4),
+				Cores: 1 + rng.Intn(2),
+				After: tuple.Time(10+rng.Intn(190)) * tuple.Millisecond,
+			})
+		case 2:
+			if usedLose[batch] {
+				continue
+			}
+			usedLose[batch] = true
+			p.Events = append(p.Events, Event{
+				Kind: LoseBatchOutput, Batch: batch,
+				Fails: rng.Intn(2),
+			})
+		}
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Batch < p.Events[j].Batch })
+	return p
+}

@@ -56,11 +56,47 @@ type BatchEnd struct {
 	Stable bool
 }
 
+// TaskRetry reports one simulated task re-execution inside a batch —
+// either a task lost with a killed executor or a speculative backup copy
+// launched against a straggler.
+type TaskRetry struct {
+	// Batch is the batch sequence number.
+	Batch int
+	// Query is the query-job index the task belongs to.
+	Query int
+	// Stage names the afflicted stage ("map" or "reduce").
+	Stage string
+	// Task is the task index within the stage.
+	Task int
+	// Attempt is the attempt number the retry starts (2 = first retry).
+	Attempt int
+	// Delay is the simulated wait before the retry began.
+	Delay tuple.Time
+	// Reason is "executor-lost" for tasks killed mid-flight or
+	// "speculative" for straggler backup copies.
+	Reason string
+}
+
+// Recovery reports a lost batch output recomputed from replicated input.
+type Recovery struct {
+	// Batch is the recovered batch's sequence number.
+	Batch int
+	// Attempts is how many recomputation attempts ran (1 = first retry
+	// succeeded).
+	Attempts int
+	// Simulated is the virtual time the recovery added to the batch's
+	// processing time (recompute passes plus retry backoff).
+	Simulated tuple.Time
+	// Wall is the measured host time the recomputations took.
+	Wall time.Duration
+}
+
 // Observer receives batch-lifecycle events from the staged pipeline.
 // Implementations must be cheap: callbacks run on the driver goroutine
 // between stages, so a slow observer stretches real batch latency (never
 // the simulated reports). Callbacks are never invoked concurrently for
 // one engine, but an observer shared between engines must synchronize.
+// Embed NopObserver to implement only the events of interest.
 type Observer interface {
 	// OnBatchStart fires before the first stage of a batch runs.
 	OnBatchStart(BatchStart)
@@ -68,7 +104,32 @@ type Observer interface {
 	OnStageEnd(StageEnd)
 	// OnBatchEnd fires after the last stage committed the batch.
 	OnBatchEnd(BatchEnd)
+	// OnTaskRetry fires for each simulated task re-execution (executor
+	// loss or speculative backup), after the stage that ran it.
+	OnTaskRetry(TaskRetry)
+	// OnRecovery fires when a lost batch output has been recomputed,
+	// before the batch commits.
+	OnRecovery(Recovery)
 }
+
+// NopObserver implements Observer with empty callbacks; embed it to pick
+// out individual events without tracking interface growth.
+type NopObserver struct{}
+
+// OnBatchStart implements Observer.
+func (NopObserver) OnBatchStart(BatchStart) {}
+
+// OnStageEnd implements Observer.
+func (NopObserver) OnStageEnd(StageEnd) {}
+
+// OnBatchEnd implements Observer.
+func (NopObserver) OnBatchEnd(BatchEnd) {}
+
+// OnTaskRetry implements Observer.
+func (NopObserver) OnTaskRetry(TaskRetry) {}
+
+// OnRecovery implements Observer.
+func (NopObserver) OnRecovery(Recovery) {}
 
 // MultiObserver fans every lifecycle event out to several observers in
 // order. The engine treats a nil or empty MultiObserver like no observer.
@@ -92,6 +153,20 @@ func (m MultiObserver) OnStageEnd(s StageEnd) {
 func (m MultiObserver) OnBatchEnd(b BatchEnd) {
 	for _, o := range m {
 		o.OnBatchEnd(b)
+	}
+}
+
+// OnTaskRetry implements Observer.
+func (m MultiObserver) OnTaskRetry(r TaskRetry) {
+	for _, o := range m {
+		o.OnTaskRetry(r)
+	}
+}
+
+// OnRecovery implements Observer.
+func (m MultiObserver) OnRecovery(r Recovery) {
+	for _, o := range m {
+		o.OnRecovery(r)
 	}
 }
 
@@ -159,6 +234,15 @@ type CollectorSummary struct {
 	Unstable int `json:"unstable"`
 	// Wall is the total measured host time across all observed batches.
 	Wall time.Duration `json:"wall_ns"`
+	// TaskRetries counts simulated task re-executions (executor losses
+	// plus speculative backup copies) across all batches.
+	TaskRetries int `json:"task_retries"`
+	// Recoveries counts batches whose lost output was recomputed.
+	Recoveries int `json:"recoveries"`
+	// RecoverySim is the total virtual time recoveries charged.
+	RecoverySim tuple.Time `json:"recovery_sim_us"`
+	// RecoveryWall is the total measured host time recomputations took.
+	RecoveryWall time.Duration `json:"recovery_wall_ns"`
 }
 
 // Collector is the built-in Observer: it keeps per-stage counters and
@@ -203,6 +287,22 @@ func (c *Collector) OnBatchEnd(b BatchEnd) {
 	if !b.Stable {
 		c.summary.Unstable++
 	}
+}
+
+// OnTaskRetry implements Observer.
+func (c *Collector) OnTaskRetry(TaskRetry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.summary.TaskRetries++
+}
+
+// OnRecovery implements Observer.
+func (c *Collector) OnRecovery(r Recovery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.summary.Recoveries++
+	c.summary.RecoverySim += r.Simulated
+	c.summary.RecoveryWall += r.Wall
 }
 
 // Reset clears all collected aggregates.

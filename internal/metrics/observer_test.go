@@ -22,6 +22,33 @@ func feed(c *Collector) {
 	c.OnBatchEnd(BatchEnd{Batch: 1, Tuples: 20, Keys: 5, Stable: false, Wall: 9 * time.Millisecond})
 }
 
+func TestCollectorFailureCounters(t *testing.T) {
+	c := NewCollector()
+	c.OnTaskRetry(TaskRetry{Batch: 0, Stage: "map", Task: 2, Attempt: 2, Reason: "executor-lost"})
+	c.OnTaskRetry(TaskRetry{Batch: 1, Stage: "reduce", Task: 0, Attempt: 2, Reason: "speculative"})
+	c.OnRecovery(Recovery{Batch: 3, Attempts: 2, Simulated: 5000, Wall: 4 * time.Millisecond})
+	sum := c.Summary()
+	if sum.TaskRetries != 2 {
+		t.Errorf("TaskRetries = %d, want 2", sum.TaskRetries)
+	}
+	if sum.Recoveries != 1 || sum.RecoverySim != 5000 || sum.RecoveryWall != 4*time.Millisecond {
+		t.Errorf("recovery counters = %+v", sum)
+	}
+	c.Reset()
+	if s := c.Summary(); s.TaskRetries != 0 || s.Recoveries != 0 {
+		t.Errorf("Reset kept failure counters: %+v", s)
+	}
+}
+
+func TestNopObserverSatisfiesInterface(t *testing.T) {
+	var obs Observer = NopObserver{}
+	obs.OnBatchStart(BatchStart{})
+	obs.OnStageEnd(StageEnd{})
+	obs.OnBatchEnd(BatchEnd{})
+	obs.OnTaskRetry(TaskRetry{})
+	obs.OnRecovery(Recovery{})
+}
+
 func TestCollectorStats(t *testing.T) {
 	c := NewCollector()
 	feed(c)
@@ -106,9 +133,14 @@ func TestMultiObserverFansOut(t *testing.T) {
 	obs.OnBatchStart(BatchStart{Batch: 0})
 	obs.OnStageEnd(StageEnd{Batch: 0, Stage: "partition", Wall: time.Millisecond, Simulated: 1000})
 	obs.OnBatchEnd(BatchEnd{Batch: 0, Tuples: 7, Stable: true})
+	obs.OnTaskRetry(TaskRetry{Batch: 0, Stage: "map", Reason: "speculative"})
+	obs.OnRecovery(Recovery{Batch: 0, Attempts: 1, Simulated: 100})
 	for i, c := range []*Collector{a, b} {
 		if c.Summary().Batches != 1 || c.Summary().Tuples != 7 {
 			t.Errorf("observer %d summary = %+v", i, c.Summary())
+		}
+		if c.Summary().TaskRetries != 1 || c.Summary().Recoveries != 1 {
+			t.Errorf("observer %d failure counters = %+v", i, c.Summary())
 		}
 		if len(c.Snapshot()) != 1 {
 			t.Errorf("observer %d saw %d stages", i, len(c.Snapshot()))

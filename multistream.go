@@ -1,6 +1,7 @@
 package prompt
 
 import (
+	"context"
 	"fmt"
 
 	"prompt/internal/core"
@@ -52,9 +53,48 @@ func (m *MultiStream) BatchInterval() Time { return m.eng.Config().BatchInterval
 // ProcessBatch ingests the next batch interval's tuples and runs every
 // query's job over the shared blocks.
 func (m *MultiStream) ProcessBatch(tuples []Tuple) (BatchReport, error) {
+	return m.ProcessBatchContext(context.Background(), tuples)
+}
+
+// ProcessBatchContext is ProcessBatch with cooperative cancellation; see
+// Stream.ProcessBatchContext.
+func (m *MultiStream) ProcessBatchContext(ctx context.Context, tuples []Tuple) (BatchReport, error) {
 	start := m.eng.Now()
 	end := start + m.eng.Config().BatchInterval
-	return m.eng.Step(tuples, start, end)
+	rep, err := m.eng.StepContext(ctx, tuples, start, end)
+	if err != nil {
+		return BatchReport{}, err
+	}
+	return newBatchReport(m.scheme.Name, rep), nil
+}
+
+// Run pulls n consecutive batch intervals from the source and processes
+// them; it is RunContext with context.Background().
+func (m *MultiStream) Run(src BatchSource, n int) ([]BatchReport, error) {
+	return m.RunContext(context.Background(), src, n)
+}
+
+// RunContext drives n batches with cooperative cancellation; see
+// Stream.RunContext for the exact stop points.
+func (m *MultiStream) RunContext(ctx context.Context, src BatchSource, n int) ([]BatchReport, error) {
+	out := make([]BatchReport, 0, n)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		start := m.eng.Now()
+		end := start + m.eng.Config().BatchInterval
+		tuples, err := src(start, end)
+		if err != nil {
+			return out, err
+		}
+		rep, err := m.eng.StepContext(ctx, tuples, start, end)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, newBatchReport(m.scheme.Name, rep))
+	}
+	return out, nil
 }
 
 // Result returns query i's previous batch output.
@@ -109,7 +149,17 @@ func (m *MultiStream) SetWorkers(workers int) error { return m.eng.SetWorkers(wo
 func (m *MultiStream) SetObserver(obs Observer) { m.eng.SetObserver(obs) }
 
 // Reports returns all batch reports since the stream started.
-func (m *MultiStream) Reports() []BatchReport { return m.eng.Reports() }
+func (m *MultiStream) Reports() []BatchReport {
+	return newBatchReports(m.scheme.Name, m.eng.Reports())
+}
+
+// CoresLost reports how many simulated cores injected executor kills
+// have removed; SetCores re-provisions the budget and clears it.
+func (m *MultiStream) CoresLost() int { return m.eng.CoresLost() }
+
+// SetCores changes the simulated core budget for subsequent batches and
+// restores any cores lost to injected kills.
+func (m *MultiStream) SetCores(cores int) error { return m.eng.SetCores(cores) }
 
 func (m *MultiStream) check(i int) error {
 	if i < 0 || i >= len(m.names) {

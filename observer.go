@@ -13,10 +13,15 @@ import "prompt/internal/metrics"
 type Observer = metrics.Observer
 
 // BatchStart, StageEnd, and BatchEnd are the observer event payloads.
+// TaskRetry and Recovery are the fault-lifecycle payloads: a TaskRetry
+// fires for every simulated task re-execution (executor loss or
+// speculative backup) and a Recovery for every recomputed batch output.
 type (
 	BatchStart = metrics.BatchStart
 	StageEnd   = metrics.StageEnd
 	BatchEnd   = metrics.BatchEnd
+	TaskRetry  = metrics.TaskRetry
+	Recovery   = metrics.Recovery
 )
 
 // Collector is the built-in Observer: per-stage counters with

@@ -1,0 +1,279 @@
+package prompt
+
+import (
+	"encoding/json"
+
+	"prompt/internal/engine"
+)
+
+// RecoveryInfo describes how a batch was affected by injected faults and
+// what the engine did about them. The zero value means the batch ran
+// clean: no executors down, no task re-executions, no output recovery.
+type RecoveryInfo struct {
+	// CoresLost is how many simulated cores injected executor kills had
+	// removed as of this batch's commit. It stays nonzero until SetCores
+	// re-provisions the stream.
+	CoresLost int
+	// TaskRetries counts the batch's simulated task re-executions: tasks
+	// caught on a killed executor plus speculative backup copies.
+	TaskRetries int
+	// Attempts is how many recomputation attempts a scripted output loss
+	// took (0 when nothing was lost); Time is the simulated time those
+	// attempts added to the batch's ProcessingTime.
+	Attempts int
+	Time     Time
+}
+
+// Clean reports whether the batch saw no fault activity at all.
+func (ri RecoveryInfo) Clean() bool { return ri == RecoveryInfo{} }
+
+// BatchReport is the per-batch measurement record of the public API:
+// which scheme ran, the batch's input statistics, partitioning quality
+// (BSI/BCI/KSR/MPI), simulated stage times, queueing, end-to-end latency,
+// the stability ratio W = processing/interval, and the fault-recovery
+// summary. It is a plain value — safe to copy, compare with
+// reflect.DeepEqual, and serialize with MarshalJSON — and deliberately
+// does not expose any internal engine types.
+type BatchReport struct {
+	// Scheme is the partitioning scheme that produced the batch.
+	Scheme string
+	// Index is the batch sequence number (0-based); Start and End bound
+	// its interval in virtual time.
+	Index      int
+	Start, End Time
+
+	// Tuples and Keys are the batch input statistics (N_C and |K|).
+	Tuples int
+	Keys   int
+
+	// MapTasks, ReduceTasks, and Cores are the parallelism and the
+	// effective simulated core count the batch ran on (configured cores
+	// minus executors lost to injected kills).
+	MapTasks    int
+	ReduceTasks int
+	Cores       int
+
+	// Quality holds the partitioning imbalance metrics of the block set;
+	// BucketSizes and BucketBSI describe the Reduce-side balance.
+	Quality     QualityReport
+	BucketSizes []int
+	BucketBSI   float64
+
+	// PartitionTime is the statistics + partitioning cost in virtual
+	// time; the part exceeding the early-release budget
+	// (PartitionOverflow) delays processing.
+	PartitionTime     Time
+	PartitionOverflow Time
+
+	// MapStageTime and ReduceStageTime are the simulated stage makespans
+	// of the primary query; ReduceTaskTimes are its individual Reduce
+	// task durations.
+	MapStageTime    Time
+	ReduceStageTime Time
+	ReduceTaskTimes []Time
+
+	// ProcessingTime = PartitionOverflow + stage makespans across all
+	// query jobs + Recovery.Time. QueueWait is time spent waiting for the
+	// previous batch; Latency is end-to-end at batch granularity.
+	ProcessingTime Time
+	QueueWait      Time
+	Latency        Time
+
+	// W is the stability ratio ProcessingTime / BatchInterval; Stable
+	// reports whether the batch finished within its interval.
+	W      float64
+	Stable bool
+
+	// Recovery summarizes injected-fault activity; Recovery.Clean() for
+	// an untouched batch.
+	Recovery RecoveryInfo
+}
+
+// newBatchReport converts the engine's internal record into the public
+// view, stamping the scheme name.
+func newBatchReport(scheme string, r engine.BatchReport) BatchReport {
+	return BatchReport{
+		Scheme:            scheme,
+		Index:             r.Index,
+		Start:             r.Start,
+		End:               r.End,
+		Tuples:            r.Tuples,
+		Keys:              r.Keys,
+		MapTasks:          r.MapTasks,
+		ReduceTasks:       r.ReduceTasks,
+		Cores:             r.Cores,
+		Quality:           r.Quality,
+		BucketSizes:       r.BucketSizes,
+		BucketBSI:         r.BucketBSI,
+		PartitionTime:     r.PartitionTime,
+		PartitionOverflow: r.PartitionOverflow,
+		MapStageTime:      r.MapStageTime,
+		ReduceStageTime:   r.ReduceStageTime,
+		ReduceTaskTimes:   r.ReduceTaskTimes,
+		ProcessingTime:    r.ProcessingTime,
+		QueueWait:         r.QueueWait,
+		Latency:           r.Latency,
+		W:                 r.W,
+		Stable:            r.Stable,
+		Recovery: RecoveryInfo{
+			CoresLost:   r.CoresLost,
+			TaskRetries: r.TaskRetries,
+			Attempts:    r.RecoveryAttempts,
+			Time:        r.RecoveryTime,
+		},
+	}
+}
+
+// newBatchReports converts a slice of engine reports.
+func newBatchReports(scheme string, rs []engine.BatchReport) []BatchReport {
+	out := make([]BatchReport, len(rs))
+	for i, r := range rs {
+		out[i] = newBatchReport(scheme, r)
+	}
+	return out
+}
+
+// batchReportJSON is the stable wire form of BatchReport: snake_case
+// keys, virtual times as integer microseconds (suffix _us).
+type batchReportJSON struct {
+	Scheme          string        `json:"scheme"`
+	Index           int           `json:"index"`
+	StartUS         int64         `json:"start_us"`
+	EndUS           int64         `json:"end_us"`
+	Tuples          int           `json:"tuples"`
+	Keys            int           `json:"keys"`
+	MapTasks        int           `json:"map_tasks"`
+	ReduceTasks     int           `json:"reduce_tasks"`
+	Cores           int           `json:"cores"`
+	BSI             float64       `json:"bsi"`
+	BCI             float64       `json:"bci"`
+	KSR             float64       `json:"ksr"`
+	MPI             float64       `json:"mpi"`
+	BucketSizes     []int         `json:"bucket_sizes,omitempty"`
+	BucketBSI       float64       `json:"bucket_bsi"`
+	PartitionUS     int64         `json:"partition_us"`
+	PartitionOverUS int64         `json:"partition_overflow_us"`
+	MapStageUS      int64         `json:"map_stage_us"`
+	ReduceStageUS   int64         `json:"reduce_stage_us"`
+	ProcessingUS    int64         `json:"processing_us"`
+	QueueWaitUS     int64         `json:"queue_wait_us"`
+	LatencyUS       int64         `json:"latency_us"`
+	W               float64       `json:"w"`
+	Stable          bool          `json:"stable"`
+	Recovery        *recoveryJSON `json:"recovery,omitempty"`
+}
+
+type recoveryJSON struct {
+	CoresLost   int   `json:"cores_lost"`
+	TaskRetries int   `json:"task_retries"`
+	Attempts    int   `json:"attempts"`
+	TimeUS      int64 `json:"time_us"`
+}
+
+// MarshalJSON renders the report in a stable snake_case wire format with
+// virtual times as integer microseconds ("_us" keys). The recovery block
+// is omitted entirely for clean batches, so fault-free output is
+// byte-identical whether or not fault injection is compiled into the run.
+func (r BatchReport) MarshalJSON() ([]byte, error) {
+	j := batchReportJSON{
+		Scheme:          r.Scheme,
+		Index:           r.Index,
+		StartUS:         int64(r.Start),
+		EndUS:           int64(r.End),
+		Tuples:          r.Tuples,
+		Keys:            r.Keys,
+		MapTasks:        r.MapTasks,
+		ReduceTasks:     r.ReduceTasks,
+		Cores:           r.Cores,
+		BSI:             r.Quality.BSI,
+		BCI:             r.Quality.BCI,
+		KSR:             r.Quality.KSR,
+		MPI:             r.Quality.MPI,
+		BucketSizes:     r.BucketSizes,
+		BucketBSI:       r.BucketBSI,
+		PartitionUS:     int64(r.PartitionTime),
+		PartitionOverUS: int64(r.PartitionOverflow),
+		MapStageUS:      int64(r.MapStageTime),
+		ReduceStageUS:   int64(r.ReduceStageTime),
+		ProcessingUS:    int64(r.ProcessingTime),
+		QueueWaitUS:     int64(r.QueueWait),
+		LatencyUS:       int64(r.Latency),
+		W:               r.W,
+		Stable:          r.Stable,
+	}
+	if !r.Recovery.Clean() {
+		j.Recovery = &recoveryJSON{
+			CoresLost:   r.Recovery.CoresLost,
+			TaskRetries: r.Recovery.TaskRetries,
+			Attempts:    r.Recovery.Attempts,
+			TimeUS:      int64(r.Recovery.Time),
+		}
+	}
+	return json.Marshal(j)
+}
+
+// RunSummary aggregates batch reports: throughput, stability, latency
+// and processing statistics, plus the run's total fault activity.
+type RunSummary struct {
+	Batches        int
+	Tuples         int
+	UnstableCount  int
+	MaxQueueWait   Time
+	MeanProcessing Time
+	MaxProcessing  Time
+	MeanLatency    Time
+	MaxLatency     Time
+	MeanW          float64
+	// Throughput is tuples per second of virtual stream time.
+	Throughput float64
+	// TaskRetries and Recoveries total the run's fault activity:
+	// re-executed tasks and recovered batch outputs.
+	TaskRetries int
+	Recoveries  int
+	// RecoveryTime is the total simulated time spent recomputing lost
+	// outputs.
+	RecoveryTime Time
+}
+
+// Summarize folds batch reports into a RunSummary.
+func Summarize(reports []BatchReport) RunSummary {
+	var s RunSummary
+	if len(reports) == 0 {
+		return s
+	}
+	var procSum, latSum Time
+	var wSum float64
+	for _, r := range reports {
+		s.Batches++
+		s.Tuples += r.Tuples
+		if !r.Stable {
+			s.UnstableCount++
+		}
+		if r.QueueWait > s.MaxQueueWait {
+			s.MaxQueueWait = r.QueueWait
+		}
+		procSum += r.ProcessingTime
+		if r.ProcessingTime > s.MaxProcessing {
+			s.MaxProcessing = r.ProcessingTime
+		}
+		latSum += r.Latency
+		if r.Latency > s.MaxLatency {
+			s.MaxLatency = r.Latency
+		}
+		wSum += r.W
+		s.TaskRetries += r.Recovery.TaskRetries
+		if r.Recovery.Attempts > 0 {
+			s.Recoveries++
+		}
+		s.RecoveryTime += r.Recovery.Time
+	}
+	n := Time(len(reports))
+	s.MeanProcessing = procSum / n
+	s.MeanLatency = latSum / n
+	s.MeanW = wSum / float64(len(reports))
+	span := reports[len(reports)-1].End - reports[0].Start
+	if span > 0 {
+		s.Throughput = float64(s.Tuples) / span.Seconds()
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package prompt_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"prompt"
+)
+
+// TestBatchReportMarshalJSON pins the wire format: snake_case keys,
+// virtual times as integer microseconds, and a recovery block only when
+// the batch actually saw fault activity.
+func TestBatchReportMarshalJSON(t *testing.T) {
+	plan, err := prompt.ParseFaultPlan("lose@1:fails=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := prompt.New(prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      4,
+		ReduceTasks:   4,
+		Faults:        plan,
+	}, prompt.WordCount(5*time.Second, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tweetsSource(t, 3000)
+	reps := feed(t, st, src, 2)
+
+	cleanJS, err := json.Marshal(reps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clean map[string]any
+	if err := json.Unmarshal(cleanJS, &clean); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"scheme", "index", "tuples", "keys", "processing_us", "latency_us", "w", "stable", "bsi", "mpi"} {
+		if _, ok := clean[key]; !ok {
+			t.Errorf("clean report JSON missing %q: %s", key, cleanJS)
+		}
+	}
+	if clean["scheme"] != "prompt" {
+		t.Errorf("scheme = %v, want prompt", clean["scheme"])
+	}
+	if _, ok := clean["recovery"]; ok {
+		t.Errorf("clean batch serialized a recovery block: %s", cleanJS)
+	}
+
+	lostJS, err := json.Marshal(reps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lost map[string]any
+	if err := json.Unmarshal(lostJS, &lost); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := lost["recovery"].(map[string]any)
+	if !ok {
+		t.Fatalf("recovered batch JSON has no recovery block: %s", lostJS)
+	}
+	if rec["attempts"] != float64(2) {
+		t.Errorf("recovery attempts = %v, want 2", rec["attempts"])
+	}
+	if rec["time_us"] == float64(0) {
+		t.Error("recovery time_us is zero")
+	}
+	if us, ok := lost["processing_us"].(float64); !ok || us <= 0 {
+		t.Errorf("processing_us = %v, want positive integer microseconds", lost["processing_us"])
+	}
+}

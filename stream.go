@@ -1,11 +1,32 @@
 package prompt
 
 import (
+	"context"
 	"fmt"
 
 	"prompt/internal/core"
 	"prompt/internal/engine"
 )
+
+// BatchSource yields the tuples of one batch interval [start, end). Run
+// and RunContext pull from it once per batch; returned tuples must carry
+// timestamps inside the interval.
+type BatchSource func(start, end Time) ([]Tuple, error)
+
+// FixedBatches adapts pre-materialized batch slices into a BatchSource:
+// call i returns batches[i] regardless of the interval bounds, and an
+// error after the slices run out.
+func FixedBatches(batches ...[]Tuple) BatchSource {
+	i := 0
+	return func(start, end Time) ([]Tuple, error) {
+		if i >= len(batches) {
+			return nil, fmt.Errorf("prompt: batch source exhausted after %d batches", len(batches))
+		}
+		b := batches[i]
+		i++
+		return b, nil
+	}
+}
 
 // Stream is a running streaming query on the micro-batch engine. Feed it
 // one batch interval of tuples at a time with ProcessBatch; read windowed
@@ -43,12 +64,59 @@ func (s *Stream) BatchInterval() Time { return s.eng.Config().BatchInterval }
 
 // ProcessBatch ingests the tuples of the next batch interval and runs the
 // full micro-batch lifecycle: statistics, partitioning, Map stage, bucket
-// assignment, Reduce stage, and window maintenance. Tuples must be stamped
-// within [Now, Now+BatchInterval).
+// assignment, Reduce stage, fault recovery, and window maintenance.
+// Tuples must be stamped within [Now, Now+BatchInterval).
 func (s *Stream) ProcessBatch(tuples []Tuple) (BatchReport, error) {
+	return s.ProcessBatchContext(context.Background(), tuples)
+}
+
+// ProcessBatchContext is ProcessBatch with cooperative cancellation: the
+// pipeline checks ctx between stages and inside the worker-pool barriers,
+// so cancellation surfaces well within one batch's work. A cancelled
+// batch commits nothing and the stream stays usable.
+func (s *Stream) ProcessBatchContext(ctx context.Context, tuples []Tuple) (BatchReport, error) {
 	start := s.eng.Now()
 	end := start + s.eng.Config().BatchInterval
-	return s.eng.Step(tuples, start, end)
+	rep, err := s.eng.StepContext(ctx, tuples, start, end)
+	if err != nil {
+		return BatchReport{}, err
+	}
+	return newBatchReport(s.scheme.Name, rep), nil
+}
+
+// Run pulls n consecutive batch intervals from the source and processes
+// them, returning their reports. It is RunContext with
+// context.Background().
+func (s *Stream) Run(src BatchSource, n int) ([]BatchReport, error) {
+	return s.RunContext(context.Background(), src, n)
+}
+
+// RunContext drives n batches with cooperative cancellation: once ctx is
+// done the run stops — between batches, between pipeline stages, or
+// mid-barrier inside the worker pool — with the context's error and the
+// reports of the batches already committed. Nothing of the in-flight
+// batch is committed and no goroutines are left behind.
+func (s *Stream) RunContext(ctx context.Context, src BatchSource, n int) ([]BatchReport, error) {
+	out := make([]BatchReport, 0, n)
+	for i := 0; i < n; i++ {
+		// Check before pulling from the source, so a cancelled run never
+		// consumes an interval it will not process.
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		start := s.eng.Now()
+		end := start + s.eng.Config().BatchInterval
+		tuples, err := src(start, end)
+		if err != nil {
+			return out, err
+		}
+		rep, err := s.eng.StepContext(ctx, tuples, start, end)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, newBatchReport(s.scheme.Name, rep))
+	}
+	return out, nil
 }
 
 // Result returns the previous batch's per-key Reduce output.
@@ -72,7 +140,11 @@ func (s *Stream) TopK(k int) ([]WindowEntry, error) {
 }
 
 // Reports returns all batch reports since the stream started.
-func (s *Stream) Reports() []BatchReport { return s.eng.Reports() }
+func (s *Stream) Reports() []BatchReport { return newBatchReports(s.scheme.Name, s.eng.Reports()) }
+
+// CoresLost reports how many simulated cores injected executor kills
+// have removed; SetCores re-provisions the budget and clears it.
+func (s *Stream) CoresLost() int { return s.eng.CoresLost() }
 
 // SetParallelism changes the Map/Reduce task counts for subsequent batches.
 func (s *Stream) SetParallelism(mapTasks, reduceTasks int) error {
@@ -92,6 +164,11 @@ func (s *Stream) SetWorkers(workers int) error { return s.eng.SetWorkers(workers
 // influence reports.
 func (s *Stream) SetObserver(obs Observer) { s.eng.SetObserver(obs) }
 
-// Engine exposes the underlying engine for advanced integrations (the
-// benchmark harness and the elastic driver use it).
+// Engine exposes the underlying engine for advanced integrations.
+//
+// Deprecated: Engine leaks internal/engine types through the public API
+// and will be removed once the remaining harnesses migrate. Everything a
+// report consumer needs is on BatchReport (typed, JSON-serializable) and
+// the Stream methods; runtime control is covered by SetParallelism,
+// SetCores, SetWorkers, and SetObserver.
 func (s *Stream) Engine() *engine.Engine { return s.eng }

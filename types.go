@@ -18,18 +18,6 @@ type Tuple = tuple.Tuple
 // Time is the engine's virtual timestamp (microseconds).
 type Time = tuple.Time
 
-// BatchReport is the per-batch measurement record: input statistics,
-// partitioning quality (BSI/BCI/KSR/MPI), simulated stage times, queueing,
-// end-to-end latency, and the stability ratio W.
-type BatchReport = engine.BatchReport
-
-// RunSummary aggregates batch reports (throughput, mean/max latency,
-// instability count).
-type RunSummary = engine.RunSummary
-
-// Summarize folds batch reports into a RunSummary.
-func Summarize(reports []BatchReport) RunSummary { return engine.Summarize(reports) }
-
 // NewTuple returns a unit-weight tuple stamped with the given virtual time.
 func NewTuple(ts Time, key string, val float64) Tuple { return tuple.NewTuple(ts, key, val) }
 
