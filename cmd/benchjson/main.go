@@ -1,0 +1,221 @@
+// Command benchjson records `go test -bench` output in the repository's
+// benchmark-regression ledger (BENCH_hotpath.json) and compares the two
+// recorded sections.
+//
+// It reads standard `go test -bench -benchmem` output on stdin, parses the
+// Benchmark result lines, and stores them under the named section
+// ("baseline" or "current") of the JSON file, preserving the other
+// section. When both sections are present it prints a per-benchmark
+// comparison (ns/op, B/op, allocs/op deltas) and the geometric-mean
+// change, and with -max-allocs-regress it exits nonzero if any
+// benchmark's allocs/op regressed by more than the given fraction.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=BenchmarkHotPath -benchmem ./internal/engine/ |
+//	    go run ./cmd/benchjson -file BENCH_hotpath.json -section current
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line of the ledger.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Section is one recorded benchmark run.
+type Section struct {
+	Captured string   `json:"captured"`
+	Go       string   `json:"go,omitempty"`
+	Results  []Result `json:"results"`
+}
+
+// Ledger is the whole BENCH_hotpath.json file.
+type Ledger struct {
+	Benchmark string   `json:"benchmark"`
+	Baseline  *Section `json:"baseline,omitempty"`
+	Current   *Section `json:"current,omitempty"`
+}
+
+func main() {
+	file := flag.String("file", "BENCH_hotpath.json", "ledger file to update")
+	section := flag.String("section", "current", `section to record: "baseline" or "current"`)
+	benchmark := flag.String("benchmark", "BenchmarkHotPath", "benchmark family name recorded in the ledger")
+	maxAllocsRegress := flag.Float64("max-allocs-regress", 0,
+		"fail if any benchmark's allocs/op exceeds baseline by more than this fraction (0 disables)")
+	compareOnly := flag.Bool("compare", false, "skip recording; just compare the ledger's sections")
+	flag.Parse()
+
+	ledger := &Ledger{Benchmark: *benchmark}
+	if data, err := os.ReadFile(*file); err == nil {
+		if err := json.Unmarshal(data, ledger); err != nil {
+			fatalf("parsing %s: %v", *file, err)
+		}
+	}
+
+	if !*compareOnly {
+		results, err := parseBench(os.Stdin)
+		if err != nil {
+			fatalf("parsing bench output: %v", err)
+		}
+		if len(results) == 0 {
+			fatalf("no Benchmark result lines found on stdin")
+		}
+		sec := &Section{
+			Captured: time.Now().UTC().Format(time.RFC3339),
+			Go:       runtime.Version(),
+			Results:  results,
+		}
+		switch *section {
+		case "baseline":
+			ledger.Baseline = sec
+		case "current":
+			ledger.Current = sec
+		default:
+			fatalf("unknown section %q (want baseline or current)", *section)
+		}
+		out, err := json.MarshalIndent(ledger, "", "  ")
+		if err != nil {
+			fatalf("encoding ledger: %v", err)
+		}
+		if err := os.WriteFile(*file, append(out, '\n'), 0o644); err != nil {
+			fatalf("writing %s: %v", *file, err)
+		}
+		fmt.Printf("recorded %d results under %q in %s\n", len(results), *section, *file)
+	}
+
+	if ledger.Baseline == nil || ledger.Current == nil {
+		return
+	}
+	if !compare(ledger, *maxAllocsRegress) {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts Benchmark result lines from `go test -bench`
+// output.
+func parseBench(f *os.File) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = val
+			case "B/op":
+				r.BytesPerOp = val
+			case "allocs/op":
+				r.AllocsPerOp = val
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}
+
+// trimProcSuffix strips the trailing -<GOMAXPROCS> go test appends to
+// benchmark names, so ledger entries match across machines.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare prints the per-benchmark deltas between the ledger's sections
+// and reports whether the allocation-regression gate passed.
+func compare(l *Ledger, maxAllocsRegress float64) bool {
+	base := make(map[string]Result, len(l.Baseline.Results))
+	for _, r := range l.Baseline.Results {
+		base[r.Name] = r
+	}
+	fmt.Printf("\n%-60s %12s %12s %12s\n", "benchmark", "ns/op Δ", "B/op Δ", "allocs/op Δ")
+	var nsRatios, allocRatios []float64
+	ok := true
+	for _, cur := range l.Current.Results {
+		b, found := base[cur.Name]
+		if !found {
+			fmt.Printf("%-60s (no baseline)\n", cur.Name)
+			continue
+		}
+		nsD := delta(b.NsPerOp, cur.NsPerOp)
+		byD := delta(b.BytesPerOp, cur.BytesPerOp)
+		alD := delta(b.AllocsPerOp, cur.AllocsPerOp)
+		fmt.Printf("%-60s %+11.1f%% %+11.1f%% %+11.1f%%\n", cur.Name, nsD, byD, alD)
+		if b.NsPerOp > 0 && cur.NsPerOp > 0 {
+			nsRatios = append(nsRatios, cur.NsPerOp/b.NsPerOp)
+		}
+		if b.AllocsPerOp > 0 && cur.AllocsPerOp > 0 {
+			allocRatios = append(allocRatios, cur.AllocsPerOp/b.AllocsPerOp)
+		}
+		if maxAllocsRegress > 0 && b.AllocsPerOp > 0 &&
+			cur.AllocsPerOp > b.AllocsPerOp*(1+maxAllocsRegress) {
+			fmt.Printf("  ^ ALLOCATION REGRESSION: %f > %f * %.2f\n",
+				cur.AllocsPerOp, b.AllocsPerOp, 1+maxAllocsRegress)
+			ok = false
+		}
+	}
+	if len(nsRatios) > 0 {
+		fmt.Printf("%-60s %+11.1f%% %12s %+11.1f%%\n", "geomean",
+			(geomean(nsRatios)-1)*100, "", (geomean(allocRatios)-1)*100)
+	}
+	return ok
+}
+
+func delta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func geomean(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, r := range ratios {
+		sum += math.Log(r)
+	}
+	return math.Exp(sum / float64(len(ratios)))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the hot-path benchmark matrix and record the results in
+# BENCH_hotpath.json, the repository's benchmark-regression ledger.
+#
+# Usage:
+#   scripts/bench.sh baseline   # record results as the committed baseline
+#   scripts/bench.sh            # record results as "current" and compare
+#   scripts/bench.sh compare    # just compare the committed sections
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 5x)
+#   COUNT      go test -count value     (default 1)
+#   GATE       max tolerated allocs/op regression fraction (default 0.10)
+#
+# The comparison prints per-benchmark ns/op, B/op, and allocs/op deltas
+# plus the geometric-mean change, and exits nonzero when any benchmark's
+# allocs/op regressed past GATE. When benchstat is installed, its
+# statistical comparison over the raw output is printed too.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECTION="${1:-current}"
+BENCHTIME="${BENCHTIME:-5x}"
+COUNT="${COUNT:-1}"
+GATE="${GATE:-0.10}"
+LEDGER="BENCH_hotpath.json"
+RAW="$(mktemp /tmp/bench_hotpath.XXXXXX.txt)"
+trap 'rm -f "$RAW"' EXIT
+
+if [ "$SECTION" = "compare" ]; then
+    exec go run ./cmd/benchjson -file "$LEDGER" -compare -max-allocs-regress "$GATE"
+fi
+
+echo "running BenchmarkHotPath (benchtime=$BENCHTIME count=$COUNT)..." >&2
+go test -run='^$' -bench=BenchmarkHotPath -benchmem \
+    -benchtime="$BENCHTIME" -count="$COUNT" ./internal/engine/ | tee "$RAW"
+
+go run ./cmd/benchjson -file "$LEDGER" -section "$SECTION" \
+    -max-allocs-regress "$GATE" < "$RAW"
+
+if command -v benchstat >/dev/null 2>&1 && [ "$SECTION" = "current" ] && [ -f "$LEDGER" ]; then
+    echo
+    echo "benchstat comparison (current run vs itself is omitted; keep a"
+    echo "baseline raw file around and run: benchstat old.txt $RAW)"
+fi
