@@ -108,9 +108,13 @@ func main() {
 }
 
 // parseBench extracts Benchmark result lines from `go test -bench`
-// output.
+// output. Repeated lines for the same benchmark (go test -count=N) are
+// merged by taking the minimum of each metric: on a shared machine the
+// minimum over repeats is the noise-robust estimate of the true cost —
+// interference only ever adds time and allocations, never removes them.
 func parseBench(f *os.File) ([]Result, error) {
 	var results []Result
+	index := make(map[string]int)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -141,7 +145,15 @@ func parseBench(f *os.File) ([]Result, error) {
 				r.AllocsPerOp = val
 			}
 		}
-		results = append(results, r)
+		if at, seen := index[r.Name]; seen {
+			prev := &results[at]
+			prev.NsPerOp = min(prev.NsPerOp, r.NsPerOp)
+			prev.BytesPerOp = min(prev.BytesPerOp, r.BytesPerOp)
+			prev.AllocsPerOp = min(prev.AllocsPerOp, r.AllocsPerOp)
+		} else {
+			index[r.Name] = len(results)
+			results = append(results, r)
+		}
 	}
 	return results, sc.Err()
 }

@@ -2,7 +2,7 @@ package prompt_test
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"prompt"
@@ -129,7 +129,7 @@ func ExampleSummarize() {
 // ExampleConfig_schemes enumerates the available partitioning schemes.
 func ExampleConfig_schemes() {
 	names := prompt.SchemeNames()
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, n := range names {
 		fmt.Println(n)
 	}

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"cmp"
 	"fmt"
 	"log"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"prompt"
@@ -87,11 +89,11 @@ func main() {
 			jobs = append(jobs, jobMean{job, total / n, n})
 		}
 	}
-	sort.Slice(jobs, func(i, j int) bool {
-		if jobs[i].n != jobs[j].n {
-			return jobs[i].n > jobs[j].n
+	slices.SortFunc(jobs, func(a, b jobMean) int {
+		if a.n != b.n {
+			return cmp.Compare(b.n, a.n)
 		}
-		return jobs[i].job < jobs[j].job
+		return strings.Compare(a.job, b.job)
 	})
 
 	fmt.Println("\nbusiest jobs (by busy samples in the 10s window):")

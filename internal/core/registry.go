@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 )
@@ -71,7 +71,7 @@ func Names() []string {
 	for n := range registry {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 
@@ -90,7 +90,7 @@ func Schemes() []Scheme {
 	for _, e := range registry {
 		ordered = append(ordered, ranked{e.rank, e.build})
 	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i].rank < ordered[j].rank })
+	slices.SortFunc(ordered, func(a, b ranked) int { return a.rank - b.rank })
 	out := make([]Scheme, len(ordered))
 	for i, e := range ordered {
 		out[i] = e.build()

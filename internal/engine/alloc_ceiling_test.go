@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+// TestPromptSteadyStateAllocCeiling pins the steady-state per-batch
+// allocation count of the prompt scheme's hot path (Workers = 0, the
+// deterministic inline configuration). The engine first processes a
+// warm-up run so the intern dictionary, accumulator arenas, and pooled
+// buffers reach their steady shapes; the ceiling then bounds what one
+// additional batch allocates.
+//
+// The ceiling is deliberately generous (several times the ~270
+// allocations measured when it was recorded) so noise and modest feature
+// growth do not trip it, while an accidental return to per-batch map
+// rebuilding or per-key allocation — tens of thousands of allocations —
+// fails loudly.
+func TestPromptSteadyStateAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement skipped in -short mode")
+	}
+	const (
+		rate    = 20_000
+		card    = 5_000
+		warm    = 32
+		runs    = 8
+		ceiling = 2_000 // allocations per batch, steady state
+	)
+	hs := hotPathSchemes()[0]
+	if hs.name != "prompt" {
+		t.Fatalf("expected prompt scheme first, got %s", hs.name)
+	}
+	src := hotPathSource(t, "zipf", rate, card)
+	batches := hotPathBatches(t, src, warm+runs+1, tuple.Second)
+	eng := newHotPathEngine(t, hs, 0)
+	step := func(k int) {
+		start := tuple.Time(k) * tuple.Second
+		if _, err := eng.Step(batches[k], start, start+tuple.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < warm; k++ {
+		step(k)
+	}
+	next := warm
+	avg := testing.AllocsPerRun(runs, func() {
+		step(next)
+		next++
+	})
+	t.Logf("prompt steady-state allocations per batch: %.0f (ceiling %d)", avg, ceiling)
+	if avg > ceiling {
+		t.Errorf("steady-state hot path allocates %.0f per batch, ceiling %d", avg, ceiling)
+	}
+}

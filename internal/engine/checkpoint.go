@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"prompt/internal/intern"
 	"prompt/internal/tuple"
 	"prompt/internal/window"
 )
@@ -23,6 +24,10 @@ type checkpointImage struct {
 	LastResults []map[string]float64
 	Windows     [][]window.BatchState // nil entry = windowless query
 	Reports     []BatchReport
+	// Interned is the key dictionary in ID order (intern.Dict.Snapshot),
+	// so a restored engine resolves every already-issued key ID exactly
+	// as the checkpointed one did.
+	Interned []string
 }
 
 // Checkpoint serializes the engine's driver state — batch position,
@@ -41,6 +46,7 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		LastResults: e.lastResults,
 		Windows:     make([][]window.BatchState, len(e.queries)),
 		Reports:     e.reports,
+		Interned:    e.dict.Snapshot(),
 	}
 	for i, agg := range e.aggs {
 		if agg != nil {
@@ -69,6 +75,13 @@ func Restore(cfg Config, queries []Query, r io.Reader) (*Engine, error) {
 	e, err := NewMulti(cfg, queries)
 	if err != nil {
 		return nil, err
+	}
+	if len(img.Interned) > 0 {
+		dict, err := intern.FromSnapshot(img.Interned)
+		if err != nil {
+			return nil, fmt.Errorf("engine: restoring key dictionary: %w", err)
+		}
+		e.dict = dict
 	}
 	for i, states := range img.Windows {
 		switch {

@@ -3,9 +3,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"prompt/internal/cluster"
 	"prompt/internal/fault"
+	"prompt/internal/intern"
 	"prompt/internal/metrics"
 	"prompt/internal/reducer"
 	"prompt/internal/stats"
@@ -44,6 +46,11 @@ type Engine struct {
 
 	acc   *stats.Accumulator
 	shacc *stats.ShardedAccumulator
+	// dict is the stream-lifetime key dictionary of the zero-allocation
+	// hot path: keys intern once at accumulator ingestion and their dense
+	// IDs address the reused statistics structures batch after batch. It
+	// is checkpointed so restored engines keep every ID stable.
+	dict *intern.Dict
 
 	// pool executes batch-pipeline tasks on real goroutines; nil runs the
 	// classic single-goroutine driver.
@@ -91,6 +98,7 @@ func NewMulti(cfg Config, queries []Query) (*Engine, error) {
 		lastResults: make([]map[string]float64, len(queries)),
 		pool:        poolFor(cfg.Workers),
 		pipeline:    defaultPipeline(),
+		dict:        intern.NewDict(0),
 	}
 	for i, q := range queries {
 		q = q.normalized()
@@ -338,6 +346,65 @@ type queryRun struct {
 	retries []metrics.TaskRetry
 }
 
+// mapOut is one Map task's output inside runQuery: the block's key
+// clusters, their folded partial values, and their bucket assignment.
+type mapOut struct {
+	clusters []tuple.Cluster
+	values   []float64
+	assign   []int
+	err      error
+}
+
+// contrib is one cluster's contribution to a Reduce bucket.
+type contrib struct {
+	key string
+	val float64
+}
+
+// queryScratch is the per-job working memory of runQuery, pooled across
+// batches (and safe under concurrent query jobs — each Get hands out a
+// distinct arena). Only slices that never escape into reports live here;
+// anything a BatchReport or queryRun retains is freshly allocated.
+type queryScratch struct {
+	outs         []mapOut
+	mapDurations []tuple.Time
+	mapSpec      []bool
+	reduceSpec   []bool
+	perBucket    [][]contrib
+	partials     []map[string]float64
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func (s *queryScratch) reset(p, r int) {
+	if cap(s.outs) < p {
+		s.outs = make([]mapOut, p)
+		s.mapDurations = make([]tuple.Time, p)
+		s.mapSpec = make([]bool, p)
+	}
+	s.outs = s.outs[:p]
+	s.mapDurations = s.mapDurations[:p]
+	s.mapSpec = s.mapSpec[:p]
+	for i := 0; i < p; i++ {
+		s.outs[i] = mapOut{}
+		s.mapDurations[i] = 0
+		s.mapSpec[i] = false
+	}
+	if cap(s.perBucket) < r {
+		s.perBucket = make([][]contrib, r)
+		s.reduceSpec = make([]bool, r)
+		s.partials = make([]map[string]float64, r)
+	}
+	s.perBucket = s.perBucket[:r]
+	s.reduceSpec = s.reduceSpec[:r]
+	s.partials = s.partials[:r]
+	for j := 0; j < r; j++ {
+		s.perBucket[j] = s.perBucket[j][:0]
+		s.reduceSpec[j] = false
+		s.partials[j] = nil
+	}
+}
+
 // jobSpec pins the simulated substrate one query job runs on for one
 // batch: the schedulable cores per stage and the executor kill (if any)
 // afflicting the Map stage. Values are fixed by the driver before the
@@ -379,15 +446,12 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSp
 	r := e.cfg.ReduceTasks
 
 	// --- Map stage: independent tasks, index-addressed output slots.
-	type mapOut struct {
-		clusters []tuple.Cluster
-		values   []float64
-		assign   []int
-		err      error
-	}
-	outs := make([]mapOut, p)
-	mapDurations := make([]tuple.Time, p)
-	mapSpec := make([]bool, p)
+	scratch := queryScratchPool.Get().(*queryScratch)
+	defer queryScratchPool.Put(scratch)
+	scratch.reset(p, r)
+	outs := scratch.outs
+	mapDurations := scratch.mapDurations
+	mapSpec := scratch.mapSpec
 	e.pool.Do(p, func(i int) {
 		bl := blocks[i]
 		base := e.cfg.Stragglers.apply(seqBase+i,
@@ -440,12 +504,9 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSp
 	// key locality. Per-(bucket, key) contribution order matches the
 	// sequential driver, so non-commutative reduce functions fold
 	// identically at any worker count.
-	type contrib struct {
-		key string
-		val float64
-	}
-	buckets := reducer.NewBucketSet(r)
-	perBucket := make([][]contrib, r)
+	buckets := reducer.GetBucketSet(r)
+	defer buckets.Release()
+	perBucket := scratch.perBucket
 	for i := range outs {
 		for ci, b := range outs[i].assign {
 			if err := buckets.Place(outs[i].clusters[ci], b); err != nil {
@@ -458,9 +519,9 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSp
 	// --- Reduce stage: one fold task per bucket on the pool.
 	sizes := buckets.Sizes()
 	extra := buckets.ExtraFragments()
-	reduceDurations := make([]tuple.Time, r)
-	reduceSpec := make([]bool, r)
-	partials := make([]map[string]float64, r)
+	reduceDurations := make([]tuple.Time, r) // escapes into the BatchReport
+	reduceSpec := scratch.reduceSpec
+	partials := scratch.partials
 	e.pool.Do(r, func(j int) {
 		base := e.cfg.Stragglers.apply(seqBase+p+j,
 			e.cfg.Cost.ReduceTaskTime(sizes[j], extra[j]))
@@ -530,7 +591,7 @@ func (e *Engine) accumulate(batch *tuple.Batch) error {
 	cfg := e.accumCfg()
 	if e.cfg.StatsShards > 1 {
 		if e.shacc == nil || e.shacc.Shards() != e.cfg.StatsShards {
-			sa, err := stats.NewSharded(cfg, e.cfg.StatsShards, batch.Start, batch.End)
+			sa, err := stats.NewShardedDict(cfg, e.dict, e.cfg.StatsShards, batch.Start, batch.End)
 			if err != nil {
 				return err
 			}
@@ -541,7 +602,7 @@ func (e *Engine) accumulate(batch *tuple.Batch) error {
 		return e.shacc.AddAll(batch.Tuples, e.pool)
 	}
 	if e.acc == nil {
-		acc, err := stats.NewAccumulator(cfg, batch.Start, batch.End)
+		acc, err := stats.NewAccumulatorDict(cfg, e.dict, batch.Start, batch.End)
 		if err != nil {
 			return err
 		}

@@ -297,6 +297,12 @@ func runGolden(t *testing.T, gs goldenScheme, workers, n int, legacy bool) ([]Ba
 // byte-identical BatchReport slices (and window answers). The frozen
 // clock makes the measured partitioning cost exactly zero on both paths,
 // so the comparison covers every report field with no scrubbing.
+//
+// The legacy helpers above feed the string-keyed (map mode) accumulators
+// while the staged engine runs the interned-dictionary hot path, so this
+// sweep doubles as the interned-vs-string equivalence check: for every
+// registered scheme the two key representations must produce identical
+// reports and window answers.
 func TestGoldenPipelineEquivalence(t *testing.T) {
 	freezeClock(t)
 	const batches = 3

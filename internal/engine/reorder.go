@@ -1,8 +1,9 @@
 package engine
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"prompt/internal/tuple"
 	"prompt/internal/workload"
@@ -20,8 +21,10 @@ type Reorderer struct {
 	MaxDelay tuple.Time
 
 	pending  []tuple.Tuple
-	sealed   tuple.Time // batches released up to here
-	ingested tuple.Time // arrival horizon: all arrivals before it are in
+	sorted   int           // pending[:sorted] is already in event-time order
+	scratch  []tuple.Tuple // merge buffer reused across seals
+	sealed   tuple.Time    // batches released up to here
+	ingested tuple.Time    // arrival horizon: all arrivals before it are in
 	dropped  int
 }
 
@@ -76,11 +79,44 @@ func (r *Reorderer) Seal(end tuple.Time) ([]tuple.Tuple, error) {
 		return nil, fmt.Errorf("engine: cannot seal %v: arrivals only ingested up to %v (need %v)",
 			end, r.ingested, end+r.MaxDelay)
 	}
-	sort.SliceStable(r.pending, func(i, j int) bool { return r.pending[i].TS < r.pending[j].TS })
-	cut := sort.Search(len(r.pending), func(i int) bool { return r.pending[i].TS >= end })
+	// The tail left over from the previous seal is already sorted; only
+	// the arrivals ingested since then need sorting, after which the two
+	// runs merge. Ties keep ingestion order: the prefix was ingested
+	// strictly before any suffix element, and the suffix sort is stable.
+	if r.sorted < len(r.pending) {
+		suffix := r.pending[r.sorted:]
+		slices.SortStableFunc(suffix, func(a, b tuple.Tuple) int { return cmp.Compare(a.TS, b.TS) })
+		if r.sorted > 0 {
+			r.scratch = append(r.scratch[:0], r.pending[:r.sorted]...)
+			pre := r.scratch
+			i, j, k := 0, 0, 0
+			// Writing at k = i+j never overtakes the suffix read cursor
+			// at r.sorted+j, so merging in place over pending is safe.
+			for i < len(pre) && j < len(suffix) {
+				if pre[i].TS <= suffix[j].TS {
+					r.pending[k] = pre[i]
+					i++
+				} else {
+					r.pending[k] = suffix[j]
+					j++
+				}
+				k++
+			}
+			for i < len(pre) {
+				r.pending[k] = pre[i]
+				i++
+				k++
+			}
+			// Any remaining suffix elements are already in place.
+		}
+	}
+	cut, _ := slices.BinarySearchFunc(r.pending, end, func(t tuple.Tuple, end tuple.Time) int {
+		return cmp.Compare(t.TS, end)
+	})
 	out := make([]tuple.Tuple, cut)
 	copy(out, r.pending[:cut])
 	r.pending = append(r.pending[:0], r.pending[cut:]...)
+	r.sorted = len(r.pending)
 	r.sealed = end
 	return out, nil
 }

@@ -3,7 +3,7 @@ package fault
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -228,6 +228,6 @@ func RandomPlan(seed int64, batches, nEvents int) *Plan {
 			})
 		}
 	}
-	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Batch < p.Events[j].Batch })
+	slices.SortStableFunc(p.Events, func(a, b Event) int { return a.Batch - b.Batch })
 	return p
 }

@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"sync"
 	"time"
@@ -338,7 +338,7 @@ func (c *Collector) StageNames() []string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	names := append([]string(nil), c.order...)
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 

@@ -9,7 +9,7 @@ package partition
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"prompt/internal/cluster"
 	"prompt/internal/stats"
@@ -117,7 +117,8 @@ func (b *perTupleBuilder) contains(i int, k string) bool {
 	return seen
 }
 
-// build materializes the blocks and their reference tables.
+// build materializes the blocks and their reference tables (split keys
+// only; see tuple.SplitInfo).
 func (b *perTupleBuilder) build() []*tuple.Block {
 	// Fragment counts across all blocks determine split labels.
 	frags := make(map[string]int)
@@ -132,10 +133,12 @@ func (b *perTupleBuilder) build() []*tuple.Block {
 	for i := 0; i < b.p; i++ {
 		for _, k := range b.order[i] {
 			out[i].Add(k, b.blocks[i][k])
-			out[i].Ref[k] = tuple.SplitInfo{
-				Split:     frags[k] > 1,
-				TotalSize: sizes[k],
-				Fragments: frags[k],
+			if frags[k] > 1 {
+				out[i].Ref[k] = tuple.SplitInfo{
+					Split:     true,
+					TotalSize: sizes[k],
+					Fragments: frags[k],
+				}
 			}
 		}
 	}
@@ -156,7 +159,19 @@ type keyItem struct {
 // supplied: each chunk of keys is independent and writes its own item
 // slots, making the output identical at any worker count.
 func itemsFromSorted(sorted []stats.SortedKey, pool *cluster.WorkerPool) []keyItem {
-	items := make([]keyItem, len(sorted))
+	return itemsFromSortedInto(nil, sorted, pool)
+}
+
+// itemsFromSortedInto is itemsFromSorted building into dst's backing array
+// when it is large enough; the pooled hot path hands in last batch's
+// buffer.
+func itemsFromSortedInto(dst []keyItem, sorted []stats.SortedKey, pool *cluster.WorkerPool) []keyItem {
+	var items []keyItem
+	if cap(dst) >= len(sorted) {
+		items = dst[:len(sorted)]
+	} else {
+		items = make([]keyItem, len(sorted))
+	}
 	pool.DoRanges(len(sorted), 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			sk := sorted[i]
@@ -210,7 +225,7 @@ func (a *assignment) place(i int, key string, ts []tuple.Tuple, w int) {
 // weightOf returns the current weight of block i.
 func (a *assignment) weightOf(i int) int { return a.weight[i] }
 
-// build materializes blocks with reference tables.
+// build materializes blocks with reference tables (split keys only).
 func (a *assignment) build() []*tuple.Block {
 	frags := make(map[string]int)
 	sizes := make(map[string]int)
@@ -224,10 +239,12 @@ func (a *assignment) build() []*tuple.Block {
 	for i := 0; i < a.p; i++ {
 		for _, k := range a.order[i] {
 			out[i].Add(k, a.placed[i][k])
-			out[i].Ref[k] = tuple.SplitInfo{
-				Split:     frags[k] > 1,
-				TotalSize: sizes[k],
-				Fragments: frags[k],
+			if frags[k] > 1 {
+				out[i].Ref[k] = tuple.SplitInfo{
+					Split:     true,
+					TotalSize: sizes[k],
+					Fragments: frags[k],
+				}
 			}
 		}
 	}
@@ -275,6 +292,6 @@ func Names() []string {
 	for n := range r {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }

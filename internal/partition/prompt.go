@@ -1,7 +1,8 @@
 package partition
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"prompt/internal/tuple"
 )
@@ -38,8 +39,12 @@ import (
 //
 // The implementation is allocation-light by design: keys are addressed by
 // their index in the sorted list and every fragment references the
-// already-buffered tuple lists, so partitioning copies no tuple data — the
-// property that keeps the measured overhead inside the early-batch-release
+// already-buffered tuple lists, so partitioning copies no tuple data, and
+// all working state (items, per-block fragment lists, dealing order) comes
+// from a pooled scratch arena reused across batches. The emitted blocks
+// carry the keys' dense per-batch numbers (KeySlice.ID = sorted index + 1)
+// so the shuffle can route clusters without string hashing. These
+// properties keep the measured overhead inside the early-batch-release
 // slack (Figure 14b).
 type Prompt struct {
 	// FragDivisor sets the fragment-size floor F = P_Size/FragDivisor.
@@ -70,7 +75,11 @@ type fragItem struct {
 	w    int
 }
 
-// promptBuilder accumulates placements without per-key hashing.
+// promptBuilder holds Algorithm 2's working state: the packing items,
+// per-block fragment lists, block weights, and per-item placement
+// tracking. Builders are pooled and reused across batches — reset rewinds
+// every slice in place — so steady-state partitioning allocates nothing.
+// Nothing in the built blocks references the builder's memory.
 type promptBuilder struct {
 	items    []keyItem
 	perBlock [][]fragItem
@@ -79,20 +88,44 @@ type promptBuilder struct {
 	// extraBlocks lists further blocks for split items only.
 	firstBlock  []int32
 	extraBlocks map[int][]int32
+
+	residuals []fragItem
+	rest      []fragItem
+	order     []int
 }
 
-func newPromptBuilder(p int, items []keyItem) *promptBuilder {
-	b := &promptBuilder{
-		items:       items,
-		perBlock:    make([][]fragItem, p),
-		weight:      make([]int, p),
-		firstBlock:  make([]int32, len(items)),
-		extraBlocks: make(map[int][]int32),
+var promptBuilderPool = sync.Pool{New: func() any { return new(promptBuilder) }}
+
+// reset prepares the pooled builder for p blocks over the given items.
+func (b *promptBuilder) reset(p int, items []keyItem) {
+	b.items = items
+	if cap(b.perBlock) < p {
+		b.perBlock = make([][]fragItem, p)
+		b.weight = make([]int, p)
+		b.order = make([]int, p)
 	}
+	b.perBlock = b.perBlock[:p]
+	b.weight = b.weight[:p]
+	b.order = b.order[:p]
+	for i := 0; i < p; i++ {
+		b.perBlock[i] = b.perBlock[i][:0]
+		b.weight[i] = 0
+		b.order[i] = i
+	}
+	if cap(b.firstBlock) < len(items) {
+		b.firstBlock = make([]int32, len(items))
+	}
+	b.firstBlock = b.firstBlock[:len(items)]
 	for i := range b.firstBlock {
 		b.firstBlock[i] = -1
 	}
-	return b
+	if b.extraBlocks == nil {
+		b.extraBlocks = make(map[int][]int32)
+	} else {
+		clear(b.extraBlocks)
+	}
+	b.residuals = b.residuals[:0]
+	b.rest = b.rest[:0]
 }
 
 // place records a fragment of item in block blk.
@@ -123,9 +156,10 @@ func (b *promptBuilder) fragments(item int) int {
 	return 1 + len(b.extraBlocks[item])
 }
 
-// build materializes the blocks with their reference tables. Fragments
-// reference the buffered tuple lists directly; duplicate same-block
-// fragments stay separate KeySlices (Block handles that).
+// build materializes the blocks with their reference tables (split keys
+// only). Fragments reference the buffered tuple lists directly; duplicate
+// same-block fragments stay separate KeySlices (Block handles that). Key
+// slices carry the dense per-batch key number (item index + 1).
 func (b *promptBuilder) build() []*tuple.Block {
 	out := newBlocks(len(b.perBlock))
 	for blk, frags := range b.perBlock {
@@ -133,12 +167,13 @@ func (b *promptBuilder) build() []*tuple.Block {
 		bl.PreAllocate(len(frags))
 		for _, fr := range frags {
 			it := &b.items[fr.item]
-			bl.AddWeighted(it.key, fr.ts, fr.w)
-			n := b.fragments(fr.item)
-			bl.Ref[it.key] = tuple.SplitInfo{
-				Split:     n > 1,
-				TotalSize: len(it.tuples),
-				Fragments: n,
+			bl.AddDense(it.key, int32(fr.item)+1, fr.ts, fr.w)
+			if n := b.fragments(fr.item); n > 1 {
+				bl.Ref[it.key] = tuple.SplitInfo{
+					Split:     true,
+					TotalSize: len(it.tuples),
+					Fragments: n,
+				}
 			}
 		}
 	}
@@ -150,7 +185,10 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 	if err := checkArgs(in, p); err != nil {
 		return nil, err
 	}
-	items := in.items()
+	b := promptBuilderPool.Get().(*promptBuilder)
+	defer promptBuilderPool.Put(b)
+	items := itemsFromSortedInto(b.items[:0], in.sortedKeys(), in.Pool)
+	b.reset(p, items)
 	total := 0
 	for i := range items {
 		total += items[i].size
@@ -180,13 +218,10 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 		frag = sCut
 	}
 
-	b := newPromptBuilder(p, items)
-
 	// Pass 1: slice the high-frequency keys into F-sized fragments,
 	// round-robin across blocks; sub-F residuals rejoin the remainder.
 	next := 0
 	pos := 0
-	var residuals []fragItem
 	for next < k && items[next].size > frag {
 		it := &items[next]
 		rest := it.tuples
@@ -198,20 +233,17 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 			rest, restW = remainder, restW-fw
 		}
 		if restW > 0 {
-			residuals = append(residuals, fragItem{item: next, ts: rest, w: restW})
+			b.residuals = append(b.residuals, fragItem{item: next, ts: rest, w: restW})
 		}
 		next++
 	}
-	rest := mergeRemainder(items, next, residuals)
+	rest := b.mergeRemainder(next)
 
 	// Pass 2: deal the remaining keys (and residuals), descending.
-	order := make([]int, p)
-	for i := range order {
-		order[i] = i
-	}
+	order := b.order
 	sortByLoad := func() {
-		sort.SliceStable(order, func(x, y int) bool {
-			return b.weight[order[x]] < b.weight[order[y]]
+		slices.SortStableFunc(order, func(x, y int) int {
+			return b.weight[x] - b.weight[y]
 		})
 	}
 	if pr.ReversalOnly {
@@ -258,18 +290,20 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 }
 
 // mergeRemainder merges the unsliced tail of items (already descending by
-// size) with the residual fragments into one descending list of fragItems.
-func mergeRemainder(items []keyItem, next int, residuals []fragItem) []fragItem {
-	tail := items[next:]
+// size) with the residual fragments into one descending list, built in the
+// builder's reused rest buffer.
+func (b *promptBuilder) mergeRemainder(next int) []fragItem {
+	tail := b.items[next:]
+	residuals := b.residuals
 	if len(residuals) > 1 {
-		sort.Slice(residuals, func(i, j int) bool {
-			if residuals[i].w != residuals[j].w {
-				return residuals[i].w > residuals[j].w
+		slices.SortFunc(residuals, func(a, c fragItem) int {
+			if a.w != c.w {
+				return c.w - a.w
 			}
-			return residuals[i].item < residuals[j].item
+			return a.item - c.item
 		})
 	}
-	out := make([]fragItem, 0, len(tail)+len(residuals))
+	out := b.rest
 	i, j := 0, 0
 	for i < len(tail) && j < len(residuals) {
 		if tail[i].size >= residuals[j].w {
@@ -284,6 +318,7 @@ func mergeRemainder(items []keyItem, next int, residuals []fragItem) []fragItem 
 		out = append(out, fragItem{item: next + i, ts: tail[i].tuples, w: tail[i].size})
 	}
 	out = append(out, residuals[j:]...)
+	b.rest = out
 	return out
 }
 

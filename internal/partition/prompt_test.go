@@ -195,14 +195,33 @@ func TestPromptReferenceTableMatchesSplits(t *testing.T) {
 	blocks := mustPartition(t, NewPrompt(), paperBatch(), 4)
 	split := splitKeys(blocks)
 	for _, bl := range blocks {
+		// Reference tables are sparse: exactly the split keys are labelled.
 		for _, ks := range bl.Keys {
 			info, ok := bl.Ref[ks.Key]
-			if !ok {
-				t.Errorf("block %d missing reference entry for %s", bl.ID, ks.Key)
-				continue
+			if split[ks.Key] && (!ok || !info.Split) {
+				t.Errorf("block %d missing split label for %s", bl.ID, ks.Key)
 			}
-			if info.Split != split[ks.Key] {
-				t.Errorf("block %d labels %s split=%v, actual %v", bl.ID, ks.Key, info.Split, split[ks.Key])
+			if !split[ks.Key] && ok {
+				t.Errorf("block %d labels non-split key %s (info %+v)", bl.ID, ks.Key, info)
+			}
+		}
+	}
+}
+
+func TestPromptDenseKeyIDs(t *testing.T) {
+	b := paperBatch()
+	sorted := stats.PostSort(b)
+	blocks := mustPartition(t, NewPrompt(), b, 4)
+	// Every key slice carries 1 + the key's index in the sorted list, and
+	// all fragments of a key agree on it.
+	pos := make(map[string]int32, len(sorted))
+	for i := range sorted {
+		pos[sorted[i].Key] = int32(i) + 1
+	}
+	for _, bl := range blocks {
+		for _, ks := range bl.Keys {
+			if ks.ID != pos[ks.Key] {
+				t.Errorf("block %d key %s has dense ID %d, want %d", bl.ID, ks.Key, ks.ID, pos[ks.Key])
 			}
 		}
 	}

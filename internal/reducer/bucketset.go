@@ -2,6 +2,7 @@ package reducer
 
 import (
 	"fmt"
+	"sync"
 
 	"prompt/internal/tuple"
 )
@@ -12,12 +13,20 @@ import (
 // aggregation overhead in the cost model). It also enforces the key
 // locality invariant — a key's clusters must land in exactly one bucket no
 // matter which Map task emitted them.
+//
+// Locality is tracked two ways: clusters carrying a dense per-batch key
+// number (tuple.Cluster.ID > 0, from the sorted-input partitioners) index
+// a flat array, and ID-less clusters fall back to a string-keyed map. The
+// two spaces are disjoint within a batch — one partitioner produced every
+// block — so the check stays sound either way.
 type BucketSet struct {
 	r         int
 	sizes     []int
 	clusters  []int
 	fragments []int          // per bucket: cluster arrivals beyond a key's first
-	keyBucket map[string]int // key -> bucket (locality tracking)
+	keyBucket map[string]int // ID-less keys -> bucket (locality tracking)
+	idBucket  []int32        // dense key number -> bucket + 1 (0 = unseen)
+	nKeys     int
 }
 
 // NewBucketSet returns an empty bucket set with r buckets.
@@ -31,6 +40,48 @@ func NewBucketSet(r int) *BucketSet {
 	}
 }
 
+var bucketSetPool = sync.Pool{New: func() any { return new(BucketSet) }}
+
+// GetBucketSet returns a pooled bucket set reset for r buckets. Release
+// returns it to the pool; the engine uses this pair so the per-batch
+// shuffle bookkeeping reuses its arrays batch after batch. The slices
+// returned by Sizes, Clusters, and ExtraFragments are only valid until
+// Release.
+func GetBucketSet(r int) *BucketSet {
+	bs := bucketSetPool.Get().(*BucketSet)
+	bs.reset(r)
+	return bs
+}
+
+// Release returns a pooled bucket set to the pool.
+func (bs *BucketSet) Release() { bucketSetPool.Put(bs) }
+
+func (bs *BucketSet) reset(r int) {
+	bs.r = r
+	if cap(bs.sizes) < r {
+		bs.sizes = make([]int, r)
+		bs.clusters = make([]int, r)
+		bs.fragments = make([]int, r)
+	}
+	bs.sizes = bs.sizes[:r]
+	bs.clusters = bs.clusters[:r]
+	bs.fragments = bs.fragments[:r]
+	for i := 0; i < r; i++ {
+		bs.sizes[i] = 0
+		bs.clusters[i] = 0
+		bs.fragments[i] = 0
+	}
+	if bs.keyBucket == nil {
+		bs.keyBucket = make(map[string]int)
+	} else {
+		clear(bs.keyBucket)
+	}
+	for i := range bs.idBucket {
+		bs.idBucket[i] = 0
+	}
+	bs.nKeys = 0
+}
+
 // R returns the number of buckets.
 func (bs *BucketSet) R() int { return bs.r }
 
@@ -42,14 +93,32 @@ func (bs *BucketSet) Place(c tuple.Cluster, b int) error {
 	if b < 0 || b >= bs.r {
 		return fmt.Errorf("reducer: bucket %d out of range [0,%d)", b, bs.r)
 	}
-	if prev, seen := bs.keyBucket[c.Key]; seen {
+	if c.ID > 0 {
+		// Dense path: the per-batch key number indexes a flat array.
+		if int(c.ID) >= len(bs.idBucket) {
+			grown := make([]int32, max(int(c.ID)+1, 2*len(bs.idBucket)))
+			copy(grown, bs.idBucket)
+			bs.idBucket = grown
+		}
+		switch prev := bs.idBucket[c.ID]; {
+		case prev == 0:
+			bs.idBucket[c.ID] = int32(b) + 1
+			bs.nKeys++
+		case int(prev)-1 != b:
+			return fmt.Errorf("reducer: key %q assigned to bucket %d and %d (locality violation)",
+				c.Key, int(prev)-1, b)
+		default:
+			bs.fragments[b]++ // a second fragment of the key: one extra combine
+		}
+	} else if prev, seen := bs.keyBucket[c.Key]; seen {
 		if prev != b {
 			return fmt.Errorf("reducer: key %q assigned to bucket %d and %d (locality violation)",
 				c.Key, prev, b)
 		}
-		bs.fragments[b]++ // a second fragment of the key: one extra combine
+		bs.fragments[b]++
 	} else {
 		bs.keyBucket[c.Key] = b
+		bs.nKeys++
 	}
 	bs.sizes[b] += c.Size
 	bs.clusters[b]++
@@ -68,9 +137,12 @@ func (bs *BucketSet) Clusters() []int { return bs.clusters }
 func (bs *BucketSet) ExtraFragments() []int { return bs.fragments }
 
 // Keys returns the number of distinct keys placed so far.
-func (bs *BucketSet) Keys() int { return len(bs.keyBucket) }
+func (bs *BucketSet) Keys() int { return bs.nKeys }
 
 // BucketOf returns the bucket a key was placed in and whether it was seen.
+// It consults the string-keyed table only, so it reports clusters placed
+// without dense IDs (tests and diagnostics; the engine never needs the
+// reverse lookup).
 func (bs *BucketSet) BucketOf(key string) (int, bool) {
 	b, ok := bs.keyBucket[key]
 	return b, ok

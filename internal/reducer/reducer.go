@@ -7,7 +7,9 @@ package reducer
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
+	"sync"
 
 	"prompt/internal/hashutil"
 	"prompt/internal/tuple"
@@ -91,6 +93,31 @@ func (p *PromptAllocator) Name() string {
 	return "prompt"
 }
 
+// assignScratch is the per-call working memory of PromptAllocator.Assign,
+// pooled because Map tasks call Assign once per block per batch and the
+// slices' sizes repeat batch after batch. The returned assignment slice is
+// never pooled — it escapes to the shuffle.
+type assignScratch struct {
+	load      []int
+	nonSplit  []int
+	available []bool
+}
+
+var assignScratchPool = sync.Pool{New: func() any { return new(assignScratch) }}
+
+func (s *assignScratch) reset(r int) {
+	if cap(s.load) < r {
+		s.load = make([]int, r)
+		s.available = make([]bool, r)
+	}
+	s.load = s.load[:r]
+	s.available = s.available[:r]
+	for i := 0; i < r; i++ {
+		s.load[i] = 0
+	}
+	s.nonSplit = s.nonSplit[:0]
+}
+
 // Assign implements Assigner.
 func (p *PromptAllocator) Assign(taskID int, clusters []tuple.Cluster, ref map[string]tuple.SplitInfo, r int) ([]int, error) {
 	if err := checkArgs(r); err != nil {
@@ -110,11 +137,14 @@ func (p *PromptAllocator) Assign(taskID int, clusters []tuple.Cluster, ref map[s
 		bucketSize++
 	}
 
-	load := make([]int, r)
+	scratch := assignScratchPool.Get().(*assignScratch)
+	defer assignScratchPool.Put(scratch)
+	scratch.reset(r)
+	load := scratch.load
 
 	// Step 1: split keys route by hashing; their load is charged up front
 	// so the residual capacities below reflect it.
-	var nonSplit []int // cluster indices
+	nonSplit := scratch.nonSplit // cluster indices
 	for i := range clusters {
 		info, ok := ref[clusters[i].Key]
 		if ok && info.Split {
@@ -125,20 +155,21 @@ func (p *PromptAllocator) Assign(taskID int, clusters []tuple.Cluster, ref map[s
 			nonSplit = append(nonSplit, i)
 		}
 	}
+	scratch.nonSplit = nonSplit
 
 	// Step 2: sort non-split clusters by size descending (key ascending as
 	// tie-break for determinism).
-	sort.Slice(nonSplit, func(a, b int) bool {
-		ca, cb := clusters[nonSplit[a]], clusters[nonSplit[b]]
+	slices.SortFunc(nonSplit, func(a, b int) int {
+		ca, cb := clusters[a], clusters[b]
 		if ca.Size != cb.Size {
-			return ca.Size > cb.Size
+			return cb.Size - ca.Size
 		}
-		return ca.Key < cb.Key
+		return strings.Compare(ca.Key, cb.Key)
 	})
 
 	// Step 3: Worst-Fit with rotation. available marks candidate buckets;
 	// once a bucket takes a cluster it waits until all others have too.
-	available := make([]bool, r)
+	available := scratch.available
 	resetAvail := func() {
 		for i := range available {
 			available[i] = true

@@ -2,8 +2,10 @@ package stats
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 
+	"prompt/internal/intern"
 	"prompt/internal/tuple"
 )
 
@@ -74,8 +76,19 @@ type BatchStats struct {
 // heartbeat the batch is already key-sorted and ready for partitioning.
 //
 // An Accumulator is not safe for concurrent use; the receiver owns it.
+//
+// With an intern dictionary (NewAccumulatorDict) the accumulator runs the
+// zero-allocation hot path: keys are interned once at ingestion, the
+// HTable runs in dictionary mode (flat ID-indexed slots, entry arena and
+// per-key tuple buffers reused across Resets), and Finalize reuses its
+// output slice. The hand-off then aliases buffers that the NEXT Reset
+// reclaims, which is safe in the engine because a batch is fully
+// processed and reported before the next one accumulates; callers that
+// retain Finalize output across batch intervals must use the map-mode
+// accumulator, whose output is freshly allocated.
 type Accumulator struct {
 	cfg   AccumulatorConfig
+	dict  *intern.Dict
 	ht    *HTable
 	ct    *CountTree
 	start tuple.Time
@@ -84,11 +97,26 @@ type Accumulator struct {
 	nTuples     int
 	treeUpdates int
 	initialF    int
+	out         []SortedKey // dict mode: Finalize output, reused across batches
 }
 
 // NewAccumulator returns an accumulator for the batch interval
 // [start, end). It returns an error for invalid configurations.
 func NewAccumulator(cfg AccumulatorConfig, start, end tuple.Time) (*Accumulator, error) {
+	return newAccumulator(cfg, nil, start, end)
+}
+
+// NewAccumulatorDict returns an accumulator on the zero-allocation hot
+// path, interning keys into dict at ingestion. The dictionary may be
+// shared (e.g. across shards, or checkpoint-restored).
+func NewAccumulatorDict(cfg AccumulatorConfig, dict *intern.Dict, start, end tuple.Time) (*Accumulator, error) {
+	if dict == nil {
+		return nil, fmt.Errorf("stats: nil intern dictionary")
+	}
+	return newAccumulator(cfg, dict, start, end)
+}
+
+func newAccumulator(cfg AccumulatorConfig, dict *intern.Dict, start, end tuple.Time) (*Accumulator, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -97,11 +125,16 @@ func NewAccumulator(cfg AccumulatorConfig, start, end tuple.Time) (*Accumulator,
 	}
 	a := &Accumulator{
 		cfg:      cfg,
-		ht:       NewHTable(cfg.EstimatedKeys),
+		dict:     dict,
 		ct:       &CountTree{},
 		start:    start,
 		end:      end,
 		initialF: cfg.initialFStep(),
+	}
+	if dict != nil {
+		a.ht = NewHTableDict(dict, cfg.EstimatedKeys)
+	} else {
+		a.ht = NewHTable(cfg.EstimatedKeys)
 	}
 	return a, nil
 }
@@ -126,6 +159,9 @@ func (a *Accumulator) Reset(cfg AccumulatorConfig, start, end tuple.Time) error 
 	return nil
 }
 
+// Dict returns the intern dictionary, or nil for a map-mode accumulator.
+func (a *Accumulator) Dict() *intern.Dict { return a.dict }
+
 // Interval returns the accumulator's batch interval.
 func (a *Accumulator) Interval() (start, end tuple.Time) { return a.start, a.end }
 
@@ -147,22 +183,22 @@ func (a *Accumulator) Add(t tuple.Tuple, now tuple.Time) error {
 		return fmt.Errorf("stats: tuple ts %v outside batch interval [%v,%v)", t.TS, a.start, a.end)
 	}
 	a.nTuples++
-	e := a.ht.Get(t.Key)
-	if e == nil {
-		// New key: insert into HTable and CountTree with count 1.
-		e = &KeyEntry{
-			Key:         t.Key,
-			Tuples:      append(make([]tuple.Tuple, 0, 4), t),
-			FreqCurrent: 1,
-			FreqUpdated: 1,
-			Budget:      a.cfg.Budget,
-			FStep:       a.initialF,
-			TStep:       (a.end - now) / tuple.Time(a.cfg.Budget),
-			LastUpdate:  now,
+	var e *KeyEntry
+	if a.dict != nil {
+		id := a.dict.Intern(t.Key)
+		if e = a.ht.GetID(id); e == nil {
+			// New key: the arena entry arrives with its previous batch's
+			// tuple backing array, length 0.
+			a.newEntry(a.ht.PutID(id, t.Key), t, now)
+			return nil
 		}
-		a.ht.Put(e)
-		a.ct.Insert(t.Key, 1)
-		return nil
+	} else {
+		if e = a.ht.Get(t.Key); e == nil {
+			e = &KeyEntry{Key: t.Key, Tuples: make([]tuple.Tuple, 0, 4)}
+			a.ht.Put(e)
+			a.newEntry(e, t, now)
+			return nil
+		}
 	}
 
 	// Existing key: buffer the tuple and decide whether its CountTree node
@@ -198,6 +234,19 @@ func (a *Accumulator) Add(t tuple.Tuple, now tuple.Time) error {
 	return nil
 }
 
+// newEntry initializes a first-sighting key entry (Algorithm 1's insert
+// arm) and registers the key in the CountTree with count 1.
+func (a *Accumulator) newEntry(e *KeyEntry, t tuple.Tuple, now tuple.Time) {
+	e.Tuples = append(e.Tuples, t)
+	e.FreqCurrent = 1
+	e.FreqUpdated = 1
+	e.Budget = a.cfg.Budget
+	e.FStep = a.initialF
+	e.TStep = (a.end - now) / tuple.Time(a.cfg.Budget)
+	e.LastUpdate = now
+	a.ct.Insert(e.Key, 1)
+}
+
 // updateNode moves the key's CountTree node from its stale count to the
 // exact current count and charges the key's budget.
 func (a *Accumulator) updateNode(e *KeyEntry, now tuple.Time) {
@@ -212,15 +261,25 @@ func (a *Accumulator) updateNode(e *KeyEntry, now tuple.Time) {
 // partitioner plus the batch statistics, at the heartbeat (or at the early
 // batch release cut-off). Counts in the output are exact (taken from the
 // HTable); the ordering is the CountTree's quasi-sorted descending order.
+//
+// In dictionary mode the returned slice is owned by the accumulator and
+// valid until the next Reset.
 func (a *Accumulator) Finalize() ([]SortedKey, BatchStats) {
-	order := a.ct.Descending()
-	out := make([]SortedKey, 0, len(order))
-	for _, kc := range order {
-		e := a.ht.Get(kc.Key)
+	var out []SortedKey
+	if a.dict != nil && cap(a.out) >= a.ht.Len() {
+		out = a.out[:0]
+	} else {
+		out = make([]SortedKey, 0, a.ht.Len())
+	}
+	a.ct.WalkDescending(func(key string, count int) {
+		e := a.ht.Get(key)
 		if e == nil {
-			continue // unreachable: tree and table are kept in sync
+			return // unreachable: tree and table are kept in sync
 		}
 		out = append(out, SortedKey{Key: e.Key, Count: e.FreqCurrent, Tuples: e.Tuples})
+	})
+	if a.dict != nil {
+		a.out = out
 	}
 	st := BatchStats{
 		Tuples:      a.nTuples,
@@ -249,10 +308,10 @@ func PostSort(b *tuple.Batch) []SortedKey {
 // SortKeysDesc sorts keys by count descending with the key string as
 // ascending tie-break, the canonical order the partitioner expects.
 func SortKeysDesc(s []SortedKey) {
-	sort.Slice(s, func(i, j int) bool {
-		if s[i].Count != s[j].Count {
-			return s[i].Count > s[j].Count
+	slices.SortFunc(s, func(a, b SortedKey) int {
+		if a.Count != b.Count {
+			return b.Count - a.Count
 		}
-		return s[i].Key < s[j].Key
+		return strings.Compare(a.Key, b.Key)
 	})
 }

@@ -13,9 +13,15 @@ package stats
 // Counts stored here are approximate: a key's node is only moved when the
 // key's update budget allows (see Accumulator), which bounds rebalancing
 // work during the batch interval. Exact counts live in the HTable.
+//
+// Detached nodes (Remove, the remove half of Update, Reset) go onto an
+// internal free list and are reused by later inserts, so a tree cycled
+// across batch intervals stops allocating once it has seen its
+// steady-state key cardinality.
 type CountTree struct {
 	root *treeNode
 	size int
+	free *treeNode // free list of recycled nodes, chained via right
 }
 
 type treeNode struct {
@@ -28,10 +34,43 @@ type treeNode struct {
 // Len returns the number of keys in the tree.
 func (t *CountTree) Len() int { return t.size }
 
-// Reset clears the tree for the next batch interval.
+// Reset clears the tree for the next batch interval, recycling every node
+// onto the free list.
 func (t *CountTree) Reset() {
+	t.releaseAll(t.root)
 	t.root = nil
 	t.size = 0
+}
+
+// newNode pops a recycled node or allocates a fresh one.
+func (t *CountTree) newNode(key string, count int) *treeNode {
+	if n := t.free; n != nil {
+		t.free = n.right
+		n.key, n.count = key, count
+		n.left, n.right = nil, nil
+		n.height = 1
+		return n
+	}
+	return &treeNode{key: key, count: count, height: 1}
+}
+
+// release puts a detached node onto the free list. The key reference is
+// dropped so the pool never pins strings the stream stopped producing.
+func (t *CountTree) release(n *treeNode) {
+	n.key = ""
+	n.left = nil
+	n.right = t.free
+	t.free = n
+}
+
+func (t *CountTree) releaseAll(n *treeNode) {
+	if n == nil {
+		return
+	}
+	t.releaseAll(n.left)
+	right := n.right
+	t.release(n)
+	t.releaseAll(right)
 }
 
 // less orders nodes by (count, key).
@@ -99,18 +138,18 @@ func rebalance(n *treeNode) *treeNode {
 // Insert adds a key with the given count. The caller guarantees the key is
 // not already present (the HTable tracks membership).
 func (t *CountTree) Insert(key string, count int) {
-	t.root = insert(t.root, key, count)
+	t.root = t.insert(t.root, key, count)
 	t.size++
 }
 
-func insert(n *treeNode, key string, count int) *treeNode {
+func (t *CountTree) insert(n *treeNode, key string, count int) *treeNode {
 	if n == nil {
-		return &treeNode{key: key, count: count, height: 1}
+		return t.newNode(key, count)
 	}
 	if less(count, key, n.count, n.key) {
-		n.left = insert(n.left, key, count)
+		n.left = t.insert(n.left, key, count)
 	} else {
-		n.right = insert(n.right, key, count)
+		n.right = t.insert(n.right, key, count)
 	}
 	return rebalance(n)
 }
@@ -120,7 +159,7 @@ func insert(n *treeNode, key string, count int) *treeNode {
 // fires. Reports whether the key was found at the old count.
 func (t *CountTree) Update(key string, oldCount, newCount int) bool {
 	var removed bool
-	t.root, removed = remove(t.root, key, oldCount)
+	t.root, removed = t.remove(t.root, key, oldCount)
 	if !removed {
 		return false
 	}
@@ -132,14 +171,14 @@ func (t *CountTree) Update(key string, oldCount, newCount int) bool {
 // Remove deletes a key with the given count from the tree.
 func (t *CountTree) Remove(key string, count int) bool {
 	var removed bool
-	t.root, removed = remove(t.root, key, count)
+	t.root, removed = t.remove(t.root, key, count)
 	if removed {
 		t.size--
 	}
 	return removed
 }
 
-func remove(n *treeNode, key string, count int) (*treeNode, bool) {
+func (t *CountTree) remove(n *treeNode, key string, count int) (*treeNode, bool) {
 	if n == nil {
 		return nil, false
 	}
@@ -149,22 +188,27 @@ func remove(n *treeNode, key string, count int) (*treeNode, bool) {
 		removed = true
 		switch {
 		case n.left == nil:
-			return n.right, true
+			right := n.right
+			t.release(n)
+			return right, true
 		case n.right == nil:
-			return n.left, true
+			left := n.left
+			t.release(n)
+			return left, true
 		default:
-			// Replace with in-order successor.
+			// Replace with in-order successor; the successor's node is
+			// released by the recursive removal.
 			succ := n.right
 			for succ.left != nil {
 				succ = succ.left
 			}
 			n.key, n.count = succ.key, succ.count
-			n.right, _ = remove(n.right, succ.key, succ.count)
+			n.right, _ = t.remove(n.right, succ.key, succ.count)
 		}
 	case less(count, key, n.count, n.key):
-		n.left, removed = remove(n.left, key, count)
+		n.left, removed = t.remove(n.left, key, count)
 	default:
-		n.right, removed = remove(n.right, key, count)
+		n.right, removed = t.remove(n.right, key, count)
 	}
 	if !removed {
 		return n, false
@@ -198,17 +242,26 @@ func (t *CountTree) Ascending() []KeyCount {
 // quasi-sorted list handed to the micro-batch partitioner at the heartbeat.
 func (t *CountTree) Descending() []KeyCount {
 	out := make([]KeyCount, 0, t.size)
-	var walk func(n *treeNode)
-	walk = func(n *treeNode) {
-		if n == nil {
-			return
-		}
-		walk(n.right)
-		out = append(out, KeyCount{Key: n.key, Count: n.count})
-		walk(n.left)
-	}
-	walk(t.root)
+	t.WalkDescending(func(key string, count int) {
+		out = append(out, KeyCount{Key: key, Count: count})
+	})
 	return out
+}
+
+// WalkDescending visits the (key, count) pairs in descending count order
+// without materializing a slice; the hot-path Finalize uses it so the
+// heartbeat hand-off does not allocate a traversal buffer.
+func (t *CountTree) WalkDescending(fn func(key string, count int)) {
+	walkDesc(t.root, fn)
+}
+
+func walkDesc(n *treeNode, fn func(key string, count int)) {
+	if n == nil {
+		return
+	}
+	walkDesc(n.right, fn)
+	fn(n.key, n.count)
+	walkDesc(n.left, fn)
 }
 
 // Height returns the height of the tree (0 for empty). Exposed for

@@ -1,6 +1,9 @@
 package stats
 
-import "prompt/internal/tuple"
+import (
+	"prompt/internal/intern"
+	"prompt/internal/tuple"
+)
 
 // KeyEntry is the per-key record stored in the HTable. It holds the key's
 // buffered tuples and the auxiliary statistics driving the budgeted
@@ -16,7 +19,10 @@ import "prompt/internal/tuple"
 //     has elapsed since the last update, so cold keys do not go stale.
 //   - LastUpdate: time of the key's last CountTree update.
 type KeyEntry struct {
-	Key         string
+	Key string
+	// ID is the key's dense intern ID when the table runs in dictionary
+	// mode; 0 (and unused) in map mode.
+	ID          uint32
 	Tuples      []tuple.Tuple
 	FreqCurrent int
 	FreqUpdated int
@@ -29,31 +35,141 @@ type KeyEntry struct {
 // HTable maps partitioning keys to their entries. Every key present in the
 // HTable has a corresponding node in the CountTree (the bi-directional
 // pointer of the paper is realized by keying both structures on the key
-// string plus the FreqUpdated count, which uniquely identifies the node).
+// plus the FreqUpdated count, which uniquely identifies the node).
+//
+// The table runs in one of two modes:
+//
+//   - Dictionary mode (hot path): keys are addressed by their dense
+//     intern ID. Entries live in one flat arena reused batch after batch
+//     — per-key tuple buffers keep their backing arrays across Resets —
+//     and the ID → entry index translation is a flat int32 slot array,
+//     so steady-state ingestion allocates nothing.
+//   - Map mode (string path): a plain string-keyed Go map, kept for
+//     dictionary-less callers and as the reference behaviour the golden
+//     tests compare against. Reset clears the map in place so its bucket
+//     memory is reused; it only reallocates when a batch outgrows it.
 type HTable struct {
-	m map[string]*KeyEntry
+	m map[string]*KeyEntry // map mode; nil in dictionary mode
+
+	dict    *intern.Dict
+	slot    []int32    // intern ID -> entry index + 1; 0 = absent this batch
+	entries []KeyEntry // dense per-batch entry arena, reused across batches
 }
 
-// NewHTable returns an empty hash table sized for the given expected
-// cardinality (0 is fine).
+// NewHTable returns an empty map-mode hash table sized for the given
+// expected cardinality (0 is fine).
 func NewHTable(hint int) *HTable {
 	return &HTable{m: make(map[string]*KeyEntry, hint)}
 }
 
+// NewHTableDict returns an empty dictionary-mode table addressing entries
+// by their intern IDs in dict.
+func NewHTableDict(dict *intern.Dict, hint int) *HTable {
+	return &HTable{
+		dict:    dict,
+		slot:    make([]int32, dict.Len()+hint),
+		entries: make([]KeyEntry, 0, hint),
+	}
+}
+
+// Dict returns the intern dictionary, or nil in map mode.
+func (h *HTable) Dict() *intern.Dict { return h.dict }
+
 // Len returns the number of distinct keys.
-func (h *HTable) Len() int { return len(h.m) }
+func (h *HTable) Len() int {
+	if h.dict != nil {
+		return len(h.entries)
+	}
+	return len(h.m)
+}
 
-// Get returns the entry for key, or nil.
-func (h *HTable) Get(key string) *KeyEntry { return h.m[key] }
+// Get returns the entry for key, or nil. In dictionary mode it resolves
+// the key through the dictionary without interning it.
+func (h *HTable) Get(key string) *KeyEntry {
+	if h.dict != nil {
+		id, ok := h.dict.Lookup(key)
+		if !ok {
+			return nil
+		}
+		return h.GetID(id)
+	}
+	return h.m[key]
+}
 
-// Put inserts a new entry. The caller guarantees key is absent.
+// GetID returns the entry for the interned key id, or nil. Dictionary
+// mode only. The pointer is valid until the next PutID or Reset.
+func (h *HTable) GetID(id uint32) *KeyEntry {
+	if int(id) >= len(h.slot) {
+		return nil
+	}
+	if s := h.slot[id]; s != 0 {
+		return &h.entries[s-1]
+	}
+	return nil
+}
+
+// Put inserts a new entry. The caller guarantees key is absent. Map mode
+// only.
 func (h *HTable) Put(e *KeyEntry) { h.m[e.Key] = e }
 
-// Reset clears the table for the next batch interval.
-func (h *HTable) Reset(hint int) { h.m = make(map[string]*KeyEntry, hint) }
+// PutID appends a fresh entry for the interned key id and returns it,
+// zeroed except for Key, ID, and a length-0 tuple buffer that keeps
+// whatever backing array the arena slot held in an earlier batch. The
+// caller guarantees the id is absent. The pointer is valid until the
+// next PutID or Reset.
+func (h *HTable) PutID(id uint32, key string) *KeyEntry {
+	if int(id) >= len(h.slot) {
+		h.growSlots(int(id) + 1)
+	}
+	n := len(h.entries)
+	if n < cap(h.entries) {
+		h.entries = h.entries[:n+1]
+	} else {
+		h.entries = append(h.entries, KeyEntry{})
+	}
+	e := &h.entries[n]
+	tuples := e.Tuples[:0] // reuse the slot's previous backing array
+	*e = KeyEntry{Key: key, ID: id, Tuples: tuples}
+	h.slot[id] = int32(n) + 1
+	return e
+}
 
-// Range calls fn for every entry; iteration order is unspecified.
+// growSlots extends the ID slot array to at least n entries. New slots
+// are zero (absent), matching the empty state.
+func (h *HTable) growSlots(n int) {
+	if n < 2*len(h.slot) {
+		n = 2 * len(h.slot)
+	}
+	grown := make([]int32, n)
+	copy(grown, h.slot)
+	h.slot = grown
+}
+
+// Reset clears the table for the next batch interval, reusing memory: in
+// dictionary mode only the slots of this batch's entries are cleared and
+// the entry arena rewinds (tuple buffers keep their arrays); in map mode
+// the map is cleared in place and only reallocated when the hint says
+// the next batch will not fit the current buckets anyway.
+func (h *HTable) Reset(hint int) {
+	if h.dict != nil {
+		for i := range h.entries {
+			h.slot[h.entries[i].ID] = 0
+		}
+		h.entries = h.entries[:0]
+		return
+	}
+	clear(h.m)
+}
+
+// Range calls fn for every entry; iteration order is unspecified in map
+// mode and insertion order in dictionary mode.
 func (h *HTable) Range(fn func(*KeyEntry)) {
+	if h.dict != nil {
+		for i := range h.entries {
+			fn(&h.entries[i])
+		}
+		return
+	}
 	for _, e := range h.m {
 		fn(e)
 	}

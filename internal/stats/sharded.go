@@ -5,6 +5,7 @@ import (
 
 	"prompt/internal/cluster"
 	"prompt/internal/hashutil"
+	"prompt/internal/intern"
 	"prompt/internal/tuple"
 )
 
@@ -24,11 +25,24 @@ import (
 // partitioner is exactly sorted rather than CountTree-quasi-sorted (each
 // shard's tree sees only its own keys, so the global quasi-order is not
 // reconstructible); counts and tuple lists are identical.
+//
+// With a shared intern dictionary (NewShardedDict) every shard runs the
+// zero-allocation hot path; shards intern concurrently into the one
+// dictionary, and the merged output slice is reused across batches (valid
+// until the next Reset), matching the single accumulator's dict-mode
+// contract.
 type ShardedAccumulator struct {
 	shards []*Accumulator
+	dict   *intern.Dict
 	// route[s] collects the tuple indices of shard s for the current batch;
 	// reused across batches to avoid reallocation.
 	route [][]tuple.Tuple
+
+	// Per-heartbeat scratch, reused across batches.
+	errs   []error
+	keys   [][]SortedKey
+	stats  []BatchStats
+	merged []SortedKey // dict mode only: reused merge output
 }
 
 // NewSharded returns a sharded accumulator with the given number of shards
@@ -36,16 +50,33 @@ type ShardedAccumulator struct {
 // split evenly across shards so each shard's initial f.step matches its
 // expected share of the batch.
 func NewSharded(cfg AccumulatorConfig, shards int, start, end tuple.Time) (*ShardedAccumulator, error) {
+	return newSharded(cfg, nil, shards, start, end)
+}
+
+// NewShardedDict is NewSharded on the zero-allocation hot path: every
+// shard interns keys into the shared dictionary.
+func NewShardedDict(cfg AccumulatorConfig, dict *intern.Dict, shards int, start, end tuple.Time) (*ShardedAccumulator, error) {
+	if dict == nil {
+		return nil, fmt.Errorf("stats: nil intern dictionary")
+	}
+	return newSharded(cfg, dict, shards, start, end)
+}
+
+func newSharded(cfg AccumulatorConfig, dict *intern.Dict, shards int, start, end tuple.Time) (*ShardedAccumulator, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("stats: need >= 1 shard, got %d", shards)
 	}
 	sa := &ShardedAccumulator{
 		shards: make([]*Accumulator, shards),
+		dict:   dict,
 		route:  make([][]tuple.Tuple, shards),
+		errs:   make([]error, shards),
+		keys:   make([][]SortedKey, shards),
+		stats:  make([]BatchStats, shards),
 	}
 	scfg := cfg.perShard(shards)
 	for i := range sa.shards {
-		acc, err := NewAccumulator(scfg, start, end)
+		acc, err := newAccumulator(scfg, dict, start, end)
 		if err != nil {
 			return nil, err
 		}
@@ -73,6 +104,9 @@ func (c AccumulatorConfig) perShard(shards int) AccumulatorConfig {
 // Shards returns the shard count.
 func (sa *ShardedAccumulator) Shards() int { return len(sa.shards) }
 
+// Dict returns the shared intern dictionary, or nil in map mode.
+func (sa *ShardedAccumulator) Dict() *intern.Dict { return sa.dict }
+
 // Reset prepares every shard for the next batch interval.
 func (sa *ShardedAccumulator) Reset(cfg AccumulatorConfig, start, end tuple.Time) error {
 	scfg := cfg.perShard(len(sa.shards))
@@ -97,7 +131,10 @@ func (sa *ShardedAccumulator) AddAll(tuples []tuple.Tuple, pool *cluster.WorkerP
 		s := hashutil.Bucket(tuples[i].Key, n)
 		sa.route[s] = append(sa.route[s], tuples[i])
 	}
-	errs := make([]error, n)
+	errs := sa.errs
+	for s := range errs {
+		errs[s] = nil
+	}
 	pool.Do(n, func(s int) {
 		acc := sa.shards[s]
 		for _, t := range sa.route[s] {
@@ -117,10 +154,11 @@ func (sa *ShardedAccumulator) AddAll(tuples []tuple.Tuple, pool *cluster.WorkerP
 
 // Finalize finalizes every shard on the pool, merges the outputs, and
 // returns the exactly sorted key list plus the combined batch statistics.
+// In dictionary mode the returned slice is owned by the accumulator and
+// valid until the next Reset.
 func (sa *ShardedAccumulator) Finalize(pool *cluster.WorkerPool) ([]SortedKey, BatchStats) {
 	n := len(sa.shards)
-	keys := make([][]SortedKey, n)
-	stats := make([]BatchStats, n)
+	keys, stats := sa.keys, sa.stats
 	pool.Do(n, func(s int) {
 		keys[s], stats[s] = sa.shards[s].Finalize()
 	})
@@ -128,7 +166,12 @@ func (sa *ShardedAccumulator) Finalize(pool *cluster.WorkerPool) ([]SortedKey, B
 	for s := range keys {
 		total += len(keys[s])
 	}
-	merged := make([]SortedKey, 0, total)
+	var merged []SortedKey
+	if sa.dict != nil && cap(sa.merged) >= total {
+		merged = sa.merged[:0]
+	} else {
+		merged = make([]SortedKey, 0, total)
+	}
 	var st BatchStats
 	for s := range keys {
 		merged = append(merged, keys[s]...)
@@ -140,5 +183,8 @@ func (sa *ShardedAccumulator) Finalize(pool *cluster.WorkerPool) ([]SortedKey, B
 		st.Start, st.End = stats[0].Start, stats[0].End
 	}
 	SortKeysDesc(merged)
+	if sa.dict != nil {
+		sa.merged = merged
+	}
 	return merged, st
 }

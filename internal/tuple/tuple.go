@@ -68,9 +68,14 @@ type KV struct {
 // (its weight), which drives Reduce-stage cost; the folded partial value
 // travels alongside in the engine, so the cluster itself stays a
 // fixed-size descriptor.
+//
+// ID carries the key's per-batch dense number when the partitioner
+// assigned one (see KeySlice.ID); 0 means none. Shuffle structures use it
+// to replace string-keyed maps with flat arrays on the hot path.
 type Cluster struct {
 	Key  string
 	Size int
+	ID   int32
 }
 
 // Batch is the buffered content of one batch interval before partitioning.
@@ -108,6 +113,12 @@ func (b *Batch) Cardinality() int {
 // split across several blocks and how large the key is batch-wide. Map
 // tasks use this to route split keys by hashing (so all fragments of a key
 // meet at the same Reduce task) while freely placing non-split keys.
+//
+// Reference tables hold entries for split keys only: a key absent from the
+// table is whole in its block (Split false, Fragments 1). Keeping the
+// tables sparse bounds their size by the number of split keys — a handful
+// per batch — instead of the batch cardinality, which matters on the
+// per-batch allocation hot path.
 type SplitInfo struct {
 	// Split reports whether the key has fragments in other blocks too.
 	Split bool
@@ -119,7 +130,8 @@ type SplitInfo struct {
 
 // Block is one partition of a micro-batch: the input to a single Map task.
 // Keys holds the per-key tuple lists in assignment order; Ref is the block
-// reference table labelling split keys.
+// reference table labelling split keys (and only split keys — see
+// SplitInfo).
 type Block struct {
 	ID     int
 	Keys   []KeySlice
@@ -132,9 +144,16 @@ type Block struct {
 
 // KeySlice is the set of tuples for one key (or one fragment of a split
 // key) placed in a block.
+//
+// ID is the key's dense per-batch number when the partitioner works from
+// the sorted key list: 1 + the key's index in that list, identical for
+// every fragment of the key across all blocks of the batch. 0 means the
+// partitioner assigned no dense numbers (the per-tuple techniques), and
+// downstream consumers fall back to string-keyed routing.
 type KeySlice struct {
 	Key    string
 	Tuples []Tuple
+	ID     int32
 }
 
 // NewBlock returns an empty block with the given id.
@@ -167,7 +186,14 @@ func (bl *Block) Add(key string, tuples []Tuple) {
 // knows, skipping the per-tuple summation. The hot partitioning paths use
 // it with fragments that reference the buffered tuple lists directly.
 func (bl *Block) AddWeighted(key string, tuples []Tuple, weight int) {
-	bl.Keys = append(bl.Keys, KeySlice{Key: key, Tuples: tuples})
+	bl.AddDense(key, 0, tuples, weight)
+}
+
+// AddDense is AddWeighted carrying the key's dense per-batch number (see
+// KeySlice.ID); sorted-input partitioners use it so the shuffle can route
+// clusters without hashing key strings.
+func (bl *Block) AddDense(key string, id int32, tuples []Tuple, weight int) {
+	bl.Keys = append(bl.Keys, KeySlice{Key: key, Tuples: tuples, ID: id})
 	bl.weight += weight
 	bl.cardOK = false
 }
@@ -258,6 +284,17 @@ func (p *Partitioned) Validate() error {
 			if info.Split != (frags[k] > 1) {
 				return fmt.Errorf("tuple: block %d labels key %q split=%v but key has %d fragments",
 					bl.ID, k, info.Split, frags[k])
+			}
+		}
+		// Every split key present in a block must be labelled there, or the
+		// block's Map task would place its fragment without hashing and the
+		// fragments would not meet at one Reduce task.
+		for _, ks := range bl.Keys {
+			if frags[ks.Key] > 1 {
+				if info, ok := bl.Ref[ks.Key]; !ok || !info.Split {
+					return fmt.Errorf("tuple: block %d holds fragment of split key %q without a split label",
+						bl.ID, ks.Key)
+				}
 			}
 		}
 	}

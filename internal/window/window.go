@@ -7,8 +7,10 @@
 package window
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 
 	"prompt/internal/tuple"
@@ -274,11 +276,11 @@ func (ag *Aggregator) TopK(k int) []Entry {
 	for key, v := range ag.state {
 		entries = append(entries, Entry{Key: key, Val: v})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Val != entries[j].Val {
-			return entries[i].Val > entries[j].Val
+	slices.SortFunc(entries, func(a, b Entry) int {
+		if a.Val != b.Val {
+			return cmp.Compare(b.Val, a.Val)
 		}
-		return entries[i].Key < entries[j].Key
+		return strings.Compare(a.Key, b.Key)
 	})
 	if k < len(entries) {
 		entries = entries[:k]

@@ -1,9 +1,10 @@
 package workload
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"prompt/internal/tuple"
 )
@@ -92,8 +93,10 @@ func (j *Jittered) Arrivals(start, end tuple.Time) ([]Arrival, error) {
 		}
 		j.pulled += chunk
 	}
-	sort.SliceStable(j.pending, func(a, b int) bool { return j.pending[a].At < j.pending[b].At })
-	cut := sort.Search(len(j.pending), func(i int) bool { return j.pending[i].At >= end })
+	slices.SortStableFunc(j.pending, func(a, b Arrival) int { return cmp.Compare(a.At, b.At) })
+	cut, _ := slices.BinarySearchFunc(j.pending, end, func(a Arrival, end tuple.Time) int {
+		return cmp.Compare(a.At, end)
+	})
 	out := make([]Arrival, cut)
 	copy(out, j.pending[:cut])
 	j.pending = append(j.pending[:0], j.pending[cut:]...)

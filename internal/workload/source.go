@@ -1,10 +1,11 @@
 package workload
 
 import (
+	"cmp"
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"prompt/internal/tuple"
 )
@@ -140,5 +141,5 @@ func poisson(r *rand.Rand, mean float64) int {
 }
 
 func sortByTS(ts []tuple.Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].TS < ts[j].TS })
+	slices.SortFunc(ts, func(a, b tuple.Tuple) int { return cmp.Compare(a.TS, b.TS) })
 }

@@ -2,9 +2,10 @@ package workload
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -26,7 +27,7 @@ type Trace struct {
 func NewTrace(name string, tuples []tuple.Tuple) *Trace {
 	cp := make([]tuple.Tuple, len(tuples))
 	copy(cp, tuples)
-	sort.SliceStable(cp, func(i, j int) bool { return cp[i].TS < cp[j].TS })
+	slices.SortStableFunc(cp, func(a, b tuple.Tuple) int { return cmp.Compare(a.TS, b.TS) })
 	return &Trace{Name: name, tuples: cp}
 }
 

@@ -8,8 +8,10 @@
 #   scripts/bench.sh compare    # just compare the committed sections
 #
 # Environment:
-#   BENCHTIME  go test -benchtime value (default 5x)
-#   COUNT      go test -count value     (default 1)
+#   BENCHTIME  go test -benchtime value (default 64x: two full engine
+#              cycles per measurement, long enough to dampen scheduler
+#              noise; benchjson takes the minimum across COUNT repeats)
+#   COUNT      go test -count value     (default 4)
 #   GATE       max tolerated allocs/op regression fraction (default 0.10)
 #
 # The comparison prints per-benchmark ns/op, B/op, and allocs/op deltas
@@ -20,8 +22,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SECTION="${1:-current}"
-BENCHTIME="${BENCHTIME:-5x}"
-COUNT="${COUNT:-1}"
+BENCHTIME="${BENCHTIME:-64x}"
+COUNT="${COUNT:-4}"
 GATE="${GATE:-0.10}"
 LEDGER="BENCH_hotpath.json"
 RAW="$(mktemp /tmp/bench_hotpath.XXXXXX.txt)"
