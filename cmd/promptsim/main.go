@@ -50,6 +50,8 @@ func main() {
 		traceJSON   = flag.String("trace-json", "", "with -trace, also write the collector snapshot as JSON to this file")
 		faults      = flag.String("faults", "", "fault plan script, e.g. \"kill@3:cores=2,after=40ms;straggle@5:factor=8;lose@7:fails=1\"")
 		faultSeed   = flag.Int64("fault-seed", 0, "generate a random fault plan from this seed (ignored with -faults)")
+		jitterMS    = flag.Int("jitter-ms", 0, "delay arrivals by up to this many milliseconds (out-of-order delivery)")
+		maxDelayMS  = flag.Int("max-delay-ms", 0, "reorder-buffer delay bound in milliseconds; arrivals later than this are dropped")
 	)
 	flag.Parse()
 
@@ -135,8 +137,25 @@ func main() {
 		fatal(err)
 	}
 
+	reordered := *jitterMS > 0 || *maxDelayMS > 0
 	var reports []engine.BatchReport
-	if *elasticOn {
+	switch {
+	case reordered && *elasticOn:
+		fatal(fmt.Errorf("-jitter-ms/-max-delay-ms cannot be combined with -elastic"))
+	case reordered:
+		jit, err := workload.NewJittered(src, tuple.Time(*jitterMS)*tuple.Millisecond, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		reord, err := engine.NewReorderer(tuple.Time(*maxDelayMS) * tuple.Millisecond)
+		if err != nil {
+			fatal(err)
+		}
+		reports, err = eng.RunReordered(jit, reord, *batches)
+		if err != nil {
+			fatal(err)
+		}
+	case *elasticOn:
 		ctrl, err := elastic.NewController(elastic.DefaultConfig(), *mapTasks, *reduceTasks)
 		if err != nil {
 			fatal(err)
@@ -153,7 +172,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		reports, err = eng.RunBatches(src, *batches)
 		if err != nil {
 			fatal(err)
@@ -163,6 +182,9 @@ func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "scheme=%s dataset=%s interval=%v\n", scheme.Name, srcName, interval)
 	header := "batch\ttuples\tkeys\tproc(ms)\twait(ms)\tW\tp\tr\tcores\tBSI\tBCI\tKSR\tstable"
+	if reordered {
+		header += "\tdrops"
+	}
 	if plan != nil {
 		header += "\tretry\trecov(ms)"
 	}
@@ -173,6 +195,9 @@ func main() {
 			float64(r.ProcessingTime)/1000, float64(r.QueueWait)/1000, r.W,
 			r.MapTasks, r.ReduceTasks, r.Cores,
 			r.Quality.BSI, r.Quality.BCI, r.Quality.KSR, r.Stable)
+		if reordered {
+			fmt.Fprintf(tw, "\t%d", r.TuplesDropped)
+		}
 		if plan != nil {
 			fmt.Fprintf(tw, "\t%d\t%.1f", r.TaskRetries, float64(r.RecoveryTime)/1000)
 		}
@@ -183,6 +208,9 @@ func main() {
 	s := engine.Summarize(reports)
 	fmt.Printf("\nsummary: %d batches, %d tuples, throughput %.0f/s, mean proc %v, max latency %v, unstable %d\n",
 		s.Batches, s.Tuples, s.Throughput, s.MeanProcessing, s.MaxLatency, s.UnstableCount)
+	if reordered {
+		fmt.Printf("reorder: %d tuples dropped beyond the %dms delay bound\n", s.TuplesDropped, *maxDelayMS)
+	}
 	if plan != nil {
 		var retries, recoveries, coresLost int
 		var recTime tuple.Time

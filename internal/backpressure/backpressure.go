@@ -34,6 +34,35 @@ func NewAIMD() *AIMD {
 	return &AIMD{Factor: 1, Min: 0.05, Max: 1, Increase: 0.05, Decrease: 0.7, RecoveryCut: 0.9}
 }
 
+// init lazily applies NewAIMD's defaults to an unconfigured controller. A
+// zero-valued AIMD used to clamp Factor into [0,0] on the first Observe
+// (Min = Max = 0) and stay pinned at a zero rate forever; instead, the
+// zero value now behaves exactly like NewAIMD(). The sentinel is Max == 0:
+// no valid configuration has it (Validate requires Max >= Min > 0), so a
+// zero Max means the bounds were never set and any zero fields take their
+// defaults. Explicitly configured fields are preserved.
+func (a *AIMD) init() {
+	if a.Max != 0 {
+		return
+	}
+	if a.Factor == 0 {
+		a.Factor = 1
+	}
+	if a.Min == 0 {
+		a.Min = 0.05
+	}
+	a.Max = 1
+	if a.Increase == 0 {
+		a.Increase = 0.05
+	}
+	if a.Decrease == 0 {
+		a.Decrease = 0.7
+	}
+	if a.RecoveryCut == 0 {
+		a.RecoveryCut = 0.9
+	}
+}
+
 // Validate rejects inconsistent settings.
 func (a *AIMD) Validate() error {
 	if a.Min <= 0 || a.Max < a.Min {
@@ -49,8 +78,10 @@ func (a *AIMD) Validate() error {
 }
 
 // Observe updates the factor from one batch's stability and returns the
-// new factor.
+// new factor. Observing an unconfigured zero value first applies the
+// NewAIMD defaults.
 func (a *AIMD) Observe(stable bool) float64 {
+	a.init()
 	if stable {
 		a.Factor += a.Increase
 	} else {
@@ -74,6 +105,7 @@ func (a *AIMD) Observe(stable bool) float64 {
 // batch that would have been late anyway takes the full Decrease cut.
 // Stable batches get the usual additive increase.
 func (a *AIMD) ObserveBatch(stable bool, processing, recovery, interval int64) float64 {
+	a.init()
 	if stable || recovery <= 0 || processing-recovery > interval {
 		return a.Observe(stable)
 	}
@@ -91,7 +123,10 @@ func (a *AIMD) ObserveBatch(stable bool, processing, recovery, interval int64) f
 // Triggered reports whether the controller is currently throttling (the
 // "back-pressure activated" signal the paper's Figure 11 experiments use
 // to declare a configuration's maximum throughput reached).
-func (a *AIMD) Triggered() bool { return a.Factor < a.Max }
+func (a *AIMD) Triggered() bool {
+	a.init()
+	return a.Factor < a.Max
+}
 
 // SearchMaxRate finds the highest rate in [lo, hi] for which sustain
 // returns true, by bisection to within tol (relative). sustain must be

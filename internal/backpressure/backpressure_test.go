@@ -105,6 +105,78 @@ func TestAIMDObserveBatchRecoveryAware(t *testing.T) {
 	}
 }
 
+func TestAIMDZeroValueObserve(t *testing.T) {
+	// Regression: a zero-valued AIMD clamped Factor into [0,0] on the
+	// first Observe (Min = Max = 0) and stayed pinned at a zero rate
+	// forever. The zero value must instead behave like NewAIMD().
+	var a AIMD
+	if f := a.Observe(false); f != NewAIMD().Decrease {
+		t.Errorf("zero-value Observe(false) = %v, want the default cut %v", f, NewAIMD().Decrease)
+	}
+	if a.Min != 0.05 || a.Max != 1 {
+		t.Errorf("zero value did not take default bounds: [%v,%v]", a.Min, a.Max)
+	}
+	for i := 0; i < 100; i++ {
+		a.Observe(true)
+	}
+	if a.Factor != 1 {
+		t.Errorf("zero value never recovered to full rate: factor %v", a.Factor)
+	}
+	for i := 0; i < 200; i++ {
+		a.Observe(false)
+	}
+	if a.Factor != a.Min || a.Factor <= 0 {
+		t.Errorf("zero value throttled to %v, want pinned at the default floor %v", a.Factor, a.Min)
+	}
+}
+
+func TestAIMDZeroValueObserveBatch(t *testing.T) {
+	const interval = 1_000_000
+	// Recovery-explained overshoot on a zero value takes the default
+	// gentle cut from the default factor 1.
+	var a AIMD
+	if f := a.ObserveBatch(false, 1_400_000, 600_000, interval); math.Abs(f-0.9) > 1e-12 {
+		t.Errorf("zero-value recovery-inflated batch cut factor to %v, want 0.9", f)
+	}
+	// Plain overload on a zero value takes the default full cut.
+	var b AIMD
+	if f := b.ObserveBatch(false, 1_400_000, 0, interval); math.Abs(f-0.7) > 1e-12 {
+		t.Errorf("zero-value overloaded batch cut factor to %v, want 0.7", f)
+	}
+	// Stable batches climb off the default factor and cap at the default
+	// max, never at zero.
+	var c AIMD
+	for i := 0; i < 50; i++ {
+		c.ObserveBatch(true, 500_000, 0, interval)
+	}
+	if c.Factor != 1 {
+		t.Errorf("zero-value stable run capped at %v, want 1", c.Factor)
+	}
+}
+
+func TestAIMDZeroValueTriggered(t *testing.T) {
+	var a AIMD
+	if a.Triggered() {
+		t.Error("fresh zero-value controller already triggered")
+	}
+	a.Observe(false)
+	if !a.Triggered() {
+		t.Error("zero-value controller not triggered after backoff")
+	}
+}
+
+func TestAIMDPartialConfigKeepsExplicitFields(t *testing.T) {
+	// Unconfigured bounds with an explicit starting factor: defaults fill
+	// the zeros, the explicit factor survives.
+	a := AIMD{Factor: 0.5}
+	if f := a.Observe(true); math.Abs(f-0.55) > 1e-12 {
+		t.Errorf("partial config Observe(true) = %v, want 0.55", f)
+	}
+	if a.Min != 0.05 || a.Max != 1 {
+		t.Errorf("partial config bounds [%v,%v], want defaults", a.Min, a.Max)
+	}
+}
+
 func TestAIMDValidateRecoveryCut(t *testing.T) {
 	a := NewAIMD()
 	a.RecoveryCut = 1.2

@@ -1,0 +1,154 @@
+// Package check is the seeded metamorphic + differential stress harness:
+// it generates random end-to-end scenarios — workload skew, arrival
+// jitter, partitioning scheme, worker count, fault plans, window specs
+// including non-invertible reduces, mid-run checkpoint/restore, AIMD
+// throttling, reorder-buffer delays — and cross-checks the invariants the
+// fixed golden tests cannot reach:
+//
+//  1. every registered scheme produces the same window answers,
+//  2. checkpoint/restore at any batch boundary equals the uninterrupted
+//     run bit for bit (reports, window answers, reorder-buffer contents,
+//     back-pressure factor),
+//  3. incrementally maintained window state equals Recompute() after
+//     every eviction,
+//  4. a faulted run's window answers equal the fault-free run's,
+//  5. window answers are invariant under tuple permutation within a
+//     batch.
+//
+// A failing scenario prints its seed plus a shrunk minimal scenario that
+// still fails; PROMPT_CHECK_SEED replays one seed deterministically and
+// PROMPT_CHECK_SEEDS ("a..b" or a comma list) selects the sweep.
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"prompt/internal/core"
+)
+
+// Scenario is one generated stress configuration. Every field is derived
+// deterministically from Seed by Generate, so the seed alone replays the
+// scenario; Shrink mutates the other fields directly while keeping the
+// seed (the workload generator key) fixed.
+type Scenario struct {
+	// Seed drives workload generation, jitter, fault plans, and the
+	// permutation of invariant 5.
+	Seed int64
+	// Batches is the run length; CheckpointAt in [1, Batches-1] is the
+	// batch boundary the mid-run checkpoint/restore happens at.
+	Batches      int
+	CheckpointAt int
+	// Rate (tuples/second) and Keys (cardinality) shape the workload;
+	// Skew is "uniform" or "zipf".
+	Rate float64
+	Keys int
+	Skew string
+	// Scheme is the registry name driving the full-stack checkpoint run;
+	// invariant 1 additionally sweeps every registered scheme.
+	Scheme string
+	// Workers is the real-goroutine count of the full-stack run (0, 1, or
+	// 4); reports must not depend on it.
+	Workers int
+	// WindowSec is the sliding window length in seconds (slide one
+	// second); NonInvertible selects a Max-reduce query, forcing the
+	// recompute-on-evict path.
+	WindowSec     int
+	NonInvertible bool
+	// FaultEvents sizes the random fault plan (0 = fault-free).
+	FaultEvents int
+	// JitterMS delays arrivals by up to that many milliseconds;
+	// MaxDelayMS is the reorder buffer's bound. MaxDelayMS < JitterMS
+	// forces drops.
+	JitterMS   int
+	MaxDelayMS int
+	// Throttle attaches an AIMD controller whose factor scales the
+	// offered rate, observed after every batch.
+	Throttle bool
+}
+
+// Generate derives a scenario from a seed. Identical seeds yield
+// identical scenarios.
+func Generate(seed int64) Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	names := core.Names()
+	sc := Scenario{
+		Seed:          seed,
+		Batches:       4 + rng.Intn(5), // 4..8
+		Rate:          800 + 200*float64(rng.Intn(8)),
+		Keys:          20 + rng.Intn(81),
+		Skew:          [2]string{"uniform", "zipf"}[rng.Intn(2)],
+		Scheme:        names[rng.Intn(len(names))],
+		Workers:       [3]int{0, 1, 4}[rng.Intn(3)],
+		WindowSec:     2 + rng.Intn(4), // 2..5
+		NonInvertible: rng.Intn(3) == 0,
+		FaultEvents:   rng.Intn(4), // 0..3
+		JitterMS:      50 * rng.Intn(7),
+		Throttle:      rng.Intn(2) == 0,
+	}
+	sc.CheckpointAt = 1 + rng.Intn(sc.Batches-1)
+	// Usually generous enough to keep everything; sometimes tighter than
+	// the jitter, so the run drops tuples.
+	sc.MaxDelayMS = 50 * rng.Intn(7)
+	return sc
+}
+
+// String renders the scenario compactly, one field per token, so a
+// failure report is self-describing and diffable against the shrunk form.
+func (sc Scenario) String() string {
+	return fmt.Sprintf("seed=%d batches=%d ckpt@%d rate=%g keys=%d skew=%s scheme=%s "+
+		"workers=%d window=%ds noninv=%v faults=%d jitter=%dms maxdelay=%dms throttle=%v",
+		sc.Seed, sc.Batches, sc.CheckpointAt, sc.Rate, sc.Keys, sc.Skew, sc.Scheme,
+		sc.Workers, sc.WindowSec, sc.NonInvertible, sc.FaultEvents,
+		sc.JitterMS, sc.MaxDelayMS, sc.Throttle)
+}
+
+// seedsFromEnv resolves the seed sweep: PROMPT_CHECK_SEED pins a single
+// seed (replay), PROMPT_CHECK_SEEDS selects a list ("1,5,9") or an
+// inclusive range ("1..20"), and the default sweep is 1..50.
+func seedsFromEnv() ([]int64, error) {
+	if v := os.Getenv("PROMPT_CHECK_SEED"); v != "" {
+		s, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("check: bad PROMPT_CHECK_SEED %q: %w", v, err)
+		}
+		return []int64{s}, nil
+	}
+	v := os.Getenv("PROMPT_CHECK_SEEDS")
+	if v == "" {
+		v = "1..50"
+	}
+	if lo, hi, ok := strings.Cut(v, ".."); ok {
+		a, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("check: bad PROMPT_CHECK_SEEDS range %q: %w", v, err)
+		}
+		b, err := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("check: bad PROMPT_CHECK_SEEDS range %q: %w", v, err)
+		}
+		if b < a {
+			return nil, fmt.Errorf("check: empty PROMPT_CHECK_SEEDS range %q", v)
+		}
+		out := make([]int64, 0, b-a+1)
+		for s := a; s <= b; s++ {
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	var out []int64
+	for _, f := range strings.Split(v, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("check: bad PROMPT_CHECK_SEEDS entry %q: %w", f, err)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("check: PROMPT_CHECK_SEEDS %q selects no seeds", v)
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"prompt/internal/tuple"
+	"prompt/internal/window"
 )
 
 // TestPromptSteadyStateAllocCeiling pins the steady-state per-batch
@@ -53,5 +54,57 @@ func TestPromptSteadyStateAllocCeiling(t *testing.T) {
 	t.Logf("prompt steady-state allocations per batch: %.0f (ceiling %d)", avg, ceiling)
 	if avg > ceiling {
 		t.Errorf("steady-state hot path allocates %.0f per batch, ceiling %d", avg, ceiling)
+	}
+}
+
+// TestMaxReduceSteadyStateAllocCeiling is the non-invertible companion of
+// TestPromptSteadyStateAllocCeiling: a Max-reduce windowed query has no
+// inverse, so every batch commit takes window.Aggregator's
+// recompute-on-evict path. That path used to rebuild the window's
+// state/contrib maps from scratch on each eviction — unsized maps regrown
+// key by key, per batch — which this ceiling would catch; with the maps
+// cleared and reused in place, the steady state stays within the same
+// budget as the invertible hot path.
+func TestMaxReduceSteadyStateAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement skipped in -short mode")
+	}
+	const (
+		rate    = 20_000
+		card    = 5_000
+		warm    = 32
+		runs    = 8
+		ceiling = 2_000 // allocations per batch, steady state
+	)
+	hs := hotPathSchemes()[0]
+	src := hotPathSource(t, "zipf", rate, card)
+	batches := hotPathBatches(t, src, warm+runs+1, tuple.Second)
+	q := Query{
+		Name:   "maxcount",
+		Map:    CountMap,
+		Reduce: window.Max,
+		Window: window.Sliding(10*tuple.Second, tuple.Second),
+	}
+	eng, err := New(hs.config(hotPathConfig(0)), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(k int) {
+		start := tuple.Time(k) * tuple.Second
+		if _, err := eng.Step(batches[k], start, start+tuple.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < warm; k++ {
+		step(k)
+	}
+	next := warm
+	avg := testing.AllocsPerRun(runs, func() {
+		step(next)
+		next++
+	})
+	t.Logf("max-reduce steady-state allocations per batch: %.0f (ceiling %d)", avg, ceiling)
+	if avg > ceiling {
+		t.Errorf("max-reduce steady state allocates %.0f per batch, ceiling %d", avg, ceiling)
 	}
 }

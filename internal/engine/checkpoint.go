@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"prompt/internal/backpressure"
 	"prompt/internal/intern"
 	"prompt/internal/tuple"
 	"prompt/internal/window"
@@ -28,6 +29,21 @@ type checkpointImage struct {
 	// so a restored engine resolves every already-issued key ID exactly
 	// as the checkpointed one did.
 	Interned []string
+	// HasReorder/Reorder carry the attached reorder buffer: its pending
+	// tuples, sealing horizons, and drop count. Omitting them (the
+	// original checkpoint amnesia) silently lost every buffered tuple on
+	// restore. Value-plus-flag rather than a pointer keeps the gob stream
+	// unambiguous and old checkpoints decodable (absent fields stay
+	// zero, so HasReorder is false).
+	HasReorder bool
+	Reorder    ReordererImage
+	// HasThrottle/Throttle carry the attached AIMD controller; without
+	// them a restored engine sprang back to full rate mid-backoff.
+	HasThrottle bool
+	Throttle    backpressure.AIMD
+	// DropsPending is the engine's not-yet-reported drop count, charged
+	// to the first batch committed after restore.
+	DropsPending int
 }
 
 // Checkpoint serializes the engine's driver state — batch position,
@@ -53,6 +69,15 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 			img.Windows[i] = agg.State()
 		}
 	}
+	if e.reorder != nil {
+		img.HasReorder = true
+		img.Reorder = e.reorder.Image()
+	}
+	if e.throttle != nil {
+		img.HasThrottle = true
+		img.Throttle = *e.throttle
+	}
+	img.DropsPending = e.pendingDrops
 	if err := gob.NewEncoder(w).Encode(&img); err != nil {
 		return fmt.Errorf("engine: writing checkpoint: %w", err)
 	}
@@ -102,5 +127,17 @@ func Restore(cfg Config, queries []Query, r io.Reader) (*Engine, error) {
 	e.coresLost = img.CoresLost
 	e.lastResults = img.LastResults
 	e.reports = img.Reports
+	if img.HasReorder {
+		reord, err := RestoreReorderer(img.Reorder)
+		if err != nil {
+			return nil, err
+		}
+		e.reorder = reord
+	}
+	if img.HasThrottle {
+		throttle := img.Throttle
+		e.throttle = &throttle
+	}
+	e.pendingDrops = img.DropsPending
 	return e, nil
 }

@@ -3,10 +3,14 @@ package engine
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"testing"
+	"time"
 
+	"prompt/internal/backpressure"
 	"prompt/internal/tuple"
 	"prompt/internal/window"
+	"prompt/internal/workload"
 )
 
 func TestCheckpointRestoreResumesIdentically(t *testing.T) {
@@ -64,6 +68,151 @@ func TestCheckpointRestoreResumesIdentically(t *testing.T) {
 	}
 	if resumed.Reports()[7].Index != 7 {
 		t.Errorf("batch indices not continuous: %+v", resumed.Reports()[7])
+	}
+}
+
+// reorderSide is one arm of the checkpoint round-trip below: an engine
+// driving a jittered stream through a reorder buffer, its offered rate
+// scaled by an AIMD throttle observed after every batch.
+type reorderSide struct {
+	eng *Engine
+	r   *Reorderer
+	src *workload.Jittered
+	th  *backpressure.AIMD
+}
+
+// throttleRate reads the side's *current* throttle at generation time, so
+// a restored arm generates from the restored Factor.
+type throttleRate struct{ s *reorderSide }
+
+func (tr throttleRate) RateAt(tuple.Time) float64 { return 3000 * tr.s.th.Factor }
+
+func newReorderSide(t *testing.T, maxDelay tuple.Time) *reorderSide {
+	t.Helper()
+	s := &reorderSide{}
+	keys, err := workload.NewUniformSampler("k", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &workload.Source{Name: "rt", Rate: throttleRate{s}, Keys: keys, Seed: 7}
+	src, err := workload.NewJittered(inner, 400*tuple.Millisecond, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReorderer(maxDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(testConfig(), WordCount(window.Sliding(5*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := backpressure.NewAIMD()
+	th.Observe(false) // start mid-backoff: Factor 0.7, below Max
+	eng.AttachThrottle(th)
+	s.eng, s.r, s.src, s.th = eng, r, src, th
+	return s
+}
+
+// step runs one reordered batch and feeds its stability back into the
+// throttle, closing the back-pressure loop.
+func (s *reorderSide) step(t *testing.T) BatchReport {
+	t.Helper()
+	reps, err := s.eng.RunReordered(s.src, s.r, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.th.Observe(reps[0].Stable)
+	return reps[0]
+}
+
+// TestCheckpointCarriesReordererAndThrottle is the regression test for
+// checkpoint amnesia: the image used to omit the reorder buffer (pending
+// tuples, sealing horizons, drop count) and the AIMD Factor, so a
+// restored engine silently dropped every buffered tuple and sprang back
+// to full rate. The round trip happens mid-stream — reorder buffer
+// non-empty, throttle below Max, drops already charged — and the resumed
+// run must produce bit-identical BatchReports and window answers vs. the
+// uninterrupted one.
+func TestCheckpointCarriesReordererAndThrottle(t *testing.T) {
+	// Freeze the pipeline clock: measured partition times become zero on
+	// both arms, so the reports compare bit for bit.
+	restoreClock := StubClock(func() time.Time { return time.Unix(0, 0) })
+	defer restoreClock()
+
+	// Jitter (400 ms) deliberately exceeds the delay bound (200 ms), so
+	// the reorderer drops a steady trickle — drop accounting must survive
+	// the restore too.
+	const maxDelay = 200 * tuple.Millisecond
+	const half = 4
+
+	ref := newReorderSide(t, maxDelay)
+	for i := 0; i < 2*half; i++ {
+		ref.step(t)
+	}
+
+	ckpt := newReorderSide(t, maxDelay)
+	for i := 0; i < half; i++ {
+		ckpt.step(t)
+	}
+	if ckpt.r.Pending() == 0 {
+		t.Fatal("reorder buffer empty at the checkpoint: the round trip would prove nothing")
+	}
+	if !ckpt.th.Triggered() {
+		t.Fatal("throttle not engaged at the checkpoint")
+	}
+	if ckpt.r.Dropped() == 0 {
+		t.Fatal("no drops before the checkpoint")
+	}
+
+	var buf bytes.Buffer
+	if err := ckpt.eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(testConfig(),
+		[]Query{WordCount(window.Sliding(5*tuple.Second, tuple.Second))}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := resumed.Reorderer()
+	if r2 == nil {
+		t.Fatal("restored engine lost its reorder buffer")
+	}
+	if r2.Pending() != ckpt.r.Pending() || r2.Sealed() != ckpt.r.Sealed() ||
+		r2.Ingested() != ckpt.r.Ingested() || r2.Dropped() != ckpt.r.Dropped() {
+		t.Fatalf("restored reorderer pending=%d sealed=%v ingested=%v dropped=%d, want %d/%v/%v/%d",
+			r2.Pending(), r2.Sealed(), r2.Ingested(), r2.Dropped(),
+			ckpt.r.Pending(), ckpt.r.Sealed(), ckpt.r.Ingested(), ckpt.r.Dropped())
+	}
+	th2 := resumed.Throttle()
+	if th2 == nil {
+		t.Fatal("restored engine lost its throttle")
+	}
+	if *th2 != *ckpt.th {
+		t.Fatalf("restored throttle %+v, want %+v", *th2, *ckpt.th)
+	}
+
+	// Resume on the restored state: same source instance (the stream
+	// position is part of neither engine), restored buffer and throttle.
+	ckpt.eng, ckpt.r, ckpt.th = resumed, r2, th2
+	for i := 0; i < half; i++ {
+		ckpt.step(t)
+	}
+
+	if !reflect.DeepEqual(ckpt.eng.Reports(), ref.eng.Reports()) {
+		for i := range ref.eng.Reports() {
+			if !reflect.DeepEqual(ckpt.eng.Reports()[i], ref.eng.Reports()[i]) {
+				t.Fatalf("report %d diverged after restore:\n got %+v\nwant %+v",
+					i, ckpt.eng.Reports()[i], ref.eng.Reports()[i])
+			}
+		}
+		t.Fatal("reports diverged after restore")
+	}
+	if !reflect.DeepEqual(ckpt.eng.WindowSnapshot(), ref.eng.WindowSnapshot()) {
+		t.Error("window answers diverged after restore")
+	}
+	if got := Summarize(ckpt.eng.Reports()).TuplesDropped; got != ref.r.Dropped() {
+		t.Errorf("reports account %d dropped tuples, reorderer counted %d", got, ref.r.Dropped())
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"prompt/internal/backpressure"
 	"prompt/internal/cluster"
 	"prompt/internal/fault"
 	"prompt/internal/intern"
@@ -73,6 +74,19 @@ type Engine struct {
 	// (SetCores), mirroring a real cluster waiting on replacement
 	// executors.
 	coresLost int
+
+	// reorder is the attached bounded-delay reorder buffer (nil without
+	// one). Attaching it makes its state — pending tuples, horizons, drop
+	// count — part of the engine's checkpoint image, so a restored engine
+	// resumes sealing exactly where the checkpointed one stopped.
+	reorder *Reorderer
+	// throttle is the attached AIMD back-pressure controller (nil without
+	// one); like the reorderer, attaching it checkpoints its Factor.
+	throttle *backpressure.AIMD
+	// pendingDrops accumulates reorder-buffer drops observed since the
+	// last committed batch; the commit stage charges them to the next
+	// report's TuplesDropped and resets the counter.
+	pendingDrops int
 }
 
 // New builds an engine for a single query. Zero-valued config fields take
@@ -212,6 +226,34 @@ func poolFor(workers int) *cluster.WorkerPool {
 		return nil
 	}
 	return cluster.NewWorkerPool(workers)
+}
+
+// AttachReorderer ties a reorder buffer to the engine: its buffered
+// tuples, sealing horizons, and drop count become part of the engine's
+// checkpoints, and RunReordered charges its drops onto batch reports.
+// Attaching nil detaches.
+func (e *Engine) AttachReorderer(r *Reorderer) { e.reorder = r }
+
+// Reorderer returns the attached reorder buffer (nil without one). After
+// Restore it is the rebuilt buffer the checkpoint carried.
+func (e *Engine) Reorderer() *Reorderer { return e.reorder }
+
+// AttachThrottle ties an AIMD back-pressure controller to the engine so
+// its current Factor survives checkpoints: a restored engine resumes at
+// the throttled rate instead of silently springing back to full speed.
+// Attaching nil detaches.
+func (e *Engine) AttachThrottle(a *backpressure.AIMD) { e.throttle = a }
+
+// Throttle returns the attached back-pressure controller (nil without
+// one). After Restore it is the rebuilt controller the checkpoint carried.
+func (e *Engine) Throttle() *backpressure.AIMD { return e.throttle }
+
+// NoteDropped charges n reorder-buffer drops to the next committed
+// batch's TuplesDropped.
+func (e *Engine) NoteDropped(n int) {
+	if n > 0 {
+		e.pendingDrops += n
+	}
 }
 
 // LastResult returns the previous batch's per-key Reduce output of the

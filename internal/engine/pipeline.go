@@ -15,6 +15,18 @@ import (
 // measured partitioning cost (and everything downstream) deterministic.
 var timeNow = time.Now
 
+// StubClock replaces the pipeline's wall clock and returns a function
+// restoring the previous one. With a constant clock the measured
+// partitioning cost is zero and every simulated report field becomes a
+// pure function of the inputs — the cross-package correctness harness
+// (internal/check) freezes the clock this way to compare runs bit for
+// bit. Not safe for concurrent engines with different clock needs.
+func StubClock(fn func() time.Time) (restore func()) {
+	prev := timeNow
+	timeNow = fn
+	return func() { timeNow = prev }
+}
+
 // defaultPipeline is the standard batch lifecycle. Engines copy it at
 // construction; future work can splice stages (e.g. a spill stage or a
 // pipelined-overlap boundary) without touching Step.
@@ -371,6 +383,7 @@ func (commitStage) Run(e *Engine, ctx *BatchContext) error {
 		TaskRetries:       len(ctx.retries),
 		RecoveryAttempts:  ctx.RecoveryAttempts,
 		RecoveryTime:      ctx.RecoveryTime,
+		TuplesDropped:     e.pendingDrops,
 		Quality:           metrics.EvaluateWithKeys(ctx.Blocks, e.cfg.MPIWeights, ctx.Stats.Keys),
 		BucketSizes:       primary.sizes,
 		BucketBSI:         metrics.BSISizes(primary.sizes),
@@ -384,6 +397,12 @@ func (commitStage) Run(e *Engine, ctx *BatchContext) error {
 		Latency:           finish - ctx.Batch.Start,
 		W:                 float64(ctx.Processing) / float64(ctx.Interval),
 		Stable:            finish <= ctx.Batch.End+ctx.Interval,
+	}
+	if e.pendingDrops > 0 {
+		if obs := e.cfg.Observer; obs != nil {
+			obs.OnDrop(metrics.Drop{Batch: ctx.Index, Count: e.pendingDrops})
+		}
+		e.pendingDrops = 0
 	}
 	return nil
 }

@@ -42,6 +42,59 @@ func (r *Reorderer) Dropped() int { return r.dropped }
 // Pending reports the tuples buffered but not yet released.
 func (r *Reorderer) Pending() int { return len(r.pending) }
 
+// Sealed reports the watermark up to which batches have been released.
+func (r *Reorderer) Sealed() tuple.Time { return r.sealed }
+
+// Ingested reports the arrival horizon: every arrival before it has been
+// fed in (or its absence observed via AdvanceWatermark).
+func (r *Reorderer) Ingested() tuple.Time { return r.ingested }
+
+// ReordererImage is the serializable state of a Reorderer, exported for
+// checkpointing: the buffered tuples, how much of the buffer is already
+// sorted, both horizons, and the drop count. It captures everything a
+// restored reorderer needs to seal the next batch exactly as the
+// checkpointed one would have.
+type ReordererImage struct {
+	MaxDelay tuple.Time
+	Pending  []tuple.Tuple
+	Sorted   int
+	Sealed   tuple.Time
+	Ingested tuple.Time
+	Dropped  int
+}
+
+// Image snapshots the reorderer for a checkpoint. The pending buffer is
+// copied, so the live reorderer may keep ingesting after the snapshot.
+func (r *Reorderer) Image() ReordererImage {
+	return ReordererImage{
+		MaxDelay: r.MaxDelay,
+		Pending:  append([]tuple.Tuple(nil), r.pending...),
+		Sorted:   r.sorted,
+		Sealed:   r.sealed,
+		Ingested: r.ingested,
+		Dropped:  r.dropped,
+	}
+}
+
+// RestoreReorderer rebuilds a reorderer from a checkpointed image.
+func RestoreReorderer(img ReordererImage) (*Reorderer, error) {
+	if img.MaxDelay < 0 {
+		return nil, fmt.Errorf("engine: restoring reorderer: negative max delay %v", img.MaxDelay)
+	}
+	if img.Sorted < 0 || img.Sorted > len(img.Pending) {
+		return nil, fmt.Errorf("engine: restoring reorderer: sorted prefix %d outside buffer of %d",
+			img.Sorted, len(img.Pending))
+	}
+	return &Reorderer{
+		MaxDelay: img.MaxDelay,
+		pending:  append([]tuple.Tuple(nil), img.Pending...),
+		sorted:   img.Sorted,
+		sealed:   img.Sealed,
+		ingested: img.Ingested,
+		dropped:  img.Dropped,
+	}, nil
+}
+
 // Ingest accepts one arrival. Arrivals must be fed in non-decreasing
 // arrival order (the receiver sees them that way). A tuple later than
 // MaxDelay past its event time, or with an event time inside an already
@@ -132,12 +185,23 @@ func (e *Engine) RunReordered(src *workload.Jittered, r *Reorderer, n int) ([]Ba
 	if r == nil || src == nil {
 		return nil, fmt.Errorf("engine: reordered run needs a jittered source and a reorderer")
 	}
+	// The buffer drives the run, so attach it: its state joins the
+	// engine's checkpoints and its drops land on the batch reports.
+	e.AttachReorderer(r)
 	out := make([]BatchReport, 0, n)
-	horizon := e.now // arrivals ingested up to here
+	// Arrivals are ingested up to here. A restored reorderer has already
+	// consumed the stream past e.now (it ingested up to the last sealed
+	// batch's end plus MaxDelay), so resume from its horizon — the caller
+	// positions the sequential source there.
+	horizon := e.now
+	if h := r.Ingested(); h > horizon {
+		horizon = h
+	}
 	for i := 0; i < n; i++ {
 		start := e.now
 		end := start + e.cfg.BatchInterval
 		need := end + r.MaxDelay
+		droppedBefore := r.Dropped()
 		if need > horizon {
 			arrivals, err := src.Arrivals(horizon, need)
 			if err != nil {
@@ -153,6 +217,7 @@ func (e *Engine) RunReordered(src *workload.Jittered, r *Reorderer, n int) ([]Ba
 		if err != nil {
 			return out, err
 		}
+		e.NoteDropped(r.Dropped() - droppedBefore)
 		rep, err := e.Step(tuples, start, end)
 		if err != nil {
 			return out, err

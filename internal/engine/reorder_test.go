@@ -1,8 +1,14 @@
 package engine
 
 import (
+	"cmp"
+	"fmt"
 	"math"
+	"math/rand"
+	"reflect"
+	"slices"
 	"testing"
+	"testing/quick"
 
 	"prompt/internal/tuple"
 	"prompt/internal/window"
@@ -77,6 +83,156 @@ func TestReordererDropsLateTuples(t *testing.T) {
 	}
 	if r.Ingest(workload.Arrival{Tuple: tuple.NewTuple(995*tuple.Millisecond, "z", 1), At: 1040 * tuple.Millisecond}) {
 		t.Error("tuple for a sealed batch accepted")
+	}
+}
+
+// referenceReorderer is the executable specification Seal is tested
+// against: it buffers accepted tuples in ingestion order and answers each
+// seal by stably sorting the whole buffer by event time — so
+// equal-timestamp tuples keep ingestion order — and cutting at the batch
+// end. The real Reorderer must match it while only ever sorting the newly
+// ingested suffix and merging in place.
+type referenceReorderer struct {
+	maxDelay tuple.Time
+	pending  []tuple.Tuple
+	sealed   tuple.Time
+	dropped  int
+}
+
+func (r *referenceReorderer) ingest(a workload.Arrival) {
+	if a.At-a.Tuple.TS > r.maxDelay || a.Tuple.TS < r.sealed {
+		r.dropped++
+		return
+	}
+	r.pending = append(r.pending, a.Tuple)
+}
+
+func (r *referenceReorderer) seal(end tuple.Time) []tuple.Tuple {
+	slices.SortStableFunc(r.pending, func(a, b tuple.Tuple) int { return cmp.Compare(a.TS, b.TS) })
+	cut, _ := slices.BinarySearchFunc(r.pending, end, func(t tuple.Tuple, end tuple.Time) int {
+		return cmp.Compare(t.TS, end)
+	})
+	out := append([]tuple.Tuple(nil), r.pending[:cut]...)
+	r.pending = append(r.pending[:0], r.pending[cut:]...)
+	r.sealed = end
+	return out
+}
+
+// TestReordererSealMatchesStableSortReference is the property test for
+// the incremental Seal: for random arrival orders — timestamps quantized
+// so equal event times are common, delays occasionally past the bound so
+// drops interleave — repeated seals must produce exactly the tuples a
+// stable sort of the whole buffer would, batch after batch. Each tuple
+// carries a unique Val, so a tie broken in the wrong order (or a tuple
+// lost by the in-place merge) flips the comparison.
+func TestReordererSealMatchesStableSortReference(t *testing.T) {
+	const (
+		maxDelay = 500 * tuple.Millisecond
+		quantum  = 100 * tuple.Millisecond // coarse event times force TS ties
+		batches  = 6
+	)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, err := NewReorderer(maxDelay)
+		if err != nil {
+			return false
+		}
+		ref := &referenceReorderer{maxDelay: maxDelay}
+		at := tuple.Time(0)
+		serial := 0.0
+		for b := 1; b <= batches; b++ {
+			end := tuple.Time(b) * tuple.Second
+			for at < end+maxDelay {
+				at += tuple.Time(rng.Int63n(int64(50 * tuple.Millisecond)))
+				// Delay up to 1.5× the bound: ~1/3 of tuples are late.
+				delay := tuple.Time(rng.Int63n(int64(maxDelay) * 3 / 2))
+				ts := (at - delay) / quantum * quantum
+				if ts < 0 {
+					ts = 0
+				}
+				serial++
+				a := workload.Arrival{Tuple: tuple.NewTuple(ts, "k", serial), At: at}
+				r.Ingest(a)
+				ref.ingest(a)
+			}
+			r.AdvanceWatermark(at)
+			got, err := r.Seal(end)
+			if err != nil {
+				t.Logf("seed %d batch %d: %v", seed, b, err)
+				return false
+			}
+			want := ref.seal(end)
+			if !reflect.DeepEqual(got, want) {
+				t.Logf("seed %d batch %d: sealed %d tuples, reference %d; first divergence: %v",
+					seed, b, len(got), len(want), firstDiff(got, want))
+				return false
+			}
+			if r.Dropped() != ref.dropped {
+				t.Logf("seed %d batch %d: dropped %d, reference %d", seed, b, r.Dropped(), ref.dropped)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func firstDiff(got, want []tuple.Tuple) string {
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if got[i] != want[i] {
+			return fmt.Sprintf("index %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	return fmt.Sprintf("lengths %d vs %d", len(got), len(want))
+}
+
+// TestReordererSealTieAcrossMergeBoundary pins the tie-break rule at its
+// sharpest edge: two tuples with the same event timestamp where one is a
+// leftover from the previous seal (the sorted prefix) and the other was
+// ingested afterwards (the stably-sorted suffix). The merge must keep
+// ingestion order — prefix first — which requires the <= comparison on
+// the prefix side.
+func TestReordererSealTieAcrossMergeBoundary(t *testing.T) {
+	r, err := NewReorderer(500 * tuple.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingest := func(ts, at tuple.Time, serial float64) {
+		t.Helper()
+		if !r.Ingest(workload.Arrival{Tuple: tuple.NewTuple(ts, "k", serial), At: at}) {
+			t.Fatalf("in-bound tuple %v dropped", serial)
+		}
+	}
+	// Batch 1 plus an early arrival for batch 2 at TS 1500 ms: after the
+	// seal it stays pending as the sorted prefix.
+	ingest(500*tuple.Millisecond, 600*tuple.Millisecond, 1)
+	ingest(1500*tuple.Millisecond, 1400*tuple.Millisecond, 2)
+	r.AdvanceWatermark(1500 * tuple.Millisecond)
+	if _, err := r.Seal(tuple.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d, want the early tuple", r.Pending())
+	}
+	// Two more arrivals at the same TS 1500 ms, ingested after the seal:
+	// they form the suffix and must come out behind the prefix tuple.
+	ingest(1500*tuple.Millisecond, 1600*tuple.Millisecond, 3)
+	ingest(1500*tuple.Millisecond, 1700*tuple.Millisecond, 4)
+	r.AdvanceWatermark(2500 * tuple.Millisecond)
+	batch, err := r.Seal(2 * tuple.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("sealed %d tuples, want 3", len(batch))
+	}
+	for i, want := range []float64{2, 3, 4} {
+		if batch[i].Val != want {
+			t.Errorf("tie broken out of ingestion order: position %d is tuple %v, want %v",
+				i, batch[i].Val, want)
+		}
 	}
 }
 

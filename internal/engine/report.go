@@ -38,6 +38,10 @@ type BatchReport struct {
 	// simulated time those attempts added to ProcessingTime.
 	RecoveryAttempts int
 	RecoveryTime     tuple.Time
+	// TuplesDropped counts arrivals the reorder buffer discarded while
+	// assembling this batch — later than the delay bound, or with event
+	// times inside an already sealed batch (0 without a reorder buffer).
+	TuplesDropped int
 
 	// Quality holds the partitioning imbalance metrics of the block set.
 	Quality metrics.Report
@@ -87,6 +91,7 @@ func (r BatchReport) String() string {
 type RunSummary struct {
 	Batches        int
 	Tuples         int
+	TuplesDropped  int
 	UnstableCount  int
 	MaxQueueWait   tuple.Time
 	MeanProcessing tuple.Time
@@ -109,6 +114,7 @@ func Summarize(reports []BatchReport) RunSummary {
 	for _, r := range reports {
 		s.Batches++
 		s.Tuples += r.Tuples
+		s.TuplesDropped += r.TuplesDropped
 		if !r.Stable {
 			s.UnstableCount++
 		}

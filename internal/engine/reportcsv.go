@@ -13,15 +13,15 @@ import (
 // plotting tool.
 func WriteReportsCSV(w io.Writer, reports []BatchReport) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "batch,start_us,end_us,tuples,keys,map_tasks,reduce_tasks,cores,"+
+	if _, err := fmt.Fprintln(bw, "batch,start_us,end_us,tuples,tuples_dropped,keys,map_tasks,reduce_tasks,cores,"+
 		"bsi,bci,ksr,mpi,bucket_bsi,partition_ms,overflow_ms,map_ms,reduce_ms,"+
 		"processing_ms,queue_wait_ms,latency_ms,w,stable"); err != nil {
 		return err
 	}
 	for _, r := range reports {
-		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.6f,%.6f,%.3f,"+
+		if _, err := fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%.6f,%.6f,%.3f,"+
 			"%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.4f,%v\n",
-			r.Index, int64(r.Start), int64(r.End), r.Tuples, r.Keys,
+			r.Index, int64(r.Start), int64(r.End), r.Tuples, r.TuplesDropped, r.Keys,
 			r.MapTasks, r.ReduceTasks, r.Cores,
 			r.Quality.BSI, r.Quality.BCI, r.Quality.KSR, r.Quality.MPI, r.BucketBSI,
 			ms(r.PartitionTime), ms(r.PartitionOverflow), ms(r.MapStageTime), ms(r.ReduceStageTime),

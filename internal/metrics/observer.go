@@ -91,6 +91,16 @@ type Recovery struct {
 	Wall time.Duration
 }
 
+// Drop reports tuples the reorder buffer discarded while assembling one
+// batch: arrivals later than the delay bound, or with event times inside
+// an already sealed batch.
+type Drop struct {
+	// Batch is the batch sequence number the drops were charged to.
+	Batch int
+	// Count is how many tuples were discarded for this batch.
+	Count int
+}
+
 // Observer receives batch-lifecycle events from the staged pipeline.
 // Implementations must be cheap: callbacks run on the driver goroutine
 // between stages, so a slow observer stretches real batch latency (never
@@ -110,6 +120,9 @@ type Observer interface {
 	// OnRecovery fires when a lost batch output has been recomputed,
 	// before the batch commits.
 	OnRecovery(Recovery)
+	// OnDrop fires at batch commit when the reorder buffer discarded
+	// tuples while assembling the batch (never with a zero count).
+	OnDrop(Drop)
 }
 
 // NopObserver implements Observer with empty callbacks; embed it to pick
@@ -130,6 +143,9 @@ func (NopObserver) OnTaskRetry(TaskRetry) {}
 
 // OnRecovery implements Observer.
 func (NopObserver) OnRecovery(Recovery) {}
+
+// OnDrop implements Observer.
+func (NopObserver) OnDrop(Drop) {}
 
 // MultiObserver fans every lifecycle event out to several observers in
 // order. The engine treats a nil or empty MultiObserver like no observer.
@@ -167,6 +183,13 @@ func (m MultiObserver) OnTaskRetry(r TaskRetry) {
 func (m MultiObserver) OnRecovery(r Recovery) {
 	for _, o := range m {
 		o.OnRecovery(r)
+	}
+}
+
+// OnDrop implements Observer.
+func (m MultiObserver) OnDrop(d Drop) {
+	for _, o := range m {
+		o.OnDrop(d)
 	}
 }
 
@@ -243,6 +266,9 @@ type CollectorSummary struct {
 	RecoverySim tuple.Time `json:"recovery_sim_us"`
 	// RecoveryWall is the total measured host time recomputations took.
 	RecoveryWall time.Duration `json:"recovery_wall_ns"`
+	// TuplesDropped counts tuples the reorder buffer discarded across all
+	// batches (late past the delay bound or inside sealed batches).
+	TuplesDropped int `json:"tuples_dropped"`
 }
 
 // Collector is the built-in Observer: it keeps per-stage counters and
@@ -303,6 +329,13 @@ func (c *Collector) OnRecovery(r Recovery) {
 	c.summary.Recoveries++
 	c.summary.RecoverySim += r.Simulated
 	c.summary.RecoveryWall += r.Wall
+}
+
+// OnDrop implements Observer.
+func (c *Collector) OnDrop(d Drop) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.summary.TuplesDropped += d.Count
 }
 
 // Reset clears all collected aggregates.

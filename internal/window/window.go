@@ -168,9 +168,13 @@ func (ag *Aggregator) evict(now tuple.Time) {
 		}
 		return
 	}
-	// No inverse: recompute from the retained batches.
-	ag.state = make(map[string]float64)
-	ag.contrib = make(map[string]int)
+	// No inverse: recompute from the retained batches. The maps are
+	// cleared and refilled in place — steady-state evictions must not
+	// allocate (the hot-path discipline of DESIGN.md §7), and a window's
+	// key universe is stable enough that the retained capacity is the
+	// right size for the next eviction too.
+	clear(ag.state)
+	clear(ag.contrib)
 	for _, b := range ag.batches {
 		for k, v := range b.result {
 			if _, ok := ag.state[k]; ok {

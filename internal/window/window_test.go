@@ -179,6 +179,54 @@ func TestTopK(t *testing.T) {
 	}
 }
 
+// TestNoInverseEvictSteadyStateAllocs pins the steady-state allocation
+// count of the no-inverse evict path. Without an inverse, every eviction
+// recomputes the window state from the retained batches; rebuilding the
+// state/contrib maps from scratch each time allocated fresh (unsized) maps
+// per batch and regrew them key by key. The maps must instead be cleared
+// and refilled in place, so the only steady-state allocation left in
+// AddBatch is the defensive copy of the caller's result map.
+func TestNoInverseEvictSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement skipped in -short mode")
+	}
+	const (
+		keys = 4096
+		warm = 16
+		runs = 16
+		// Post-fix the path measures ~18 allocations per batch (the
+		// defensive copy of the caller's 4096-key result map); the
+		// pre-fix map rebuild measured ~114. The ceiling sits between
+		// with margin on both sides.
+		ceiling = 40
+	)
+	ag, err := NewAggregator(Sliding(4*tuple.Second, tuple.Second), Max, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One pre-built result map per batch slot: the measured loop must not
+	// allocate anything of its own besides AddBatch's internals.
+	batch := make(map[string]float64, keys)
+	for i := 0; i < keys; i++ {
+		batch[fmt.Sprintf("k%04d", i)] = float64(i % 97)
+	}
+	end := tuple.Time(0)
+	step := func() {
+		end += tuple.Second
+		if err := ag.AddBatch(end, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < warm; i++ {
+		step()
+	}
+	avg := testing.AllocsPerRun(runs, step)
+	t.Logf("no-inverse AddBatch allocations per batch: %.0f (ceiling %d)", avg, ceiling)
+	if avg > ceiling {
+		t.Errorf("no-inverse evict allocates %.0f per batch, ceiling %d", avg, ceiling)
+	}
+}
+
 func TestSnapshotIsACopy(t *testing.T) {
 	ag, _ := NewAggregator(Tumbling(10*tuple.Second), Sum, SumInverse)
 	if err := ag.AddBatch(tuple.Second, map[string]float64{"a": 1}); err != nil {

@@ -16,12 +16,15 @@ type Observer = metrics.Observer
 // TaskRetry and Recovery are the fault-lifecycle payloads: a TaskRetry
 // fires for every simulated task re-execution (executor loss or
 // speculative backup) and a Recovery for every recomputed batch output.
+// Drop fires at batch commit when the reorder buffer discarded tuples
+// while assembling the batch.
 type (
 	BatchStart = metrics.BatchStart
 	StageEnd   = metrics.StageEnd
 	BatchEnd   = metrics.BatchEnd
 	TaskRetry  = metrics.TaskRetry
 	Recovery   = metrics.Recovery
+	Drop       = metrics.Drop
 )
 
 // Collector is the built-in Observer: per-stage counters with

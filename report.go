@@ -45,6 +45,10 @@ type BatchReport struct {
 	// Tuples and Keys are the batch input statistics (N_C and |K|).
 	Tuples int
 	Keys   int
+	// TuplesDropped counts arrivals the reorder buffer discarded while
+	// assembling this batch — later than the delay bound or inside an
+	// already sealed batch (always 0 without a reorder buffer).
+	TuplesDropped int
 
 	// MapTasks, ReduceTasks, and Cores are the parallelism and the
 	// effective simulated core count the batch ran on (configured cores
@@ -99,6 +103,7 @@ func newBatchReport(scheme string, r engine.BatchReport) BatchReport {
 		End:               r.End,
 		Tuples:            r.Tuples,
 		Keys:              r.Keys,
+		TuplesDropped:     r.TuplesDropped,
 		MapTasks:          r.MapTasks,
 		ReduceTasks:       r.ReduceTasks,
 		Cores:             r.Cores,
@@ -141,6 +146,7 @@ type batchReportJSON struct {
 	StartUS         int64         `json:"start_us"`
 	EndUS           int64         `json:"end_us"`
 	Tuples          int           `json:"tuples"`
+	TuplesDropped   int           `json:"tuples_dropped,omitempty"`
 	Keys            int           `json:"keys"`
 	MapTasks        int           `json:"map_tasks"`
 	ReduceTasks     int           `json:"reduce_tasks"`
@@ -181,6 +187,7 @@ func (r BatchReport) MarshalJSON() ([]byte, error) {
 		StartUS:         int64(r.Start),
 		EndUS:           int64(r.End),
 		Tuples:          r.Tuples,
+		TuplesDropped:   r.TuplesDropped,
 		Keys:            r.Keys,
 		MapTasks:        r.MapTasks,
 		ReduceTasks:     r.ReduceTasks,
@@ -215,8 +222,11 @@ func (r BatchReport) MarshalJSON() ([]byte, error) {
 // RunSummary aggregates batch reports: throughput, stability, latency
 // and processing statistics, plus the run's total fault activity.
 type RunSummary struct {
-	Batches        int
-	Tuples         int
+	Batches int
+	Tuples  int
+	// TuplesDropped totals the arrivals the reorder buffer discarded
+	// across the run (0 without one).
+	TuplesDropped  int
 	UnstableCount  int
 	MaxQueueWait   Time
 	MeanProcessing Time
@@ -246,6 +256,7 @@ func Summarize(reports []BatchReport) RunSummary {
 	for _, r := range reports {
 		s.Batches++
 		s.Tuples += r.Tuples
+		s.TuplesDropped += r.TuplesDropped
 		if !r.Stable {
 			s.UnstableCount++
 		}
