@@ -1,0 +1,298 @@
+// Command promptd runs the engine's distributed runtime as real
+// processes: shard servers that execute the data-plane folds, and a
+// coordinator that drives the full micro-batch control plane and
+// scatters Map/Reduce work to them over unix or TCP sockets.
+//
+//	promptd shard -listen unix:/tmp/prompt-0.sock -index 0 -queries wordcount,sum
+//	promptd shard -listen unix:/tmp/prompt-1.sock -index 1 -queries wordcount,sum
+//	promptd coord -shards unix:/tmp/prompt-0.sock,unix:/tmp/prompt-1.sock \
+//	    -queries wordcount,sum -scheme prompt -batches 20 -verify-local
+//
+// Distribution never changes answers: the coordinator keeps every
+// simulated concern (partitioning, scheduling, fault injection, window
+// state) on its own driver, so -verify-local can re-run the workload
+// single-process and require bit-identical reports and windows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"reflect"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"prompt"
+	"prompt/internal/dist"
+	"prompt/internal/transport"
+	"prompt/internal/workload"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run dispatches the subcommands; it is main with injectable streams so
+// the e2e tests can drive the exact CLI surface in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		fmt.Fprintln(stderr, "usage: promptd <shard|coord> [flags]")
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "shard":
+		err = runShard(args[1:], stdout, stderr)
+	case "coord":
+		err = runCoord(args[1:], stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "promptd: unknown subcommand %q (want shard or coord)\n", args[0])
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "promptd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// buildQueries resolves a comma-separated query list against the small
+// registry both sides of the wire share. Shards cannot receive query
+// functions over the wire, so coordinator and shard processes must be
+// started with the same -queries value; the Hello handshake verifies it.
+func buildQueries(names string) ([]prompt.Query, error) {
+	var out []prompt.Query
+	for _, name := range strings.Split(names, ",") {
+		switch strings.TrimSpace(name) {
+		case "wordcount":
+			out = append(out, prompt.WordCount(10*time.Second, time.Second))
+		case "sum":
+			out = append(out, prompt.SlidingSum("sum", 5*time.Second, time.Second))
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown query %q (registry: wordcount, sum)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no queries named")
+	}
+	return out, nil
+}
+
+// runShard serves one shard runtime until SIGINT/SIGTERM.
+func runShard(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("promptd shard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		listen  = fs.String("listen", "", "address to serve on (unix:/path or host:port); required")
+		index   = fs.Int("index", 0, "this shard's index in the coordinator's topology")
+		queries = fs.String("queries", "wordcount", "comma-separated query registry names; must match the coordinator")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *listen == "" {
+		return fmt.Errorf("shard: -listen is required")
+	}
+	qs, err := buildQueries(*queries)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+
+	network, addr := transport.Network(*listen)
+	if network == "unix" {
+		// A stale socket file from a killed predecessor would fail the bind.
+		_ = os.Remove(addr)
+	}
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	fmt.Fprintf(stdout, "promptd shard %d listening on %s:%s\n", *index, network, addr)
+
+	sh := dist.NewShard(*index, qs)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var conns []net.Conn
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		ln.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			break // listener closed by the signal handler
+		}
+		mu.Lock()
+		conns = append(conns, c)
+		mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := transport.Serve(c, sh); err != nil {
+				fmt.Fprintf(stderr, "promptd shard %d: %v\n", *index, err)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Fprintf(stdout, "promptd shard %d stopped\n", *index)
+	return nil
+}
+
+// coordReports runs the workload on a stream and returns its reports and
+// per-query window answers.
+func coordReports(m *prompt.MultiStream, src *workload.Source, batches int) ([]prompt.BatchReport, []map[string]float64, error) {
+	reps, err := m.Run(func(start, end prompt.Time) ([]prompt.Tuple, error) {
+		return src.Slice(start, end)
+	}, batches)
+	if err != nil {
+		return nil, nil, err
+	}
+	wins := make([]map[string]float64, len(m.Queries()))
+	for i := range wins {
+		w, err := m.Window(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		wins[i] = w
+	}
+	return reps, wins, nil
+}
+
+// scrubReports zeroes the wall-clock-measured fields, leaving the
+// simulated ones that must be identical wherever the folds ran.
+func scrubReports(reps []prompt.BatchReport) []prompt.BatchReport {
+	out := append([]prompt.BatchReport(nil), reps...)
+	for i := range out {
+		out[i].PartitionTime, out[i].PartitionOverflow = 0, 0
+		out[i].ProcessingTime, out[i].QueueWait, out[i].Latency = 0, 0, 0
+		out[i].W, out[i].Stable = 0, false
+	}
+	return out
+}
+
+// runCoord drives a batched Zipf workload through a shard cluster and
+// prints the merged run summary.
+func runCoord(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("promptd coord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		shards      = fs.String("shards", "", "comma-separated shard addresses in index order; required")
+		queries     = fs.String("queries", "wordcount", "comma-separated query registry names; must match the shards")
+		schemeName  = fs.String("scheme", "prompt", "partitioning scheme")
+		batches     = fs.Int("batches", 20, "number of batches to run")
+		rate        = fs.Float64("rate", 2000, "arrival rate (tuples/s)")
+		keys        = fs.Int("keys", 400, "key universe size")
+		zipfZ       = fs.Float64("z", 1.0, "Zipf exponent")
+		seed        = fs.Int64("seed", 42, "workload seed")
+		intervalMS  = fs.Int("interval-ms", 1000, "batch interval (milliseconds)")
+		mapTasks    = fs.Int("p", 4, "map tasks (blocks)")
+		reduceTasks = fs.Int("r", 4, "reduce tasks (buckets)")
+		workers     = fs.Int("workers", 0, "driver worker goroutines (0 = single-goroutine)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "per-exchange deadline")
+		verifyLocal = fs.Bool("verify-local", false, "re-run single-process and require bit-identical reports and windows")
+		jsonOut     = fs.Bool("json", false, "print the run summary as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shards == "" {
+		return fmt.Errorf("coord: -shards is required")
+	}
+	qs, err := buildQueries(*queries)
+	if err != nil {
+		return fmt.Errorf("coord: %w", err)
+	}
+	scheme, err := prompt.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	newSource := func() (*workload.Source, error) {
+		ks, err := workload.NewZipfSampler("w", *keys, *zipfZ)
+		if err != nil {
+			return nil, err
+		}
+		return &workload.Source{Name: "zipf", Rate: workload.ConstantRate(*rate), Keys: ks, Seed: *seed}, nil
+	}
+
+	base := prompt.Config{
+		BatchInterval: time.Duration(*intervalMS) * time.Millisecond,
+		MapTasks:      *mapTasks,
+		ReduceTasks:   *reduceTasks,
+		Workers:       *workers,
+		Scheme:        scheme,
+		Validate:      true,
+	}
+	ccfg := base
+	ccfg.Topology = prompt.Topology{
+		Shards:          strings.Split(*shards, ","),
+		ExchangeTimeout: *timeout,
+		// Generous dial budget (~3 s of backoff) so a coordinator started
+		// moments before its shards converges instead of failing fast.
+		Retry: prompt.RetryPolicy{MaxAttempts: 8, Backoff: prompt.At(25 * time.Millisecond)},
+	}
+
+	m, err := prompt.NewMulti(ccfg, qs...)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	src, err := newSource()
+	if err != nil {
+		return err
+	}
+	reps, wins, err := coordReports(m, src, *batches)
+	if err != nil {
+		return err
+	}
+
+	sum := prompt.Summarize(reps)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "cluster run: %d batches, %d tuples, %d queries over %d shards (%d down), backpressure factor %.3f\n",
+			sum.Batches, sum.Tuples, len(qs), len(ccfg.Topology.Shards), m.ShardsDown(), m.BackpressureFactor())
+		fmt.Fprintf(stdout, "throughput %.0f tuples/s, mean W %.3f, unstable %d\n",
+			sum.Throughput, sum.MeanW, sum.UnstableCount)
+	}
+
+	if *verifyLocal {
+		solo, err := prompt.NewMulti(base, qs...)
+		if err != nil {
+			return err
+		}
+		soloSrc, err := newSource()
+		if err != nil {
+			return err
+		}
+		soloReps, soloWins, err := coordReports(solo, soloSrc, *batches)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(scrubReports(reps), scrubReports(soloReps)) {
+			return fmt.Errorf("verify-local: cluster reports diverge from the single-process run")
+		}
+		if !reflect.DeepEqual(wins, soloWins) {
+			return fmt.Errorf("verify-local: cluster window answers diverge from the single-process run")
+		}
+		fmt.Fprintln(stdout, "verify-local: cluster output is bit-identical to the single-process run")
+	}
+	return nil
+}

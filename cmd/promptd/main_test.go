@@ -1,0 +1,180 @@
+package main
+
+// End-to-end cluster tests: real OS processes over unix sockets. The
+// test binary re-execs itself as promptd (PROMPTD_ARGS), so each shard
+// is a genuine separate process — under -race when the tests are.
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"prompt"
+	"prompt/internal/workload"
+)
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv("PROMPTD_ARGS"); args != "" {
+		os.Exit(run(strings.Split(args, "\x1f"), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// startShard launches one promptd shard process and waits until its
+// socket accepts connections.
+func startShard(t *testing.T, index int, addr, queries string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "PROMPTD_ARGS="+strings.Join([]string{
+		"shard", "-listen", addr, "-index", string(rune('0' + index)), "-queries", queries,
+	}, "\x1f"))
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_, _ = cmd.Process.Wait()
+	})
+	path := strings.TrimPrefix(addr, "unix:")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c, err := net.Dial("unix", path)
+		if err == nil {
+			c.Close()
+			return cmd
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard %d at %s never came up: %v", index, addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func shardAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = "unix:" + filepath.Join(t.TempDir(), "shard.sock")
+	}
+	return addrs
+}
+
+// TestCoordVerifyLocalE2E is the CI smoke path: a coordinator against
+// two shard processes runs 20 Zipf batches and -verify-local re-runs the
+// workload single-process, requiring bit-identical reports and windows.
+func TestCoordVerifyLocalE2E(t *testing.T) {
+	addrs := shardAddrs(t, 2)
+	startShard(t, 0, addrs[0], "wordcount,sum")
+	startShard(t, 1, addrs[1], "wordcount,sum")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"coord",
+		"-shards", strings.Join(addrs, ","),
+		"-queries", "wordcount,sum",
+		"-batches", "20",
+		"-verify-local",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("coord exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "bit-identical") {
+		t.Errorf("verify-local did not confirm equivalence:\n%s", out.String())
+	}
+}
+
+// TestCoordSurvivesShardKillE2E kills one shard process mid-run: the
+// coordinator must redial, give up, fall back to local folds for that
+// shard, and still finish with answers bit-identical to a single-process
+// run.
+func TestCoordSurvivesShardKillE2E(t *testing.T) {
+	const batches, killAt = 20, 5
+	addrs := shardAddrs(t, 2)
+	startShard(t, 0, addrs[0], "wordcount")
+	victim := startShard(t, 1, addrs[1], "wordcount")
+
+	queries := []prompt.Query{prompt.WordCount(10*time.Second, time.Second)}
+	base := prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      4,
+		ReduceTasks:   4,
+		Validate:      true,
+	}
+	ccfg := base
+	ccfg.Topology = prompt.Topology{
+		Shards:          addrs,
+		ExchangeTimeout: 2 * time.Second,
+		Retry:           prompt.RetryPolicy{MaxAttempts: 2, Backoff: prompt.At(5 * time.Millisecond)},
+	}
+	m, err := prompt.NewMulti(ccfg, queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	newSource := func() *workload.Source {
+		ks, err := workload.NewZipfSampler("w", 400, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &workload.Source{Name: "zipf", Rate: workload.ConstantRate(2000), Keys: ks, Seed: 42}
+	}
+	src := newSource()
+	pull := func(start, end prompt.Time) ([]prompt.Tuple, error) { return src.Slice(start, end) }
+	for i := 0; i < batches; i++ {
+		if i == killAt {
+			if err := victim.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			_, _ = victim.Process.Wait()
+		}
+		if _, err := m.Run(pull, 1); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if down := m.ShardsDown(); down != 1 {
+		t.Errorf("ShardsDown = %d, want 1", down)
+	}
+
+	solo, err := prompt.NewMulti(base, queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloSrc := newSource()
+	soloReps, err := solo.Run(func(s, e prompt.Time) ([]prompt.Tuple, error) { return soloSrc.Slice(s, e) }, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scrubReports(m.Reports()), scrubReports(soloReps)) {
+		t.Error("reports diverged from the single-process run after the shard kill")
+	}
+	clusterWin, err := m.Window(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloWin, err := solo.Window(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clusterWin, soloWin) {
+		t.Error("window answers diverged from the single-process run after the shard kill")
+	}
+}
+
+func TestBuildQueriesRejectsUnknown(t *testing.T) {
+	if _, err := buildQueries("wordcount,nosuch"); err == nil {
+		t.Error("unknown query name accepted")
+	}
+	if _, err := buildQueries(""); err == nil {
+		t.Error("empty query list accepted")
+	}
+}

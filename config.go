@@ -55,6 +55,11 @@ type Config struct {
 	// Retry tunes the recovery response to injected faults; the zero
 	// value selects the defaults. See RetryPolicy.
 	Retry RetryPolicy
+	// Topology, when non-zero, scatters the data-plane folds across a
+	// shard cluster — in-process (Local) or over sockets (Shards) — with
+	// bit-identical reports and answers. See Topology, WithShards, and
+	// WithTransport. The zero value keeps everything in-process.
+	Topology Topology
 }
 
 // build resolves the configuration into an engine config and scheme.

@@ -17,4 +17,10 @@ var (
 	// windowless (per-batch) query. Stream.TopK and MultiStream.TopK
 	// return it; Stream.HasWindow checks ahead of time.
 	ErrNoWindow = errors.New("prompt: query has no window")
+
+	// ErrCluster reports that a configured shard cluster could not be
+	// reached: dialing or handshaking a Topology shard failed even after
+	// the transport's backoff. New and Restore wrap cluster connection
+	// failures in it (topology shape problems wrap ErrBadConfig instead).
+	ErrCluster = errors.New("prompt: cluster unavailable")
 )

@@ -9,8 +9,10 @@ import (
 
 	"prompt/internal/backpressure"
 	"prompt/internal/core"
+	"prompt/internal/dist"
 	"prompt/internal/engine"
 	"prompt/internal/fault"
+	"prompt/internal/transport"
 	"prompt/internal/tuple"
 	"prompt/internal/window"
 	"prompt/internal/workload"
@@ -33,6 +35,7 @@ func Run(sc Scenario) []string {
 	violations = append(violations, checkFaultEquivalence(sc, batches)...)
 	violations = append(violations, checkPermutationInvariance(sc, batches)...)
 	violations = append(violations, checkCheckpointEquivalence(sc)...)
+	violations = append(violations, checkTransportEquivalence(sc, batches)...)
 	return violations
 }
 
@@ -259,6 +262,80 @@ func checkPermutationInvariance(sc Scenario, batches [][]tuple.Tuple) []string {
 		violations = append(violations, fmt.Sprintf("permuted run failed: %v", err))
 	}
 	return violations
+}
+
+// checkTransportEquivalence is invariant 6: running the scenario's
+// scheme with the data-plane folds scattered over a shard cluster — via
+// the deterministic Loopback backend and the goroutine-served Pipe
+// backend — must produce the same window answer after every batch and
+// bit-identical reports vs. the in-process run. The clock is frozen by
+// Run, so "bit-identical" includes every timing field.
+func checkTransportEquivalence(sc Scenario, batches [][]tuple.Tuple) []string {
+	scheme, err := core.ByName(sc.Scheme)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	refSnaps, refReports, _, err := snapshotsOf(sc, scheme, 0, batches)
+	if err != nil {
+		return []string{fmt.Sprintf("transport reference failed: %v", err)}
+	}
+	shards := 2 + int(sc.Seed%2) // 2 or 3, fixed per seed for replay
+	queries := []engine.Query{query(sc)}
+	for _, backend := range []string{"loopback", "pipe"} {
+		violations := func() []string {
+			handlers := make([]transport.Handler, shards)
+			for i := range handlers {
+				handlers[i] = dist.NewShard(i, queries)
+			}
+			var tr transport.Transport
+			switch backend {
+			case "loopback":
+				tr = transport.NewLoopback(handlers...)
+			default:
+				tr = transport.NewPipe(5*time.Second, handlers...)
+			}
+			cfg := scheme.Apply(baseConfig(sc.Workers))
+			eng, err := engine.New(cfg, queries[0])
+			if err != nil {
+				tr.Close()
+				return []string{fmt.Sprintf("transport %s engine: %v", backend, err)}
+			}
+			coord, err := dist.NewCoordinator(tr, cfg.BatchInterval, queries)
+			if err != nil {
+				tr.Close()
+				return []string{fmt.Sprintf("transport %s coordinator: %v", backend, err)}
+			}
+			defer coord.Close()
+			eng.SetExecutor(coord)
+			var violations []string
+			err = stepAll(eng, batches, func(i int) error {
+				if snap := eng.WindowSnapshot(); !reflect.DeepEqual(snap, refSnaps[i]) {
+					violations = append(violations, fmt.Sprintf(
+						"invariant 6 (transport equivalence): scheme %s batch %d window answer diverged over %s (%d shards)",
+						sc.Scheme, i, backend, shards))
+				}
+				return nil
+			})
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("transport %s run failed: %v", backend, err))
+				return violations
+			}
+			if down := coord.Down(); down != 0 {
+				violations = append(violations, fmt.Sprintf(
+					"invariant 6 (transport equivalence): %d shard(s) marked down over %s", down, backend))
+			}
+			if !reflect.DeepEqual(eng.Reports(), refReports) {
+				violations = append(violations, fmt.Sprintf(
+					"invariant 6 (transport equivalence): scheme %s reports diverged over %s (%d shards)",
+					sc.Scheme, backend, shards))
+			}
+			return violations
+		}()
+		if len(violations) > 0 {
+			return violations
+		}
+	}
+	return nil
 }
 
 // ckptSide is one arm of the checkpoint invariant: an engine driving a

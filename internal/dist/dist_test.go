@@ -1,0 +1,393 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"prompt/internal/core"
+	"prompt/internal/engine"
+	"prompt/internal/fault"
+	"prompt/internal/transport"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+	"prompt/internal/workload"
+)
+
+func testQueries() []engine.Query {
+	return []engine.Query{
+		engine.WordCount(window.Sliding(10*tuple.Second, tuple.Second)),
+		engine.SumQuery("sum", window.Sliding(5*tuple.Second, tuple.Second)),
+	}
+}
+
+func testSource(rate float64, keys int, seed int64) *workload.Source {
+	ks, err := workload.NewZipfSampler("k", keys, 1.0)
+	if err != nil {
+		panic(err)
+	}
+	return &workload.Source{Name: "dist-test", Rate: workload.ConstantRate(rate), Keys: ks, Seed: seed}
+}
+
+func testConfig(scheme core.Scheme, workers int) engine.Config {
+	cfg := engine.Config{
+		BatchInterval:   tuple.Second,
+		MapTasks:        4,
+		ReduceTasks:     4,
+		Cores:           4,
+		Workers:         workers,
+		ValidateBatches: true,
+	}
+	return scheme.Apply(cfg)
+}
+
+// scrubWallClock zeroes report fields derived from measured wall time;
+// everything else must be bit-identical between in-process and
+// distributed execution.
+func scrubWallClock(reps []engine.BatchReport) []engine.BatchReport {
+	out := append([]engine.BatchReport(nil), reps...)
+	for i := range out {
+		out[i].PartitionTime = 0
+		out[i].PartitionOverflow = 0
+		out[i].ProcessingTime = 0
+		out[i].QueueWait = 0
+		out[i].Latency = 0
+		out[i].W = 0
+		out[i].Stable = false
+	}
+	return out
+}
+
+type runOut struct {
+	reports []engine.BatchReport
+	window  map[string]float64
+	results []map[string]float64
+}
+
+func runEngine(t *testing.T, cfg engine.Config, queries []engine.Query, coord *Coordinator, batches int, seed int64) runOut {
+	t.Helper()
+	eng, err := engine.NewMulti(cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord != nil {
+		eng.SetExecutor(coord)
+	}
+	reports, err := eng.RunBatches(testSource(8000, 150, seed), batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]map[string]float64, len(queries))
+	for i := range queries {
+		results[i] = eng.LastResultOf(i)
+	}
+	return runOut{reports: reports, window: eng.WindowSnapshot(), results: results}
+}
+
+// newShards builds n shard runtimes over the queries.
+func newShards(n int, queries []engine.Query) []*Shard {
+	out := make([]*Shard, n)
+	for i := range out {
+		out[i] = NewShard(i, queries)
+	}
+	return out
+}
+
+// shardServer serves one Shard over a unix socket; Stop kills the
+// listener and every open connection (the injected shard death).
+type shardServer struct {
+	ln net.Listener
+
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+}
+
+func serveShard(t *testing.T, addr string, s *Shard) *shardServer {
+	t.Helper()
+	ln, err := net.Listen("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := &shardServer{ln: ln}
+	ss.wg.Add(1)
+	go func() {
+		defer ss.wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			ss.mu.Lock()
+			ss.conns = append(ss.conns, c)
+			ss.mu.Unlock()
+			ss.wg.Add(1)
+			go func() {
+				defer ss.wg.Done()
+				_ = transport.Serve(c, s)
+			}()
+		}
+	}()
+	t.Cleanup(func() { ss.Stop() })
+	return ss
+}
+
+func (ss *shardServer) Stop() {
+	ss.ln.Close()
+	ss.mu.Lock()
+	conns := ss.conns
+	ss.conns = nil
+	ss.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	ss.wg.Wait()
+}
+
+// buildTransport constructs a backend over fresh shards.
+func buildTransport(t *testing.T, backend string, shards []*Shard) transport.Transport {
+	t.Helper()
+	switch backend {
+	case "loopback":
+		hs := make([]transport.Handler, len(shards))
+		for i, s := range shards {
+			hs[i] = s
+		}
+		return transport.NewLoopback(hs...)
+	case "pipe":
+		hs := make([]transport.Handler, len(shards))
+		for i, s := range shards {
+			hs[i] = s
+		}
+		return transport.NewPipe(10*time.Second, hs...)
+	case "net":
+		dir := t.TempDir()
+		addrs := make([]string, len(shards))
+		for i, s := range shards {
+			addrs[i] = filepath.Join(dir, fmt.Sprintf("s%d.sock", i))
+			serveShard(t, addrs[i], s)
+		}
+		return transport.NewNet(addrs, transport.WithTimeout(10*time.Second))
+	default:
+		t.Fatalf("unknown backend %q", backend)
+		return nil
+	}
+}
+
+// TestGoldenDifferentialAllSchemes is the tentpole acceptance test:
+// coordinator + shards over every backend produce BatchReports and
+// windows DeepEqual to the single-process engine, for every registered
+// scheme × Workers ∈ {0, 4}.
+func TestGoldenDifferentialAllSchemes(t *testing.T) {
+	queries := testQueries()
+	const batches, seed = 3, 42
+	for _, scheme := range core.Schemes() {
+		for _, workers := range []int{0, 4} {
+			cfg := testConfig(scheme, workers)
+			ref := runEngine(t, cfg, queries, nil, batches, seed)
+			refReps := scrubWallClock(ref.reports)
+			for _, backend := range []string{"loopback", "pipe", "net"} {
+				name := fmt.Sprintf("%s/w%d/%s", scheme.Name, workers, backend)
+				t.Run(name, func(t *testing.T) {
+					tr := buildTransport(t, backend, newShards(2, queries))
+					coord, err := NewCoordinator(tr, cfg.BatchInterval, queries)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer coord.Close()
+					got := runEngine(t, cfg, queries, coord, batches, seed)
+					if !reflect.DeepEqual(scrubWallClock(got.reports), refReps) {
+						t.Fatalf("reports diverge from single-process\n got: %+v\nwant: %+v",
+							scrubWallClock(got.reports), refReps)
+					}
+					if !reflect.DeepEqual(got.window, ref.window) {
+						t.Fatal("window answer diverges from single-process")
+					}
+					if !reflect.DeepEqual(got.results, ref.results) {
+						t.Fatal("per-query results diverge from single-process")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardCountInvariance pins results across topology sizes: 1, 2, and
+// 5 shards all reproduce the single-process run.
+func TestShardCountInvariance(t *testing.T) {
+	queries := testQueries()
+	cfg := testConfig(core.PromptScheme(), 4)
+	ref := runEngine(t, cfg, queries, nil, 4, 7)
+	refReps := scrubWallClock(ref.reports)
+	for _, n := range []int{1, 2, 5} {
+		tr := buildTransport(t, "loopback", newShards(n, queries))
+		coord, err := NewCoordinator(tr, cfg.BatchInterval, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runEngine(t, cfg, queries, coord, 4, 7)
+		coord.Close()
+		if !reflect.DeepEqual(scrubWallClock(got.reports), refReps) {
+			t.Fatalf("%d shards: reports diverge", n)
+		}
+		if !reflect.DeepEqual(got.window, ref.window) {
+			t.Fatalf("%d shards: window diverges", n)
+		}
+	}
+}
+
+// TestShardKillFallsBackLocally injects a shard death mid-run over real
+// sockets: the coordinator redials, gives up, recomputes that shard's
+// work locally, and the results stay bit-identical to single-process.
+func TestShardKillFallsBackLocally(t *testing.T) {
+	queries := testQueries()
+	cfg := testConfig(core.PromptScheme(), 0)
+	const batches, seed = 5, 11
+	ref := runEngine(t, cfg, queries, nil, batches, seed)
+
+	shards := newShards(2, queries)
+	dir := t.TempDir()
+	addrs := make([]string, 2)
+	var servers []*shardServer
+	for i, s := range shards {
+		addrs[i] = filepath.Join(dir, fmt.Sprintf("s%d.sock", i))
+		servers = append(servers, serveShard(t, addrs[i], s))
+	}
+	// A short retry schedule keeps the post-kill redial from stalling the
+	// test; the production default backs off for longer.
+	tr := transport.NewNet(addrs,
+		transport.WithTimeout(2*time.Second),
+		transport.WithRetry(fault.RetryPolicy{MaxAttempts: 2, Backoff: 5 * tuple.Millisecond, BackoffFactor: 2}))
+	coord, err := NewCoordinator(tr, cfg.BatchInterval, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	eng, err := engine.NewMulti(cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetExecutor(coord)
+	src := testSource(8000, 150, seed)
+	var reports []engine.BatchReport
+	for b := 0; b < batches; b++ {
+		if b == 2 {
+			servers[1].Stop() // kill shard 1 mid-run
+		}
+		reps, err := eng.RunBatches(src, 1)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		reports = append(reports, reps...)
+	}
+	if got := coord.Down(); got != 1 {
+		t.Errorf("Down() = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(scrubWallClock(reports), scrubWallClock(ref.reports)) {
+		t.Fatal("reports diverge from single-process after shard kill")
+	}
+	if !reflect.DeepEqual(eng.WindowSnapshot(), ref.window) {
+		t.Fatal("window diverges from single-process after shard kill")
+	}
+}
+
+// TestShardRestartResyncsDictionary restarts a shard (fresh, empty
+// mirror) behind the same address: the redial handshake reports
+// DictSize 0 and the coordinator replays the dictionary from the start.
+func TestShardRestartResyncsDictionary(t *testing.T) {
+	queries := testQueries()
+	cfg := testConfig(core.PromptScheme(), 0)
+	const batches, seed = 6, 23
+	ref := runEngine(t, cfg, queries, nil, batches, seed)
+
+	dir := t.TempDir()
+	addrs := []string{filepath.Join(dir, "s0.sock"), filepath.Join(dir, "s1.sock")}
+	servers := []*shardServer{
+		serveShard(t, addrs[0], NewShard(0, queries)),
+		serveShard(t, addrs[1], NewShard(1, queries)),
+	}
+	tr := transport.NewNet(addrs,
+		transport.WithTimeout(2*time.Second),
+		transport.WithRetry(fault.RetryPolicy{MaxAttempts: 4, Backoff: 10 * tuple.Millisecond, BackoffFactor: 2}))
+	coord, err := NewCoordinator(tr, cfg.BatchInterval, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	eng, err := engine.NewMulti(cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetExecutor(coord)
+	src := testSource(8000, 150, seed)
+	var reports []engine.BatchReport
+	for b := 0; b < batches; b++ {
+		if b == 3 {
+			// Restart shard 1: kill it and bring up a FRESH shard (empty
+			// dictionary mirror) on the same socket before the next batch.
+			servers[1].Stop()
+			servers[1] = serveShard(t, addrs[1], NewShard(1, queries))
+		}
+		reps, err := eng.RunBatches(src, 1)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		reports = append(reports, reps...)
+	}
+	if got := coord.Down(); got != 0 {
+		t.Errorf("Down() = %d after successful restart, want 0", got)
+	}
+	if !reflect.DeepEqual(scrubWallClock(reports), scrubWallClock(ref.reports)) {
+		t.Fatal("reports diverge from single-process across shard restart")
+	}
+	if !reflect.DeepEqual(eng.WindowSnapshot(), ref.window) {
+		t.Fatal("window diverges from single-process across shard restart")
+	}
+}
+
+// TestBackpressurePropagates pins the wire path of the AIMD factor: a
+// coordinator announcing an impossibly small batch interval must see the
+// shards' factors collapse below 1 within a few batches.
+func TestBackpressurePropagates(t *testing.T) {
+	queries := testQueries()
+	cfg := testConfig(core.PromptScheme(), 0)
+	tr := buildTransport(t, "loopback", newShards(2, queries))
+	// 1µs interval: any real fold exceeds it, so every batch boundary
+	// registers as unstable on the shard's controller.
+	coord, err := NewCoordinator(tr, 1, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if f := coord.BackpressureFactor(); f != 1 {
+		t.Fatalf("initial factor = %v, want 1", f)
+	}
+	eng, err := engine.NewMulti(cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetExecutor(coord)
+	if _, err := eng.RunBatches(testSource(8000, 150, 3), 4); err != nil {
+		t.Fatal(err)
+	}
+	if f := coord.BackpressureFactor(); f >= 1 {
+		t.Fatalf("factor = %v after 4 overloaded batches, want < 1", f)
+	}
+}
+
+// TestHandshakeRejectsQueryMismatch: a shard built with different
+// queries must fail the handshake, not silently fold wrong functions.
+func TestHandshakeRejectsQueryMismatch(t *testing.T) {
+	coordQueries := testQueries()
+	shardQueries := []engine.Query{engine.WordCount(window.Sliding(10*tuple.Second, tuple.Second))}
+	tr := buildTransport(t, "loopback", newShards(2, shardQueries))
+	if _, err := NewCoordinator(tr, tuple.Second, coordQueries); err == nil {
+		t.Fatal("coordinator accepted shards holding different queries")
+	}
+}

@@ -57,6 +57,12 @@ type Engine struct {
 	// classic single-goroutine driver.
 	pool *cluster.WorkerPool
 
+	// exec is the installed data-plane executor (nil = the in-process
+	// localExec over the worker pool). Executors relocate the Map and
+	// Reduce folds — to in-process shards or remote processes — without
+	// touching the simulation, so reports are identical under any of them.
+	exec JobExecutor
+
 	// pipeline is the staged batch lifecycle Step drives; see stage.go.
 	pipeline []Stage
 
@@ -388,62 +394,39 @@ type queryRun struct {
 	retries []metrics.TaskRetry
 }
 
-// mapOut is one Map task's output inside runQuery: the block's key
-// clusters, their folded partial values, and their bucket assignment.
-type mapOut struct {
-	clusters []tuple.Cluster
-	values   []float64
-	assign   []int
-	err      error
-}
-
-// contrib is one cluster's contribution to a Reduce bucket.
-type contrib struct {
-	key string
-	val float64
-}
-
 // queryScratch is the per-job working memory of runQuery, pooled across
 // batches (and safe under concurrent query jobs — each Get hands out a
 // distinct arena). Only slices that never escape into reports live here;
 // anything a BatchReport or queryRun retains is freshly allocated.
 type queryScratch struct {
-	outs         []mapOut
 	mapDurations []tuple.Time
 	mapSpec      []bool
 	reduceSpec   []bool
-	perBucket    [][]contrib
-	partials     []map[string]float64
+	perBucket    [][]Contrib
 }
 
 var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
 func (s *queryScratch) reset(p, r int) {
-	if cap(s.outs) < p {
-		s.outs = make([]mapOut, p)
+	if cap(s.mapDurations) < p {
 		s.mapDurations = make([]tuple.Time, p)
 		s.mapSpec = make([]bool, p)
 	}
-	s.outs = s.outs[:p]
 	s.mapDurations = s.mapDurations[:p]
 	s.mapSpec = s.mapSpec[:p]
 	for i := 0; i < p; i++ {
-		s.outs[i] = mapOut{}
 		s.mapDurations[i] = 0
 		s.mapSpec[i] = false
 	}
 	if cap(s.perBucket) < r {
-		s.perBucket = make([][]contrib, r)
+		s.perBucket = make([][]Contrib, r)
 		s.reduceSpec = make([]bool, r)
-		s.partials = make([]map[string]float64, r)
 	}
 	s.perBucket = s.perBucket[:r]
 	s.reduceSpec = s.reduceSpec[:r]
-	s.partials = s.partials[:r]
 	for j := 0; j < r; j++ {
 		s.perBucket[j] = s.perBucket[j][:0]
 		s.reduceSpec[j] = false
-		s.partials[j] = nil
 	}
 }
 
@@ -483,32 +466,41 @@ func (e *Engine) injectTask(batch int, stage fault.Stage, task, ntasks int, base
 // i is seqBase+i and Reduce task j is seqBase+p+j, reproducing the
 // sequential driver's straggler-injection pattern exactly.
 func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSpec) (queryRun, error) {
-	q := e.queries[qi]
 	p := len(blocks)
 	r := e.cfg.ReduceTasks
 
-	// --- Map stage: independent tasks, index-addressed output slots.
+	// --- Map stage: simulated durations on the driver (pure functions of
+	// block statistics and task sequence), data-plane folds on the
+	// executor — the worker pool by default, engine shards when a
+	// distributed executor is installed.
 	scratch := queryScratchPool.Get().(*queryScratch)
 	defer queryScratchPool.Put(scratch)
 	scratch.reset(p, r)
-	outs := scratch.outs
 	mapDurations := scratch.mapDurations
 	mapSpec := scratch.mapSpec
-	e.pool.Do(p, func(i int) {
+	for i := 0; i < p; i++ {
 		bl := blocks[i]
 		base := e.cfg.Stragglers.apply(seqBase+i,
 			e.cfg.Cost.MapTaskTime(bl.Size(), bl.Cardinality()))
 		mapDurations[i], mapSpec[i] = e.injectTask(spec.batch, fault.StageMap, i, p, base)
-		clusters, values := mapBlockFor(q, bl)
-		out := mapOut{clusters: clusters, values: values}
-		if len(clusters) > 0 {
-			out.assign, out.err = e.cfg.Assigner.Assign(bl.ID, clusters, bl.Ref, r)
-		}
-		outs[i] = out
-	})
+	}
+	outs, err := e.executor().MapBlocks(spec.batch, qi, blocks, r)
+	if err != nil {
+		return queryRun{}, fmt.Errorf("bucket assignment: %w", err)
+	}
+	if len(outs) != p {
+		return queryRun{}, fmt.Errorf("executor returned %d map outputs for %d blocks", len(outs), p)
+	}
+	// Executors that do not fuse bucket assignment into the Map fold
+	// (remote shards) leave Assign nil; run the configured Assigner here
+	// in block order — it is deterministic per block, so fused and
+	// central assignment agree bit for bit.
 	for i := range outs {
-		if outs[i].err != nil {
-			return queryRun{}, fmt.Errorf("bucket assignment: %w", outs[i].err)
+		if outs[i].Assign == nil && len(outs[i].Clusters) > 0 {
+			outs[i].Assign, err = e.cfg.Assigner.Assign(blocks[i].ID, outs[i].Clusters, blocks[i].Ref, r)
+			if err != nil {
+				return queryRun{}, fmt.Errorf("bucket assignment: %w", err)
+			}
 		}
 	}
 	var retries []metrics.TaskRetry
@@ -521,7 +513,6 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSp
 		}
 	}
 	var mapMakespan tuple.Time
-	var err error
 	if spec.hasKill {
 		retryDelay := e.injector.Policy().Delay(2)
 		var retried []int
@@ -550,34 +541,32 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSp
 	defer buckets.Release()
 	perBucket := scratch.perBucket
 	for i := range outs {
-		for ci, b := range outs[i].assign {
-			if err := buckets.Place(outs[i].clusters[ci], b); err != nil {
+		for ci, b := range outs[i].Assign {
+			if err := buckets.Place(outs[i].Clusters[ci], b); err != nil {
 				return queryRun{}, fmt.Errorf("block %d: %w", blocks[i].ID, err)
 			}
-			perBucket[b] = append(perBucket[b], contrib{key: outs[i].clusters[ci].Key, val: outs[i].values[ci]})
+			perBucket[b] = append(perBucket[b], Contrib{Key: outs[i].Clusters[ci].Key, Val: outs[i].Values[ci]})
 		}
 	}
 
-	// --- Reduce stage: one fold task per bucket on the pool.
+	// --- Reduce stage: simulated durations on the driver, per-bucket
+	// folds on the executor.
 	sizes := buckets.Sizes()
 	extra := buckets.ExtraFragments()
 	reduceDurations := make([]tuple.Time, r) // escapes into the BatchReport
 	reduceSpec := scratch.reduceSpec
-	partials := scratch.partials
-	e.pool.Do(r, func(j int) {
+	for j := 0; j < r; j++ {
 		base := e.cfg.Stragglers.apply(seqBase+p+j,
 			e.cfg.Cost.ReduceTaskTime(sizes[j], extra[j]))
 		reduceDurations[j], reduceSpec[j] = e.injectTask(spec.batch, fault.StageReduce, j, r, base)
-		agg := make(map[string]float64, len(perBucket[j]))
-		for _, c := range perBucket[j] {
-			if cur, ok := agg[c.key]; ok {
-				agg[c.key] = q.Reduce(cur, c.val)
-			} else {
-				agg[c.key] = c.val
-			}
-		}
-		partials[j] = agg
-	})
+	}
+	partials, err := e.executor().ReduceBuckets(spec.batch, qi, perBucket)
+	if err != nil {
+		return queryRun{}, fmt.Errorf("reduce: %w", err)
+	}
+	if len(partials) != r {
+		return queryRun{}, fmt.Errorf("executor returned %d reduce partials for %d buckets", len(partials), r)
+	}
 	for j, sp := range reduceSpec {
 		if sp {
 			retries = append(retries, metrics.TaskRetry{

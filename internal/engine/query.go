@@ -50,6 +50,11 @@ func SumQuery(name string, win window.Spec) Query {
 	return Query{Name: name, Map: IdentityMap, Reduce: window.Sum, Inverse: window.SumInverse, Window: win}
 }
 
+// Normalized fills nil functions with defaults, yielding the exact query
+// the engine runs. Shard runtimes normalize their query copies the same
+// way so both sides fold with identical functions.
+func (q Query) Normalized() Query { return q.normalized() }
+
 // normalized fills nil functions with defaults.
 func (q Query) normalized() Query {
 	if q.Map == nil {

@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"prompt/internal/fault"
+)
+
+// Net is the socket backend: one TCP or unix-domain connection per
+// shard, read/write deadlines on every exchange, and dial-with-backoff
+// so a coordinator started before its shards (or reconnecting after a
+// shard restart) converges instead of failing fast. The backoff schedule
+// reuses the engine's fault.RetryPolicy shape, applied to wall time.
+type Net struct {
+	addrs   []string
+	timeout time.Duration
+	retry   fault.RetryPolicy
+
+	mu    sync.Mutex
+	conns []*streamConn
+}
+
+// NetOption configures a Net transport.
+type NetOption func(*Net)
+
+// WithTimeout bounds each exchange's total read+write time (0 = none).
+func WithTimeout(d time.Duration) NetOption {
+	return func(n *Net) { n.timeout = d }
+}
+
+// WithRetry overrides the dial retry schedule.
+func WithRetry(p fault.RetryPolicy) NetOption {
+	return func(n *Net) { n.retry = p }
+}
+
+// NewNet returns a socket transport over the given shard addresses.
+// Addresses containing a path separator or prefixed "unix:" dial
+// unix-domain sockets; everything else dials TCP. "tcp:" and "unix:"
+// prefixes force the network explicitly.
+func NewNet(addrs []string, opts ...NetOption) *Net {
+	n := &Net{
+		addrs:   addrs,
+		timeout: 30 * time.Second,
+		retry:   fault.RetryPolicy{}.WithDefaults(),
+		conns:   make([]*streamConn, len(addrs)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	n.retry = n.retry.WithDefaults()
+	return n
+}
+
+// Network splits an address into (network, address) for net.Dial.
+func Network(addr string) (string, string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	case strings.ContainsRune(addr, '/'):
+		return "unix", addr
+	default:
+		return "tcp", addr
+	}
+}
+
+// Shards implements Transport.
+func (n *Net) Shards() int { return len(n.addrs) }
+
+// Dial implements Transport: connects to one shard, retrying with the
+// configured backoff before giving up. Redialing a shard closes the
+// previous connection to it, so a reconnect never leaks sockets.
+func (n *Net) Dial(shard int) (Conn, error) {
+	if shard < 0 || shard >= len(n.addrs) {
+		return nil, fmt.Errorf("transport: net shard %d out of range [0,%d)", shard, len(n.addrs))
+	}
+	network, addr := Network(n.addrs[shard])
+	var c net.Conn
+	var err error
+	for attempt := 1; attempt <= n.retry.MaxAttempts; attempt++ {
+		if d := n.retry.Delay(attempt); d > 0 {
+			time.Sleep(d.Duration())
+		}
+		c, err = net.DialTimeout(network, addr, n.timeout)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("transport: dialing shard %d (%s %s): %w", shard, network, addr, err)
+	}
+	sc := newStreamConn(c, n.timeout)
+	n.mu.Lock()
+	if prev := n.conns[shard]; prev != nil {
+		_ = prev.Close()
+	}
+	n.conns[shard] = sc
+	n.mu.Unlock()
+	return sc, nil
+}
+
+// Close implements Transport.
+func (n *Net) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var first error
+	for i, c := range n.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		n.conns[i] = nil
+	}
+	return first
+}

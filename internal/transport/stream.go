@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"prompt/internal/wire"
+)
+
+// Serve runs a shard's request-reply loop over one stream connection
+// until the peer closes it (returns nil) or a transport error occurs.
+// Handler errors do not end the loop: they travel back as wire.Error
+// frames and the next request is awaited.
+func Serve(c net.Conn, h Handler) error {
+	dec := wire.NewDecoder(bufio.NewReaderSize(c, 64<<10))
+	enc := wire.NewEncoder(c)
+	for {
+		req, err := dec.Decode()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		reply, herr := h.Handle(req)
+		if herr != nil {
+			reply = &wire.Error{Msg: herr.Error()}
+		}
+		if err := enc.Encode(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// streamConn frames exchanges over any net.Conn. The mutex makes
+// Exchange atomic — parallel query jobs share the connection and their
+// send/recv pairs must not interleave.
+type streamConn struct {
+	mu      sync.Mutex
+	c       net.Conn
+	enc     *wire.Encoder
+	dec     *wire.Decoder
+	timeout time.Duration
+}
+
+func newStreamConn(c net.Conn, timeout time.Duration) *streamConn {
+	return &streamConn{
+		c:       c,
+		enc:     wire.NewEncoder(c),
+		dec:     wire.NewDecoder(bufio.NewReaderSize(c, 64<<10)),
+		timeout: timeout,
+	}
+}
+
+// Exchange implements Conn.
+func (s *streamConn) Exchange(req wire.Msg) (wire.Msg, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.timeout > 0 {
+		if err := s.c.SetDeadline(time.Now().Add(s.timeout)); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	reply, err := s.dec.Decode()
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := reply.(*wire.Error); ok {
+		return nil, e
+	}
+	return reply, nil
+}
+
+// Close implements Conn.
+func (s *streamConn) Close() error { return s.c.Close() }
+
+// --- Pipe ----------------------------------------------------------------
+
+// Pipe is the net.Pipe backend: real frame streams and reader/writer
+// interleaving with no OS sockets, for tests that want the wire path
+// without port management. Each Dial spawns a serve-loop goroutine on
+// the pipe's far end.
+type Pipe struct {
+	handlers []Handler
+	timeout  time.Duration
+
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+}
+
+// NewPipe returns a pipe transport over the given shard handlers.
+// timeout bounds each exchange (0 = no deadline).
+func NewPipe(timeout time.Duration, handlers ...Handler) *Pipe {
+	return &Pipe{handlers: handlers, timeout: timeout}
+}
+
+// Shards implements Transport.
+func (p *Pipe) Shards() int { return len(p.handlers) }
+
+// Dial implements Transport.
+func (p *Pipe) Dial(shard int) (Conn, error) {
+	if shard < 0 || shard >= len(p.handlers) {
+		return nil, fmt.Errorf("transport: pipe shard %d out of range [0,%d)", shard, len(p.handlers))
+	}
+	client, server := net.Pipe()
+	h := p.handlers[shard]
+	p.mu.Lock()
+	p.conns = append(p.conns, client, server)
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		_ = Serve(server, h)
+	}()
+	return newStreamConn(client, p.timeout), nil
+}
+
+// Close implements Transport: closes every pipe end and waits for the
+// serve loops to drain.
+func (p *Pipe) Close() error {
+	p.mu.Lock()
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+	return nil
+}

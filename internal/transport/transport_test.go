@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"prompt/internal/fault"
+	"prompt/internal/tuple"
+	"prompt/internal/wire"
+)
+
+// testHandler acks Hellos and echoes MapTask batch/query numbers back in
+// a MapResult, erroring on a magic batch number.
+type testHandler struct {
+	shard int
+	mu    sync.Mutex
+	seen  int
+}
+
+func (h *testHandler) Handle(req wire.Msg) (wire.Msg, error) {
+	h.mu.Lock()
+	h.seen++
+	h.mu.Unlock()
+	switch m := req.(type) {
+	case *wire.Hello:
+		return &wire.HelloAck{Shard: h.shard, Queries: len(m.Queries)}, nil
+	case *wire.MapTask:
+		if m.Batch == 666 {
+			return nil, errors.New("scripted failure")
+		}
+		return &wire.MapResult{
+			Batch:  m.Batch,
+			Query:  m.Query,
+			Outs:   make([]wire.BlockOut, len(m.Blocks)),
+			Factor: 1,
+		}, nil
+	default:
+		return nil, fmt.Errorf("unexpected %v", req.WireType())
+	}
+}
+
+// backends builds each transport over two fresh handlers.
+func backends(t *testing.T) map[string]Transport {
+	t.Helper()
+	mk := func() []Handler {
+		return []Handler{&testHandler{shard: 0}, &testHandler{shard: 1}}
+	}
+	m := map[string]Transport{
+		"loopback": NewLoopback(mk()...),
+		"pipe":     NewPipe(5*time.Second, mk()...),
+	}
+
+	// Net backend: two unix-socket listeners serving the handlers.
+	dir := t.TempDir()
+	addrs := make([]string, 2)
+	hs := mk()
+	for i := range addrs {
+		addrs[i] = filepath.Join(dir, fmt.Sprintf("shard%d.sock", i))
+		ln, err := net.Listen("unix", addrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		h := hs[i]
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go func() { _ = Serve(c, h) }()
+			}
+		}()
+	}
+	m["net"] = NewNet(addrs, WithTimeout(5*time.Second))
+	return m
+}
+
+func TestExchangeAcrossBackends(t *testing.T) {
+	for name, tr := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			if tr.Shards() != 2 {
+				t.Fatalf("Shards() = %d, want 2", tr.Shards())
+			}
+			for shard := 0; shard < 2; shard++ {
+				conn, err := tr.Dial(shard)
+				if err != nil {
+					t.Fatalf("Dial(%d): %v", shard, err)
+				}
+				ack, err := conn.Exchange(&wire.Hello{Shard: shard, Shards: 2, Queries: []string{"q0", "q1"}})
+				if err != nil {
+					t.Fatalf("hello: %v", err)
+				}
+				want := &wire.HelloAck{Shard: shard, Queries: 2}
+				if !reflect.DeepEqual(ack, want) {
+					t.Fatalf("ack = %#v, want %#v", ack, want)
+				}
+
+				task := &wire.MapTask{
+					Batch: 3, Query: 1,
+					Dict: wire.DictDelta{Keys: []string{"a"}},
+					Blocks: []wire.Block{{ID: 0, Keys: []wire.KeySlice{
+						{KeyID: 0, Tuples: []wire.Tuple{{TS: tuple.Second, Val: 1, Weight: 1}}},
+					}}},
+				}
+				res, err := conn.Exchange(task)
+				if err != nil {
+					t.Fatalf("map task: %v", err)
+				}
+				mr, ok := res.(*wire.MapResult)
+				if !ok || mr.Batch != 3 || mr.Query != 1 || len(mr.Outs) != 1 {
+					t.Fatalf("map result = %#v", res)
+				}
+				conn.Close()
+			}
+		})
+	}
+}
+
+func TestHandlerErrorSurfacesAsWireError(t *testing.T) {
+	for name, tr := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			conn, err := tr.Dial(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			_, err = conn.Exchange(&wire.MapTask{Batch: 666, Dict: wire.DictDelta{Keys: []string{}}, Blocks: []wire.Block{}})
+			var we *wire.Error
+			if !errors.As(err, &we) {
+				t.Fatalf("got %v, want *wire.Error", err)
+			}
+			if we.Msg != "scripted failure" {
+				t.Errorf("message = %q", we.Msg)
+			}
+			// The stream survives a handler error: the next exchange works.
+			if _, err := conn.Exchange(&wire.Hello{Queries: []string{}}); err != nil {
+				t.Fatalf("exchange after handler error: %v", err)
+			}
+		})
+	}
+}
+
+func TestConcurrentExchangesSerialize(t *testing.T) {
+	for name, tr := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			conn, err := tr.Dial(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			var wg sync.WaitGroup
+			errs := make([]error, 16)
+			for g := 0; g < 16; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					res, err := conn.Exchange(&wire.MapTask{Batch: g, Dict: wire.DictDelta{Keys: []string{}}, Blocks: []wire.Block{}})
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					if mr := res.(*wire.MapResult); mr.Batch != g {
+						errs[g] = fmt.Errorf("reply batch %d for request %d", mr.Batch, g)
+					}
+				}(g)
+			}
+			wg.Wait()
+			for g, err := range errs {
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+				}
+			}
+		})
+	}
+}
+
+func TestNetDialBackoffConverges(t *testing.T) {
+	// Bind the listener only after the first dial attempt has failed: the
+	// retry schedule must pick the connection up.
+	dir := t.TempDir()
+	addr := filepath.Join(dir, "late.sock")
+	tr := NewNet([]string{addr},
+		WithTimeout(2*time.Second),
+		WithRetry(fault.RetryPolicy{MaxAttempts: 6, Backoff: 40 * tuple.Millisecond, BackoffFactor: 1.5}))
+	defer tr.Close()
+
+	go func() {
+		time.Sleep(80 * time.Millisecond)
+		ln, err := net.Listen("unix", addr)
+		if err != nil {
+			return
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		_ = Serve(c, HandlerFunc(func(req wire.Msg) (wire.Msg, error) {
+			return &wire.HelloAck{}, nil
+		}))
+	}()
+
+	conn, err := tr.Dial(0)
+	if err != nil {
+		t.Fatalf("Dial with backoff: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Exchange(&wire.Hello{Queries: []string{}}); err != nil {
+		t.Fatalf("exchange: %v", err)
+	}
+}
+
+func TestNetworkInference(t *testing.T) {
+	cases := []struct{ in, net, addr string }{
+		{"127.0.0.1:9000", "tcp", "127.0.0.1:9000"},
+		{"/tmp/s.sock", "unix", "/tmp/s.sock"},
+		{"unix:rel.sock", "unix", "rel.sock"},
+		{"tcp:host:1234", "tcp", "host:1234"},
+	}
+	for _, c := range cases {
+		n, a := Network(c.in)
+		if n != c.net || a != c.addr {
+			t.Errorf("Network(%q) = (%q, %q), want (%q, %q)", c.in, n, a, c.net, c.addr)
+		}
+	}
+}
+
+func TestDialOutOfRange(t *testing.T) {
+	for name, tr := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			defer tr.Close()
+			if _, err := tr.Dial(2); err == nil {
+				t.Error("Dial(2) on 2-shard transport succeeded")
+			}
+			if _, err := tr.Dial(-1); err == nil {
+				t.Error("Dial(-1) succeeded")
+			}
+		})
+	}
+}

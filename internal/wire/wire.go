@@ -1,0 +1,378 @@
+// Package wire is the compact binary codec of the distributed runtime:
+// length-prefixed, versioned frames carrying tuple blocks, intern-
+// dictionary deltas, Map/Reduce task exchanges, back-pressure factors,
+// and BatchReports between a coordinator and its engine shards.
+//
+// Frame layout (little-endian):
+//
+//	[u32 body length][u8 version][u8 type][payload]
+//
+// Integers are varint-encoded (unsigned where the domain allows, zigzag
+// otherwise), strings are length-prefixed UTF-8, and float64s travel as
+// their IEEE-754 bits in 8 fixed bytes. Key strings cross the wire at
+// most once per connection: task frames carry an intern-dictionary delta
+// (DictDelta) and every later reference is a uint32 id, mirroring the
+// engine's stream-lifetime intern.Dict.
+//
+// The codec is deliberately asymmetric-version tolerant: a decoder
+// rejects frames whose version it does not speak with ErrVersion instead
+// of misparsing them, and every length field is validated against the
+// remaining payload before allocation, so a corrupt or adversarial frame
+// fails cleanly (fuzzed by FuzzWireFrame).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Version is the frame format version this package speaks.
+const Version = 1
+
+// MaxFrame bounds a frame body; larger announcements are rejected before
+// allocation. 1 GiB comfortably holds the largest batch the engine
+// produces while stopping length-bomb frames.
+const MaxFrame = 1 << 30
+
+// Sentinel decode errors.
+var (
+	// ErrVersion reports a frame with an unsupported version byte.
+	ErrVersion = errors.New("wire: unsupported frame version")
+	// ErrType reports a frame with an unknown type byte.
+	ErrType = errors.New("wire: unknown frame type")
+	// ErrTruncated reports a payload shorter than its fields announce.
+	ErrTruncated = errors.New("wire: truncated payload")
+	// ErrFrameSize reports a frame body exceeding MaxFrame.
+	ErrFrameSize = errors.New("wire: frame exceeds size bound")
+)
+
+// Type tags a frame's payload.
+type Type uint8
+
+// Frame types. The zero value is invalid so an all-zero frame never
+// parses as a message.
+const (
+	TypeHello Type = iota + 1
+	TypeHelloAck
+	TypeMapTask
+	TypeMapResult
+	TypeReduceTask
+	TypeReduceResult
+	TypeReport
+	TypeError
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
+	case TypeMapTask:
+		return "map-task"
+	case TypeMapResult:
+		return "map-result"
+	case TypeReduceTask:
+		return "reduce-task"
+	case TypeReduceResult:
+		return "reduce-result"
+	case TypeReport:
+		return "report"
+	case TypeError:
+		return "error"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Msg is one decoded frame payload.
+type Msg interface {
+	// WireType tags the message's frame.
+	WireType() Type
+	// append encodes the payload onto b.
+	append(b []byte) []byte
+	// decode parses the payload from r.
+	decode(r *reader) error
+}
+
+// --- primitive append helpers -------------------------------------------
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func appendVarint(b []byte, v int64) []byte { return binary.AppendVarint(b, v) }
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// --- primitive reader ----------------------------------------------------
+
+// reader is a bounds-checked cursor over one frame payload. Every read
+// method reports ErrTruncated instead of panicking when the payload runs
+// out, and every announced element count is checked against the bytes
+// that could possibly hold it before any slice is allocated.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads an element count whose per-element encoding occupies at
+// least minBytes bytes, rejecting counts the remaining payload cannot
+// hold (the length-bomb guard).
+func (r *reader) count(minBytes int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(r.remaining()/minBytes) {
+		return 0, ErrTruncated
+	}
+	return int(v), nil
+}
+
+func (r *reader) float() (float64, error) {
+	if r.remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(v), nil
+}
+
+func (r *reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", ErrTruncated
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *reader) bool() (bool, error) {
+	if r.remaining() < 1 {
+		return false, ErrTruncated
+	}
+	v := r.b[r.off]
+	r.off++
+	if v > 1 {
+		return false, fmt.Errorf("wire: bad bool byte %d", v)
+	}
+	return v == 1, nil
+}
+
+// intv reads a varint into a host int, rejecting values outside the int
+// range on 32-bit hosts.
+func (r *reader) intv() (int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, err
+	}
+	if int64(int(v)) != v {
+		return 0, fmt.Errorf("wire: varint %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// uintv reads a uvarint into a host int (for counts and sizes known to
+// be non-negative).
+func (r *reader) uintv() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt {
+		return 0, fmt.Errorf("wire: uvarint %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+func (r *reader) uint32v() (uint32, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, fmt.Errorf("wire: uvarint %d overflows uint32", v)
+	}
+	return uint32(v), nil
+}
+
+// --- Encoder / Decoder ---------------------------------------------------
+
+// Encoder writes frames onto a stream. Each Encode emits exactly one
+// Write call, so frames never interleave even when the underlying writer
+// is an unbuffered socket shared with a deadline manager. Not safe for
+// concurrent use; connections serialize sends.
+type Encoder struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewEncoder returns an encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode frames and writes one message.
+func (e *Encoder) Encode(m Msg) error {
+	b := e.buf[:0]
+	b = append(b, 0, 0, 0, 0) // length placeholder
+	b = append(b, Version, byte(m.WireType()))
+	b = m.append(b)
+	body := len(b) - 4
+	if body > MaxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, body)
+	}
+	binary.LittleEndian.PutUint32(b[:4], uint32(body))
+	e.buf = b[:0] // recycle the arena across frames
+	_, err := e.w.Write(b)
+	return err
+}
+
+// Marshal encodes one message into a standalone frame (header included).
+// It is Encode without a stream — the transports that carry whole frames
+// as discrete messages (Loopback) use it.
+func Marshal(m Msg) ([]byte, error) {
+	b := make([]byte, 4, 64)
+	b = append(b, Version, byte(m.WireType()))
+	b = m.append(b)
+	body := len(b) - 4
+	if body > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, body)
+	}
+	binary.LittleEndian.PutUint32(b[:4], uint32(body))
+	return b, nil
+}
+
+// Decoder reads frames from a stream. Not safe for concurrent use.
+type Decoder struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads and parses one frame. io.EOF is returned unwrapped when
+// the stream ends cleanly between frames.
+func (d *Decoder) Decode() (Msg, error) {
+	if _, err := io.ReadFull(d.r, d.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(d.hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("%w: %d-byte body", ErrTruncated, n)
+	}
+	if cap(d.buf) < int(n) {
+		d.buf = make([]byte, n)
+	}
+	body := d.buf[:n]
+	if _, err := io.ReadFull(d.r, body); err != nil {
+		return nil, fmt.Errorf("wire: reading frame body: %w", err)
+	}
+	return Unmarshal(body)
+}
+
+// Unmarshal parses one frame body (version byte onward, without the
+// length prefix).
+func Unmarshal(body []byte) (Msg, error) {
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	if body[0] != Version {
+		return nil, fmt.Errorf("%w: got %d, speak %d", ErrVersion, body[0], Version)
+	}
+	var m Msg
+	switch Type(body[1]) {
+	case TypeHello:
+		m = &Hello{}
+	case TypeHelloAck:
+		m = &HelloAck{}
+	case TypeMapTask:
+		m = &MapTask{}
+	case TypeMapResult:
+		m = &MapResult{}
+	case TypeReduceTask:
+		m = &ReduceTask{}
+	case TypeReduceResult:
+		m = &ReduceResult{}
+	case TypeReport:
+		m = &Report{}
+	case TypeError:
+		m = &Error{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrType, body[1])
+	}
+	r := &reader{b: body, off: 2}
+	if err := m.decode(r); err != nil {
+		return nil, err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("wire: %d trailing bytes after %v payload", r.remaining(), m.WireType())
+	}
+	return m, nil
+}
+
+// UnmarshalFrame parses a standalone frame produced by Marshal (length
+// prefix included).
+func UnmarshalFrame(frame []byte) (Msg, error) {
+	if len(frame) < 4 {
+		return nil, ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(frame[:4])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	if uint32(len(frame)-4) != n {
+		return nil, fmt.Errorf("%w: header says %d bytes, frame carries %d", ErrTruncated, n, len(frame)-4)
+	}
+	return Unmarshal(frame[4:])
+}

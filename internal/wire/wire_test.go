@@ -1,0 +1,196 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"prompt/internal/engine"
+	"prompt/internal/metrics"
+	"prompt/internal/tuple"
+)
+
+// sampleMsgs returns one fully-populated instance of every message type,
+// plus zero-ish edge cases.
+func sampleMsgs() []Msg {
+	return []Msg{
+		&Hello{Shard: 1, Shards: 3, Queries: []string{"wordcount", "sum"}, Interval: tuple.Second},
+		&Hello{Queries: []string{}},
+		&HelloAck{Shard: 2, DictSize: 1 << 20, Queries: 2},
+		&MapTask{
+			Batch: 7,
+			Query: 1,
+			Dict:  DictDelta{First: 4, Keys: []string{"alpha", "béta", ""}},
+			Blocks: []Block{
+				{
+					ID: 0,
+					Keys: []KeySlice{
+						{KeyID: 4, Dense: 1, Tuples: []Tuple{
+							{TS: -5, Val: 1.5, Weight: 1},
+							{TS: 1 << 40, Val: -0.25, Weight: 3},
+						}},
+						{KeyID: 5, Dense: -1, Tuples: []Tuple{}},
+					},
+				},
+				{ID: 3, Keys: []KeySlice{}},
+			},
+		},
+		&MapTask{Dict: DictDelta{Keys: []string{}}, Blocks: []Block{}},
+		&MapResult{
+			Batch: 7,
+			Query: 1,
+			Outs: []BlockOut{
+				{Clusters: []Cluster{
+					{KeyID: 4, Size: 2, Dense: 1, Val: 1.25},
+					{KeyID: 9, Size: 1, Dense: 0, Val: -3},
+				}},
+				{Clusters: []Cluster{}},
+			},
+			Factor: 0.875,
+		},
+		&ReduceTask{
+			Batch: 8,
+			Query: 0,
+			Dict:  DictDelta{First: 0, Keys: []string{"k"}},
+			Buckets: []Bucket{
+				{Bucket: 2, Contribs: []Contrib{{KeyID: 0, Val: 4.5}, {KeyID: 7, Val: -1}}},
+				{Bucket: 5, Contribs: []Contrib{}},
+			},
+		},
+		&ReduceResult{
+			Batch: 8,
+			Query: 0,
+			Outs: []BucketOut{
+				{Bucket: 2, Entries: []Contrib{{KeyID: 0, Val: 3.5}}},
+			},
+			Factor: 1,
+		},
+		&Report{Report: engine.BatchReport{
+			Index: 12, Start: 1000, End: 2000,
+			Tuples: 5000, Keys: 120,
+			MapTasks: 8, ReduceTasks: 8, Cores: 7, CoresLost: 1,
+			TaskRetries: 2, RecoveryAttempts: 1, RecoveryTime: 333,
+			TuplesDropped: 4,
+			Quality:       metrics.Report{BSI: 0.1, BCI: 0.2, KSR: 1.5, MPI: 0.3},
+			BucketSizes:   []int{10, 20, 0, 5},
+			BucketBSI:     0.07,
+			PartitionTime: 150, PartitionOverflow: 50,
+			MapStageTime: 400, ReduceStageTime: 300,
+			ReduceTaskTimes: []tuple.Time{70, 80, 75, 75},
+			ProcessingTime:  800, QueueWait: 100, Latency: 1900,
+			W: 0.8, Stable: true,
+		}},
+		&Report{},
+		&Error{Msg: "shard 1: query index out of range"},
+		&Error{},
+	}
+}
+
+func TestRoundTripAllMessages(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	msgs := sampleMsgs()
+	for _, m := range msgs {
+		if err := enc.Encode(m); err != nil {
+			t.Fatalf("Encode(%v): %v", m.WireType(), err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i, want := range msgs {
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("Decode #%d (%v): %v", i, want.WireType(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip #%d (%v):\n got  %#v\n want %#v", i, want.WireType(), got, want)
+		}
+	}
+	if _, err := dec.Decode(); err != io.EOF {
+		t.Errorf("after all frames: got %v, want io.EOF", err)
+	}
+}
+
+func TestMarshalUnmarshalFrame(t *testing.T) {
+	for _, want := range sampleMsgs() {
+		frame, err := Marshal(want)
+		if err != nil {
+			t.Fatalf("Marshal(%v): %v", want.WireType(), err)
+		}
+		got, err := UnmarshalFrame(frame)
+		if err != nil {
+			t.Fatalf("UnmarshalFrame(%v): %v", want.WireType(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: got %#v, want %#v", want.WireType(), got, want)
+		}
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	frame, err := Marshal(&Error{Msg: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[4] = Version + 1 // version byte follows the 4-byte length
+	if _, err := UnmarshalFrame(frame); !errors.Is(err, ErrVersion) {
+		t.Errorf("got %v, want ErrVersion", err)
+	}
+}
+
+func TestDecodeRejectsUnknownType(t *testing.T) {
+	frame, err := Marshal(&Error{Msg: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[5] = 0xEE
+	if _, err := UnmarshalFrame(frame); !errors.Is(err, ErrType) {
+		t.Errorf("got %v, want ErrType", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	full, err := Marshal(&MapTask{
+		Dict:   DictDelta{Keys: []string{"key"}},
+		Blocks: []Block{{ID: 1, Keys: []KeySlice{{KeyID: 0, Tuples: []Tuple{{TS: 1, Val: 2, Weight: 1}}}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix of the body must fail decode, not panic.
+	body := full[4:]
+	for n := 2; n < len(body); n++ {
+		if _, err := Unmarshal(body[:n]); err == nil {
+			t.Errorf("Unmarshal of %d/%d-byte prefix unexpectedly succeeded", n, len(body))
+		}
+	}
+}
+
+func TestDecodeRejectsLengthBomb(t *testing.T) {
+	// A MapTask whose dict announces 2^30 keys in a 16-byte payload must
+	// be rejected before any allocation.
+	body := []byte{Version, byte(TypeMapTask),
+		0, 0, // batch, query
+		0,                          // dict first
+		0x80, 0x80, 0x80, 0x80, 4, // dict key count: 2^30
+	}
+	if _, err := Unmarshal(body); !errors.Is(err, ErrTruncated) {
+		t.Errorf("got %v, want ErrTruncated", err)
+	}
+}
+
+func TestDecoderRejectsOversizeFrame(t *testing.T) {
+	hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF} // 4 GiB body announcement
+	_, err := NewDecoder(bytes.NewReader(hdr)).Decode()
+	if !errors.Is(err, ErrFrameSize) {
+		t.Errorf("got %v, want ErrFrameSize", err)
+	}
+}
+
+func TestErrorImplementsError(t *testing.T) {
+	var e error = &Error{Msg: "boom"}
+	if e.Error() != "wire: shard error: boom" {
+		t.Errorf("got %q", e.Error())
+	}
+}

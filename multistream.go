@@ -1,10 +1,12 @@
 package prompt
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
 	"prompt/internal/core"
+	"prompt/internal/dist"
 	"prompt/internal/engine"
 )
 
@@ -18,10 +20,12 @@ type MultiStream struct {
 	eng    *engine.Engine
 	scheme core.Scheme
 	names  []string
+	coord  *dist.Coordinator // non-nil when a Topology is configured
 }
 
 // NewMulti builds a multi-query stream. At least one query is required.
-// Construction failures wrap ErrBadConfig.
+// Configuration failures wrap ErrBadConfig; cluster connection failures
+// (cfg.Topology) wrap ErrCluster.
 func NewMulti(cfg Config, queries ...Query) (*MultiStream, error) {
 	ec, scheme, err := cfg.build()
 	if err != nil {
@@ -31,11 +35,15 @@ func NewMulti(cfg Config, queries ...Query) (*MultiStream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
+	coord, err := cfg.Topology.connect(eng, queries)
+	if err != nil {
+		return nil, err
+	}
 	names := make([]string, len(queries))
 	for i, q := range queries {
 		names[i] = q.Name
 	}
-	return &MultiStream{eng: eng, scheme: scheme, names: names}, nil
+	return &MultiStream{eng: eng, scheme: scheme, names: names, coord: coord}, nil
 }
 
 // SchemeName reports which partitioning scheme the stream runs.
@@ -160,6 +168,66 @@ func (m *MultiStream) CoresLost() int { return m.eng.CoresLost() }
 // SetCores changes the simulated core budget for subsequent batches and
 // restores any cores lost to injected kills.
 func (m *MultiStream) SetCores(cores int) error { return m.eng.SetCores(cores) }
+
+// BackpressureFactor is the cluster admission factor; see
+// Stream.BackpressureFactor.
+func (m *MultiStream) BackpressureFactor() float64 {
+	if m.coord == nil {
+		return 1
+	}
+	return m.coord.BackpressureFactor()
+}
+
+// ShardsDown reports how many cluster shards are currently marked dead;
+// see Stream.ShardsDown.
+func (m *MultiStream) ShardsDown() int {
+	if m.coord == nil {
+		return 0
+	}
+	return m.coord.Down()
+}
+
+// Close releases the stream's cluster connections, if any; see
+// Stream.Close.
+func (m *MultiStream) Close() error {
+	if m.coord == nil {
+		return nil
+	}
+	coord := m.coord
+	m.coord = nil
+	return coord.Close()
+}
+
+// Checkpoint serializes the stream's driver state; see Stream.Checkpoint.
+func (m *MultiStream) Checkpoint() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.eng.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreMulti rebuilds a MultiStream from a Checkpoint image; cfg and
+// queries must match the checkpointed stream's. See Restore.
+func RestoreMulti(cfg Config, image []byte, queries ...Query) (*MultiStream, error) {
+	ec, scheme, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.Restore(ec, queries, bytes.NewReader(image))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	coord, err := cfg.Topology.connect(eng, queries)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(queries))
+	for i, q := range queries {
+		names[i] = q.Name
+	}
+	return &MultiStream{eng: eng, scheme: scheme, names: names, coord: coord}, nil
+}
 
 func (m *MultiStream) check(i int) error {
 	if i < 0 || i >= len(m.names) {

@@ -1,10 +1,12 @@
 package prompt
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
 	"prompt/internal/core"
+	"prompt/internal/dist"
 	"prompt/internal/engine"
 )
 
@@ -36,10 +38,13 @@ func FixedBatches(batches ...[]Tuple) BatchSource {
 type Stream struct {
 	eng    *engine.Engine
 	scheme core.Scheme
+	coord  *dist.Coordinator // non-nil when a Topology is configured
 }
 
 // New builds a Stream for the query under the given configuration.
-// Construction failures wrap ErrBadConfig.
+// Configuration failures wrap ErrBadConfig; when cfg.Topology names a
+// cluster, New dials and handshakes every shard before returning, and
+// connection failures wrap ErrCluster.
 func New(cfg Config, q Query) (*Stream, error) {
 	ec, scheme, err := cfg.build()
 	if err != nil {
@@ -49,7 +54,11 @@ func New(cfg Config, q Query) (*Stream, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	return &Stream{eng: eng, scheme: scheme}, nil
+	coord, err := cfg.Topology.connect(eng, []Query{q})
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{eng: eng, scheme: scheme, coord: coord}, nil
 }
 
 // SchemeName reports which partitioning scheme the stream runs.
@@ -164,11 +173,70 @@ func (s *Stream) SetWorkers(workers int) error { return s.eng.SetWorkers(workers
 // influence reports.
 func (s *Stream) SetObserver(obs Observer) { s.eng.SetObserver(obs) }
 
-// Engine exposes the underlying engine for advanced integrations.
-//
-// Deprecated: Engine leaks internal/engine types through the public API
-// and will be removed once the remaining harnesses migrate. Everything a
-// report consumer needs is on BatchReport (typed, JSON-serializable) and
-// the Stream methods; runtime control is covered by SetParallelism,
-// SetCores, SetWorkers, and SetObserver.
-func (s *Stream) Engine() *engine.Engine { return s.eng }
+// BackpressureFactor is the cluster admission factor in [0, 1]: the
+// minimum AIMD factor any live shard piggybacked on its latest reply.
+// Sources should multiply their offered rate by it. Without a cluster —
+// or before the first shard reply — it is 1.
+func (s *Stream) BackpressureFactor() float64 {
+	if s.coord == nil {
+		return 1
+	}
+	return s.coord.BackpressureFactor()
+}
+
+// ShardsDown reports how many cluster shards are currently marked dead
+// (their folds recomputed locally). Without a cluster it is 0. Shard
+// loss never changes answers — only wall-clock time.
+func (s *Stream) ShardsDown() int {
+	if s.coord == nil {
+		return 0
+	}
+	return s.coord.Down()
+}
+
+// Close releases the stream's cluster connections, if any. The stream
+// itself holds no other resources; a closed stream must not process
+// further batches. Close on a single-process stream is a no-op.
+func (s *Stream) Close() error {
+	if s.coord == nil {
+		return nil
+	}
+	coord := s.coord
+	s.coord = nil
+	return coord.Close()
+}
+
+// Checkpoint serializes the stream's driver state — batch position,
+// window contents, report history, reorder buffer, throttle — so a new
+// process can Restore and resume exactly where this one stopped. Call it
+// between batches. Cluster shards hold no checkpointable state: the
+// image is entirely driver-side, so a stream may checkpoint under one
+// topology and restore under another.
+func (s *Stream) Checkpoint() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.eng.Checkpoint(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rebuilds a Stream from a Checkpoint image. cfg and q must
+// match the checkpointed stream's configuration — query functions cannot
+// be serialized, so the caller reattaches them; determinism of the query
+// functions is what makes the resumed computation identical. A topology
+// in cfg is dialed exactly as in New.
+func Restore(cfg Config, q Query, image []byte) (*Stream, error) {
+	ec, scheme, err := cfg.build()
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.Restore(ec, []Query{q}, bytes.NewReader(image))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	coord, err := cfg.Topology.connect(eng, []Query{q})
+	if err != nil {
+		return nil, err
+	}
+	return &Stream{eng: eng, scheme: scheme, coord: coord}, nil
+}
