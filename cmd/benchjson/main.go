@@ -7,8 +7,9 @@
 // ("baseline" or "current") of the JSON file, preserving the other
 // section. When both sections are present it prints a per-benchmark
 // comparison (ns/op, B/op, allocs/op deltas) and the geometric-mean
-// change, and with -max-allocs-regress it exits nonzero if any
-// benchmark's allocs/op regressed by more than the given fraction.
+// change, and with -max-allocs-regress / -max-ns-regress it exits
+// nonzero if any benchmark's allocs/op or ns/op regressed by more than
+// the given fraction.
 //
 // Usage:
 //
@@ -42,14 +43,19 @@ type Result struct {
 type Section struct {
 	Captured string   `json:"captured"`
 	Go       string   `json:"go,omitempty"`
+	Note     string   `json:"note,omitempty"`
 	Results  []Result `json:"results"`
 }
 
-// Ledger is the whole BENCH_hotpath.json file.
+// Ledger is the whole BENCH_hotpath.json file. Replacing the baseline
+// pushes the previous one onto History, so superseded baselines (e.g.
+// the row-ingestion numbers before the columnar hot path) stay in the
+// file for archaeology without participating in the comparison.
 type Ledger struct {
-	Benchmark string   `json:"benchmark"`
-	Baseline  *Section `json:"baseline,omitempty"`
-	Current   *Section `json:"current,omitempty"`
+	Benchmark string     `json:"benchmark"`
+	Baseline  *Section   `json:"baseline,omitempty"`
+	Current   *Section   `json:"current,omitempty"`
+	History   []*Section `json:"history,omitempty"`
 }
 
 func main() {
@@ -58,7 +64,10 @@ func main() {
 	benchmark := flag.String("benchmark", "BenchmarkHotPath", "benchmark family name recorded in the ledger")
 	maxAllocsRegress := flag.Float64("max-allocs-regress", 0,
 		"fail if any benchmark's allocs/op exceeds baseline by more than this fraction (0 disables)")
+	maxNsRegress := flag.Float64("max-ns-regress", 0,
+		"fail if any benchmark's ns/op exceeds baseline by more than this fraction (0 disables)")
 	compareOnly := flag.Bool("compare", false, "skip recording; just compare the ledger's sections")
+	note := flag.String("note", "", "free-form note stored with the recorded section")
 	flag.Parse()
 
 	ledger := &Ledger{Benchmark: *benchmark}
@@ -79,10 +88,14 @@ func main() {
 		sec := &Section{
 			Captured: time.Now().UTC().Format(time.RFC3339),
 			Go:       runtime.Version(),
+			Note:     *note,
 			Results:  results,
 		}
 		switch *section {
 		case "baseline":
+			if ledger.Baseline != nil {
+				ledger.History = append(ledger.History, ledger.Baseline)
+			}
 			ledger.Baseline = sec
 		case "current":
 			ledger.Current = sec
@@ -102,7 +115,7 @@ func main() {
 	if ledger.Baseline == nil || ledger.Current == nil {
 		return
 	}
-	if !compare(ledger, *maxAllocsRegress) {
+	if !compare(ledger, *maxAllocsRegress, *maxNsRegress) {
 		os.Exit(1)
 	}
 }
@@ -170,8 +183,8 @@ func trimProcSuffix(name string) string {
 }
 
 // compare prints the per-benchmark deltas between the ledger's sections
-// and reports whether the allocation-regression gate passed.
-func compare(l *Ledger, maxAllocsRegress float64) bool {
+// and reports whether the allocation- and time-regression gates passed.
+func compare(l *Ledger, maxAllocsRegress, maxNsRegress float64) bool {
 	base := make(map[string]Result, len(l.Baseline.Results))
 	for _, r := range l.Baseline.Results {
 		base[r.Name] = r
@@ -199,6 +212,12 @@ func compare(l *Ledger, maxAllocsRegress float64) bool {
 			cur.AllocsPerOp > b.AllocsPerOp*(1+maxAllocsRegress) {
 			fmt.Printf("  ^ ALLOCATION REGRESSION: %f > %f * %.2f\n",
 				cur.AllocsPerOp, b.AllocsPerOp, 1+maxAllocsRegress)
+			ok = false
+		}
+		if maxNsRegress > 0 && b.NsPerOp > 0 &&
+			cur.NsPerOp > b.NsPerOp*(1+maxNsRegress) {
+			fmt.Printf("  ^ TIME REGRESSION: %.0f ns/op > %.0f * %.2f\n",
+				cur.NsPerOp, b.NsPerOp, 1+maxNsRegress)
 			ok = false
 		}
 	}

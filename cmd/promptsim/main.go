@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"prompt/internal/cluster"
@@ -52,8 +54,47 @@ func main() {
 		faultSeed   = flag.Int64("fault-seed", 0, "generate a random fault plan from this seed (ignored with -faults)")
 		jitterMS    = flag.Int("jitter-ms", 0, "delay arrivals by up to this many milliseconds (out-of-order delivery)")
 		maxDelayMS  = flag.Int("max-delay-ms", 0, "reorder-buffer delay bound in milliseconds; arrivals later than this are dropped")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof format)")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof format)")
 	)
 	flag.Parse()
+
+	// Profiles are written on a clean exit only; a fatal error abandons
+	// them, matching the go test -cpuprofile contract.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote CPU profile to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			runtime.GC() // materialize the retained heap before snapshotting
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote heap profile to %s\n", *memprofile)
+		}()
+	}
 
 	interval := tuple.Time(*intervalMs) * tuple.Millisecond
 	horizon := tuple.Time(*batches) * interval

@@ -1,0 +1,176 @@
+package prompt_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"prompt"
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+// scrubWall zeroes the wall-clock-measured report fields (and everything
+// derived from them) that legitimately differ between two runs of the
+// same computation. All simulated fields stay for the bit-identity
+// comparison. The engine-internal golden tests freeze the pipeline clock
+// instead; the public API offers no such hook.
+func scrubWall(reps []prompt.BatchReport) []prompt.BatchReport {
+	out := append([]prompt.BatchReport(nil), reps...)
+	for i := range out {
+		out[i].PartitionTime = 0
+		out[i].PartitionOverflow = 0
+	}
+	return out
+}
+
+// columnarConfig is the shared configuration of the public columnar
+// equivalence tests.
+func columnarConfig() prompt.Config {
+	return prompt.Config{
+		BatchInterval: time.Second,
+		MapTasks:      4,
+		ReduceTasks:   4,
+		Validate:      true,
+	}
+}
+
+// TestColumnarConfigEquivalence proves Config.Columnar is behaviourally
+// invisible: the same source through row mode and columnar mode yields
+// identical reports and window answers, for Prompt and a per-tuple
+// baseline scheme.
+func TestColumnarConfigEquivalence(t *testing.T) {
+	for _, scheme := range []prompt.Scheme{prompt.SchemePrompt, prompt.SchemeHash} {
+		run := func(columnar bool) ([]prompt.BatchReport, map[string]float64) {
+			cfg := columnarConfig()
+			cfg.Scheme = scheme
+			cfg.Columnar = columnar
+			st, err := prompt.New(cfg, prompt.WordCount(5*time.Second, time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := zipfSource(t, 42)
+			reps, err := st.Run(func(s, e prompt.Time) ([]prompt.Tuple, error) { return src.Slice(s, e) }, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return reps, st.Window()
+		}
+		rowReps, rowWin := run(false)
+		colReps, colWin := run(true)
+		rowReps, colReps = scrubWall(rowReps), scrubWall(colReps)
+		if !reflect.DeepEqual(colReps, rowReps) {
+			t.Errorf("scheme %s: columnar reports diverge from row mode", scheme)
+		}
+		if !reflect.DeepEqual(colWin, rowWin) {
+			t.Errorf("scheme %s: columnar window diverges from row mode", scheme)
+		}
+	}
+}
+
+// TestProcessBatchColumnarEquivalence checks the explicit columnar entry
+// point against ProcessBatch on the same batches.
+func TestProcessBatchColumnarEquivalence(t *testing.T) {
+	mkStream := func() (*prompt.Stream, *workload.Source) {
+		st, err := prompt.New(columnarConfig(), prompt.WordCount(5*time.Second, time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, zipfSource(t, 7)
+	}
+	rowSt, rowSrc := mkStream()
+	colSt, colSrc := mkStream()
+	for i := 0; i < 4; i++ {
+		start, end := rowSt.Now(), rowSt.Now()+tuple.Second
+		tuples, err := rowSrc.Slice(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rowRep, err := rowSt.ProcessBatch(tuples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuples2, err := colSrc.Slice(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colRep, err := colSt.ProcessBatchColumnar(tuples2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := scrubWall([]prompt.BatchReport{colRep})
+		want := scrubWall([]prompt.BatchReport{rowRep})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batch %d: columnar report diverges from row mode\n got: %+v\nwant: %+v", i, got[0], want[0])
+		}
+	}
+	if !reflect.DeepEqual(colSt.Window(), rowSt.Window()) {
+		t.Error("columnar window diverges from row mode")
+	}
+}
+
+// TestReceiverProcessReceived pushes each batch through concurrent
+// producers feeding the lock-free rings and checks the stream's answers
+// against a single-goroutine row-mode reference. Tuples are dealt to
+// producers round-robin, so the drained order differs from arrival
+// order — reports must not care (batch results are order-independent
+// within an interval).
+func TestReceiverProcessReceived(t *testing.T) {
+	const producers, batches = 3, 4
+	rowSt, err := prompt.New(columnarConfig(), prompt.WordCount(5*time.Second, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colSt, err := prompt.New(columnarConfig(), prompt.WordCount(5*time.Second, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowSrc, colSrc := zipfSource(t, 13), zipfSource(t, 13)
+	recv := prompt.NewReceiver(producers, 64)
+
+	for b := 0; b < batches; b++ {
+		start, end := rowSt.Now(), rowSt.Now()+tuple.Second
+		tuples, err := rowSrc.Slice(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rowSt.ProcessBatch(tuples); err != nil {
+			t.Fatal(err)
+		}
+
+		tuples2, err := colSrc.Slice(start, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b > 0 {
+			recv.Reset()
+		}
+		var wg sync.WaitGroup
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				prod := recv.Producer(p)
+				defer prod.Close()
+				for i := p; i < len(tuples2); i += producers {
+					if !prod.Push(tuples2[i]) {
+						t.Error("push on open producer failed")
+						return
+					}
+				}
+			}(p)
+		}
+		rep, err := colSt.ProcessReceived(recv)
+		wg.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Tuples != len(tuples2) {
+			t.Fatalf("batch %d: receiver processed %d tuples, want %d", b, rep.Tuples, len(tuples2))
+		}
+	}
+	if !reflect.DeepEqual(colSt.Window(), rowSt.Window()) {
+		t.Error("receiver-fed window diverges from row-mode reference")
+	}
+}

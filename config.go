@@ -43,6 +43,14 @@ type Config struct {
 	// Validate enables per-batch invariant checks (tuples placed exactly
 	// once, key locality at the Reduce stage).
 	Validate bool
+	// Columnar routes row ingestion (ProcessBatch, Run) through the
+	// columnar hot path: each batch is transposed into a
+	// struct-of-arrays layout at the boundary and the statistics and
+	// partitioning folds run over dense columns. Reports and answers are
+	// bit-identical to row mode. Callers that can build columns upstream
+	// should prefer ProcessBatchColumnar or a Receiver, which skip the
+	// transpose.
+	Columnar bool
 	// Cost overrides the simulated task cost model; zero uses defaults.
 	Cost CostModel
 	// Observer, when set, receives batch-lifecycle events (batch start,
@@ -84,6 +92,7 @@ func (c Config) build() (engine.Config, core.Scheme, error) {
 		Cost:                 c.Cost,
 		EarlyReleaseFraction: c.EarlyReleaseFraction,
 		ValidateBatches:      c.Validate,
+		ColumnarIngest:       c.Columnar,
 		Observer:             c.Observer,
 		Faults:               c.Faults,
 		Retry:                c.Retry,

@@ -13,7 +13,11 @@
 //     every eviction,
 //  4. a faulted run's window answers equal the fault-free run's,
 //  5. window answers are invariant under tuple permutation within a
-//     batch.
+//     batch,
+//  6. execution scattered over a shard cluster (loopback and pipe
+//     transports) equals the in-process run bit for bit,
+//  7. columnar and row ingestion produce bit-identical reports and
+//     window answers.
 //
 // A failing scenario prints its seed plus a shrunk minimal scenario that
 // still fails; PROMPT_CHECK_SEED replays one seed deterministically and
@@ -68,6 +72,11 @@ type Scenario struct {
 	// Throttle attaches an AIMD controller whose factor scales the
 	// offered rate, observed after every batch.
 	Throttle bool
+	// Columnar routes row ingestion through the columnar hot path
+	// (struct-of-arrays transpose at the batch boundary). Every invariant
+	// runs in the scenario's mode, and invariant 7 additionally checks
+	// the flipped mode produces bit-identical reports.
+	Columnar bool
 }
 
 // Generate derives a scenario from a seed. Identical seeds yield
@@ -88,6 +97,7 @@ func Generate(seed int64) Scenario {
 		FaultEvents:   rng.Intn(4), // 0..3
 		JitterMS:      50 * rng.Intn(7),
 		Throttle:      rng.Intn(2) == 0,
+		Columnar:      rng.Intn(2) == 0,
 	}
 	sc.CheckpointAt = 1 + rng.Intn(sc.Batches-1)
 	// Usually generous enough to keep everything; sometimes tighter than
@@ -100,10 +110,10 @@ func Generate(seed int64) Scenario {
 // failure report is self-describing and diffable against the shrunk form.
 func (sc Scenario) String() string {
 	return fmt.Sprintf("seed=%d batches=%d ckpt@%d rate=%g keys=%d skew=%s scheme=%s "+
-		"workers=%d window=%ds noninv=%v faults=%d jitter=%dms maxdelay=%dms throttle=%v",
+		"workers=%d window=%ds noninv=%v faults=%d jitter=%dms maxdelay=%dms throttle=%v columnar=%v",
 		sc.Seed, sc.Batches, sc.CheckpointAt, sc.Rate, sc.Keys, sc.Skew, sc.Scheme,
 		sc.Workers, sc.WindowSec, sc.NonInvertible, sc.FaultEvents,
-		sc.JitterMS, sc.MaxDelayMS, sc.Throttle)
+		sc.JitterMS, sc.MaxDelayMS, sc.Throttle, sc.Columnar)
 }
 
 // seedsFromEnv resolves the seed sweep: PROMPT_CHECK_SEED pins a single

@@ -78,6 +78,8 @@ func (s *Shard) Handle(req wire.Msg) (wire.Msg, error) {
 		return s.handleHello(m)
 	case *wire.MapTask:
 		return s.handleMap(m)
+	case *wire.MapTaskCols:
+		return s.handleMapCols(m)
 	case *wire.ReduceTask:
 		return s.handleReduce(m)
 	default:
@@ -186,22 +188,9 @@ func (s *Shard) handleMap(m *wire.MapTask) (wire.Msg, error) {
 			}
 			bl.AddDense(key, ks.Dense, tuples, weight)
 		}
-		clusters, values := engine.MapBlock(q, bl)
-		cs := make([]wire.Cluster, len(clusters))
-		for ci := range clusters {
-			id, ok := s.ids[clusters[ci].Key]
-			if !ok {
-				return nil, fmt.Errorf("dist: shard %d: map produced key %q absent from mirror",
-					s.index, clusters[ci].Key)
-			}
-			cs[ci] = wire.Cluster{
-				KeyID: id,
-				Size:  clusters[ci].Size,
-				Dense: clusters[ci].ID,
-				Val:   values[ci],
-			}
+		if outs[i], err = s.foldBlock(q, bl); err != nil {
+			return nil, err
 		}
-		outs[i].Clusters = cs
 	}
 
 	s.busy += time.Since(t0)
@@ -211,6 +200,70 @@ func (s *Shard) handleMap(m *wire.MapTask) (wire.Msg, error) {
 		Outs:   outs,
 		Factor: s.aimd.Factor,
 	}, nil
+}
+
+// handleMapCols is handleMap for the columnar task frame: block key runs
+// arrive as dense columns and feed the Map fold directly — no row
+// materialization on the shard. Fold order and cluster output match the
+// row frame exactly, so the coordinator cannot tell which frame a
+// MapResult answered.
+func (s *Shard) handleMapCols(m *wire.MapTaskCols) (wire.Msg, error) {
+	if err := s.applyDelta(m.Dict); err != nil {
+		return nil, err
+	}
+	q, err := s.query(m.Query)
+	if err != nil {
+		return nil, err
+	}
+	s.observeBatch(m.Batch)
+	t0 := time.Now()
+
+	outs := make([]wire.BlockOut, len(m.Blocks))
+	for i := range m.Blocks {
+		wb := &m.Blocks[i]
+		bl := tuple.NewBlock(wb.ID)
+		bl.PreAllocate(len(wb.Keys))
+		for k := range wb.Keys {
+			ks := &wb.Keys[k]
+			if int(ks.KeyID) >= len(s.mirror) {
+				return nil, fmt.Errorf("dist: shard %d: key id %d beyond mirror size %d",
+					s.index, ks.KeyID, len(s.mirror))
+			}
+			bl.AddDenseCols(s.mirror[ks.KeyID], ks.Dense, ks.Cols, ks.Cols.Weight())
+		}
+		if outs[i], err = s.foldBlock(q, bl); err != nil {
+			return nil, err
+		}
+	}
+
+	s.busy += time.Since(t0)
+	return &wire.MapResult{
+		Batch:  m.Batch,
+		Query:  m.Query,
+		Outs:   outs,
+		Factor: s.aimd.Factor,
+	}, nil
+}
+
+// foldBlock runs one block's Map fold and converts the clusters to wire
+// form, interning cluster keys against the mirror.
+func (s *Shard) foldBlock(q engine.Query, bl *tuple.Block) (wire.BlockOut, error) {
+	clusters, values := engine.MapBlock(q, bl)
+	cs := make([]wire.Cluster, len(clusters))
+	for ci := range clusters {
+		id, ok := s.ids[clusters[ci].Key]
+		if !ok {
+			return wire.BlockOut{}, fmt.Errorf("dist: shard %d: map produced key %q absent from mirror",
+				s.index, clusters[ci].Key)
+		}
+		cs[ci] = wire.Cluster{
+			KeyID: id,
+			Size:  clusters[ci].Size,
+			Dense: clusters[ci].ID,
+			Val:   values[ci],
+		}
+	}
+	return wire.BlockOut{Clusters: cs}, nil
 }
 
 func (s *Shard) handleReduce(m *wire.ReduceTask) (wire.Msg, error) {

@@ -108,3 +108,52 @@ func TestMaxReduceSteadyStateAllocCeiling(t *testing.T) {
 		t.Errorf("max-reduce steady state allocates %.0f per batch, ceiling %d", avg, ceiling)
 	}
 }
+
+// TestColumnarSteadyStateAllocCeiling is the columnar companion of
+// TestPromptSteadyStateAllocCeiling: the same workload ingested as
+// struct-of-arrays batches through StepColumns (pure-columns path — no
+// row materialization). The accumulator's per-key column buffers and the
+// partitioner's span arenas must reach a steady shape just like the row
+// path's, under the same ceiling.
+func TestColumnarSteadyStateAllocCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement skipped in -short mode")
+	}
+	const (
+		rate    = 20_000
+		card    = 5_000
+		warm    = 32
+		runs    = 8
+		ceiling = 2_000 // allocations per batch, steady state
+	)
+	hs := hotPathSchemes()[0]
+	if !hs.columnar {
+		t.Fatalf("expected the prompt scheme to be columnar, got %+v", hs)
+	}
+	src := hotPathSource(t, "zipf", rate, card)
+	batches := hotPathBatches(t, src, warm+runs+1, tuple.Second)
+	eng := newHotPathEngine(t, hs, 0)
+	cols := make([]*tuple.ColumnBatch, len(batches))
+	for i, bt := range batches {
+		cols[i] = &tuple.ColumnBatch{}
+		cols[i].AppendRows(bt, eng.Dict().Intern)
+	}
+	step := func(k int) {
+		start := tuple.Time(k) * tuple.Second
+		if _, err := eng.StepColumns(cols[k], start, start+tuple.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < warm; k++ {
+		step(k)
+	}
+	next := warm
+	avg := testing.AllocsPerRun(runs, func() {
+		step(next)
+		next++
+	})
+	t.Logf("columnar steady-state allocations per batch: %.0f (ceiling %d)", avg, ceiling)
+	if avg > ceiling {
+		t.Errorf("steady-state columnar hot path allocates %.0f per batch, ceiling %d", avg, ceiling)
+	}
+}

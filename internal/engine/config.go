@@ -101,6 +101,16 @@ type Config struct {
 	// placed once, key locality in buckets). Tests and examples turn it
 	// on; sweeps leave it off for speed.
 	ValidateBatches bool
+	// ColumnarIngest converts row ingestion (Step, RunBatches, sealed
+	// reorder output) to the columnar hot path: tuples are transposed into
+	// a struct-of-arrays ColumnBatch at the batch boundary and the
+	// statistics fold, the sorted key list, and the column-aware
+	// partitioners run over the dense columns. Reports and results are
+	// bit-identical to row mode — the correctness harness proves it — so
+	// the switch trades one transpose pass for cache-friendly inner loops.
+	// Callers holding columns already should use StepColumns instead,
+	// which skips the transpose.
+	ColumnarIngest bool
 	// Stragglers injects deterministic task slowdowns (Figure 2's
 	// unbalanced-execution cases II-IV): zero value disables injection.
 	Stragglers StragglerModel

@@ -10,6 +10,7 @@ import (
 	"prompt/internal/fault"
 	"prompt/internal/intern"
 	"prompt/internal/metrics"
+	"prompt/internal/partition"
 	"prompt/internal/reducer"
 	"prompt/internal/stats"
 	"prompt/internal/tuple"
@@ -52,6 +53,14 @@ type Engine struct {
 	// IDs address the reused statistics structures batch after batch. It
 	// is checkpointed so restored engines keep every ID stable.
 	dict *intern.Dict
+
+	// colScratch and rowScratch are the columnar path's reused transpose
+	// buffers: colScratch columnizes row ingestion under ColumnarIngest,
+	// rowScratch materializes rows from a ColumnBatch when some pipeline
+	// consumer still needs them (see needRows). Both are valid only within
+	// one Step call.
+	colScratch *tuple.ColumnBatch
+	rowScratch []tuple.Tuple
 
 	// pool executes batch-pipeline tasks on real goroutines; nil runs the
 	// classic single-goroutine driver.
@@ -150,6 +159,11 @@ func NewMulti(cfg Config, queries []Query) (*Engine, error) {
 
 // Config returns the engine's current configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Dict returns the engine's stream-lifetime intern dictionary. Callers
+// building ColumnBatches for StepColumns must intern their keys here so
+// the batch's IDs resolve against the engine's statistics structures.
+func (e *Engine) Dict() *intern.Dict { return e.dict }
 
 // Now returns the start of the next batch interval.
 func (e *Engine) Now() tuple.Time { return e.now }
@@ -321,6 +335,43 @@ func (e *Engine) RunBatchesContext(ctx context.Context, src workload.Stream, n i
 	return out, nil
 }
 
+// RunBatchesColumnar is RunBatches on the columnar hot path: each
+// interval's rows are transposed once into a pooled ColumnBatch (keys
+// interning into the engine dictionary) and processed via StepColumns.
+// Reports are bit-identical to RunBatches; only the in-memory
+// representation — and the cache behaviour of the statistics and
+// partitioning folds — differs.
+func (e *Engine) RunBatchesColumnar(src workload.Stream, n int) ([]BatchReport, error) {
+	return e.RunBatchesColumnarContext(context.Background(), src, n)
+}
+
+// RunBatchesColumnarContext is RunBatchesColumnar with cooperative
+// cancellation, mirroring RunBatchesContext.
+func (e *Engine) RunBatchesColumnarContext(ctx context.Context, src workload.Stream, n int) ([]BatchReport, error) {
+	out := make([]BatchReport, 0, n)
+	cb := tuple.GetColumnBatch()
+	defer tuple.PutColumnBatch(cb)
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		start := e.now
+		end := start + e.cfg.BatchInterval
+		tuples, err := src.Slice(start, end)
+		if err != nil {
+			return out, err
+		}
+		cb.Reset()
+		cb.AppendRows(tuples, e.dict.Intern)
+		rep, err := e.StepColumnsContext(ctx, cb, start, end)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
 // Step processes one micro-batch whose tuples arrived in [start, end).
 // Tuples must carry timestamps inside the interval. Step only validates
 // the interval and composes the staged pipeline (stage.go): Accumulate
@@ -338,7 +389,46 @@ func (e *Engine) Step(tuples []tuple.Tuple, start, end tuple.Time) (BatchReport,
 // cancelled batch commits nothing. If a pipeline task panics, StepContext
 // converts the re-raised *cluster.TaskPanic into an error and fails the
 // batch instead of unwinding the caller.
-func (e *Engine) StepContext(ctx context.Context, tuples []tuple.Tuple, start, end tuple.Time) (rep BatchReport, err error) {
+func (e *Engine) StepContext(ctx context.Context, tuples []tuple.Tuple, start, end tuple.Time) (BatchReport, error) {
+	return e.step(ctx, tuples, nil, start, end)
+}
+
+// StepColumns processes one micro-batch already in columnar form. The
+// batch's IDs must be interned in the engine's dictionary (Dict); its
+// Start/End fields are overwritten with the given interval. Reports are
+// bit-identical to Step over the equivalent rows. The engine may retain
+// no part of cb after the call returns, so pooled batches can be recycled
+// immediately.
+func (e *Engine) StepColumns(cb *tuple.ColumnBatch, start, end tuple.Time) (BatchReport, error) {
+	return e.StepColumnsContext(context.Background(), cb, start, end)
+}
+
+// StepColumnsContext is StepColumns with cooperative cancellation,
+// mirroring StepContext.
+func (e *Engine) StepColumnsContext(ctx context.Context, cb *tuple.ColumnBatch, start, end tuple.Time) (BatchReport, error) {
+	if cb == nil {
+		return BatchReport{}, fmt.Errorf("engine: nil column batch")
+	}
+	return e.step(ctx, nil, cb, start, end)
+}
+
+// needRows reports whether the pipeline still touches row tuples on the
+// columnar path: the fault store replicates rows, post-sort and batch
+// validation walk Batch.Tuples, and partitioners without column support
+// consume rows directly. When none of these apply the batch flows through
+// as pure columns.
+func (e *Engine) needRows() bool {
+	return e.store != nil ||
+		e.cfg.Accum == PostSortMode ||
+		e.cfg.ValidateBatches ||
+		!partition.IsColumnAware(e.cfg.Partitioner)
+}
+
+// step is the shared batch core behind StepContext and
+// StepColumnsContext: exactly one of tuples/cb describes the input (under
+// ColumnarIngest row input is transposed here, and a column batch grows a
+// row view only if some pipeline consumer needs one).
+func (e *Engine) step(ctx context.Context, tuples []tuple.Tuple, cb *tuple.ColumnBatch, start, end tuple.Time) (rep BatchReport, err error) {
 	if end <= start {
 		return BatchReport{}, fmt.Errorf("engine: empty batch interval [%v,%v)", start, end)
 	}
@@ -359,15 +449,34 @@ func (e *Engine) StepContext(ctx context.Context, tuples []tuple.Tuple, start, e
 			rep, err = BatchReport{}, fmt.Errorf("engine: batch %d: %w", e.batchIdx, tp)
 		}
 	}()
+	if cb == nil && e.cfg.ColumnarIngest && e.cfg.Accum == FrequencyAware {
+		// Transpose row input at the batch boundary; the rows stay
+		// attached for the consumers that still want them.
+		if e.colScratch == nil {
+			e.colScratch = &tuple.ColumnBatch{}
+		}
+		cb = e.colScratch
+		cb.Reset()
+		cb.AppendRows(tuples, e.dict.Intern)
+	}
+	if cb != nil {
+		cb.Start, cb.End = start, end
+		if tuples == nil && e.needRows() {
+			e.rowScratch = cb.AppendRowsTo(e.rowScratch[:0], e.dict.Resolve)
+			tuples = e.rowScratch
+		}
+	}
 	if e.store != nil {
 		// Replicate the raw input before any processing: the recover
-		// stage recomputes lost outputs from this copy.
+		// stage recomputes lost outputs from this copy (Put copies, so the
+		// reused row scratch is safe to hand over).
 		e.store.Put(e.batchIdx, start, end, tuples)
 	}
 	bc := &BatchContext{
 		Index: e.batchIdx,
 		Ctx:   ctx,
 		Batch: &tuple.Batch{Start: start, End: end, Tuples: tuples},
+		Cols:  cb,
 		// The batch's own interval: normally cfg.BatchInterval, but the
 		// adaptive batch-sizing extension may vary it per batch, and all
 		// stability accounting follows the actual interval.
@@ -619,26 +728,13 @@ func (e *Engine) accumCfg() stats.AccumulatorConfig {
 // accumulators running concurrently on the worker pool; otherwise a
 // single accumulator is fed on the driver goroutine.
 func (e *Engine) accumulate(batch *tuple.Batch) error {
-	cfg := e.accumCfg()
 	if e.cfg.StatsShards > 1 {
-		if e.shacc == nil || e.shacc.Shards() != e.cfg.StatsShards {
-			sa, err := stats.NewShardedDict(cfg, e.dict, e.cfg.StatsShards, batch.Start, batch.End)
-			if err != nil {
-				return err
-			}
-			e.shacc = sa
-		} else if err := e.shacc.Reset(cfg, batch.Start, batch.End); err != nil {
+		if err := e.ensureSharded(batch.Start, batch.End); err != nil {
 			return err
 		}
 		return e.shacc.AddAll(batch.Tuples, e.pool)
 	}
-	if e.acc == nil {
-		acc, err := stats.NewAccumulatorDict(cfg, e.dict, batch.Start, batch.End)
-		if err != nil {
-			return err
-		}
-		e.acc = acc
-	} else if err := e.acc.Reset(cfg, batch.Start, batch.End); err != nil {
+	if err := e.ensureAccumulator(batch.Start, batch.End); err != nil {
 		return err
 	}
 	for i := range batch.Tuples {
@@ -648,6 +744,53 @@ func (e *Engine) accumulate(batch *tuple.Batch) error {
 		}
 	}
 	return nil
+}
+
+// accumulateColumns is accumulate over the columnar view: the contiguous
+// ID column drives the frequency fold directly, with no per-row string
+// hashing. The fold's per-arrival decisions are shared with the row path,
+// so the resulting statistics are bit-identical.
+func (e *Engine) accumulateColumns(cb *tuple.ColumnBatch) error {
+	if e.cfg.StatsShards > 1 {
+		if err := e.ensureSharded(cb.Start, cb.End); err != nil {
+			return err
+		}
+		return e.shacc.AddAllColumns(cb, e.pool)
+	}
+	if err := e.ensureAccumulator(cb.Start, cb.End); err != nil {
+		return err
+	}
+	return e.acc.AddColumns(cb)
+}
+
+// ensureSharded creates or resets the sharded accumulator for the batch
+// interval.
+func (e *Engine) ensureSharded(start, end tuple.Time) error {
+	cfg := e.accumCfg()
+	if e.shacc == nil || e.shacc.Shards() != e.cfg.StatsShards {
+		sa, err := stats.NewShardedDict(cfg, e.dict, e.cfg.StatsShards, start, end)
+		if err != nil {
+			return err
+		}
+		e.shacc = sa
+		return nil
+	}
+	return e.shacc.Reset(cfg, start, end)
+}
+
+// ensureAccumulator creates or resets the single accumulator for the
+// batch interval.
+func (e *Engine) ensureAccumulator(start, end tuple.Time) error {
+	cfg := e.accumCfg()
+	if e.acc == nil {
+		acc, err := stats.NewAccumulatorDict(cfg, e.dict, start, end)
+		if err != nil {
+			return err
+		}
+		e.acc = acc
+		return nil
+	}
+	return e.acc.Reset(cfg, start, end)
 }
 
 // finalizeStats closes Algorithm 1 at the heartbeat, returning the

@@ -172,21 +172,41 @@ func mapBlockFor(q Query, bl *tuple.Block) ([]tuple.Cluster, []float64) {
 	clusters := make([]tuple.Cluster, 0, len(bl.Keys))
 	values := make([]float64, 0, len(bl.Keys))
 	idx := make(map[string]int, len(bl.Keys))
-	for _, ks := range bl.Keys {
+	for k := range bl.Keys {
+		ks := &bl.Keys[k]
 		kept := 0
 		var folded float64
 		first := true
-		for i := range ks.Tuples {
-			v, keep := q.Map(ks.Tuples[i])
-			if !keep {
-				continue
+		if ks.Tuples != nil {
+			for i := range ks.Tuples {
+				v, keep := q.Map(ks.Tuples[i])
+				if !keep {
+					continue
+				}
+				kept++
+				if first {
+					folded = v
+					first = false
+				} else {
+					folded = q.Reduce(folded, v)
+				}
 			}
-			kept++
-			if first {
-				folded = v
-				first = false
-			} else {
-				folded = q.Reduce(folded, v)
+		} else {
+			// Columnar key slice: fold the dense columns in place,
+			// assembling each row on the stack for the Map function. Fold
+			// order matches the row path tuple for tuple.
+			for i := 0; i < ks.Cols.Len(); i++ {
+				v, keep := q.Map(ks.Cols.Tuple(ks.Key, i))
+				if !keep {
+					continue
+				}
+				kept++
+				if first {
+					folded = v
+					first = false
+				} else {
+					folded = q.Reduce(folded, v)
+				}
 			}
 		}
 		if kept == 0 {
@@ -198,7 +218,12 @@ func mapBlockFor(q Query, bl *tuple.Block) ([]tuple.Cluster, []float64) {
 			continue
 		}
 		idx[ks.Key] = len(clusters)
-		clusters = append(clusters, tuple.Cluster{Key: ks.Key, Size: kept})
+		// The dense per-batch key number rides along (0 when the
+		// partitioner assigns none): the shuffle's bucket set then indexes
+		// a flat array instead of hashing key strings, and fragments of a
+		// split key share the number by the partitioner contract — exactly
+		// what the distributed executor already sends back as Dense.
+		clusters = append(clusters, tuple.Cluster{Key: ks.Key, ID: ks.ID, Size: kept})
 		values = append(values, folded)
 	}
 	return clusters, values

@@ -75,7 +75,7 @@ func (e *Engine) runPipeline(ctx *BatchContext) error {
 		Batch:  ctx.Index,
 		Start:  ctx.Batch.Start,
 		End:    ctx.Batch.End,
-		Tuples: len(ctx.Batch.Tuples),
+		Tuples: ctx.tupleCount(),
 	})
 	ctx.Timings = make([]StageTiming, 0, len(e.pipeline))
 	for _, st := range e.pipeline {
@@ -124,6 +124,9 @@ func (accumulateStage) Name() StageName { return StageAccumulate }
 func (accumulateStage) Run(e *Engine, ctx *BatchContext) error {
 	switch e.cfg.Accum {
 	case FrequencyAware:
+		if ctx.Cols != nil {
+			return e.accumulateColumns(ctx.Cols)
+		}
 		return e.accumulate(ctx.Batch)
 	case PostSortMode:
 		return nil

@@ -54,40 +54,106 @@ func (r *Reorderer) Ingested() tuple.Time { return r.ingested }
 // sorted, both horizons, and the drop count. It captures everything a
 // restored reorderer needs to seal the next batch exactly as the
 // checkpointed one would have.
+//
+// New images carry the pending buffer in columnar form: Keys is an
+// image-local key table (in order of first appearance) and IDs, TS,
+// Vals, W are parallel columns — row i is the tuple {TS[i],
+// Keys[IDs[i]], Vals[i], W[i]}. The table makes the image
+// self-contained: its IDs mean nothing outside this image and need no
+// engine dictionary to decode. The row-form Pending field remains as the
+// legacy encoding; RestoreReorderer accepts either, preferring rows when
+// both are set (they cannot disagree in images this package produced).
 type ReordererImage struct {
 	MaxDelay tuple.Time
 	Pending  []tuple.Tuple
+	Keys     []string
+	IDs      []uint32
+	TS       []tuple.Time
+	Vals     []float64
+	W        []int32
 	Sorted   int
 	Sealed   tuple.Time
 	Ingested tuple.Time
 	Dropped  int
 }
 
-// Image snapshots the reorderer for a checkpoint. The pending buffer is
-// copied, so the live reorderer may keep ingesting after the snapshot.
+// PendingLen reports the number of buffered tuples the image carries,
+// whichever encoding holds them.
+func (img *ReordererImage) PendingLen() int {
+	if img.Pending != nil {
+		return len(img.Pending)
+	}
+	return len(img.IDs)
+}
+
+// pendingRows materializes the image's buffered tuples.
+func (img *ReordererImage) pendingRows() ([]tuple.Tuple, error) {
+	if img.Pending != nil {
+		return append([]tuple.Tuple(nil), img.Pending...), nil
+	}
+	if len(img.TS) != len(img.IDs) || len(img.Vals) != len(img.IDs) || len(img.W) != len(img.IDs) {
+		return nil, fmt.Errorf("engine: restoring reorderer: ragged columns (ids %d, ts %d, vals %d, w %d)",
+			len(img.IDs), len(img.TS), len(img.Vals), len(img.W))
+	}
+	out := make([]tuple.Tuple, len(img.IDs))
+	for i, id := range img.IDs {
+		if int(id) >= len(img.Keys) {
+			return nil, fmt.Errorf("engine: restoring reorderer: key id %d beyond table of %d", id, len(img.Keys))
+		}
+		out[i] = tuple.Tuple{TS: img.TS[i], Key: img.Keys[id], Val: img.Vals[i], Weight: int(img.W[i])}
+	}
+	return out, nil
+}
+
+// Image snapshots the reorderer for a checkpoint in columnar form. The
+// pending buffer is copied, so the live reorderer may keep ingesting
+// after the snapshot.
 func (r *Reorderer) Image() ReordererImage {
-	return ReordererImage{
+	img := ReordererImage{
 		MaxDelay: r.MaxDelay,
-		Pending:  append([]tuple.Tuple(nil), r.pending...),
+		IDs:      make([]uint32, len(r.pending)),
+		TS:       make([]tuple.Time, len(r.pending)),
+		Vals:     make([]float64, len(r.pending)),
+		W:        make([]int32, len(r.pending)),
 		Sorted:   r.sorted,
 		Sealed:   r.sealed,
 		Ingested: r.ingested,
 		Dropped:  r.dropped,
 	}
+	table := make(map[string]uint32)
+	for i := range r.pending {
+		t := &r.pending[i]
+		id, ok := table[t.Key]
+		if !ok {
+			id = uint32(len(img.Keys))
+			img.Keys = append(img.Keys, t.Key)
+			table[t.Key] = id
+		}
+		img.IDs[i] = id
+		img.TS[i] = t.TS
+		img.Vals[i] = t.Val
+		img.W[i] = int32(t.Weight)
+	}
+	return img
 }
 
-// RestoreReorderer rebuilds a reorderer from a checkpointed image.
+// RestoreReorderer rebuilds a reorderer from a checkpointed image
+// (either pending encoding).
 func RestoreReorderer(img ReordererImage) (*Reorderer, error) {
 	if img.MaxDelay < 0 {
 		return nil, fmt.Errorf("engine: restoring reorderer: negative max delay %v", img.MaxDelay)
 	}
-	if img.Sorted < 0 || img.Sorted > len(img.Pending) {
+	if img.Sorted < 0 || img.Sorted > img.PendingLen() {
 		return nil, fmt.Errorf("engine: restoring reorderer: sorted prefix %d outside buffer of %d",
-			img.Sorted, len(img.Pending))
+			img.Sorted, img.PendingLen())
+	}
+	pending, err := img.pendingRows()
+	if err != nil {
+		return nil, err
 	}
 	return &Reorderer{
 		MaxDelay: img.MaxDelay,
-		pending:  append([]tuple.Tuple(nil), img.Pending...),
+		pending:  pending,
 		sorted:   img.Sorted,
 		sealed:   img.Sealed,
 		ingested: img.Ingested,

@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"bytes"
 	"cmp"
+	"encoding/gob"
 	"fmt"
 	"math"
 	"math/rand"
@@ -309,5 +311,124 @@ func TestRunReorderedDropsBeyondBound(t *testing.T) {
 	if total+reord.Dropped()+reord.Pending() < 4*4500 {
 		t.Errorf("tuples unaccounted for: processed %d, dropped %d, pending %d",
 			total, reord.Dropped(), reord.Pending())
+	}
+}
+
+// TestReordererImageColumnarRoundTrip proves the columnar checkpoint
+// image is lossless: snapshot a loaded reorderer, push the image through
+// gob (the checkpoint codec), restore, and compare the full internal
+// state against a restore-free twin.
+func TestReordererImageColumnarRoundTrip(t *testing.T) {
+	r, err := NewReorderer(200 * tuple.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	keys := []string{"a", "b", "c", "d"}
+	at := tuple.Time(0)
+	for i := 0; i < 500; i++ {
+		at += tuple.Time(rng.Intn(int(tuple.Millisecond)))
+		r.Ingest(workload.Arrival{
+			At: at,
+			Tuple: tuple.Tuple{
+				TS:     at - tuple.Time(rng.Intn(int(100*tuple.Millisecond))),
+				Key:    keys[rng.Intn(len(keys))],
+				Val:    rng.NormFloat64(),
+				Weight: 1 + rng.Intn(3),
+			},
+		})
+	}
+	img := r.Image()
+	if img.Pending != nil {
+		t.Fatal("fresh image still carries the legacy row encoding")
+	}
+	if img.PendingLen() != r.Pending() {
+		t.Fatalf("image pending = %d, reorderer holds %d", img.PendingLen(), r.Pending())
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(img); err != nil {
+		t.Fatal(err)
+	}
+	var img2 ReordererImage
+	if err := gob.NewDecoder(&buf).Decode(&img2); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RestoreReorderer(img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r2.pending, r.pending) {
+		t.Fatal("restored pending buffer diverges from the live one")
+	}
+	if r2.sorted != r.sorted || r2.sealed != r.sealed || r2.ingested != r.ingested || r2.dropped != r.dropped {
+		t.Fatalf("restored state (%d,%v,%v,%d) != live (%d,%v,%v,%d)",
+			r2.sorted, r2.sealed, r2.ingested, r2.dropped,
+			r.sorted, r.sealed, r.ingested, r.dropped)
+	}
+	// Both must seal the next batch identically.
+	end := r.Ingested() - r.MaxDelay
+	got, err := r2.Seal(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.Seal(end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("restored reorderer seals a different batch")
+	}
+}
+
+// TestReordererImageLegacyRows proves a pre-columnar image (row-form
+// Pending) still restores.
+func TestReordererImageLegacyRows(t *testing.T) {
+	img := ReordererImage{
+		MaxDelay: 50 * tuple.Millisecond,
+		Pending: []tuple.Tuple{
+			{TS: 10, Key: "x", Val: 1, Weight: 2},
+			{TS: 5, Key: "y", Val: -1, Weight: 1},
+		},
+		Sorted:   0,
+		Sealed:   0,
+		Ingested: tuple.Second,
+		Dropped:  3,
+	}
+	r, err := RestoreReorderer(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() != 2 || r.Dropped() != 3 {
+		t.Fatalf("legacy restore: pending %d dropped %d", r.Pending(), r.Dropped())
+	}
+	out, err := r.Seal(tuple.Second - 50*tuple.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Key != "y" {
+		t.Fatalf("legacy restore seals %v", out)
+	}
+}
+
+// TestReordererImageRejectsBadColumns exercises the columnar image
+// validation: ragged columns and out-of-table key ids must fail the
+// restore, not corrupt the buffer.
+func TestReordererImageRejectsBadColumns(t *testing.T) {
+	base := ReordererImage{
+		Keys: []string{"k"},
+		IDs:  []uint32{0, 0},
+		TS:   []tuple.Time{1, 2},
+		Vals: []float64{1, 2},
+		W:    []int32{1, 1},
+	}
+	ragged := base
+	ragged.TS = ragged.TS[:1]
+	if _, err := RestoreReorderer(ragged); err == nil {
+		t.Error("ragged columns accepted")
+	}
+	bad := base
+	bad.IDs = []uint32{0, 7}
+	if _, err := RestoreReorderer(bad); err == nil {
+		t.Error("key id beyond table accepted")
 	}
 }

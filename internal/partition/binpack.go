@@ -32,6 +32,10 @@ func NewFirstFitDecreasing() *FirstFitDecreasing { return &FirstFitDecreasing{} 
 // Name implements Partitioner.
 func (*FirstFitDecreasing) Name() string { return "ffd" }
 
+// ColumnAware implements ColumnAware: the packer works on spans, so
+// columnar sorted input needs no row materialization.
+func (*FirstFitDecreasing) ColumnAware() bool { return true }
+
 // Partition implements Partitioner.
 func (f *FirstFitDecreasing) Partition(in Input, p int) ([]*tuple.Block, error) {
 	if err := checkArgs(in, p); err != nil {
@@ -45,7 +49,7 @@ func (f *FirstFitDecreasing) Partition(in Input, p int) ([]*tuple.Block, error) 
 	cap := capacity(total, p)
 	a := newAssignment(p)
 	for _, it := range items {
-		rest := it.tuples
+		rest := it.sp
 		restW := it.size
 		for restW > 0 {
 			// First bin with spare capacity.
@@ -65,7 +69,7 @@ func (f *FirstFitDecreasing) Partition(in Input, p int) ([]*tuple.Block, error) 
 				a.place(bin, it.key, rest, restW)
 				restW = 0
 			} else {
-				frag, remainder, fw := splitFragment(rest, room)
+				frag, remainder, fw := rest.split(room)
 				a.place(bin, it.key, frag, fw)
 				rest, restW = remainder, restW-fw
 			}
@@ -88,6 +92,10 @@ func NewFragMin() *FragMin { return &FragMin{} }
 // Name implements Partitioner.
 func (*FragMin) Name() string { return "fragmin" }
 
+// ColumnAware implements ColumnAware: the packer works on spans, so
+// columnar sorted input needs no row materialization.
+func (*FragMin) ColumnAware() bool { return true }
+
 // Partition implements Partitioner.
 func (f *FragMin) Partition(in Input, p int) ([]*tuple.Block, error) {
 	if err := checkArgs(in, p); err != nil {
@@ -101,7 +109,7 @@ func (f *FragMin) Partition(in Input, p int) ([]*tuple.Block, error) {
 	cap := capacity(total, p)
 	a := newAssignment(p)
 	for _, it := range items {
-		rest := it.tuples
+		rest := it.sp
 		restW := it.size
 		for restW > 0 {
 			// Best fit: tightest bin that holds the whole residual.
@@ -126,7 +134,7 @@ func (f *FragMin) Partition(in Input, p int) ([]*tuple.Block, error) {
 				restW = 0
 				continue
 			}
-			frag, remainder, fw := splitFragment(rest, room)
+			frag, remainder, fw := rest.split(room)
 			a.place(bin, it.key, frag, fw)
 			rest, restW = remainder, restW-fw
 		}

@@ -145,12 +145,72 @@ func (b *perTupleBuilder) build() []*tuple.Block {
 	return out
 }
 
+// span is one contiguous run of a key's tuples in either representation:
+// ts holds rows, or (when ts is nil) cols holds the columnar view. The
+// sorted-input partitioners slice and place spans without caring which
+// representation the accumulator produced.
+type span struct {
+	ts   []tuple.Tuple
+	cols tuple.ColSlice
+}
+
+func rowSpan(ts []tuple.Tuple) span     { return span{ts: ts} }
+func colSpan(c tuple.ColSlice) span     { return span{cols: c} }
+func (s span) len() int {
+	if s.ts != nil {
+		return len(s.ts)
+	}
+	return s.cols.Len()
+}
+
+// split cuts w units of weight off the front of the span, returning the
+// fragment, the remainder, and the fragment's actual weight (which may
+// exceed w by at most one tuple's weight minus one, since tuples are
+// indivisible).
+func (s span) split(w int) (frag, rest span, fw int) {
+	if s.ts != nil {
+		f, r, fw := splitFragment(s.ts, w)
+		return span{ts: f}, span{ts: r}, fw
+	}
+	if w <= 0 {
+		return span{cols: s.cols.Slice(0, 0)}, s, 0
+	}
+	acc := 0
+	for i := range s.cols.W {
+		acc += int(s.cols.W[i])
+		if acc >= w {
+			return span{cols: s.cols.Slice(0, i+1)}, span{cols: s.cols.Slice(i+1, s.cols.Len())}, acc
+		}
+	}
+	return s, span{cols: s.cols.Slice(s.cols.Len(), s.cols.Len())}, acc
+}
+
+// concat appends o's tuples onto s (both must share a representation).
+func (s span) concat(o span) span {
+	if o.ts != nil {
+		s.ts = append(s.ts, o.ts...)
+		return s
+	}
+	s.cols = s.cols.AppendCols(o.cols)
+	return s
+}
+
+// addTo appends the span to a block as a key slice carrying the given
+// dense key number and weight.
+func (s span) addTo(bl *tuple.Block, key string, id int32, w int) {
+	if s.ts != nil {
+		bl.AddDense(key, id, s.ts, w)
+	} else {
+		bl.AddDenseCols(key, id, s.cols, w)
+	}
+}
+
 // keyItem is a bin-packing item: one key with its tuples. Sorted-input
 // partitioners work on these.
 type keyItem struct {
-	key    string
-	tuples []tuple.Tuple
-	size   int // total tuple weight
+	key  string
+	sp   span
+	size int // total tuple weight
 }
 
 // itemsFromSorted converts the accumulator's output into packing items,
@@ -175,11 +235,15 @@ func itemsFromSortedInto(dst []keyItem, sorted []stats.SortedKey, pool *cluster.
 	pool.DoRanges(len(sorted), 256, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			sk := sorted[i]
+			if sk.Tuples == nil {
+				items[i] = keyItem{key: sk.Key, sp: colSpan(sk.Cols), size: sk.Cols.Weight()}
+				continue
+			}
 			w := 0
 			for j := range sk.Tuples {
 				w += sk.Tuples[j].Weight
 			}
-			items[i] = keyItem{key: sk.Key, tuples: sk.Tuples, size: w}
+			items[i] = keyItem{key: sk.Key, sp: rowSpan(sk.Tuples), size: w}
 		}
 	})
 	return items
@@ -192,10 +256,11 @@ func (in Input) items() []keyItem {
 }
 
 // assignment records fragment placements key -> block -> tuples during
-// bin packing, then materializes blocks.
+// bin packing, then materializes blocks. Placements carry spans, so the
+// bin packers run unchanged over row and columnar input.
 type assignment struct {
 	p      int
-	placed []map[string][]tuple.Tuple
+	placed []map[string]span
 	order  [][]string
 	weight []int
 }
@@ -203,22 +268,22 @@ type assignment struct {
 func newAssignment(p int) *assignment {
 	a := &assignment{
 		p:      p,
-		placed: make([]map[string][]tuple.Tuple, p),
+		placed: make([]map[string]span, p),
 		order:  make([][]string, p),
 		weight: make([]int, p),
 	}
 	for i := 0; i < p; i++ {
-		a.placed[i] = make(map[string][]tuple.Tuple)
+		a.placed[i] = make(map[string]span)
 	}
 	return a
 }
 
-// place puts a fragment of the item (tuples ts with weight w) into block i.
-func (a *assignment) place(i int, key string, ts []tuple.Tuple, w int) {
+// place puts a fragment of the item (span sp with weight w) into block i.
+func (a *assignment) place(i int, key string, sp span, w int) {
 	if _, seen := a.placed[i][key]; !seen {
 		a.order[i] = append(a.order[i], key)
 	}
-	a.placed[i][key] = append(a.placed[i][key], ts...)
+	a.placed[i][key] = a.placed[i][key].concat(sp)
 	a.weight[i] += w
 }
 
@@ -230,15 +295,20 @@ func (a *assignment) build() []*tuple.Block {
 	frags := make(map[string]int)
 	sizes := make(map[string]int)
 	for i := 0; i < a.p; i++ {
-		for k, ts := range a.placed[i] {
+		for k, sp := range a.placed[i] {
 			frags[k]++
-			sizes[k] += len(ts)
+			sizes[k] += sp.len()
 		}
 	}
 	out := newBlocks(a.p)
 	for i := 0; i < a.p; i++ {
 		for _, k := range a.order[i] {
-			out[i].Add(k, a.placed[i][k])
+			sp := a.placed[i][k]
+			if sp.ts != nil {
+				out[i].Add(k, sp.ts)
+			} else {
+				out[i].AddDenseCols(k, 0, sp.cols, sp.cols.Weight())
+			}
 			if frags[k] > 1 {
 				out[i].Ref[k] = tuple.SplitInfo{
 					Split:     true,
@@ -267,6 +337,20 @@ func splitFragment(ts []tuple.Tuple, w int) (frag, rest []tuple.Tuple, fw int) {
 		}
 	}
 	return ts, nil, acc
+}
+
+// ColumnAware marks partitioners that consume the accumulator's columnar
+// sorted output (stats.SortedKey.Cols) directly. The engine materializes
+// row tuples before partitioning for everything else — the per-tuple
+// techniques walk Batch.Tuples, which a columnar fold leaves empty.
+type ColumnAware interface {
+	ColumnAware() bool
+}
+
+// IsColumnAware reports whether p consumes columnar sorted input.
+func IsColumnAware(p Partitioner) bool {
+	ca, ok := p.(ColumnAware)
+	return ok && ca.ColumnAware()
 }
 
 // Registry returns the standard set of partitioners used throughout the

@@ -68,10 +68,15 @@ func (pr *Prompt) Name() string {
 	return "prompt"
 }
 
+// ColumnAware implements ColumnAware: Algorithm 2 slices and deals spans,
+// so it consumes the accumulator's columnar output without materializing
+// row tuples.
+func (pr *Prompt) ColumnAware() bool { return true }
+
 // fragItem is a whole key or a key fragment addressed by item index.
 type fragItem struct {
 	item int
-	ts   []tuple.Tuple
+	sp   span
 	w    int
 }
 
@@ -129,8 +134,8 @@ func (b *promptBuilder) reset(p int, items []keyItem) {
 }
 
 // place records a fragment of item in block blk.
-func (b *promptBuilder) place(blk, item int, ts []tuple.Tuple, w int) {
-	b.perBlock[blk] = append(b.perBlock[blk], fragItem{item: item, ts: ts, w: w})
+func (b *promptBuilder) place(blk, item int, sp span, w int) {
+	b.perBlock[blk] = append(b.perBlock[blk], fragItem{item: item, sp: sp, w: w})
 	b.weight[blk] += w
 	switch first := b.firstBlock[item]; {
 	case first == -1:
@@ -167,11 +172,11 @@ func (b *promptBuilder) build() []*tuple.Block {
 		bl.PreAllocate(len(frags))
 		for _, fr := range frags {
 			it := &b.items[fr.item]
-			bl.AddDense(it.key, int32(fr.item)+1, fr.ts, fr.w)
+			fr.sp.addTo(bl, it.key, int32(fr.item)+1, fr.w)
 			if n := b.fragments(fr.item); n > 1 {
 				bl.Ref[it.key] = tuple.SplitInfo{
 					Split:     true,
-					TotalSize: len(it.tuples),
+					TotalSize: it.sp.len(),
 					Fragments: n,
 				}
 			}
@@ -224,16 +229,16 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 	pos := 0
 	for next < k && items[next].size > frag {
 		it := &items[next]
-		rest := it.tuples
+		rest := it.sp
 		restW := it.size
 		for restW > frag {
-			piece, remainder, fw := splitFragment(rest, frag)
+			piece, remainder, fw := rest.split(frag)
 			b.place(pos, next, piece, fw)
 			pos = (pos + 1) % p
 			rest, restW = remainder, restW-fw
 		}
 		if restW > 0 {
-			b.residuals = append(b.residuals, fragItem{item: next, ts: rest, w: restW})
+			b.residuals = append(b.residuals, fragItem{item: next, sp: rest, w: restW})
 		}
 		next++
 	}
@@ -252,7 +257,7 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 		sortByLoad()
 		pos = 0
 		for i := range rest {
-			b.place(order[pos], rest[i].item, rest[i].ts, rest[i].w)
+			b.place(order[pos], rest[i].item, rest[i].sp, rest[i].w)
 			pos++
 			if pos == p {
 				pos = 0
@@ -280,7 +285,7 @@ func (pr *Prompt) Partition(in Input, p int) ([]*tuple.Block, error) {
 			if pos > 0 && b.weight[order[pos]] > avg+fr.w {
 				continue
 			}
-			b.place(order[pos], fr.item, fr.ts, fr.w)
+			b.place(order[pos], fr.item, fr.sp, fr.w)
 			placed += fr.w
 			i++
 		}
@@ -307,7 +312,7 @@ func (b *promptBuilder) mergeRemainder(next int) []fragItem {
 	i, j := 0, 0
 	for i < len(tail) && j < len(residuals) {
 		if tail[i].size >= residuals[j].w {
-			out = append(out, fragItem{item: next + i, ts: tail[i].tuples, w: tail[i].size})
+			out = append(out, fragItem{item: next + i, sp: tail[i].sp, w: tail[i].size})
 			i++
 		} else {
 			out = append(out, residuals[j])
@@ -315,7 +320,7 @@ func (b *promptBuilder) mergeRemainder(next int) []fragItem {
 		}
 	}
 	for ; i < len(tail); i++ {
-		out = append(out, fragItem{item: next + i, ts: tail[i].tuples, w: tail[i].size})
+		out = append(out, fragItem{item: next + i, sp: tail[i].sp, w: tail[i].size})
 	}
 	out = append(out, residuals[j:]...)
 	b.rest = out

@@ -1,0 +1,163 @@
+// Package ring provides the bounded lock-free ingest rings of the
+// columnar receiver: one single-producer single-consumer ring per source
+// goroutine, composed into a multi-producer single-consumer collector.
+// Producers never contend on a shared lock — each owns its ring's tail —
+// and the single consumer drains the rings in producer order, so the
+// collected tuple sequence is a deterministic concatenation of
+// per-producer segments regardless of goroutine scheduling.
+package ring
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"prompt/internal/tuple"
+)
+
+// cacheLinePad separates the producer- and consumer-owned words so the
+// hot Push/Pop loops do not false-share a cache line.
+type cacheLinePad [64]byte
+
+// SPSC is a bounded single-producer single-consumer ring of tuples.
+// Exactly one goroutine may Push/Close and exactly one may Pop/Drain;
+// both sides are wait-free except when the ring is full (Push spins with
+// Gosched — bounded-buffer backpressure) or empty (Drain spins likewise).
+type SPSC struct {
+	buf  []tuple.Tuple
+	mask uint64
+
+	_    cacheLinePad
+	head atomic.Uint64 // next slot the consumer reads
+	_    cacheLinePad
+	tail atomic.Uint64 // next slot the producer writes
+	_    cacheLinePad
+
+	closed atomic.Bool
+}
+
+// NewSPSC returns a ring holding at least capacity tuples (rounded up to
+// a power of two, minimum 8).
+func NewSPSC(capacity int) *SPSC {
+	n := uint64(8)
+	for n < uint64(capacity) {
+		n <<= 1
+	}
+	return &SPSC{buf: make([]tuple.Tuple, n), mask: n - 1}
+}
+
+// Cap returns the ring's capacity.
+func (r *SPSC) Cap() int { return len(r.buf) }
+
+// Push appends one tuple, blocking (via Gosched) while the ring is full.
+// It reports false if the ring was closed — pushing after Close is a
+// producer bug, not a data-loss path.
+func (r *SPSC) Push(t tuple.Tuple) bool {
+	for {
+		if r.closed.Load() {
+			return false
+		}
+		tail := r.tail.Load()
+		if tail-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[tail&r.mask] = t
+			r.tail.Store(tail + 1)
+			return true
+		}
+		runtime.Gosched()
+	}
+}
+
+// Close marks the producer side finished. Close is sticky and idempotent;
+// tuples already in the ring remain poppable.
+func (r *SPSC) Close() { r.closed.Store(true) }
+
+// Closed reports whether the producer closed the ring.
+func (r *SPSC) Closed() bool { return r.closed.Load() }
+
+// Pop removes the oldest tuple, reporting false when the ring is
+// currently empty (which does not imply the producer is done).
+func (r *SPSC) Pop() (tuple.Tuple, bool) {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return tuple.Tuple{}, false
+	}
+	t := r.buf[head&r.mask]
+	r.head.Store(head + 1)
+	return t, true
+}
+
+// Len returns the number of tuples currently buffered.
+func (r *SPSC) Len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// Drain pops until the ring is closed and empty, passing every tuple to
+// emit in push order. It spins with Gosched while the ring is empty but
+// still open.
+func (r *SPSC) Drain(emit func(tuple.Tuple)) {
+	for {
+		if t, ok := r.Pop(); ok {
+			emit(t)
+			continue
+		}
+		// Order matters: observe closed before re-checking empty, so a
+		// push racing the close is never dropped.
+		if r.closed.Load() {
+			if t, ok := r.Pop(); ok {
+				emit(t)
+				continue
+			}
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// Reset re-arms a closed, drained ring for the next use: positions
+// rewind and the closed mark clears. Callers must ensure no producer or
+// consumer goroutine is active — it is the quiescent point between batch
+// intervals.
+func (r *SPSC) Reset() {
+	r.head.Store(0)
+	r.tail.Store(0)
+	r.closed.Store(false)
+}
+
+// MPSC composes one SPSC ring per producer into a multi-producer
+// single-consumer collector. Each producer goroutine owns exactly one
+// ring (by index), so producers never touch shared mutable state; the
+// one consumer drains the rings in ascending producer order.
+type MPSC struct {
+	rings []*SPSC
+}
+
+// NewMPSC returns a collector with one ring of the given capacity per
+// producer.
+func NewMPSC(producers, capacity int) *MPSC {
+	m := &MPSC{rings: make([]*SPSC, producers)}
+	for i := range m.rings {
+		m.rings[i] = NewSPSC(capacity)
+	}
+	return m
+}
+
+// Producers returns the number of producer rings.
+func (m *MPSC) Producers() int { return len(m.rings) }
+
+// Ring returns producer i's ring. Exactly one goroutine may push to it.
+func (m *MPSC) Ring(i int) *SPSC { return m.rings[i] }
+
+// Drain consumes every ring to completion in producer order: ring 0 is
+// drained until its producer closes, then ring 1, and so on. The emitted
+// sequence is therefore the deterministic concatenation of per-producer
+// segments — independent of how the producer goroutines interleaved.
+// Drain blocks until every producer has closed its ring.
+func (m *MPSC) Drain(emit func(tuple.Tuple)) {
+	for _, r := range m.rings {
+		r.Drain(emit)
+	}
+}
+
+// Reset re-arms every ring after a full Drain; see SPSC.Reset.
+func (m *MPSC) Reset() {
+	for _, r := range m.rings {
+		r.Reset()
+	}
+}

@@ -1,0 +1,119 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+func mkTuple(i int) tuple.Tuple {
+	return tuple.Tuple{TS: tuple.Time(i), Key: fmt.Sprintf("k%d", i%7), Val: float64(i), Weight: 1}
+}
+
+func TestSPSCOrderAndClose(t *testing.T) {
+	r := NewSPSC(16)
+	const n = 1000
+	go func() {
+		for i := 0; i < n; i++ {
+			if !r.Push(mkTuple(i)) {
+				t.Error("push failed on open ring")
+				return
+			}
+		}
+		r.Close()
+	}()
+	var got []tuple.Tuple
+	r.Drain(func(tp tuple.Tuple) { got = append(got, tp) })
+	if len(got) != n {
+		t.Fatalf("drained %d tuples, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != mkTuple(i) {
+			t.Fatalf("tuple %d out of order: %+v", i, got[i])
+		}
+	}
+	if r.Push(mkTuple(0)) {
+		t.Error("push succeeded on closed ring")
+	}
+}
+
+func TestSPSCCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{0, 8}, {1, 8}, {8, 8}, {9, 16}, {1000, 1024}} {
+		if got := NewSPSC(tc.ask).Cap(); got != tc.want {
+			t.Errorf("NewSPSC(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}
+
+func TestSPSCBackpressure(t *testing.T) {
+	// A tiny ring forces the producer to block on the consumer: every
+	// tuple must still arrive, in order.
+	r := NewSPSC(8)
+	const n = 10_000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			r.Push(mkTuple(i))
+		}
+		r.Close()
+	}()
+	count := 0
+	r.Drain(func(tp tuple.Tuple) {
+		if tp.TS != tuple.Time(count) {
+			t.Errorf("tuple %d out of order: ts %v", count, tp.TS)
+		}
+		count++
+	})
+	<-done
+	if count != n {
+		t.Fatalf("drained %d tuples, want %d", count, n)
+	}
+}
+
+func TestMPSCDeterministicSegments(t *testing.T) {
+	// However the producers interleave, Drain must emit producer 0's
+	// tuples, then producer 1's, each segment in push order.
+	const producers, per = 4, 500
+	m := NewMPSC(producers, 32)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			r := m.Ring(p)
+			for i := 0; i < per; i++ {
+				r.Push(tuple.Tuple{TS: tuple.Time(p*per + i), Val: float64(p), Weight: 1})
+			}
+			r.Close()
+		}(p)
+	}
+	var got []tuple.Tuple
+	m.Drain(func(tp tuple.Tuple) { got = append(got, tp) })
+	wg.Wait()
+	if len(got) != producers*per {
+		t.Fatalf("drained %d tuples, want %d", len(got), producers*per)
+	}
+	for i, tp := range got {
+		if wantP := i / per; int(tp.Val) != wantP {
+			t.Fatalf("tuple %d from producer %v, want segment %d", i, tp.Val, wantP)
+		}
+		if tp.TS != tuple.Time(i) {
+			t.Fatalf("tuple %d has ts %v, want %d (in-segment order broken)", i, tp.TS, i)
+		}
+	}
+}
+
+func TestMPSCEmptyProducers(t *testing.T) {
+	m := NewMPSC(3, 8)
+	for i := 0; i < 3; i++ {
+		m.Ring(i).Close()
+	}
+	n := 0
+	m.Drain(func(tuple.Tuple) { n++ })
+	if n != 0 {
+		t.Fatalf("drained %d tuples from empty rings", n)
+	}
+}

@@ -55,10 +55,14 @@ func (c AccumulatorConfig) initialFStep() int {
 // SortedKey is one element of the accumulator's output: a key with its
 // exact frequency and buffered tuples. The slice handed to the partitioner
 // is ordered by the CountTree (descending, quasi-sorted).
+//
+// Exactly one of Tuples (row mode) and Cols (column mode, after an
+// AddColumns fold) holds the key's tuples.
 type SortedKey struct {
 	Key    string
 	Count  int
 	Tuples []tuple.Tuple
+	Cols   tuple.ColSlice
 }
 
 // BatchStats summarizes one accumulated batch: the statistics Algorithm 4
@@ -97,6 +101,7 @@ type Accumulator struct {
 	nTuples     int
 	treeUpdates int
 	initialF    int
+	columnar    bool        // this batch was folded via AddColumns
 	out         []SortedKey // dict mode: Finalize output, reused across batches
 }
 
@@ -156,6 +161,7 @@ func (a *Accumulator) Reset(cfg AccumulatorConfig, start, end tuple.Time) error 
 	a.nTuples = 0
 	a.treeUpdates = 0
 	a.initialF = cfg.initialFStep()
+	a.columnar = false
 	return nil
 }
 
@@ -204,6 +210,48 @@ func (a *Accumulator) Add(t tuple.Tuple, now tuple.Time) error {
 	// Existing key: buffer the tuple and decide whether its CountTree node
 	// is eligible for an update this arrival.
 	e.Tuples = append(e.Tuples, t)
+	a.bump(e, now)
+	return nil
+}
+
+// AddColumns ingests a whole ColumnBatch in row order, the columnar twin
+// of calling Add on each row with now = TS[i]. The budget decision
+// sequence (and therefore the CountTree's quasi-sorted order, the tree
+// update count, and Finalize's output order) is identical to the
+// row-mode fold over the same rows; only the per-key buffering changes,
+// into ColSlice columns instead of []Tuple. Requires a dictionary-mode
+// accumulator whose dictionary interned the batch's IDs.
+func (a *Accumulator) AddColumns(cb *tuple.ColumnBatch) error {
+	if a.dict == nil {
+		return fmt.Errorf("stats: AddColumns requires a dictionary-mode accumulator")
+	}
+	a.columnar = true
+	for i := range cb.IDs {
+		ts := cb.TS[i]
+		if ts < a.start || ts >= a.end {
+			return fmt.Errorf("stats: tuple ts %v outside batch interval [%v,%v)", ts, a.start, a.end)
+		}
+		a.nTuples++
+		id := cb.IDs[i]
+		e := a.ht.GetID(id)
+		if e == nil {
+			// First sighting: resolve the key string once, for the HTable
+			// entry and the CountTree node.
+			e = a.ht.PutID(id, a.dict.Resolve(id))
+			e.Cols = e.Cols.Append(ts, cb.Vals[i], cb.W[i])
+			a.initEntry(e, ts)
+			continue
+		}
+		e.Cols = e.Cols.Append(ts, cb.Vals[i], cb.W[i])
+		a.bump(e, ts)
+	}
+	return nil
+}
+
+// bump counts one more arrival of an existing key at time now and decides
+// whether its CountTree node is eligible for an update — the budgeted
+// f.step / t.step discipline shared by the row and column folds.
+func (a *Accumulator) bump(e *KeyEntry, now tuple.Time) {
 	e.FreqCurrent++
 	deltaFreq := e.FreqCurrent - e.FreqUpdated
 	deltaTime := now - e.LastUpdate
@@ -231,13 +279,19 @@ func (a *Accumulator) Add(t tuple.Tuple, now tuple.Time) error {
 	default:
 		// Key not eligible for an update yet.
 	}
-	return nil
 }
 
 // newEntry initializes a first-sighting key entry (Algorithm 1's insert
 // arm) and registers the key in the CountTree with count 1.
 func (a *Accumulator) newEntry(e *KeyEntry, t tuple.Tuple, now tuple.Time) {
 	e.Tuples = append(e.Tuples, t)
+	a.initEntry(e, now)
+}
+
+// initEntry seeds the budget statistics of a first-sighting entry whose
+// first tuple the caller already buffered, and registers the key in the
+// CountTree with count 1.
+func (a *Accumulator) initEntry(e *KeyEntry, now tuple.Time) {
 	e.FreqCurrent = 1
 	e.FreqUpdated = 1
 	e.Budget = a.cfg.Budget
@@ -276,7 +330,11 @@ func (a *Accumulator) Finalize() ([]SortedKey, BatchStats) {
 		if e == nil {
 			return // unreachable: tree and table are kept in sync
 		}
-		out = append(out, SortedKey{Key: e.Key, Count: e.FreqCurrent, Tuples: e.Tuples})
+		if a.columnar {
+			out = append(out, SortedKey{Key: e.Key, Count: e.FreqCurrent, Cols: e.Cols})
+		} else {
+			out = append(out, SortedKey{Key: e.Key, Count: e.FreqCurrent, Tuples: e.Tuples})
+		}
 	})
 	if a.dict != nil {
 		a.out = out

@@ -22,8 +22,13 @@ type KeyEntry struct {
 	Key string
 	// ID is the key's dense intern ID when the table runs in dictionary
 	// mode; 0 (and unused) in map mode.
-	ID          uint32
-	Tuples      []tuple.Tuple
+	ID     uint32
+	Tuples []tuple.Tuple
+	// Cols buffers the key's tuples in columnar form when the accumulator
+	// folds a ColumnBatch; Tuples stays empty then. Like Tuples, the
+	// backing arrays survive arena rewinds so steady-state ingestion
+	// allocates nothing.
+	Cols        tuple.ColSlice
 	FreqCurrent int
 	FreqUpdated int
 	Budget      int
@@ -128,8 +133,9 @@ func (h *HTable) PutID(id uint32, key string) *KeyEntry {
 		h.entries = append(h.entries, KeyEntry{})
 	}
 	e := &h.entries[n]
-	tuples := e.Tuples[:0] // reuse the slot's previous backing array
-	*e = KeyEntry{Key: key, ID: id, Tuples: tuples}
+	tuples := e.Tuples[:0] // reuse the slot's previous backing arrays
+	cols := e.Cols.Reset()
+	*e = KeyEntry{Key: key, ID: id, Tuples: tuples, Cols: cols}
 	h.slot[id] = int32(n) + 1
 	return e
 }

@@ -37,6 +37,12 @@ type ShardedAccumulator struct {
 	// route[s] collects the tuple indices of shard s for the current batch;
 	// reused across batches to avoid reallocation.
 	route [][]tuple.Tuple
+	// routeCols[s] is route[s]'s columnar twin for AddAllColumns.
+	routeCols []tuple.ColumnBatch
+	// bucket caches each intern ID's shard (hashutil.Bucket of the key),
+	// computed once per key; -1 = not yet computed. Valid for the
+	// accumulator's lifetime because the shard count is fixed.
+	bucket []int32
 
 	// Per-heartbeat scratch, reused across batches.
 	errs   []error
@@ -67,12 +73,13 @@ func newSharded(cfg AccumulatorConfig, dict *intern.Dict, shards int, start, end
 		return nil, fmt.Errorf("stats: need >= 1 shard, got %d", shards)
 	}
 	sa := &ShardedAccumulator{
-		shards: make([]*Accumulator, shards),
-		dict:   dict,
-		route:  make([][]tuple.Tuple, shards),
-		errs:   make([]error, shards),
-		keys:   make([][]SortedKey, shards),
-		stats:  make([]BatchStats, shards),
+		shards:    make([]*Accumulator, shards),
+		dict:      dict,
+		route:     make([][]tuple.Tuple, shards),
+		routeCols: make([]tuple.ColumnBatch, shards),
+		errs:      make([]error, shards),
+		keys:      make([][]SortedKey, shards),
+		stats:     make([]BatchStats, shards),
 	}
 	scfg := cfg.perShard(shards)
 	for i := range sa.shards {
@@ -143,6 +150,53 @@ func (sa *ShardedAccumulator) AddAll(tuples []tuple.Tuple, pool *cluster.WorkerP
 				return
 			}
 		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddAllColumns is AddAll for a ColumnBatch: the routing scan walks the
+// contiguous ID column (each key's shard is cached after its first
+// resolution, so the steady state never hashes strings), splits the rows
+// into per-shard column buffers preserving arrival order, and each shard
+// runs its column fold on the pool. Shard assignment is the same
+// hashutil.Bucket of the key string as AddAll, so the merged output is
+// bit-identical to the row fold's. Dictionary mode only.
+func (sa *ShardedAccumulator) AddAllColumns(cb *tuple.ColumnBatch, pool *cluster.WorkerPool) error {
+	if sa.dict == nil {
+		return fmt.Errorf("stats: AddAllColumns requires a dictionary-mode accumulator")
+	}
+	n := len(sa.shards)
+	for s := range sa.routeCols {
+		sa.routeCols[s].Reset()
+		sa.routeCols[s].Start, sa.routeCols[s].End = cb.Start, cb.End
+	}
+	for i := range cb.IDs {
+		id := cb.IDs[i]
+		for int(id) >= len(sa.bucket) {
+			grown := make([]int32, 2*len(sa.bucket)+64)
+			for j := copy(grown, sa.bucket); j < len(grown); j++ {
+				grown[j] = -1
+			}
+			sa.bucket = grown
+		}
+		s := sa.bucket[id]
+		if s < 0 {
+			s = int32(hashutil.Bucket(sa.dict.Resolve(id), n))
+			sa.bucket[id] = s
+		}
+		sa.routeCols[s].Append(id, cb.TS[i], cb.Vals[i], cb.W[i])
+	}
+	errs := sa.errs
+	for s := range errs {
+		errs[s] = nil
+	}
+	pool.Do(n, func(s int) {
+		errs[s] = sa.shards[s].AddColumns(&sa.routeCols[s])
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -150,10 +150,24 @@ type Block struct {
 // every fragment of the key across all blocks of the batch. 0 means the
 // partitioner assigned no dense numbers (the per-tuple techniques), and
 // downstream consumers fall back to string-keyed routing.
+// Cols is the columnar twin of Tuples: when the partitioner ran in
+// column mode the key's tuples live in Cols and Tuples is nil. Exactly
+// one of the two representations is populated; Len and the block
+// aggregates work over either.
 type KeySlice struct {
 	Key    string
 	Tuples []Tuple
 	ID     int32
+	Cols   ColSlice
+}
+
+// Len returns the number of tuples in the slice, whichever
+// representation holds them.
+func (ks *KeySlice) Len() int {
+	if ks.Tuples != nil {
+		return len(ks.Tuples)
+	}
+	return ks.Cols.Len()
 }
 
 // NewBlock returns an empty block with the given id.
@@ -198,6 +212,14 @@ func (bl *Block) AddDense(key string, id int32, tuples []Tuple, weight int) {
 	bl.cardOK = false
 }
 
+// AddDenseCols is AddDense for a columnar fragment: the key's tuples
+// arrive as a ColSlice view instead of a []Tuple.
+func (bl *Block) AddDenseCols(key string, id int32, cols ColSlice, weight int) {
+	bl.Keys = append(bl.Keys, KeySlice{Key: key, ID: id, Cols: cols})
+	bl.weight += weight
+	bl.cardOK = false
+}
+
 // Weight is the total tuple weight in the block (its size |block|).
 func (bl *Block) Weight() int { return bl.weight }
 
@@ -205,7 +227,7 @@ func (bl *Block) Weight() int { return bl.weight }
 func (bl *Block) Size() int {
 	n := 0
 	for i := range bl.Keys {
-		n += len(bl.Keys[i].Tuples)
+		n += bl.Keys[i].Len()
 	}
 	return n
 }
@@ -228,10 +250,16 @@ func (bl *Block) Cardinality() int {
 }
 
 // Tuples flattens the block back to a tuple slice, preserving key order.
+// Columnar key slices are materialized into rows.
 func (bl *Block) Tuples() []Tuple {
 	out := make([]Tuple, 0, bl.Size())
 	for i := range bl.Keys {
-		out = append(out, bl.Keys[i].Tuples...)
+		ks := &bl.Keys[i]
+		if ks.Tuples != nil {
+			out = append(out, ks.Tuples...)
+		} else {
+			out = ks.Cols.AppendTuples(out, ks.Key)
+		}
 	}
 	return out
 }
@@ -258,9 +286,10 @@ func (p *Partitioned) Validate() error {
 	sizes := make(map[string]int)
 	for _, bl := range p.Blocks {
 		perBlock := make(map[string]bool)
-		for _, ks := range bl.Keys {
-			total += len(ks.Tuples)
-			sizes[ks.Key] += len(ks.Tuples)
+		for i := range bl.Keys {
+			ks := &bl.Keys[i]
+			total += ks.Len()
+			sizes[ks.Key] += ks.Len()
 			if !perBlock[ks.Key] {
 				perBlock[ks.Key] = true
 				frags[ks.Key]++

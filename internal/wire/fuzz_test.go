@@ -23,26 +23,58 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
 
 	f.Fuzz(func(t *testing.T, body []byte) {
-		m, err := Unmarshal(body)
-		if err != nil {
-			return
+		checkCanonical(t, body)
+	})
+}
+
+// FuzzColumnsFrame concentrates the fuzzer on the columnar task frame:
+// every input is decoded as a MapTaskCols body (the delta-timestamp and
+// column-length guards are the newest decode surface), with the same
+// never-panic and canonical-round-trip properties as FuzzWireFrame.
+func FuzzColumnsFrame(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		if _, ok := m.(*MapTaskCols); !ok {
+			continue
 		}
 		frame, err := Marshal(m)
 		if err != nil {
-			t.Fatalf("re-encode of decoded %v failed: %v", m.WireType(), err)
+			f.Fatal(err)
 		}
-		m2, err := UnmarshalFrame(frame)
-		if err != nil {
-			t.Fatalf("decode of re-encoded %v failed: %v", m.WireType(), err)
-		}
-		// Compare at the byte level: floats travel as IEEE bits, so this
-		// is exact even for NaN payloads (where DeepEqual would balk).
-		frame2, err := Marshal(m2)
-		if err != nil {
-			t.Fatalf("re-encode of round-tripped %v failed: %v", m.WireType(), err)
-		}
-		if !bytes.Equal(frame, frame2) {
-			t.Fatalf("canonical round trip diverged:\n first  %x\n second %x", frame, frame2)
-		}
+		f.Add(frame[4:][2:]) // payload without version/type bytes
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		body := append([]byte{Version, byte(TypeMapTaskCols)}, payload...)
+		checkCanonical(t, body)
 	})
+}
+
+// checkCanonical asserts the codec's fuzz properties on one frame body:
+// decoding never panics, and any body that decodes re-encodes to a frame
+// that decodes back to the same message.
+func checkCanonical(t *testing.T, body []byte) {
+	t.Helper()
+	m, err := Unmarshal(body)
+	if err != nil {
+		return
+	}
+	frame, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("re-encode of decoded %v failed: %v", m.WireType(), err)
+	}
+	m2, err := UnmarshalFrame(frame)
+	if err != nil {
+		t.Fatalf("decode of re-encoded %v failed: %v", m.WireType(), err)
+	}
+	// Compare at the byte level: floats travel as IEEE bits, so this
+	// is exact even for NaN payloads (where DeepEqual would balk).
+	frame2, err := Marshal(m2)
+	if err != nil {
+		t.Fatalf("re-encode of round-tripped %v failed: %v", m.WireType(), err)
+	}
+	if !bytes.Equal(frame, frame2) {
+		t.Fatalf("canonical round trip diverged:\n first  %x\n second %x", frame, frame2)
+	}
 }

@@ -63,6 +63,7 @@ const (
 	TypeReduceResult
 	TypeReport
 	TypeError
+	TypeMapTaskCols
 )
 
 // String implements fmt.Stringer.
@@ -84,6 +85,8 @@ func (t Type) String() string {
 		return "report"
 	case TypeError:
 		return "error"
+	case TypeMapTaskCols:
+		return "map-task-cols"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -348,6 +351,8 @@ func Unmarshal(body []byte) (Msg, error) {
 		m = &Report{}
 	case TypeError:
 		m = &Error{}
+	case TypeMapTaskCols:
+		m = &MapTaskCols{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrType, body[1])
 	}

@@ -38,6 +38,30 @@ func sampleMsgs() []Msg {
 			},
 		},
 		&MapTask{Dict: DictDelta{Keys: []string{}}, Blocks: []Block{}},
+		&MapTaskCols{
+			Batch: 9,
+			Query: 0,
+			Dict:  DictDelta{First: 2, Keys: []string{"gamma"}},
+			Blocks: []ColBlock{
+				{
+					ID: 1,
+					Keys: []ColKeySlice{
+						{KeyID: 2, Dense: 3, Cols: tuple.ColSlice{
+							TS:   []tuple.Time{-5, 1 << 40, 1<<40 + 7},
+							Vals: []float64{1.5, -0.25, 0},
+							W:    []int32{1, 3, 2},
+						}},
+						{KeyID: 0, Dense: -2, Cols: tuple.ColSlice{
+							TS:   []tuple.Time{},
+							Vals: []float64{},
+							W:    []int32{},
+						}},
+					},
+				},
+				{ID: 4, Keys: []ColKeySlice{}},
+			},
+		},
+		&MapTaskCols{Dict: DictDelta{Keys: []string{}}, Blocks: []ColBlock{}},
 		&MapResult{
 			Batch: 7,
 			Query: 1,

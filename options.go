@@ -138,6 +138,15 @@ func WithValidation(on bool) Option {
 	}
 }
 
+// WithColumnar toggles the columnar hot path for row ingestion; see
+// Config.Columnar.
+func WithColumnar(on bool) Option {
+	return func(c *Config) error {
+		c.Columnar = on
+		return nil
+	}
+}
+
 // WithCost overrides the simulated task cost model; the zero model keeps
 // the defaults.
 func WithCost(cm CostModel) Option {

@@ -13,11 +13,15 @@
 #              noise; benchjson takes the minimum across COUNT repeats)
 #   COUNT      go test -count value     (default 4)
 #   GATE       max tolerated allocs/op regression fraction (default 0.10)
+#   NSGATE     max tolerated ns/op regression fraction (default 0.10)
+#   NOTE       free-form note stored with the recorded section; a replaced
+#              baseline is archived under "history" in the ledger
 #
 # The comparison prints per-benchmark ns/op, B/op, and allocs/op deltas
 # plus the geometric-mean change, and exits nonzero when any benchmark's
-# allocs/op regressed past GATE. When benchstat is installed, its
-# statistical comparison over the raw output is printed too.
+# allocs/op regressed past GATE or its ns/op regressed past NSGATE. When
+# benchstat is installed, its statistical comparison over the raw output
+# is printed too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,12 +29,14 @@ SECTION="${1:-current}"
 BENCHTIME="${BENCHTIME:-64x}"
 COUNT="${COUNT:-4}"
 GATE="${GATE:-0.10}"
+NSGATE="${NSGATE:-0.10}"
 LEDGER="BENCH_hotpath.json"
 RAW="$(mktemp /tmp/bench_hotpath.XXXXXX.txt)"
 trap 'rm -f "$RAW"' EXIT
 
 if [ "$SECTION" = "compare" ]; then
-    exec go run ./cmd/benchjson -file "$LEDGER" -compare -max-allocs-regress "$GATE"
+    exec go run ./cmd/benchjson -file "$LEDGER" -compare \
+        -max-allocs-regress "$GATE" -max-ns-regress "$NSGATE"
 fi
 
 echo "running BenchmarkHotPath (benchtime=$BENCHTIME count=$COUNT)..." >&2
@@ -38,7 +44,8 @@ go test -run='^$' -bench=BenchmarkHotPath -benchmem \
     -benchtime="$BENCHTIME" -count="$COUNT" ./internal/engine/ | tee "$RAW"
 
 go run ./cmd/benchjson -file "$LEDGER" -section "$SECTION" \
-    -max-allocs-regress "$GATE" < "$RAW"
+    -max-allocs-regress "$GATE" -max-ns-regress "$NSGATE" \
+    -note "${NOTE:-}" < "$RAW"
 
 if command -v benchstat >/dev/null 2>&1 && [ "$SECTION" = "current" ] && [ -f "$LEDGER" ]; then
     echo
