@@ -2,6 +2,7 @@ package prompt_test
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -188,4 +189,202 @@ func apiTestBatch(st *prompt.Stream, batch int) []prompt.Tuple {
 		tuples = append(tuples, prompt.NewTuple(ts, keys[(i+batch)%len(keys)], 1))
 	}
 	return tuples
+}
+
+// streamAPI is the surface Stream and MultiStream share through the
+// embedded core: one construction path, one batch lifecycle, one
+// reconfiguration and elasticity story.
+type streamAPI interface {
+	SchemeName() string
+	Now() prompt.Time
+	BatchInterval() prompt.Time
+	Parallelism() (int, int)
+	ProcessBatch([]prompt.Tuple) (prompt.BatchReport, error)
+	Run(prompt.BatchSource, int) ([]prompt.BatchReport, error)
+	Reports() []prompt.BatchReport
+	Reconfigure(...prompt.Option) error
+	SetParallelism(int, int) error
+	SetCores(int) error
+	SetWorkers(int) error
+	SetObserver(prompt.Observer)
+	Rescale(int) error
+	Owners() int
+	Migrations() int
+	Checkpoint() ([]byte, error)
+	Close() error
+}
+
+// surfaceBatch fills one batch interval for any stream type.
+func surfaceBatch(s streamAPI, batch, n int) []prompt.Tuple {
+	start, interval := s.Now(), s.BatchInterval()
+	keys := []string{"a", "b", "c", "d", "e", "f", "g"}
+	tuples := make([]prompt.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		ts := start + prompt.Time(i)*interval/prompt.Time(n)
+		tuples = append(tuples, prompt.NewTuple(ts, keys[(i+batch)%len(keys)], 1))
+	}
+	return tuples
+}
+
+// apiConstructors builds each public stream type through its options-first
+// constructor with identical settings.
+func apiConstructors(opts ...prompt.Option) map[string]func() (streamAPI, error) {
+	q := prompt.WordCount(time.Minute, time.Second)
+	return map[string]func() (streamAPI, error){
+		"stream": func() (streamAPI, error) { return prompt.NewWithOptions(q, opts...) },
+		"multi": func() (streamAPI, error) {
+			return prompt.NewMultiWithOptions([]prompt.Query{q, prompt.PerBatch("count", nil, nil, nil)}, opts...)
+		},
+	}
+}
+
+// TestUnifiedSurface drives the shared surface table-style over both
+// stream types: runtime reconfiguration applies, construction-time
+// changes are rejected wholesale, replaying effective values is a no-op,
+// and the deprecated setters still work.
+func TestUnifiedSurface(t *testing.T) {
+	for name, build := range apiConstructors(prompt.WithParallelism(16, 12)) {
+		t.Run(name, func(t *testing.T) {
+			s, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if m, r := s.Parallelism(); m != 16 || r != 12 {
+				t.Fatalf("Parallelism() = %d, %d; want 16, 12", m, r)
+			}
+
+			// Runtime options apply together.
+			if err := s.Reconfigure(prompt.WithParallelism(4, 4), prompt.WithWorkers(2), prompt.WithCores(8)); err != nil {
+				t.Fatalf("Reconfigure(runtime options): %v", err)
+			}
+			if m, r := s.Parallelism(); m != 4 || r != 4 {
+				t.Fatalf("Parallelism() = %d, %d after Reconfigure; want 4, 4", m, r)
+			}
+
+			// Construction-time changes are rejected and nothing is applied.
+			for i, bad := range []prompt.Option{
+				prompt.WithScheme(prompt.SchemeHash),
+				prompt.WithBatchInterval(2 * time.Second),
+				prompt.WithStatsShards(3),
+				prompt.WithValidation(true),
+				prompt.WithColumnar(true),
+				prompt.WithShards(2),
+				prompt.WithElasticity(prompt.ElasticThreshold, 1, 8),
+			} {
+				if err := s.Reconfigure(bad, prompt.WithParallelism(9, 9)); !errors.Is(err, prompt.ErrBadConfig) {
+					t.Fatalf("bad option %d: Reconfigure = %v, want ErrBadConfig", i, err)
+				}
+				if m, r := s.Parallelism(); m != 4 || r != 4 {
+					t.Fatalf("bad option %d changed parallelism to %d, %d", i, m, r)
+				}
+			}
+
+			// Replaying the effective construction values is a no-op.
+			if err := s.Reconfigure(prompt.WithScheme(prompt.SchemePrompt), prompt.WithBatchInterval(time.Second), prompt.WithEarlyRelease(0.05)); err != nil {
+				t.Fatalf("Reconfigure(replayed defaults): %v", err)
+			}
+
+			// Deprecated setters remain as wrappers.
+			if err := s.SetParallelism(6, 6); err != nil {
+				t.Fatal(err)
+			}
+			if m, r := s.Parallelism(); m != 6 || r != 6 {
+				t.Fatalf("SetParallelism: Parallelism() = %d, %d; want 6, 6", m, r)
+			}
+			if err := s.SetWorkers(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.SetCores(6); err != nil {
+				t.Fatal(err)
+			}
+			s.SetObserver(nil)
+
+			// The elastic surface: rescaling applies at the batch boundary.
+			if err := s.Rescale(0); !errors.Is(err, prompt.ErrBadConfig) {
+				t.Fatalf("Rescale(0) = %v, want ErrBadConfig", err)
+			}
+			if err := s.Rescale(3); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Owners(); got != 0 {
+				t.Fatalf("Owners() = %d before the batch boundary, want 0", got)
+			}
+			if _, err := s.ProcessBatch(surfaceBatch(s, 0, 200)); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Owners(); got != 3 {
+				t.Fatalf("Owners() = %d after the batch boundary, want 3", got)
+			}
+			if s.Migrations() == 0 {
+				t.Fatal("Rescale(3) applied no slot migrations")
+			}
+		})
+	}
+}
+
+// TestElasticStreamIsAnswerNeutral: an elastic run whose policy actually
+// scales mid-stream produces the same windowed answer as a static run of
+// the same input.
+func TestElasticStreamIsAnswerNeutral(t *testing.T) {
+	q := prompt.WordCount(time.Minute, 20*time.Millisecond)
+	base := []prompt.Option{
+		prompt.WithBatchInterval(20 * time.Millisecond),
+		prompt.WithParallelism(2, 2),
+		prompt.WithCores(8),
+	}
+	elastic, err := prompt.NewWithOptions(q, append([]prompt.Option{prompt.WithElasticity(prompt.ElasticThreshold, 1, 8)}, base...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := prompt.NewWithOptions(q, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 12; batch++ {
+		n := 3000 + 3000*batch // ramp into overload so the policy acts
+		if _, err := elastic.ProcessBatch(surfaceBatch(elastic, batch, n)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := static.ProcessBatch(surfaceBatch(static, batch, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elastic.Migrations() == 0 {
+		t.Fatal("elastic policy never scaled; the test is vacuous")
+	}
+	got, want := elastic.Window(), static.Window()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("elastic window diverges from static run:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestWithElasticityValidation: option misuse fails construction.
+func TestWithElasticityValidation(t *testing.T) {
+	q := prompt.WordCount(time.Minute, time.Second)
+	bad := [][]prompt.Option{
+		{prompt.WithElasticity("nosuch", 1, 8)},
+		{prompt.WithElasticity(prompt.ElasticThreshold, 8, 2)},
+		{prompt.WithElasticity(prompt.ElasticThreshold, -1, 2)},
+		// Initial parallelism outside the declared bounds.
+		{prompt.WithElasticity(prompt.ElasticThreshold, 1, 4), prompt.WithParallelism(8, 8)},
+	}
+	for i, opts := range bad {
+		if _, err := prompt.NewWithOptions(q, opts...); !errors.Is(err, prompt.ErrBadConfig) {
+			t.Errorf("bad elasticity %d: error = %v, want ErrBadConfig", i, err)
+		}
+	}
+	for _, policy := range prompt.ElasticPolicies() {
+		st, err := prompt.NewWithOptions(q, prompt.WithElasticity(policy, 1, 16))
+		if err != nil {
+			t.Fatalf("policy %q rejected: %v", policy, err)
+		}
+		st.Close()
+		if parsed, err := prompt.ParseElasticPolicy(string(policy)); err != nil || parsed != policy {
+			t.Errorf("policy %q does not round-trip: %q, %v", policy, parsed, err)
+		}
+	}
+	if p, err := prompt.ParseElasticPolicy(""); err != nil || p != prompt.ElasticThreshold {
+		t.Errorf("ParseElasticPolicy(\"\") = %q, %v; want threshold", p, err)
+	}
 }

@@ -152,14 +152,45 @@ func runShard(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// coordReports runs the workload on a stream and returns its reports and
+// parseScaleScript parses a "batch:owners,batch:owners" script ("2:2,6:1"
+// rescales to 2 owners after batch 2 commits and back to 1 after batch 6).
+func parseScaleScript(s string) (map[int]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[int]int)
+	for _, ev := range strings.Split(s, ",") {
+		var batch, owners int
+		if _, err := fmt.Sscanf(strings.TrimSpace(ev), "%d:%d", &batch, &owners); err != nil {
+			return nil, fmt.Errorf("scale-script event %q: want batch:owners", ev)
+		}
+		if batch < 0 || owners < 1 {
+			return nil, fmt.Errorf("scale-script event %q: batch must be >= 0 and owners >= 1", ev)
+		}
+		out[batch] = owners
+	}
+	return out, nil
+}
+
+// coordReports runs the workload on a stream — applying any scripted
+// rescales after their batch commits — and returns its reports and
 // per-query window answers.
-func coordReports(m *prompt.MultiStream, src *workload.Source, batches int) ([]prompt.BatchReport, []map[string]float64, error) {
-	reps, err := m.Run(func(start, end prompt.Time) ([]prompt.Tuple, error) {
+func coordReports(m *prompt.MultiStream, src *workload.Source, batches int, scale map[int]int) ([]prompt.BatchReport, []map[string]float64, error) {
+	pull := func(start, end prompt.Time) ([]prompt.Tuple, error) {
 		return src.Slice(start, end)
-	}, batches)
-	if err != nil {
-		return nil, nil, err
+	}
+	var reps []prompt.BatchReport
+	for b := 0; b < batches; b++ {
+		r, err := m.Run(pull, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		reps = append(reps, r...)
+		if owners, ok := scale[b]; ok {
+			if err := m.Rescale(owners); err != nil {
+				return nil, nil, fmt.Errorf("rescale to %d after batch %d: %w", owners, b, err)
+			}
+		}
 	}
 	wins := make([]map[string]float64, len(m.Queries()))
 	for i := range wins {
@@ -203,6 +234,7 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 		reduceTasks = fs.Int("r", 4, "reduce tasks (buckets)")
 		workers     = fs.Int("workers", 0, "driver worker goroutines (0 = single-goroutine)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-exchange deadline")
+		scaleScript = fs.String("scale-script", "", "scripted rescales as batch:owners pairs (\"2:2,6:1\"); applied after the named batch commits")
 		verifyLocal = fs.Bool("verify-local", false, "re-run single-process and require bit-identical reports and windows")
 		jsonOut     = fs.Bool("json", false, "print the run summary as JSON")
 	)
@@ -216,9 +248,9 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("coord: %w", err)
 	}
-	scheme, err := prompt.ParseScheme(*schemeName)
+	scale, err := parseScaleScript(*scaleScript)
 	if err != nil {
-		return err
+		return fmt.Errorf("coord: %w", err)
 	}
 	newSource := func() (*workload.Source, error) {
 		ks, err := workload.NewZipfSampler("w", *keys, *zipfZ)
@@ -228,24 +260,25 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 		return &workload.Source{Name: "zipf", Rate: workload.ConstantRate(*rate), Keys: ks, Seed: *seed}, nil
 	}
 
-	base := prompt.Config{
-		BatchInterval: time.Duration(*intervalMS) * time.Millisecond,
-		MapTasks:      *mapTasks,
-		ReduceTasks:   *reduceTasks,
-		Workers:       *workers,
-		Scheme:        scheme,
-		Validate:      true,
+	shardList := strings.Split(*shards, ",")
+	base := []prompt.Option{
+		prompt.WithBatchInterval(time.Duration(*intervalMS) * time.Millisecond),
+		prompt.WithParallelism(*mapTasks, *reduceTasks),
+		prompt.WithScheme(prompt.Scheme(*schemeName)),
+		prompt.WithValidation(true),
 	}
-	ccfg := base
-	ccfg.Topology = prompt.Topology{
-		Shards:          strings.Split(*shards, ","),
+	if *workers != 0 {
+		base = append(base, prompt.WithWorkers(*workers))
+	}
+	cluster := append(append([]prompt.Option(nil), base...), prompt.WithTopology(prompt.Topology{
+		Shards:          shardList,
 		ExchangeTimeout: *timeout,
 		// Generous dial budget (~3 s of backoff) so a coordinator started
 		// moments before its shards converges instead of failing fast.
 		Retry: prompt.RetryPolicy{MaxAttempts: 8, Backoff: prompt.At(25 * time.Millisecond)},
-	}
+	}))
 
-	m, err := prompt.NewMulti(ccfg, qs...)
+	m, err := prompt.NewMultiWithOptions(qs, cluster...)
 	if err != nil {
 		return err
 	}
@@ -254,7 +287,7 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	reps, wins, err := coordReports(m, src, *batches)
+	reps, wins, err := coordReports(m, src, *batches, scale)
 	if err != nil {
 		return err
 	}
@@ -268,13 +301,18 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 		}
 	} else {
 		fmt.Fprintf(stdout, "cluster run: %d batches, %d tuples, %d queries over %d shards (%d down), backpressure factor %.3f\n",
-			sum.Batches, sum.Tuples, len(qs), len(ccfg.Topology.Shards), m.ShardsDown(), m.BackpressureFactor())
+			sum.Batches, sum.Tuples, len(qs), len(shardList), m.ShardsDown(), m.BackpressureFactor())
 		fmt.Fprintf(stdout, "throughput %.0f tuples/s, mean W %.3f, unstable %d\n",
 			sum.Throughput, sum.MeanW, sum.UnstableCount)
+		if len(scale) > 0 {
+			fmt.Fprintf(stdout, "elastic: %d owners after %d slot migrations\n", m.Owners(), m.Migrations())
+		}
 	}
 
 	if *verifyLocal {
-		solo, err := prompt.NewMulti(base, qs...)
+		// The static reference ignores the scale script: rescaling must not
+		// change a single answer, so the comparison holds regardless.
+		solo, err := prompt.NewMultiWithOptions(qs, base...)
 		if err != nil {
 			return err
 		}
@@ -282,7 +320,7 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
-		soloReps, soloWins, err := coordReports(solo, soloSrc, *batches)
+		soloReps, soloWins, err := coordReports(solo, soloSrc, *batches, nil)
 		if err != nil {
 			return err
 		}

@@ -178,3 +178,132 @@ func TestBuildQueriesRejectsUnknown(t *testing.T) {
 		t.Error("empty query list accepted")
 	}
 }
+
+// TestCoordScaleScriptE2E scales a 2-shard cluster 1→2→1 mid-stream via
+// -scale-script: the handoff images travel the unix sockets to real shard
+// processes, and -verify-local still proves the answers bit-identical to
+// a static single-process run.
+func TestCoordScaleScriptE2E(t *testing.T) {
+	addrs := shardAddrs(t, 2)
+	startShard(t, 0, addrs[0], "wordcount,sum")
+	startShard(t, 1, addrs[1], "wordcount,sum")
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"coord",
+		"-shards", strings.Join(addrs, ","),
+		"-queries", "wordcount,sum",
+		"-batches", "12",
+		"-scale-script", "1:1,3:2,8:1",
+		"-verify-local",
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("coord exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "bit-identical") {
+		t.Errorf("verify-local did not confirm equivalence:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "elastic: 1 owners") {
+		t.Errorf("run did not report the final owner count:\n%s", out.String())
+	}
+}
+
+// TestCoordScaleSurvivesDonorKillE2E SIGKILLs the shard that is about to
+// receive handoff stripes right before the rescale: the coordinator loses
+// only the replica (the driver keeps authoritative state), marks the
+// shard down, and the answers stay bit-identical to a static run.
+func TestCoordScaleSurvivesDonorKillE2E(t *testing.T) {
+	const batches, killAt = 12, 4
+	addrs := shardAddrs(t, 2)
+	startShard(t, 0, addrs[0], "wordcount")
+	victim := startShard(t, 1, addrs[1], "wordcount")
+
+	queries := []prompt.Query{prompt.WordCount(10*time.Second, time.Second)}
+	base := []prompt.Option{
+		prompt.WithParallelism(4, 4),
+		prompt.WithValidation(true),
+	}
+	cluster := append(append([]prompt.Option(nil), base...), prompt.WithTopology(prompt.Topology{
+		Shards:          addrs,
+		ExchangeTimeout: 2 * time.Second,
+		Retry:           prompt.RetryPolicy{MaxAttempts: 2, Backoff: prompt.At(5 * time.Millisecond)},
+	}))
+	m, err := prompt.NewMultiWithOptions(queries, cluster...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	newSource := func() *workload.Source {
+		ks, err := workload.NewZipfSampler("w", 400, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &workload.Source{Name: "zipf", Rate: workload.ConstantRate(2000), Keys: ks, Seed: 42}
+	}
+	src := newSource()
+	pull := func(start, end prompt.Time) ([]prompt.Tuple, error) { return src.Slice(start, end) }
+	for i := 0; i < batches; i++ {
+		if i == killAt {
+			// Kill the stripe recipient, then immediately request the 1→2
+			// rescale so the handoff replication hits a dead socket.
+			if err := victim.Process.Kill(); err != nil {
+				t.Fatal(err)
+			}
+			_, _ = victim.Process.Wait()
+			if err := m.Rescale(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := m.Run(pull, 1); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	if m.Migrations() == 0 {
+		t.Fatal("no migrations happened; the test is vacuous")
+	}
+	if down := m.ShardsDown(); down != 1 {
+		t.Errorf("ShardsDown = %d, want 1", down)
+	}
+
+	solo, err := prompt.NewMultiWithOptions(queries, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloSrc := newSource()
+	soloReps, err := solo.Run(func(s, e prompt.Time) ([]prompt.Tuple, error) { return soloSrc.Slice(s, e) }, batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scrubReports(m.Reports()), scrubReports(soloReps)) {
+		t.Error("reports diverged from the single-process run after the donor kill")
+	}
+	clusterWin, err := m.Window(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloWin, err := solo.Window(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(clusterWin, soloWin) {
+		t.Error("window answers diverged from the single-process run after the donor kill")
+	}
+}
+
+func TestParseScaleScript(t *testing.T) {
+	got, err := parseScaleScript("1:2, 3:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, map[int]int{1: 2, 3: 1}) {
+		t.Errorf("parseScaleScript = %v", got)
+	}
+	if m, err := parseScaleScript(""); err != nil || m != nil {
+		t.Errorf("empty script: %v, %v", m, err)
+	}
+	for _, bad := range []string{"x", "1:", "1:0", "-1:2"} {
+		if _, err := parseScaleScript(bad); err == nil {
+			t.Errorf("accepted bad script %q", bad)
+		}
+	}
+}

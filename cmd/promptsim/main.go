@@ -45,6 +45,7 @@ func main() {
 		reduceTasks = flag.Int("r", 8, "reduce tasks (buckets)")
 		cores       = flag.Int("cores", 8, "simulated cores")
 		elasticOn   = flag.Bool("elastic", false, "enable the auto-scale controller (Algorithm 4)")
+		elasticPol  = flag.String("elastic-policy", "threshold", "auto-scale policy with -elastic: threshold|predictive|cost")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		input       = flag.String("input", "", "replay a recorded CSV trace (streamgen format) instead of generating")
 		csvOut      = flag.String("csv", "", "also write the per-batch reports as CSV to this file")
@@ -197,7 +198,18 @@ func main() {
 			fatal(err)
 		}
 	case *elasticOn:
-		ctrl, err := elastic.NewController(elastic.DefaultConfig(), *mapTasks, *reduceTasks)
+		var ctrl elastic.Policy
+		var err error
+		switch *elasticPol {
+		case "threshold":
+			ctrl, err = elastic.NewController(elastic.DefaultConfig(), *mapTasks, *reduceTasks)
+		case "predictive":
+			ctrl, err = elastic.NewPredictive(elastic.DefaultConfig(), *mapTasks, *reduceTasks)
+		case "cost":
+			ctrl, err = elastic.NewCostAware(elastic.DefaultConfig(), cfg.Cost, cfg.BatchInterval, *mapTasks, *reduceTasks)
+		default:
+			err = fmt.Errorf("unknown -elastic-policy %q (threshold|predictive|cost)", *elasticPol)
+		}
 		if err != nil {
 			fatal(err)
 		}

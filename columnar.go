@@ -101,7 +101,11 @@ func (s *Stream) ProcessReceivedContext(ctx context.Context, r *Receiver) (Batch
 	if err != nil {
 		return BatchReport{}, err
 	}
-	return newBatchReport(s.scheme.Name, rep), nil
+	br := newBatchReport(s.scheme.Name, rep)
+	if err := s.observeElastic(br); err != nil {
+		return br, err
+	}
+	return br, nil
 }
 
 // ProcessBatchColumnar ingests one batch interval of rows through the
@@ -124,5 +128,9 @@ func (s *Stream) ProcessBatchColumnarContext(ctx context.Context, tuples []Tuple
 	if err != nil {
 		return BatchReport{}, err
 	}
-	return newBatchReport(s.scheme.Name, rep), nil
+	br := newBatchReport(s.scheme.Name, rep)
+	if err := s.observeElastic(br); err != nil {
+		return br, err
+	}
+	return br, nil
 }

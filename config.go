@@ -68,6 +68,14 @@ type Config struct {
 	// bit-identical reports and answers. See Topology, WithShards, and
 	// WithTransport. The zero value keeps everything in-process.
 	Topology Topology
+	// Elasticity, when enabled, turns the stream elastic: after every
+	// batch the configured policy observes the report and may change the
+	// Map and Reduce parallelism, with key-range ownership following the
+	// Map task count — the window state of reassigned key ranges migrates
+	// bit-identically at the next batch boundary, so reports and answers
+	// match a static run. See Elasticity and WithElasticity. The zero
+	// value keeps the parallelism static.
+	Elasticity Elasticity
 }
 
 // build resolves the configuration into an engine config and scheme.

@@ -29,17 +29,8 @@
 //
 // # Quick start
 //
-//	cfg := prompt.Config{
-//		BatchInterval: time.Second,
-//		MapTasks:      8,
-//		ReduceTasks:   8,
-//		Scheme:        prompt.SchemePrompt,
-//	}
-//	st, err := prompt.New(cfg, prompt.WordCount(30*time.Second, time.Second))
-//	if err != nil { ... }
-//	rep, err := st.ProcessBatch(tuples) // tuples from your receiver
-//
-// The same configuration is available as functional options:
+// Functional options are the construction path; every knob is a With*
+// option folded over the defaults:
 //
 //	st, err := prompt.NewWithOptions(prompt.WordCount(30*time.Second, time.Second),
 //		prompt.WithBatchInterval(time.Second),
@@ -47,12 +38,31 @@
 //		prompt.WithScheme(prompt.SchemePrompt),
 //		prompt.WithWorkers(-1), // execute the pipeline on GOMAXPROCS goroutines
 //	)
+//	if err != nil { ... }
+//	rep, err := st.ProcessBatch(tuples) // tuples from your receiver
+//
+// NewMultiWithOptions accepts the same options and runs several queries
+// over one shared batching phase; New and NewMulti remain as thin
+// Config-struct wrappers for callers that load configuration wholesale.
+// After construction, Reconfigure applies the runtime-changeable subset
+// (WithParallelism, WithCores, WithWorkers, WithObserver) at the next
+// batch boundary and rejects everything else with ErrBadConfig.
 //
 // Scheme is a typed string with constants for every accepted technique
 // (SchemePrompt, SchemeHash, …); ParseScheme validates runtime strings
 // from flags or config files. Construction and option errors wrap
 // ErrBadConfig, and TopK on a windowless query returns ErrNoWindow, so
 // callers can branch with errors.Is.
+//
+// # Elasticity
+//
+// WithElasticity attaches a latency-aware auto-scale policy (threshold,
+// predictive, or cost-aware) that observes every batch report and resizes
+// the Map/Reduce parallelism within [min, max]. Every resize — and every
+// explicit Rescale call — changes the key-range owner count at a batch
+// boundary: the affected window state is extracted, serialized, and
+// handed to its new owner, and the answers stay bit-identical to a
+// static run. Owners and Migrations expose the migration activity.
 //
 // # Runtime parallelism
 //

@@ -1,0 +1,119 @@
+package prompt
+
+import (
+	"fmt"
+
+	"prompt/internal/elastic"
+	"prompt/internal/engine"
+)
+
+// ElasticPolicy names an autoscaling policy for WithElasticity. Policies
+// are deterministic functions of the per-batch reports, so elastic runs
+// replay bit-identically; the migration machinery keeps windowed answers
+// bit-identical to a static run regardless of how often the policy acts.
+type ElasticPolicy string
+
+// The built-in autoscaling policies.
+const (
+	// ElasticThreshold is the paper's Algorithm 4: scale out after the
+	// stability ratio W exceeds the threshold for d consecutive batches,
+	// scale in after it stays below threshold-step for d batches. The
+	// default.
+	ElasticThreshold ElasticPolicy = "threshold"
+	// ElasticPredictive extrapolates the arrival-rate trend one batch
+	// ahead (least-squares slope) and feeds the predicted stability ratio
+	// to the threshold machinery, acting before the overload it forecasts.
+	ElasticPredictive ElasticPolicy = "predictive"
+	// ElasticCostAware plans with the simulator's cost model: each batch
+	// it searches the (map, reduce) grid for the cheapest configuration
+	// whose predicted W sits inside the stability band, calibrated
+	// against the observed W, and can release several tasks at once.
+	ElasticCostAware ElasticPolicy = "cost"
+)
+
+// String returns the policy's parseable name.
+func (p ElasticPolicy) String() string {
+	if p == "" {
+		return string(ElasticThreshold)
+	}
+	return string(p)
+}
+
+// ElasticPolicies lists the built-in policies in stable order.
+func ElasticPolicies() []ElasticPolicy {
+	return []ElasticPolicy{ElasticThreshold, ElasticPredictive, ElasticCostAware}
+}
+
+// ParseElasticPolicy resolves a policy name; the empty string selects
+// ElasticThreshold. Unknown names wrap ErrBadConfig.
+func ParseElasticPolicy(s string) (ElasticPolicy, error) {
+	switch ElasticPolicy(s) {
+	case "", ElasticThreshold:
+		return ElasticThreshold, nil
+	case ElasticPredictive:
+		return ElasticPredictive, nil
+	case ElasticCostAware:
+		return ElasticCostAware, nil
+	}
+	return "", fmt.Errorf("%w: unknown elastic policy %q (have %v)", ErrBadConfig, s, ElasticPolicies())
+}
+
+// Elasticity configures automatic scaling; see Config.Elasticity and
+// WithElasticity. The zero value keeps the stream static.
+type Elasticity struct {
+	// Policy selects the autoscaling policy; the zero value selects
+	// ElasticThreshold.
+	Policy ElasticPolicy
+	// MinTasks and MaxTasks bound the per-stage parallelism the policy
+	// may choose. MinTasks 0 means 1; MaxTasks 0 leaves scale-out
+	// unbounded (the cost-aware planner still caps its search at 64).
+	MinTasks int
+	MaxTasks int
+}
+
+// enabled reports whether the configuration asks for elasticity at all.
+func (e Elasticity) enabled() bool {
+	return e.Policy != "" || e.MinTasks > 0 || e.MaxTasks > 0
+}
+
+// build resolves the elasticity settings against the engine's resolved
+// configuration into a running policy; errors wrap ErrBadConfig.
+func (e Elasticity) build(ec engine.Config) (elastic.Policy, error) {
+	if !e.enabled() {
+		return nil, nil
+	}
+	min, max := e.MinTasks, e.MaxTasks
+	if min == 0 {
+		min = 1
+	}
+	if min < 1 || (max != 0 && max < min) {
+		return nil, fmt.Errorf("%w: elasticity bounds [%d, %d] are inverted", ErrBadConfig, e.MinTasks, e.MaxTasks)
+	}
+	m, r := ec.MapTasks, ec.ReduceTasks
+	if m < min || r < min || (max != 0 && (m > max || r > max)) {
+		return nil, fmt.Errorf("%w: initial parallelism p=%d r=%d outside elasticity bounds [%d, %d]",
+			ErrBadConfig, m, r, min, max)
+	}
+	cfg := elastic.DefaultConfig()
+	cfg.MinMapTasks, cfg.MinReduceTasks = min, min
+	cfg.MaxMapTasks, cfg.MaxReduceTasks = max, max
+
+	var (
+		p   elastic.Policy
+		err error
+	)
+	switch e.Policy {
+	case "", ElasticThreshold:
+		p, err = elastic.NewController(cfg, m, r)
+	case ElasticPredictive:
+		p, err = elastic.NewPredictive(cfg, m, r)
+	case ElasticCostAware:
+		p, err = elastic.NewCostAware(cfg, ec.Cost, ec.BatchInterval, m, r)
+	default:
+		return nil, fmt.Errorf("%w: unknown elastic policy %q (have %v)", ErrBadConfig, e.Policy, ElasticPolicies())
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return p, nil
+}

@@ -34,12 +34,11 @@ func main() {
 	countQ.Map = func(t prompt.Tuple) (float64, bool) { return 1, t.Val >= 0.05 }
 
 	mk := func(q prompt.Query) *prompt.Stream {
-		st, err := prompt.New(prompt.Config{
-			BatchInterval: time.Second,
-			MapTasks:      8,
-			ReduceTasks:   8,
-			Scheme:        prompt.SchemePrompt,
-		}, q)
+		st, err := prompt.NewWithOptions(q,
+			prompt.WithBatchInterval(time.Second),
+			prompt.WithParallelism(8, 8),
+			prompt.WithScheme(prompt.SchemePrompt),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

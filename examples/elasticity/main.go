@@ -1,8 +1,11 @@
-// Elasticity demonstrates Algorithm 4 (latency-aware auto-scale): the
-// engine starts with two tasks, the offered load ramps up 8x and back
-// down, and the controller grows and shrinks the Map/Reduce parallelism to
-// keep the stability ratio W = processing time / batch interval inside the
-// Zone-2 band — the Figure 12 experiment at demo scale.
+// Elasticity demonstrates latency-aware auto-scaling through the public
+// API: the stream starts with two tasks, the offered load ramps up 8x and
+// back down, and the policy picked by WithElasticity grows and shrinks the
+// Map/Reduce parallelism to keep the stability ratio W = processing time /
+// batch interval inside the Zone-2 band — the Figure 12 experiment at demo
+// scale. Every parallelism change also rescales the key-range owners, so
+// window state migrates live between owners while the answers stay
+// bit-identical to a static run.
 package main
 
 import (
@@ -11,13 +14,9 @@ import (
 	"strings"
 	"time"
 
-	"prompt/internal/cluster"
-	"prompt/internal/core"
-	"prompt/internal/elastic"
-	"prompt/internal/engine"
-	"prompt/internal/experiment"
+	"prompt"
+
 	"prompt/internal/tuple"
-	"prompt/internal/window"
 	"prompt/internal/workload"
 )
 
@@ -25,9 +24,9 @@ func main() {
 	const batches = 36
 	half := tuple.Time(batches/2) * tuple.Second
 
-	// Offered rate: 40k -> 320k -> 40k tuples/s; key universe grows with it.
-	up := workload.RampRate{From: 40_000, To: 320_000, Start: 0, End: half}
-	down := workload.RampRate{From: 320_000, To: 40_000, Start: half, End: 2 * half}
+	// Offered rate: 40k -> 800k -> 40k tuples/s; key universe grows with it.
+	up := workload.RampRate{From: 40_000, To: 800_000, Start: 0, End: half}
+	down := workload.RampRate{From: 800_000, To: 40_000, Start: half, End: 2 * half}
 	keys, err := workload.NewGrowingSampler("k", 5_000, 50_000, 0, half)
 	if err != nil {
 		log.Fatal(err)
@@ -39,59 +38,42 @@ func main() {
 		Seed: 11,
 	}
 
-	cfg := core.PromptScheme().Apply(engine.Config{
-		BatchInterval: tuple.Second,
-		MapTasks:      2,
-		ReduceTasks:   2,
-		Cores:         2,
-		Cost:          experiment.Default().Cost,
-	})
-	eng, err := engine.New(cfg, engine.Query{Name: "wordcount", Map: engine.CountMap, Reduce: window.Sum})
-	if err != nil {
-		log.Fatal(err)
-	}
-	ctrl, err := elastic.NewController(elastic.Config{D: 2}, 2, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
-	pool, err := cluster.NewExecutorPool(32, 2, 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	driver, err := core.NewElasticDriver(eng, ctrl, pool)
+	// One construction path: options in, elastic policy included. The
+	// policy observes every batch report; when it resizes, the stream also
+	// migrates key-range ownership at the same batch boundary.
+	st, err := prompt.NewWithOptions(prompt.WordCount(10*time.Second, time.Second),
+		prompt.WithBatchInterval(time.Second),
+		prompt.WithParallelism(2, 2),
+		prompt.WithCores(32),
+		prompt.WithScheme(prompt.SchemePrompt),
+		prompt.WithElasticity(prompt.ElasticThreshold, 2, 16),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println("batch | offered/s | W    | tasks (p+r)      | action")
-	fmt.Println(strings.Repeat("-", 72))
+	fmt.Println("batch | offered/s | W    | tasks (p+r)")
+	fmt.Println(strings.Repeat("-", 56))
 	for i := 0; i < batches; i++ {
-		start := eng.Now()
+		start := st.Now()
 		ts, err := src.Slice(start, start+tuple.Second)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := driver.Step(ts, start, start+tuple.Second)
+		rep, err := st.ProcessBatch(ts)
 		if err != nil {
 			log.Fatal(err)
 		}
-		act := driver.Actions()[len(driver.Actions())-1]
 		bar := strings.Repeat("#", rep.MapTasks+rep.ReduceTasks)
-		note := ""
-		switch {
-		case act.Direction > 0:
-			note = "scale-out: " + act.Reason
-		case act.Direction < 0:
-			note = "scale-in: " + act.Reason
-		}
-		fmt.Printf("%5d | %9.0f | %4.2f | %-16s | %s\n",
-			rep.Index, src.Rate.RateAt(start), rep.W, bar, note)
+		fmt.Printf("%5d | %9.0f | %4.2f | %s\n",
+			rep.Index, src.Rate.RateAt(start), rep.W, bar)
 	}
 
-	s := engine.Summarize(eng.Reports())
+	s := prompt.Summarize(st.Reports())
 	fmt.Printf("\nprocessed %d tuples across %d batches; %d unstable; max latency %v\n",
 		s.Tuples, s.Batches, s.UnstableCount, s.MaxLatency.Duration().Round(time.Millisecond))
-	fmt.Printf("executors held at the end: %d of %d\n", pool.Held(), pool.Capacity())
+	fmt.Printf("key ranges now span %d owners after %d live slot migrations\n",
+		st.Owners(), st.Migrations())
 }
 
 // upThenDown rises along up until mid, then follows down.

@@ -26,12 +26,11 @@ func main() {
 		},
 	}
 
-	ms, err := prompt.NewMulti(prompt.Config{
-		BatchInterval: time.Second,
-		MapTasks:      8,
-		ReduceTasks:   8,
-		Scheme:        prompt.SchemePrompt,
-	}, countQ, fareQ, premiumQ)
+	ms, err := prompt.NewMultiWithOptions([]prompt.Query{countQ, fareQ, premiumQ},
+		prompt.WithBatchInterval(time.Second),
+		prompt.WithParallelism(8, 8),
+		prompt.WithScheme(prompt.SchemePrompt),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -20,13 +20,12 @@ func main() {
 	// A 1-second micro-batch engine running the full Prompt scheme:
 	// frequency-aware buffering, the B-BPFI batch partitioner, and the
 	// worst-fit reduce allocator, on 8 simulated cores.
-	st, err := prompt.New(prompt.Config{
-		BatchInterval: time.Second,
-		MapTasks:      8,
-		ReduceTasks:   8,
-		Scheme:        prompt.SchemePrompt,
-		Validate:      true, // paranoid per-batch invariant checks
-	}, prompt.WordCount(10*time.Second, time.Second))
+	st, err := prompt.NewWithOptions(prompt.WordCount(10*time.Second, time.Second),
+		prompt.WithBatchInterval(time.Second),
+		prompt.WithParallelism(8, 8),
+		prompt.WithScheme(prompt.SchemePrompt),
+		prompt.WithValidation(true), // paranoid per-batch invariant checks
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

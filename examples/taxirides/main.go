@@ -23,12 +23,11 @@ import (
 
 func main() {
 	mk := func(name string, winLen, slide time.Duration) *prompt.Stream {
-		st, err := prompt.New(prompt.Config{
-			BatchInterval: time.Second,
-			MapTasks:      8,
-			ReduceTasks:   8,
-			Scheme:        prompt.SchemePrompt,
-		}, prompt.SlidingSum(name, winLen, slide))
+		st, err := prompt.NewWithOptions(prompt.SlidingSum(name, winLen, slide),
+			prompt.WithBatchInterval(time.Second),
+			prompt.WithParallelism(8, 8),
+			prompt.WithScheme(prompt.SchemePrompt),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -17,12 +17,11 @@ import (
 )
 
 func run(scheme prompt.Scheme) (*prompt.Stream, prompt.RunSummary) {
-	st, err := prompt.New(prompt.Config{
-		BatchInterval: time.Second,
-		MapTasks:      8,
-		ReduceTasks:   8,
-		Scheme:        scheme,
-	}, prompt.WordCount(8*time.Second, time.Second))
+	st, err := prompt.NewWithOptions(prompt.WordCount(8*time.Second, time.Second),
+		prompt.WithBatchInterval(time.Second),
+		prompt.WithParallelism(8, 8),
+		prompt.WithScheme(scheme),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

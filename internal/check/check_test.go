@@ -33,7 +33,7 @@ func TestMetamorphicScenarios(t *testing.T) {
 // reproduce a failure.
 func TestGenerateIsDeterministic(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
-		if a, b := Generate(seed), Generate(seed); a != b {
+		if a, b := Generate(seed), Generate(seed); !reflect.DeepEqual(a, b) {
 			t.Fatalf("seed %d generated two different scenarios:\n  %s\n  %s", seed, a, b)
 		}
 	}
@@ -100,7 +100,8 @@ func TestShrinkFindsMinimalScenario(t *testing.T) {
 		t.Errorf("load-bearing fields not minimal: faults=%d batches=%d, want 1 and 3", got.FaultEvents, got.Batches)
 	}
 	if got.JitterMS != 0 || got.MaxDelayMS != 0 || got.Throttle || got.NonInvertible ||
-		got.Workers != 0 || got.Skew != "uniform" || got.CheckpointAt != 1 || got.Columnar {
+		got.Workers != 0 || got.Skew != "uniform" || got.CheckpointAt != 1 || got.Columnar ||
+		len(got.ScaleEvents) != 0 {
 		t.Errorf("irrelevant fields not reduced: %s", got)
 	}
 	if got.Seed != sc.Seed {
@@ -112,7 +113,7 @@ func TestShrinkFindsMinimalScenario(t *testing.T) {
 // comes back untouched.
 func TestShrinkKeepsPassingScenario(t *testing.T) {
 	sc := Generate(3)
-	if got := Shrink(sc, func(Scenario) bool { return false }); got != sc {
+	if got := Shrink(sc, func(Scenario) bool { return false }); !reflect.DeepEqual(got, sc) {
 		t.Errorf("shrink mutated a passing scenario: %s -> %s", sc, got)
 	}
 }

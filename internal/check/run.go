@@ -37,7 +37,93 @@ func Run(sc Scenario) []string {
 	violations = append(violations, checkCheckpointEquivalence(sc)...)
 	violations = append(violations, checkTransportEquivalence(sc, batches)...)
 	violations = append(violations, checkColumnarEquivalence(sc, batches)...)
+	violations = append(violations, checkMigrationEquivalence(sc, batches)...)
 	return violations
+}
+
+// checkMigrationEquivalence is invariant 8: a run whose key-range owner
+// count changes mid-stream — the scripted ScaleEvents, applied after
+// their batch commits so the state handoff happens at the next batch
+// boundary — must produce the same window answer after every batch and
+// bit-identical reports vs. the static in-process run. The elastic arm
+// runs three ways: in-process, and scattered over loopback and pipe
+// shard clusters (where handoff images additionally travel the wire to
+// the recipient shards). The clock is frozen by Run, so "bit-identical"
+// includes every timing field.
+func checkMigrationEquivalence(sc Scenario, batches [][]tuple.Tuple) []string {
+	if len(sc.ScaleEvents) == 0 {
+		return nil
+	}
+	scheme, err := core.ByName(sc.Scheme)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	refSnaps, refReports, _, err := snapshotsOf(sc, scheme, 0, batches)
+	if err != nil {
+		return []string{fmt.Sprintf("migration reference failed: %v", err)}
+	}
+	rescaleAt := make(map[int]int, len(sc.ScaleEvents))
+	for _, ev := range sc.ScaleEvents {
+		rescaleAt[ev.AtBatch] = ev.Owners // later events at the same batch win
+	}
+	queries := []engine.Query{query(sc)}
+	shards := 2 + int(sc.Seed%2) // match the transport invariant's topology
+	for _, backend := range []string{"inprocess", "loopback", "pipe"} {
+		violations := func() []string {
+			cfg := scheme.Apply(baseConfig(sc, sc.Workers))
+			eng, err := engine.New(cfg, queries[0])
+			if err != nil {
+				return []string{fmt.Sprintf("migration %s engine: %v", backend, err)}
+			}
+			if backend != "inprocess" {
+				handlers := make([]transport.Handler, shards)
+				for i := range handlers {
+					handlers[i] = dist.NewShard(i, queries)
+				}
+				var tr transport.Transport
+				if backend == "loopback" {
+					tr = transport.NewLoopback(handlers...)
+				} else {
+					tr = transport.NewPipe(5*time.Second, handlers...)
+				}
+				coord, err := dist.NewCoordinator(tr, cfg.BatchInterval, queries)
+				if err != nil {
+					tr.Close()
+					return []string{fmt.Sprintf("migration %s coordinator: %v", backend, err)}
+				}
+				defer coord.Close()
+				eng.SetExecutor(coord)
+			}
+			var violations []string
+			err = stepAll(eng, batches, func(i int) error {
+				if snap := eng.WindowSnapshot(); !reflect.DeepEqual(snap, refSnaps[i]) {
+					violations = append(violations, fmt.Sprintf(
+						"invariant 8 (migration equivalence): scheme %s batch %d window answer diverged under rescaling (%s)",
+						sc.Scheme, i, backend))
+				}
+				if n, ok := rescaleAt[i]; ok {
+					if err := eng.Rescale(n); err != nil {
+						return fmt.Errorf("rescale to %d after batch %d: %w", n, i, err)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				violations = append(violations, fmt.Sprintf("migration %s run failed: %v", backend, err))
+				return violations
+			}
+			if !reflect.DeepEqual(eng.Reports(), refReports) {
+				violations = append(violations, fmt.Sprintf(
+					"invariant 8 (migration equivalence): scheme %s reports diverged under rescaling (%s)",
+					sc.Scheme, backend))
+			}
+			return violations
+		}()
+		if len(violations) > 0 {
+			return violations
+		}
+	}
+	return nil
 }
 
 // checkColumnarEquivalence is invariant 7: flipping the ingest layout —

@@ -17,7 +17,10 @@
 //  6. execution scattered over a shard cluster (loopback and pipe
 //     transports) equals the in-process run bit for bit,
 //  7. columnar and row ingestion produce bit-identical reports and
-//     window answers.
+//     window answers,
+//  8. a run whose key-range owner count changes mid-stream (live
+//     rescaling with state migration, in-process and over loopback/pipe
+//     shard clusters) equals the static run bit for bit.
 //
 // A failing scenario prints its seed plus a shrunk minimal scenario that
 // still fails; PROMPT_CHECK_SEED replays one seed deterministically and
@@ -77,6 +80,18 @@ type Scenario struct {
 	// runs in the scenario's mode, and invariant 7 additionally checks
 	// the flipped mode produces bit-identical reports.
 	Columnar bool
+	// ScaleEvents scripts live rescales for invariant 8: after batch
+	// AtBatch commits, the run asks for Owners key-range owners and the
+	// migration machinery hands the affected window state off at the next
+	// batch boundary. Reports and windows must stay bit-identical to the
+	// static run. Empty = static.
+	ScaleEvents []ScaleEvent
+}
+
+// ScaleEvent is one scripted elastic rescale; see Scenario.ScaleEvents.
+type ScaleEvent struct {
+	AtBatch int // rescale requested after this batch commits
+	Owners  int // requested key-range owner count
 }
 
 // Generate derives a scenario from a seed. Identical seeds yield
@@ -103,17 +118,29 @@ func Generate(seed int64) Scenario {
 	// Usually generous enough to keep everything; sometimes tighter than
 	// the jitter, so the run drops tuples.
 	sc.MaxDelayMS = 50 * rng.Intn(7)
+	// Scale events draw last so every pre-elasticity seed keeps its
+	// historical field values (replay stability of PROMPT_CHECK_SEED).
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		sc.ScaleEvents = append(sc.ScaleEvents, ScaleEvent{
+			AtBatch: rng.Intn(sc.Batches - 1),
+			Owners:  1 + rng.Intn(4),
+		})
+	}
 	return sc
 }
 
 // String renders the scenario compactly, one field per token, so a
 // failure report is self-describing and diffable against the shrunk form.
 func (sc Scenario) String() string {
+	scale := make([]string, len(sc.ScaleEvents))
+	for i, ev := range sc.ScaleEvents {
+		scale[i] = fmt.Sprintf("%d:%d", ev.AtBatch, ev.Owners)
+	}
 	return fmt.Sprintf("seed=%d batches=%d ckpt@%d rate=%g keys=%d skew=%s scheme=%s "+
-		"workers=%d window=%ds noninv=%v faults=%d jitter=%dms maxdelay=%dms throttle=%v columnar=%v",
+		"workers=%d window=%ds noninv=%v faults=%d jitter=%dms maxdelay=%dms throttle=%v columnar=%v scale=[%s]",
 		sc.Seed, sc.Batches, sc.CheckpointAt, sc.Rate, sc.Keys, sc.Skew, sc.Scheme,
 		sc.Workers, sc.WindowSec, sc.NonInvertible, sc.FaultEvents,
-		sc.JitterMS, sc.MaxDelayMS, sc.Throttle, sc.Columnar)
+		sc.JitterMS, sc.MaxDelayMS, sc.Throttle, sc.Columnar, strings.Join(scale, ","))
 }
 
 // seedsFromEnv resolves the seed sweep: PROMPT_CHECK_SEED pins a single

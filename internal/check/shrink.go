@@ -110,6 +110,15 @@ func Shrink(sc Scenario, fails func(Scenario) bool) Scenario {
 			s.CheckpointAt = 1
 			return s, true
 		},
+		// Drop scale events one at a time (down to a static run with zero
+		// migrations), so a failure unrelated to elasticity sheds it.
+		func(s Scenario) (Scenario, bool) {
+			if len(s.ScaleEvents) == 0 {
+				return s, false
+			}
+			s.ScaleEvents = append([]ScaleEvent(nil), s.ScaleEvents[:len(s.ScaleEvents)-1]...)
+			return s, true
+		},
 	}
 	// Each accepted mutation strictly simplifies a bounded field, so the
 	// fixpoint terminates; the cap is a backstop against a pathological

@@ -10,31 +10,32 @@ import (
 	"prompt/internal/workload"
 )
 
-// ElasticDriver couples an engine with the auto-scale controller
-// (Algorithm 4) and an executor pool: after every batch the controller
-// observes W and the batch statistics, decides the next parallelism, and
-// the driver acquires or releases executors so the core count tracks the
+// ElasticDriver couples an engine with an auto-scale policy (the
+// threshold controller of Algorithm 4, or the predictive / cost-aware
+// variants) and an executor pool: after every batch the policy observes
+// W and the batch statistics, decides the next parallelism, and the
+// driver acquires or releases executors so the core count tracks the
 // task count — the Figure 12 setup.
 type ElasticDriver struct {
-	Engine     *engine.Engine
-	Controller *elastic.Controller
-	Pool       *cluster.ExecutorPool
+	Engine *engine.Engine
+	Policy elastic.Policy
+	Pool   *cluster.ExecutorPool
 
 	actions []elastic.Action
 }
 
 // NewElasticDriver wires the three components. The engine's initial
-// parallelism must match the controller's.
-func NewElasticDriver(e *engine.Engine, c *elastic.Controller, p *cluster.ExecutorPool) (*ElasticDriver, error) {
+// parallelism must match the policy's.
+func NewElasticDriver(e *engine.Engine, c elastic.Policy, p *cluster.ExecutorPool) (*ElasticDriver, error) {
 	if e == nil || c == nil || p == nil {
-		return nil, fmt.Errorf("core: elastic driver needs engine, controller and pool")
+		return nil, fmt.Errorf("core: elastic driver needs engine, policy and pool")
 	}
 	cm, cr := c.Parallelism()
 	if cfg := e.Config(); cfg.MapTasks != cm || cfg.ReduceTasks != cr {
-		return nil, fmt.Errorf("core: engine parallelism p=%d r=%d differs from controller p=%d r=%d",
+		return nil, fmt.Errorf("core: engine parallelism p=%d r=%d differs from policy p=%d r=%d",
 			cfg.MapTasks, cfg.ReduceTasks, cm, cr)
 	}
-	d := &ElasticDriver{Engine: e, Controller: c, Pool: p}
+	d := &ElasticDriver{Engine: e, Policy: c, Pool: p}
 	if err := d.resize(cm, cr); err != nil {
 		return nil, err
 	}
@@ -70,7 +71,7 @@ func (d *ElasticDriver) Step(tuples []tuple.Tuple, start, end tuple.Time) (engin
 	if err != nil {
 		return rep, err
 	}
-	act := d.Controller.Observe(elastic.Observation{W: rep.W, Tuples: rep.Tuples, Keys: rep.Keys})
+	act := d.Policy.Observe(elastic.Observation{W: rep.W, Tuples: rep.Tuples, Keys: rep.Keys})
 	d.actions = append(d.actions, act)
 	if err := d.resize(act.MapTasks, act.ReduceTasks); err != nil {
 		return rep, err

@@ -41,6 +41,13 @@ type Coordinator struct {
 	interval tuple.Time
 	dict     *intern.Dict
 	links    []*link
+
+	// mu guards active: how many shards the scatter loops currently use.
+	// Rescale (the engine's elastic handoff hook) shrinks or grows it
+	// within [1, len(links)] at batch boundaries; dialed links beyond the
+	// active count stay connected, ready to rejoin without a handshake.
+	mu     sync.Mutex
+	active int
 }
 
 type link struct {
@@ -67,6 +74,7 @@ func NewCoordinator(tr transport.Transport, interval tuple.Time, queries []engin
 		interval: interval,
 		dict:     intern.NewDict(0),
 		links:    make([]*link, n),
+		active:   n,
 	}
 	for i, q := range queries {
 		c.queries[i] = q.Normalized()
@@ -126,6 +134,72 @@ func (c *Coordinator) handshake(l *link) error {
 
 // Shards returns the topology size.
 func (c *Coordinator) Shards() int { return len(c.links) }
+
+// Active returns how many shards the scatter loops currently use.
+func (c *Coordinator) Active() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.active
+}
+
+// Rescale implements engine.Rescaler: subsequent batches scatter work
+// across min(n, Shards()) shards. Growing past the dialed topology is
+// clamped, not an error — the engine's owner count is virtual and may
+// exceed the physical shard set.
+func (c *Coordinator) Rescale(n int) error {
+	if n < 1 {
+		return fmt.Errorf("dist: active shard count must be positive, got %d", n)
+	}
+	if n > len(c.links) {
+		n = len(c.links)
+	}
+	c.mu.Lock()
+	c.active = n
+	c.mu.Unlock()
+	return nil
+}
+
+// MigrateSlot implements engine.SlotMigrator: it ships a slot's state
+// image to the handoff recipient's shard and verifies the acknowledged
+// digest. The frame bypasses the dictionary-delta machinery — the image
+// is self-contained, carrying its own key strings — so the link's
+// mirror watermark is untouched. Like task exchanges, a failed send gets
+// one redial before the shard is marked down; the caller treats any
+// error as a lost replica, never lost state (the driver already holds
+// the authoritative copy).
+func (c *Coordinator) MigrateSlot(slot, epoch, from, to int, image []byte, digest uint64) error {
+	l := c.links[to%len(c.links)]
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.down {
+		return fmt.Errorf("%w: shard %d", ErrShardDown, l.shard)
+	}
+	msg := &wire.Migrate{Batch: epoch, Slot: slot, From: from, To: to, Image: image, Digest: digest}
+	reply, err := l.conn.Exchange(msg)
+	if err != nil {
+		var we *wire.Error
+		if errors.As(err, &we) {
+			return err
+		}
+		if herr := c.handshake(l); herr != nil {
+			l.down = true
+			return fmt.Errorf("dist: shard %d lost (%v) and redial failed: %w", l.shard, err, herr)
+		}
+		if reply, err = l.conn.Exchange(msg); err != nil {
+			l.down = true
+			return fmt.Errorf("dist: shard %d failed after reconnect: %w", l.shard, err)
+		}
+	}
+	ack, ok := reply.(*wire.MigrateAck)
+	if !ok {
+		return fmt.Errorf("dist: shard %d: unexpected %v reply to migrate frame", l.shard, reply.WireType())
+	}
+	if ack.Slot != slot || ack.Digest != digest {
+		return fmt.Errorf("dist: shard %d acknowledged slot %d digest %x, sent slot %d digest %x",
+			l.shard, ack.Slot, ack.Digest, slot, digest)
+	}
+	return nil
+}
 
 // Down reports how many shards are currently marked dead.
 func (c *Coordinator) Down() int {
@@ -248,7 +322,7 @@ func (c *Coordinator) MapBlocks(batch, qi int, blocks []*tuple.Block, reduceTask
 	if qi < 0 || qi >= len(c.queries) {
 		return nil, fmt.Errorf("dist: query index %d out of range [0,%d)", qi, len(c.queries))
 	}
-	n := len(c.links)
+	n := c.Active()
 	outs := make([]engine.BlockMapOut, len(blocks))
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -399,7 +473,7 @@ func (c *Coordinator) ReduceBuckets(batch, qi int, perBucket [][]engine.Contrib)
 	if qi < 0 || qi >= len(c.queries) {
 		return nil, fmt.Errorf("dist: query index %d out of range [0,%d)", qi, len(c.queries))
 	}
-	n := len(c.links)
+	n := c.Active()
 	partials := make([]map[string]float64, len(perBucket))
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -482,5 +556,10 @@ func (c *Coordinator) reduceOnShard(batch, qi int, perBucket [][]engine.Contrib,
 	return nil
 }
 
-// Coordinator is an engine.JobExecutor.
-var _ engine.JobExecutor = (*Coordinator)(nil)
+// Coordinator is an engine.JobExecutor and the elastic runtime's
+// executor-side hooks.
+var (
+	_ engine.JobExecutor  = (*Coordinator)(nil)
+	_ engine.Rescaler     = (*Coordinator)(nil)
+	_ engine.SlotMigrator = (*Coordinator)(nil)
+)

@@ -1,0 +1,172 @@
+package dist
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"prompt/internal/core"
+	"prompt/internal/engine"
+	"prompt/internal/fault"
+	"prompt/internal/transport"
+	"prompt/internal/tuple"
+)
+
+// TestElasticClusterEquivalence: a coordinator-driven run with scale
+// events mid-stream stays bit-identical (scrubbed of wall clock) to the
+// static single-process run, and the handoff stripes actually land on
+// the recipient shards.
+func TestElasticClusterEquivalence(t *testing.T) {
+	queries := testQueries()
+	cfg := testConfig(core.PromptScheme(), 0)
+	const batches, seed = 6, 31
+	ref := runEngine(t, cfg, queries, nil, batches, seed)
+
+	for _, backend := range []string{"loopback", "pipe"} {
+		t.Run(backend, func(t *testing.T) {
+			shards := newShards(2, queries)
+			tr := buildTransport(t, backend, shards)
+			coord, err := NewCoordinator(tr, cfg.BatchInterval, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer coord.Close()
+
+			eng, err := engine.NewMulti(cfg, queries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.SetExecutor(coord)
+			src := testSource(8000, 150, seed)
+			rescaleAt := map[int]int{1: 2, 3: 1, 4: 2}
+			var reports []engine.BatchReport
+			for b := 0; b < batches; b++ {
+				reps, err := eng.RunBatches(src, 1)
+				if err != nil {
+					t.Fatalf("batch %d: %v", b, err)
+				}
+				reports = append(reports, reps...)
+				if n, ok := rescaleAt[b]; ok {
+					if err := eng.Rescale(n); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if eng.Migrations() == 0 {
+				t.Fatal("no migrations happened; the test is vacuous")
+			}
+			if got := coord.Active(); got != 2 {
+				t.Errorf("Active() = %d, want 2", got)
+			}
+			stripes := 0
+			for _, s := range shards {
+				stripes += s.Stripes()
+			}
+			if stripes == 0 {
+				t.Error("no handoff stripes landed on any shard")
+			}
+			if !reflect.DeepEqual(scrubWallClock(reports), scrubWallClock(ref.reports)) {
+				t.Fatal("reports diverge from static single-process run under rescaling")
+			}
+			if !reflect.DeepEqual(eng.WindowSnapshot(), ref.window) {
+				t.Fatal("window diverges from static single-process run under rescaling")
+			}
+		})
+	}
+}
+
+// TestMigrateToDeadShardFallsBack: SIGKILL-shaped loss of the stripe
+// recipient during a handoff only costs the replica — the driver's
+// answers stay bit-identical to the static run.
+func TestMigrateToDeadShardFallsBack(t *testing.T) {
+	queries := testQueries()
+	cfg := testConfig(core.PromptScheme(), 0)
+	const batches, seed = 5, 17
+	ref := runEngine(t, cfg, queries, nil, batches, seed)
+
+	shards := newShards(2, queries)
+	dir := t.TempDir()
+	addrs := make([]string, 2)
+	var servers []*shardServer
+	for i, s := range shards {
+		addrs[i] = filepath.Join(dir, fmt.Sprintf("s%d.sock", i))
+		servers = append(servers, serveShard(t, addrs[i], s))
+	}
+	tr := transport.NewNet(addrs,
+		transport.WithTimeout(2*time.Second),
+		transport.WithRetry(fault.RetryPolicy{MaxAttempts: 2, Backoff: 5 * tuple.Millisecond, BackoffFactor: 2}))
+	coord, err := NewCoordinator(tr, cfg.BatchInterval, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	eng, err := engine.NewMulti(cfg, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetExecutor(coord)
+	src := testSource(8000, 150, seed)
+	var reports []engine.BatchReport
+	for b := 0; b < batches; b++ {
+		if b == 2 {
+			// Kill the shard that will receive the 1→2 handoff stripes,
+			// then request the rescale: every MigrateSlot to it fails and
+			// the driver keeps the state itself.
+			servers[1].Stop()
+			if err := eng.Rescale(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		reps, err := eng.RunBatches(src, 1)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		reports = append(reports, reps...)
+	}
+	if eng.Migrations() == 0 {
+		t.Fatal("no migrations happened; the test is vacuous")
+	}
+	if got := coord.Down(); got != 1 {
+		t.Errorf("Down() = %d, want 1", got)
+	}
+	if !reflect.DeepEqual(scrubWallClock(reports), scrubWallClock(ref.reports)) {
+		t.Fatal("reports diverge from static run after migrating to a dead shard")
+	}
+	if !reflect.DeepEqual(eng.WindowSnapshot(), ref.window) {
+		t.Fatal("window diverges from static run after migrating to a dead shard")
+	}
+}
+
+// TestCoordinatorRescaleClamps: the active set stays within the dialed
+// topology and rejects nonsense.
+func TestCoordinatorRescaleClamps(t *testing.T) {
+	queries := testQueries()
+	shards := newShards(2, queries)
+	tr := buildTransport(t, "loopback", shards)
+	coord, err := NewCoordinator(tr, tuple.Second, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	if got := coord.Active(); got != 2 {
+		t.Fatalf("fresh coordinator Active() = %d, want 2", got)
+	}
+	if err := coord.Rescale(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Active(); got != 2 {
+		t.Fatalf("Active() = %d after over-scale, want clamp to 2", got)
+	}
+	if err := coord.Rescale(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := coord.Active(); got != 1 {
+		t.Fatalf("Active() = %d, want 1", got)
+	}
+	if err := coord.Rescale(0); err == nil {
+		t.Fatal("accepted active count 0")
+	}
+}

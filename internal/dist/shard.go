@@ -22,6 +22,7 @@ import (
 
 	"prompt/internal/backpressure"
 	"prompt/internal/engine"
+	"prompt/internal/migrate"
 	"prompt/internal/tuple"
 	"prompt/internal/wire"
 )
@@ -43,6 +44,11 @@ type Shard struct {
 	aimd     *backpressure.AIMD
 	curBatch int
 	busy     time.Duration
+	// stripes holds the slot state images migrated to this shard, newest
+	// per slot — the recipient half of an elastic handoff. They are a
+	// redundancy layer (the coordinator's driver keeps the authoritative
+	// window state), so shard restarts simply drop them.
+	stripes map[int]*wire.Migrate
 }
 
 // NewShard returns a shard runtime holding the given queries.
@@ -82,9 +88,43 @@ func (s *Shard) Handle(req wire.Msg) (wire.Msg, error) {
 		return s.handleMapCols(m)
 	case *wire.ReduceTask:
 		return s.handleReduce(m)
+	case *wire.Migrate:
+		return s.handleMigrate(m)
 	default:
 		return nil, fmt.Errorf("dist: shard %d: unexpected %v frame", s.index, req.WireType())
 	}
+}
+
+// handleMigrate stores one migrated slot stripe, newest epoch wins, and
+// acknowledges with this side's digest of the image so the coordinator
+// can verify the bytes arrived intact. The image must decode — a stripe
+// that cannot be re-applied later is worse than no stripe.
+func (s *Shard) handleMigrate(m *wire.Migrate) (wire.Msg, error) {
+	img, err := migrate.Decode(m.Image)
+	if err != nil {
+		return nil, fmt.Errorf("dist: shard %d: slot %d image: %w", s.index, m.Slot, err)
+	}
+	if img.Slot != m.Slot {
+		return nil, fmt.Errorf("dist: shard %d: frame says slot %d, image says %d", s.index, m.Slot, img.Slot)
+	}
+	if s.stripes == nil {
+		s.stripes = make(map[int]*wire.Migrate)
+	}
+	if prev, ok := s.stripes[m.Slot]; !ok || m.Batch >= prev.Batch {
+		s.stripes[m.Slot] = m
+	}
+	return &wire.MigrateAck{
+		Slot:   m.Slot,
+		Digest: migrate.Digest(m.Image),
+		Keys:   img.Keys(),
+	}, nil
+}
+
+// Stripes reports how many slot stripes the shard currently holds.
+func (s *Shard) Stripes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stripes)
 }
 
 func (s *Shard) handleHello(m *wire.Hello) (wire.Msg, error) {

@@ -1,0 +1,161 @@
+package elastic
+
+import (
+	"reflect"
+	"testing"
+
+	"prompt/internal/metrics"
+	"prompt/internal/tuple"
+)
+
+// ramp feeds a policy a steadily growing load and returns the first
+// batch index with a scale-out decision (-1 if none).
+func firstScaleOut(p Policy, batches int) int {
+	for i := 0; i < batches; i++ {
+		w := 0.5 + 0.05*float64(i) // crosses the 0.9 threshold at i=8
+		tuples := 1000 + 200*i
+		act := p.Observe(Observation{W: w, Tuples: tuples, Keys: 100 + 10*i})
+		if act.Direction > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestPredictiveScalesOutBeforeThreshold: on a steady ramp the
+// predictive policy must act no later than the threshold controller,
+// and strictly earlier on this ramp (the extrapolated W crosses the
+// threshold before the observed one).
+func TestPredictiveScalesOutBeforeThreshold(t *testing.T) {
+	thr, err := NewController(DefaultConfig(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := NewPredictive(DefaultConfig(), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := firstScaleOut(thr, 30)
+	pt := firstScaleOut(pred, 30)
+	if at < 0 || pt < 0 {
+		t.Fatalf("ramp never triggered: threshold=%d predictive=%d", at, pt)
+	}
+	if pt >= at {
+		t.Fatalf("predictive acted at batch %d, threshold at %d — no anticipation", pt, at)
+	}
+}
+
+// TestPredictiveIsDeterministic: same observation sequence, same actions.
+func TestPredictiveIsDeterministic(t *testing.T) {
+	run := func() []Action {
+		p, err := NewPredictive(DefaultConfig(), 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var acts []Action
+		for i := 0; i < 20; i++ {
+			acts = append(acts, p.Observe(Observation{
+				W:      0.4 + 0.04*float64(i%13),
+				Tuples: 500 + 37*(i%7),
+				Keys:   50 + i,
+			}))
+		}
+		return acts
+	}
+	if !reflect.DeepEqual(run(), run()) {
+		t.Fatal("predictive policy is not deterministic")
+	}
+}
+
+// TestCostAwareConverges: under a constant load the cost-aware policy
+// settles on one configuration and holds it (no flapping), and that
+// configuration's predicted W sits inside the stability band.
+func TestCostAwareConverges(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMapTasks, cfg.MaxReduceTasks = 16, 16
+	p, err := NewCostAware(cfg, metrics.CostModel{}, tuple.Second, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := Observation{W: 1.4, Tuples: 200000, Keys: 5000}
+	changes := 0
+	for i := 0; i < 30; i++ {
+		m, r := p.Parallelism()
+		act := p.Observe(obs)
+		if act.MapTasks != m || act.ReduceTasks != r {
+			changes++
+		}
+		// The observed W tracks the acted-on configuration: work shared
+		// evenly across tasks, scaled so an integer task sum (7) lands
+		// inside the stability band (0.8, 0.9] and convergence is
+		// possible at all.
+		obs.W = 6.0 / float64(act.MapTasks+act.ReduceTasks)
+	}
+	if changes == 0 {
+		t.Fatal("cost-aware policy never acted on an overloaded system")
+	}
+	if changes > 6 {
+		t.Fatalf("cost-aware policy flapped: %d configuration changes in 30 batches", changes)
+	}
+	m, r := p.Parallelism()
+	if m < 2 || r < 2 {
+		t.Fatalf("overload released tasks: p=%d r=%d", m, r)
+	}
+}
+
+// TestCostAwareScalesIn: when load collapses, the policy releases tasks
+// in one decision instead of one-at-a-time.
+func TestCostAwareScalesIn(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxMapTasks, cfg.MaxReduceTasks = 32, 32
+	p, err := NewCostAware(cfg, metrics.CostModel{}, tuple.Second, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var act Action
+	for i := 0; i < 10; i++ {
+		act = p.Observe(Observation{W: 0.05, Tuples: 1000, Keys: 50})
+		if act.Direction < 0 {
+			break
+		}
+	}
+	if act.Direction >= 0 {
+		t.Fatalf("idle system never scaled in: %+v", act)
+	}
+	if act.MapTasks >= 16 && act.ReduceTasks >= 16 {
+		t.Fatalf("scale-in released nothing: %+v", act)
+	}
+}
+
+// TestCostAwareValidation: bad construction parameters are rejected.
+func TestCostAwareValidation(t *testing.T) {
+	if _, err := NewCostAware(DefaultConfig(), metrics.CostModel{}, 0, 2, 2); err == nil {
+		t.Fatal("accepted zero interval")
+	}
+	if _, err := NewCostAware(DefaultConfig(), metrics.CostModel{}, tuple.Second, 0, 2); err == nil {
+		t.Fatal("accepted parallelism below minimum")
+	}
+	bad := metrics.DefaultCostModel()
+	bad.MapPerTuple = -1
+	if _, err := NewCostAware(DefaultConfig(), bad, tuple.Second, 2, 2); err == nil {
+		t.Fatal("accepted invalid cost model")
+	}
+}
+
+// TestPoliciesShareTheInterface: all three policies drive through the
+// same Policy interface the public API's WithElasticity accepts.
+func TestPoliciesShareTheInterface(t *testing.T) {
+	thr, _ := NewController(DefaultConfig(), 2, 2)
+	pred, _ := NewPredictive(DefaultConfig(), 2, 2)
+	cost, _ := NewCostAware(DefaultConfig(), metrics.CostModel{}, tuple.Second, 2, 2)
+	for _, p := range []Policy{thr, pred, cost} {
+		m, r := p.Parallelism()
+		if m != 2 || r != 2 {
+			t.Fatalf("%T starts at p=%d r=%d, want 2/2", p, m, r)
+		}
+		act := p.Observe(Observation{W: 0.85, Tuples: 100, Keys: 10})
+		if act.MapTasks < 1 || act.ReduceTasks < 1 {
+			t.Fatalf("%T returned degenerate action %+v", p, act)
+		}
+	}
+}

@@ -44,6 +44,15 @@ type checkpointImage struct {
 	// DropsPending is the engine's not-yet-reported drop count, charged
 	// to the first batch committed after restore.
 	DropsPending int
+	// Owners/PendingOwners/Migrations carry the elastic runtime's
+	// ownership state. A checkpoint taken mid-migration (Rescale
+	// requested, commit not yet reached) restores with PendingOwners
+	// set, so the restored engine completes the handoff at its next
+	// batch boundary — never half-applied. Absent fields in old
+	// checkpoints decode to zero: tracking off, exactly as before.
+	Owners        int
+	PendingOwners int
+	Migrations    int
 }
 
 // Checkpoint serializes the engine's driver state — batch position,
@@ -78,6 +87,9 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		img.Throttle = *e.throttle
 	}
 	img.DropsPending = e.pendingDrops
+	img.Owners = e.owners
+	img.PendingOwners = e.pendingOwners
+	img.Migrations = e.migrations
 	if err := gob.NewEncoder(w).Encode(&img); err != nil {
 		return fmt.Errorf("engine: writing checkpoint: %w", err)
 	}
@@ -139,5 +151,8 @@ func Restore(cfg Config, queries []Query, r io.Reader) (*Engine, error) {
 		e.throttle = &throttle
 	}
 	e.pendingDrops = img.DropsPending
+	e.owners = img.Owners
+	e.pendingOwners = img.PendingOwners
+	e.migrations = img.Migrations
 	return e, nil
 }

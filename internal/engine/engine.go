@@ -102,6 +102,14 @@ type Engine struct {
 	// last committed batch; the commit stage charges them to the next
 	// report's TuplesDropped and resets the counter.
 	pendingDrops int
+
+	// owners is the current virtual-slot owner count of the elastic
+	// runtime (0 = ownership tracking off, the static default);
+	// pendingOwners is a requested change applied at the next commit
+	// (see Rescale), and migrations counts applied slot handoffs.
+	owners        int
+	pendingOwners int
+	migrations    int
 }
 
 // New builds an engine for a single query. Zero-valued config fields take
@@ -191,6 +199,12 @@ func (e *Engine) SetCores(cores int) error {
 	}
 	e.cfg.Cores = cores
 	e.coresLost = 0
+	// Under ownership tracking, re-provisioning is a scale event: the
+	// key ranges of the joining or leaving executors migrate at the next
+	// batch boundary instead of being silently re-provisioned in place.
+	if e.owners > 0 {
+		e.pendingOwners = cores
+	}
 	return nil
 }
 

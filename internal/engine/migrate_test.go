@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"prompt/internal/migrate"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+// elasticRun drives one engine through `batches` one-second batches of
+// the shared deterministic workload, requesting Rescale(owners) after
+// each batch index present in rescaleAt. The wall clock is frozen so
+// reports compare bit-for-bit.
+func elasticRun(t *testing.T, eng *Engine, batches int, rescaleAt map[int]int) {
+	t.Helper()
+	restore := StubClock(func() time.Time { return time.Unix(0, 0) })
+	defer restore()
+	src := testSource(3000, 40, 11)
+	for i := 0; i < batches; i++ {
+		ts, err := src.Slice(tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Step(ts, tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second); err != nil {
+			t.Fatal(err)
+		}
+		if owners, ok := rescaleAt[i]; ok {
+			if err := eng.Rescale(owners); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestRescaleIsAnswerNeutral: a run with scale events interleaved is
+// bit-identical — reports and windows — to a static run, for invertible
+// and no-inverse windows.
+func TestRescaleIsAnswerNeutral(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		q    func() Query
+	}{
+		{"wordcount", func() Query { return WordCount(window.Sliding(4*tuple.Second, tuple.Second)) }},
+		{"max-no-inverse", func() Query {
+			q := WordCount(window.Sliding(4*tuple.Second, tuple.Second))
+			q.Reduce = window.Max
+			q.Inverse = nil
+			return q
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			static, err := New(testConfig(), tc.q())
+			if err != nil {
+				t.Fatal(err)
+			}
+			elastic, err := New(testConfig(), tc.q())
+			if err != nil {
+				t.Fatal(err)
+			}
+			elasticRun(t, static, 8, nil)
+			// Scale 1→3→2→5 mid-stream, including mid-window handoffs.
+			elasticRun(t, elastic, 8, map[int]int{1: 3, 3: 2, 5: 5})
+
+			if elastic.Migrations() == 0 {
+				t.Fatal("no migrations happened; the test is vacuous")
+			}
+			if got, want := elastic.Reports(), static.Reports(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("reports diverged under rescaling")
+			}
+			if got, want := elastic.WindowSnapshot(), static.WindowSnapshot(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("window diverged under rescaling:\n got  %v\n want %v", got, want)
+			}
+			if elastic.Owners() != 5 {
+				t.Fatalf("owners = %d, want 5", elastic.Owners())
+			}
+			if static.Owners() != 0 {
+				t.Fatalf("static run has ownership tracking on: %d", static.Owners())
+			}
+		})
+	}
+}
+
+// TestRescaleNoOp: rescaling to the current owner count migrates nothing.
+func TestRescaleNoOp(t *testing.T) {
+	eng, err := New(testConfig(), WordCount(window.Sliding(4*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elasticRun(t, eng, 5, map[int]int{0: 2, 2: 2, 3: 2})
+	// The only real handoff set is the 1→2 rescale after batch 0; the
+	// later requests restate the current owner count and must be no-ops.
+	afterFirst := len(migrate.Plan(1, 2))
+	if eng.Migrations() != afterFirst {
+		t.Fatalf("migrations = %d, want %d (restating the owner count must not migrate)",
+			eng.Migrations(), afterFirst)
+	}
+	if err := eng.Rescale(0); err == nil {
+		t.Fatal("accepted owner count 0")
+	}
+}
+
+// TestSetCoresTriggersMigrationUnderTracking: once ownership tracking is
+// on, the resource manager's SetCores is a scale event; before that it
+// stays the silent re-provision every pre-elasticity test relies on.
+func TestSetCoresTriggersMigrationUnderTracking(t *testing.T) {
+	eng, err := New(testConfig(), WordCount(window.Sliding(4*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetCores(2); err != nil {
+		t.Fatal(err)
+	}
+	elasticRun(t, eng, 2, nil)
+	if eng.Migrations() != 0 || eng.Owners() != 0 {
+		t.Fatalf("SetCores migrated without tracking: %d handoffs, owners %d", eng.Migrations(), eng.Owners())
+	}
+
+	eng2, err := New(testConfig(), WordCount(window.Sliding(4*tuple.Second, tuple.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := StubClock(func() time.Time { return time.Unix(0, 0) })
+	defer restore()
+	src := testSource(3000, 40, 11)
+	step := func(i int) {
+		ts, err := src.Slice(tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng2.Step(ts, tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng2.Rescale(2); err != nil { // enable tracking
+		t.Fatal(err)
+	}
+	step(0)
+	if err := eng2.SetCores(3); err != nil {
+		t.Fatal(err)
+	}
+	step(1)
+	if eng2.Owners() != 3 {
+		t.Fatalf("owners = %d after SetCores(3) under tracking", eng2.Owners())
+	}
+	if eng2.Migrations() == 0 {
+		t.Fatal("SetCores under tracking migrated nothing")
+	}
+}
+
+// TestCheckpointMidMigration: a checkpoint taken after Rescale but before
+// the next batch boundary must carry the pending owner change, and the
+// restored engine must complete the handoff — landing bit-identical to a
+// static run.
+func TestCheckpointMidMigration(t *testing.T) {
+	restore := StubClock(func() time.Time { return time.Unix(0, 0) })
+	defer restore()
+	q := func() Query { return WordCount(window.Sliding(4*tuple.Second, tuple.Second)) }
+	static, err := New(testConfig(), q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elasticRun(t, static, 6, nil)
+
+	eng, err := New(testConfig(), q())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := testSource(3000, 40, 11)
+	step := func(e *Engine, i int) {
+		ts, err := src.Slice(tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Step(ts, tuple.Time(i)*tuple.Second, tuple.Time(i+1)*tuple.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(eng, 0)
+	if err := eng.Rescale(2); err != nil {
+		t.Fatal(err)
+	}
+	step(eng, 1)
+	step(eng, 2)
+	// Mid-migration point: request a rescale, checkpoint before the next
+	// batch commits it.
+	if err := eng.Rescale(3); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(testConfig(), []Query{q()}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Owners() != 2 {
+		t.Fatalf("restored owners = %d, want 2", resumed.Owners())
+	}
+	before := resumed.Migrations()
+	for i := 3; i < 6; i++ {
+		step(resumed, i)
+	}
+	if resumed.Owners() != 3 {
+		t.Fatalf("pending rescale lost across checkpoint: owners = %d, want 3", resumed.Owners())
+	}
+	if resumed.Migrations() == before {
+		t.Fatal("restored engine applied no handoffs")
+	}
+	if got, want := resumed.Reports(), static.Reports(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reports diverged across checkpoint-mid-migration")
+	}
+	if got, want := resumed.WindowSnapshot(), static.WindowSnapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("window diverged across checkpoint-mid-migration:\n got  %v\n want %v", got, want)
+	}
+}

@@ -407,7 +407,9 @@ func (commitStage) Run(e *Engine, ctx *BatchContext) error {
 		}
 		e.pendingDrops = 0
 	}
-	return nil
+	// Elastic handoff last: the report above is already sealed, so a
+	// rescale can only move state between owners, never change answers.
+	return e.applyRescale(ctx.Index)
 }
 
 func (commitStage) Simulated(*BatchContext) tuple.Time { return 0 }

@@ -1,0 +1,232 @@
+package migrate
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"prompt/internal/tuple"
+)
+
+// imageVersion tags the image encoding so a future layout change fails
+// cleanly instead of misparsing (the same asymmetric-version tolerance
+// internal/wire applies to frames).
+const imageVersion = 1
+
+// ErrImage reports a malformed or truncated migration image.
+var ErrImage = errors.New("migrate: malformed image")
+
+// Encode serializes the image: varint-coded integers (zigzag where the
+// domain is signed), length-prefixed strings, IEEE-754 bits for floats,
+// every length validated against the remaining payload on decode.
+func (img *Image) Encode() []byte {
+	b := []byte{imageVersion}
+	b = binary.AppendVarint(b, int64(img.Slot))
+	b = binary.AppendVarint(b, int64(img.Epoch))
+	b = binary.AppendVarint(b, int64(img.From))
+	b = binary.AppendVarint(b, int64(img.To))
+	b = binary.AppendUvarint(b, uint64(len(img.Dict)))
+	for _, d := range img.Dict {
+		b = binary.AppendUvarint(b, uint64(d.ID))
+		b = binary.AppendUvarint(b, uint64(len(d.Key)))
+		b = append(b, d.Key...)
+	}
+	b = binary.AppendUvarint(b, uint64(len(img.Queries)))
+	for _, q := range img.Queries {
+		b = binary.AppendVarint(b, int64(q.Query))
+		b = binary.AppendUvarint(b, uint64(len(q.Batches)))
+		for _, bk := range q.Batches {
+			b = binary.AppendVarint(b, int64(bk.End))
+			b = binary.AppendUvarint(b, uint64(len(bk.Entries)))
+			for _, e := range bk.Entries {
+				b = binary.AppendUvarint(b, uint64(e.Dict))
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.Val))
+			}
+		}
+	}
+	return b
+}
+
+// imgReader is a bounds-checked cursor over an encoded image.
+type imgReader struct {
+	b   []byte
+	off int
+}
+
+func (r *imgReader) remaining() int { return len(r.b) - r.off }
+
+func (r *imgReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrImage
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *imgReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrImage
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *imgReader) intv() (int, error) {
+	v, err := r.varint()
+	if err != nil {
+		return 0, err
+	}
+	if int64(int(v)) != v {
+		return 0, fmt.Errorf("%w: varint %d overflows int", ErrImage, v)
+	}
+	return int(v), nil
+}
+
+// count reads an element count whose encoding occupies at least minBytes
+// bytes per element, rejecting counts the payload cannot hold.
+func (r *imgReader) count(minBytes int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(r.remaining()/minBytes) {
+		return 0, fmt.Errorf("%w: count %d exceeds payload", ErrImage, v)
+	}
+	return int(v), nil
+}
+
+func (r *imgReader) float() (float64, error) {
+	if r.remaining() < 8 {
+		return 0, ErrImage
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(v), nil
+}
+
+func (r *imgReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", ErrImage
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// Decode parses an encoded image, failing cleanly on truncation, bad
+// versions, and length bombs.
+func Decode(b []byte) (*Image, error) {
+	if len(b) < 1 {
+		return nil, ErrImage
+	}
+	if b[0] != imageVersion {
+		return nil, fmt.Errorf("%w: version %d, speak %d", ErrImage, b[0], imageVersion)
+	}
+	r := &imgReader{b: b, off: 1}
+	img := &Image{}
+	var err error
+	if img.Slot, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if img.Epoch, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if img.From, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if img.To, err = r.intv(); err != nil {
+		return nil, err
+	}
+	nd, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	img.Dict = make([]DictSlot, nd)
+	for i := range img.Dict {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if id > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: dict id %d overflows uint32", ErrImage, id)
+		}
+		key, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		img.Dict[i] = DictSlot{ID: uint32(id), Key: key}
+	}
+	nq, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	img.Queries = make([]QueryImage, nq)
+	for qi := range img.Queries {
+		q := &img.Queries[qi]
+		if q.Query, err = r.intv(); err != nil {
+			return nil, err
+		}
+		nb, err := r.count(2)
+		if err != nil {
+			return nil, err
+		}
+		q.Batches = make([]BatchKV, nb)
+		for bi := range q.Batches {
+			bk := &q.Batches[bi]
+			end, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			bk.End = tuple.Time(end)
+			ne, err := r.count(9)
+			if err != nil {
+				return nil, err
+			}
+			bk.Entries = make([]KV, ne)
+			for ei := range bk.Entries {
+				d, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if d >= uint64(len(img.Dict)) {
+					return nil, fmt.Errorf("%w: dict reference %d out of range [0,%d)", ErrImage, d, len(img.Dict))
+				}
+				v, err := r.float()
+				if err != nil {
+					return nil, err
+				}
+				bk.Entries[ei] = KV{Dict: int(d), Val: v}
+			}
+		}
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrImage, r.remaining())
+	}
+	return img, nil
+}
+
+// Digest is the FNV-1a hash of an encoded image — the fingerprint a
+// migration recipient acknowledges so the sender can verify the state
+// arrived intact.
+func Digest(encoded []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(encoded); i++ {
+		h ^= uint64(encoded[i])
+		h *= prime64
+	}
+	return h
+}

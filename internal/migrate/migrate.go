@@ -1,0 +1,212 @@
+// Package migrate implements key-range state migration for live
+// elasticity: when the executor set grows or shrinks, the window state
+// and intern-dictionary slots of the affected keys move between owners
+// at a batch boundary, bit-identically.
+//
+// Keys hash onto a fixed ring of virtual slots (NumSlots); an owner set
+// of n executors owns slot s ↔ s mod n == owner. Rescaling from m to n
+// owners therefore moves only the slots whose residue changes — the
+// cheap, incremental repartitioning shape the elasticity literature
+// calls for — and Plan enumerates exactly those handoffs.
+//
+// A slot's state travels as an Image: the per-query window contributions
+// of the slot's keys (aligned with window.BatchState) plus the intern
+// slots (id, key) those keys occupy, serialized with the same
+// length-checked varint discipline as internal/wire (this package cannot
+// import wire — wire imports engine — so it carries its own primitives).
+// Extract removes the state from the donor's aggregators, Apply
+// reinserts it on the recipient's; the engine round-trips every image
+// through Encode/Decode even for in-process handoffs, so the codec path
+// is always the one exercised.
+package migrate
+
+import (
+	"fmt"
+	"slices"
+
+	"prompt/internal/hashutil"
+	"prompt/internal/intern"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+// NumSlots is the fixed virtual-slot count keys hash onto. It bounds
+// migration granularity: a rescale moves state in slot units, never
+// single keys, and ownership is a pure function of slot and owner count.
+const NumSlots = 64
+
+// SlotOf maps a key to its virtual slot.
+func SlotOf(key string) int {
+	return int(hashutil.Hash(key) % NumSlots)
+}
+
+// Owner returns the executor owning slot s among n owners (n >= 1).
+func Owner(slot, owners int) int {
+	if owners < 1 {
+		owners = 1
+	}
+	return slot % owners
+}
+
+// Handoff is one slot changing owner in a rescale.
+type Handoff struct {
+	Slot int
+	From int
+	To   int
+}
+
+// Plan enumerates the handoffs of rescaling from `from` owners to `to`
+// owners, in slot order. Slots whose owner is unchanged do not appear;
+// from == to yields an empty plan.
+func Plan(from, to int) []Handoff {
+	if from < 1 {
+		from = 1
+	}
+	if to < 1 {
+		to = 1
+	}
+	var plan []Handoff
+	for s := 0; s < NumSlots; s++ {
+		a, b := Owner(s, from), Owner(s, to)
+		if a != b {
+			plan = append(plan, Handoff{Slot: s, From: a, To: b})
+		}
+	}
+	return plan
+}
+
+// DictSlot is one intern-dictionary entry traveling with a slot's keys.
+type DictSlot struct {
+	ID  uint32
+	Key string
+}
+
+// KV is one key's contribution inside a retained batch, referencing the
+// key by its index in the image's Dict table.
+type KV struct {
+	Dict int
+	Val  float64
+}
+
+// BatchKV is the extracted contributions of one retained window batch.
+type BatchKV struct {
+	End     tuple.Time
+	Entries []KV
+}
+
+// QueryImage is one query's extracted window state: one BatchKV per
+// retained batch, positionally aligned with the aggregator's batch list.
+type QueryImage struct {
+	Query   int
+	Batches []BatchKV
+}
+
+// Image is the serialized state of one slot handoff: the epoch (batch
+// index the handoff commits at), the moving intern slots, and each
+// windowed query's per-batch contributions for the slot's keys.
+type Image struct {
+	Slot    int
+	Epoch   int
+	From    int
+	To      int
+	Dict    []DictSlot
+	Queries []QueryImage
+}
+
+// Keys returns how many distinct keys the image carries.
+func (img *Image) Keys() int { return len(img.Dict) }
+
+// Extract removes the slot's keys from every windowed aggregator and
+// packs their state — window contributions plus intern slots — into an
+// image. Aggregator entries may be nil (windowless queries). The dict is
+// not mutated (intern dictionaries are append-only); the image records
+// the (id, key) pairs so the recipient can verify or extend its mirror.
+func Extract(slot, epoch, from, to int, aggs []*window.Aggregator, dict *intern.Dict) *Image {
+	img := &Image{Slot: slot, Epoch: epoch, From: from, To: to}
+	index := make(map[string]int)
+	ref := func(key string) int {
+		if i, ok := index[key]; ok {
+			return i
+		}
+		i := len(img.Dict)
+		id, ok := dict.Lookup(key)
+		if !ok {
+			// A window key the engine never interned cannot occur — every
+			// key enters the windows through the interning accumulator —
+			// but a zero ID keeps the image well-formed if it somehow does.
+			id = 0
+		}
+		img.Dict = append(img.Dict, DictSlot{ID: id, Key: key})
+		index[key] = i
+		return i
+	}
+	for qi, ag := range aggs {
+		if ag == nil {
+			continue
+		}
+		states := ag.ExtractKeys(func(k string) bool { return SlotOf(k) == slot })
+		q := QueryImage{Query: qi, Batches: make([]BatchKV, len(states))}
+		for bi, s := range states {
+			bk := BatchKV{End: s.End}
+			// Deterministic entry order: dict-reference order is first-seen
+			// per image, so iterate keys sorted for stable encodings.
+			for _, k := range sortedKeys(s.Result) {
+				bk.Entries = append(bk.Entries, KV{Dict: ref(k), Val: s.Result[k]})
+			}
+			q.Batches[bi] = bk
+		}
+		img.Queries = append(img.Queries, q)
+	}
+	return img
+}
+
+// Apply reinserts an image's state into the recipient's aggregators,
+// verifying the image's intern slots against the dictionary (interning
+// any key the recipient has not seen — a fresh owner's dictionary may
+// trail the donor's).
+func Apply(img *Image, aggs []*window.Aggregator, dict *intern.Dict) error {
+	for _, d := range img.Dict {
+		if have, ok := dict.Lookup(d.Key); ok {
+			if have != d.ID {
+				return fmt.Errorf("migrate: slot %d: key %q interned as %d here, image says %d",
+					img.Slot, d.Key, have, d.ID)
+			}
+			continue
+		}
+		dict.Intern(d.Key)
+	}
+	for _, q := range img.Queries {
+		if q.Query < 0 || q.Query >= len(aggs) {
+			return fmt.Errorf("migrate: slot %d: query index %d out of range [0,%d)", img.Slot, q.Query, len(aggs))
+		}
+		ag := aggs[q.Query]
+		if ag == nil {
+			return fmt.Errorf("migrate: slot %d: query %d has no window here but the image carries one", img.Slot, q.Query)
+		}
+		states := make([]window.BatchState, len(q.Batches))
+		for bi, b := range q.Batches {
+			m := make(map[string]float64, len(b.Entries))
+			for _, e := range b.Entries {
+				if e.Dict < 0 || e.Dict >= len(img.Dict) {
+					return fmt.Errorf("migrate: slot %d: dict reference %d out of range [0,%d)", img.Slot, e.Dict, len(img.Dict))
+				}
+				m[img.Dict[e.Dict].Key] = e.Val
+			}
+			states[bi] = window.BatchState{End: b.End, Result: m}
+		}
+		if err := ag.ApplyKeys(states); err != nil {
+			return fmt.Errorf("migrate: slot %d query %d: %w", img.Slot, q.Query, err)
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}

@@ -1,0 +1,314 @@
+package migrate
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"prompt/internal/intern"
+	"prompt/internal/tuple"
+	"prompt/internal/window"
+)
+
+func TestOwnerIsTotalAndStable(t *testing.T) {
+	for owners := 1; owners <= 8; owners++ {
+		for s := 0; s < NumSlots; s++ {
+			o := Owner(s, owners)
+			if o < 0 || o >= owners {
+				t.Fatalf("Owner(%d, %d) = %d out of range", s, owners, o)
+			}
+		}
+	}
+	if Owner(5, 0) != Owner(5, 1) {
+		t.Fatalf("owners<1 must behave as a single owner")
+	}
+}
+
+func TestPlanMovesOnlyChangedSlots(t *testing.T) {
+	for from := 1; from <= 4; from++ {
+		for to := 1; to <= 4; to++ {
+			plan := Plan(from, to)
+			moved := make(map[int]bool)
+			for _, h := range plan {
+				if h.From == h.To {
+					t.Fatalf("Plan(%d,%d) contains no-op handoff %+v", from, to, h)
+				}
+				if h.From != Owner(h.Slot, from) || h.To != Owner(h.Slot, to) {
+					t.Fatalf("Plan(%d,%d) handoff %+v disagrees with Owner", from, to, h)
+				}
+				moved[h.Slot] = true
+			}
+			for s := 0; s < NumSlots; s++ {
+				changed := Owner(s, from) != Owner(s, to)
+				if changed != moved[s] {
+					t.Fatalf("Plan(%d,%d): slot %d changed=%v moved=%v", from, to, s, changed, moved[s])
+				}
+			}
+			if from == to && len(plan) != 0 {
+				t.Fatalf("Plan(%d,%d) must be empty, got %d handoffs", from, to, len(plan))
+			}
+		}
+	}
+}
+
+// keysInSlot returns distinct keys hashing to the given slot (and one that
+// does not), so extraction tests can target a slot deterministically.
+func keysInSlot(t *testing.T, slot, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; len(out) < n && i < 100000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if SlotOf(k) == slot {
+			out = append(out, k)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("could not find %d keys in slot %d", n, slot)
+	}
+	return out
+}
+
+func newAgg(t *testing.T, inverse window.ReduceFn) *window.Aggregator {
+	t.Helper()
+	ag, err := window.NewAggregator(window.Sliding(3*tuple.Second, tuple.Second), window.Sum, inverse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ag
+}
+
+// TestExtractApplyRoundTrip extracts a slot's keys, round-trips the image
+// through the codec, applies it back, and demands bit-identical snapshots —
+// for both the invertible (Sum) and no-inverse (Max) maintenance paths.
+func TestExtractApplyRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		reduce  window.ReduceFn
+		inverse window.ReduceFn
+	}{
+		{"sum-inverse", window.Sum, window.SumInverse},
+		{"max-no-inverse", window.Max, nil},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			slot := 7
+			keys := keysInSlot(t, slot, 3)
+			other := keysInSlot(t, (slot+1)%NumSlots, 2)
+
+			mk := func() *window.Aggregator {
+				ag, err := window.NewAggregator(window.Sliding(3*tuple.Second, tuple.Second), tc.reduce, tc.inverse)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return ag
+			}
+			ag, ref := mk(), mk()
+			dict := intern.NewDict(0)
+			for _, k := range append(append([]string{}, keys...), other...) {
+				dict.Intern(k)
+			}
+			for b := 1; b <= 4; b++ {
+				m := map[string]float64{}
+				for i, k := range keys {
+					// Mid-window: not every key appears in every batch.
+					if (b+i)%2 == 0 {
+						m[k] = float64(b * (i + 1))
+					}
+				}
+				for i, k := range other {
+					m[k] = float64(b + i)
+				}
+				end := tuple.Time(b) * tuple.Second
+				if err := ag.AddBatch(end, m); err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.AddBatch(end, m); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			img := Extract(slot, 4, 1, 2, []*window.Aggregator{ag}, dict)
+			if img.Keys() == 0 {
+				t.Fatalf("expected keys extracted from slot %d", slot)
+			}
+			for _, k := range keys {
+				if _, ok := ag.Value(k); ok {
+					t.Fatalf("key %q still present after extraction", k)
+				}
+			}
+			for _, k := range other {
+				if _, ok := ag.Value(k); !ok {
+					t.Fatalf("unrelated key %q lost by extraction", k)
+				}
+			}
+
+			enc := img.Encode()
+			dec, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !reflect.DeepEqual(img, dec) {
+				t.Fatalf("image round trip mismatch:\n  %+v\n  %+v", img, dec)
+			}
+			if !bytes.Equal(enc, dec.Encode()) {
+				t.Fatalf("re-encoding decoded image produced different bytes")
+			}
+			if Digest(enc) != Digest(dec.Encode()) {
+				t.Fatalf("digest mismatch across round trip")
+			}
+
+			if err := Apply(dec, []*window.Aggregator{ag}, dict); err != nil {
+				t.Fatalf("Apply: %v", err)
+			}
+			if got, want := ag.Snapshot(), ref.Snapshot(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("post-migration snapshot mismatch:\n  got  %v\n  want %v", got, want)
+			}
+			if got, want := ag.State(), ref.State(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("post-migration batch state mismatch:\n  got  %v\n  want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestExtractEmptySlot: migrating a slot none of the live keys hash to must
+// produce a keyless image that still applies cleanly.
+func TestExtractEmptySlot(t *testing.T) {
+	ag := newAgg(t, window.SumInverse)
+	dict := intern.NewDict(0)
+	slot := 9
+	other := keysInSlot(t, (slot+1)%NumSlots, 2)
+	m := map[string]float64{}
+	for i, k := range other {
+		dict.Intern(k)
+		m[k] = float64(i + 1)
+	}
+	if err := ag.AddBatch(tuple.Second, m); err != nil {
+		t.Fatal(err)
+	}
+	before := ag.Snapshot()
+
+	img := Extract(slot, 1, 1, 2, []*window.Aggregator{ag}, dict)
+	if img.Keys() != 0 {
+		t.Fatalf("expected empty image, got %d keys", img.Keys())
+	}
+	dec, err := Decode(img.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(dec, []*window.Aggregator{ag}, dict); err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.Snapshot(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("empty migration changed the window: %v vs %v", got, before)
+	}
+}
+
+// TestApplyOntoFreshOwner: the recipient starts with an empty dictionary and
+// aggregators whose batch list matches the donor's Ends but has no matching
+// keys — the fresh-owner shape of a scale-up.
+func TestApplyOntoFreshOwner(t *testing.T) {
+	slot := 3
+	keys := keysInSlot(t, slot, 2)
+	donor, recipient := newAgg(t, window.SumInverse), newAgg(t, window.SumInverse)
+	donorDict, recDict := intern.NewDict(0), intern.NewDict(0)
+	for _, k := range keys {
+		donorDict.Intern(k)
+	}
+	for b := 1; b <= 3; b++ {
+		m := map[string]float64{keys[0]: float64(b), keys[1]: float64(2 * b)}
+		end := tuple.Time(b) * tuple.Second
+		if err := donor.AddBatch(end, m); err != nil {
+			t.Fatal(err)
+		}
+		// Recipient saw the same batch boundaries but none of these keys.
+		if err := recipient.AddBatch(end, map[string]float64{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := donor.Snapshot()
+	img := Extract(slot, 3, 1, 2, []*window.Aggregator{donor}, donorDict)
+	dec, err := Decode(img.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(dec, []*window.Aggregator{recipient}, recDict); err != nil {
+		t.Fatal(err)
+	}
+	if got := recipient.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("fresh owner snapshot mismatch: got %v want %v", got, want)
+	}
+	// IDs are dictionary-local (a fresh append-only dict cannot adopt the
+	// donor's numbering) — what matters is that every migrated key is now
+	// interned on the recipient.
+	for _, k := range keys {
+		if _, ok := recDict.Lookup(k); !ok {
+			t.Fatalf("key %q not interned on recipient", k)
+		}
+	}
+}
+
+func TestApplyRejectsCorruptImages(t *testing.T) {
+	ag := newAgg(t, window.SumInverse)
+	if err := ag.AddBatch(tuple.Second, map[string]float64{}); err != nil {
+		t.Fatal(err)
+	}
+	dict := intern.NewDict(0)
+	for _, img := range []*Image{
+		{Slot: 1, Queries: []QueryImage{{Query: 5}}},  // query out of range
+		{Slot: 1, Queries: []QueryImage{{Query: -1}}}, // negative query
+		{Slot: 1, Dict: []DictSlot{{ID: 0, Key: "k"}},
+			Queries: []QueryImage{{Query: 0, Batches: []BatchKV{{End: tuple.Second, Entries: []KV{{Dict: 3, Val: 1}}}}}}}, // dict ref out of range
+	} {
+		if err := Apply(img, []*window.Aggregator{ag}, dict); err == nil {
+			t.Fatalf("Apply accepted corrupt image %+v", img)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	img := &Image{
+		Slot: 5, Epoch: 2, From: 1, To: 2,
+		Dict: []DictSlot{{ID: 1, Key: "alpha"}, {ID: 2, Key: "beta"}},
+		Queries: []QueryImage{{Query: 0, Batches: []BatchKV{
+			{End: tuple.Second, Entries: []KV{{Dict: 0, Val: 1.5}, {Dict: 1, Val: -2}}},
+		}}},
+	}
+	enc := img.Encode()
+	for i := 0; i < len(enc); i++ {
+		if _, err := Decode(enc[:i]); err == nil {
+			t.Fatalf("Decode accepted truncation at %d/%d bytes", i, len(enc))
+		}
+	}
+	if _, err := Decode(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Fatalf("Decode accepted trailing bytes")
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Fatalf("Decode accepted unknown version")
+	}
+}
+
+// FuzzImage throws mutated encodings at Decode: it must never panic, and
+// everything it accepts must re-encode canonically.
+func FuzzImage(f *testing.F) {
+	img := &Image{
+		Slot: 5, Epoch: 2, From: 1, To: 2,
+		Dict: []DictSlot{{ID: 1, Key: "alpha"}},
+		Queries: []QueryImage{{Query: 0, Batches: []BatchKV{
+			{End: tuple.Second, Entries: []KV{{Dict: 0, Val: 1.5}}},
+		}}},
+	}
+	f.Add(img.Encode())
+	f.Add([]byte{imageVersion})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		dec, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re := dec.Encode()
+		if !bytes.Equal(re, b) {
+			t.Fatalf("accepted non-canonical encoding:\n  in  %x\n  out %x", b, re)
+		}
+	})
+}

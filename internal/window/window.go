@@ -264,6 +264,91 @@ func (ag *Aggregator) Restore(states []BatchState) error {
 	return nil
 }
 
+// ExtractKeys removes every key matched by the predicate from the
+// retained batch outputs and from the incremental state, returning the
+// removed per-batch contributions in batch order (aligned with State's
+// shape: one BatchState per retained batch, carrying only the extracted
+// keys; batches with no matching key appear with an empty map so the
+// extraction is positionally complete). It is the donor half of a
+// key-range state migration: ApplyKeys on the same batch list rebuilds
+// exactly the state this call removed.
+func (ag *Aggregator) ExtractKeys(match func(string) bool) []BatchState {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	out := make([]BatchState, len(ag.batches))
+	for i := range ag.batches {
+		b := &ag.batches[i]
+		taken := make(map[string]float64)
+		for k, v := range b.result {
+			if match(k) {
+				taken[k] = v
+			}
+		}
+		for k := range taken {
+			delete(b.result, k)
+		}
+		out[i] = BatchState{End: b.end, Result: taken}
+	}
+	for k := range ag.state {
+		if match(k) {
+			delete(ag.state, k)
+			delete(ag.contrib, k)
+		}
+	}
+	return out
+}
+
+// ApplyKeys reinserts per-key contributions previously removed by
+// ExtractKeys. The states must align positionally with the currently
+// retained batches (same length, same End times) — migration extracts
+// and applies within one batch boundary, so the batch list cannot have
+// moved between the two halves. Reinserted keys must be absent; the
+// incremental state for them is rebuilt by folding the retained batches
+// in order, exactly as the recompute-on-evict path does, so integral
+// aggregates land bit-identical to the never-extracted run.
+func (ag *Aggregator) ApplyKeys(states []BatchState) error {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	if len(states) != len(ag.batches) {
+		return fmt.Errorf("window: applying %d batch states onto %d retained batches", len(states), len(ag.batches))
+	}
+	keys := make(map[string]bool)
+	for i, s := range states {
+		b := &ag.batches[i]
+		if s.End != b.end {
+			return fmt.Errorf("window: batch %d ends at %v, incoming state says %v", i, b.end, s.End)
+		}
+		for k, v := range s.Result {
+			if _, ok := b.result[k]; ok {
+				return fmt.Errorf("window: key %q already present in batch ending %v", k, b.end)
+			}
+			b.result[k] = v
+			keys[k] = true
+		}
+	}
+	// Rebuild the incremental state of the reinserted keys from the
+	// retained batches in order — the same fold Recompute and the
+	// no-inverse evict path perform.
+	for k := range keys {
+		delete(ag.state, k)
+		delete(ag.contrib, k)
+	}
+	for _, b := range ag.batches {
+		for k, v := range b.result {
+			if !keys[k] {
+				continue
+			}
+			if cur, ok := ag.state[k]; ok {
+				ag.state[k] = ag.reduce(cur, v)
+			} else {
+				ag.state[k] = v
+			}
+			ag.contrib[k]++
+		}
+	}
+	return nil
+}
+
 // Entry is one (key, value) pair of a window answer.
 type Entry struct {
 	Key string

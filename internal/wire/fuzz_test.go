@@ -51,6 +51,30 @@ func FuzzColumnsFrame(f *testing.F) {
 	})
 }
 
+// FuzzMigrateFrame concentrates the fuzzer on the state-migration frame:
+// every input is decoded as a Migrate body (the opaque-image length guard
+// is the newest decode surface), with the same never-panic and canonical
+// round-trip properties as FuzzWireFrame.
+func FuzzMigrateFrame(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		if _, ok := m.(*Migrate); !ok {
+			continue
+		}
+		frame, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:][2:]) // payload without version/type bytes
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		body := append([]byte{Version, byte(TypeMigrate)}, payload...)
+		checkCanonical(t, body)
+	})
+}
+
 // checkCanonical asserts the codec's fuzz properties on one frame body:
 // decoding never panics, and any body that decodes re-encodes to a frame
 // that decodes back to the same message.

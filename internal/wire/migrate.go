@@ -1,0 +1,89 @@
+package wire
+
+// Migrate ships one virtual slot's state image to its new owner during a
+// rescale (the key-range handoff of the elasticity protocol). The image
+// bytes are internal/migrate's own encoding — opaque to this layer, which
+// only frames, sizes, and digests them — because wire depends on engine
+// and therefore cannot import the migrate package the engine also uses.
+type Migrate struct {
+	// Batch is the epoch (batch index) the handoff commits at; a
+	// recipient replacing a stripe it already holds keeps the newest.
+	Batch int
+	// Slot, From, To identify the handoff within the rescale plan.
+	Slot int
+	From int
+	To   int
+	// Image is the migrate-codec state image for the slot.
+	Image []byte
+	// Digest is the FNV-1a fingerprint of Image; the recipient echoes it
+	// in MigrateAck so the sender can verify the state arrived intact.
+	Digest uint64
+}
+
+// WireType implements Msg.
+func (*Migrate) WireType() Type { return TypeMigrate }
+
+func (m *Migrate) append(b []byte) []byte {
+	b = appendVarint(b, int64(m.Batch))
+	b = appendVarint(b, int64(m.Slot))
+	b = appendVarint(b, int64(m.From))
+	b = appendVarint(b, int64(m.To))
+	b = appendUvarint(b, uint64(len(m.Image)))
+	b = append(b, m.Image...)
+	b = appendUvarint(b, m.Digest)
+	return b
+}
+
+func (m *Migrate) decode(r *reader) (err error) {
+	if m.Batch, err = r.intv(); err != nil {
+		return err
+	}
+	if m.Slot, err = r.intv(); err != nil {
+		return err
+	}
+	if m.From, err = r.intv(); err != nil {
+		return err
+	}
+	if m.To, err = r.intv(); err != nil {
+		return err
+	}
+	n, err := r.count(1)
+	if err != nil {
+		return err
+	}
+	m.Image = make([]byte, n)
+	copy(m.Image, r.b[r.off:r.off+n])
+	r.off += n
+	m.Digest, err = r.uvarint()
+	return err
+}
+
+// MigrateAck acknowledges a Migrate frame: the recipient echoes the slot
+// and its own digest of the received image, plus how many keys the image
+// carried, so the sender detects corruption or misdelivery.
+type MigrateAck struct {
+	Slot   int
+	Digest uint64
+	Keys   int
+}
+
+// WireType implements Msg.
+func (*MigrateAck) WireType() Type { return TypeMigrateAck }
+
+func (m *MigrateAck) append(b []byte) []byte {
+	b = appendVarint(b, int64(m.Slot))
+	b = appendUvarint(b, m.Digest)
+	b = appendVarint(b, int64(m.Keys))
+	return b
+}
+
+func (m *MigrateAck) decode(r *reader) (err error) {
+	if m.Slot, err = r.intv(); err != nil {
+		return err
+	}
+	if m.Digest, err = r.uvarint(); err != nil {
+		return err
+	}
+	m.Keys, err = r.intv()
+	return err
+}

@@ -64,6 +64,8 @@ const (
 	TypeReport
 	TypeError
 	TypeMapTaskCols
+	TypeMigrate
+	TypeMigrateAck
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +89,10 @@ func (t Type) String() string {
 		return "error"
 	case TypeMapTaskCols:
 		return "map-task-cols"
+	case TypeMigrate:
+		return "migrate"
+	case TypeMigrateAck:
+		return "migrate-ack"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -353,6 +359,10 @@ func Unmarshal(body []byte) (Msg, error) {
 		m = &Error{}
 	case TypeMapTaskCols:
 		m = &MapTaskCols{}
+	case TypeMigrate:
+		m = &Migrate{}
+	case TypeMigrateAck:
+		m = &MigrateAck{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrType, body[1])
 	}

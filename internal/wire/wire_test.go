@@ -109,6 +109,10 @@ func sampleMsgs() []Msg {
 		&Report{},
 		&Error{Msg: "shard 1: query index out of range"},
 		&Error{},
+		&Migrate{Batch: 6, Slot: 13, From: 1, To: 2, Image: []byte{1, 0xFF, 0, 42}, Digest: 1 << 60},
+		&Migrate{Image: []byte{}},
+		&MigrateAck{Slot: 13, Digest: 1 << 60, Keys: 9},
+		&MigrateAck{},
 	}
 }
 

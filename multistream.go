@@ -1,13 +1,7 @@
 package prompt
 
 import (
-	"bytes"
-	"context"
 	"fmt"
-
-	"prompt/internal/core"
-	"prompt/internal/dist"
-	"prompt/internal/engine"
 )
 
 // MultiStream runs several queries over one input stream. The batching
@@ -16,94 +10,29 @@ import (
 // runs as its own Map-Reduce job. Reports describe the primary query
 // (index 0) in their per-stage details, while ProcessingTime and stability
 // account for all jobs.
+//
+// MultiStream shares Stream's runtime: the batch lifecycle, Reconfigure,
+// elasticity, rescaling, checkpointing, and the cluster surface are
+// identical; MultiStream's answer accessors take a query index.
 type MultiStream struct {
-	eng    *engine.Engine
-	scheme core.Scheme
-	names  []string
-	coord  *dist.Coordinator // non-nil when a Topology is configured
+	streamCore
+	names []string
 }
 
-// NewMulti builds a multi-query stream. At least one query is required.
-// Configuration failures wrap ErrBadConfig; cluster connection failures
-// (cfg.Topology) wrap ErrCluster.
+// NewMulti builds a multi-query stream; it is NewMultiWithOptions for
+// callers that already hold a Config literal. At least one query is
+// required. Configuration failures wrap ErrBadConfig; cluster connection
+// failures (cfg.Topology) wrap ErrCluster.
 func NewMulti(cfg Config, queries ...Query) (*MultiStream, error) {
-	ec, scheme, err := cfg.build()
+	c, err := newCore(cfg, queries)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.NewMulti(ec, queries)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-	}
-	coord, err := cfg.Topology.connect(eng, queries)
-	if err != nil {
-		return nil, err
-	}
-	names := make([]string, len(queries))
-	for i, q := range queries {
-		names[i] = q.Name
-	}
-	return &MultiStream{eng: eng, scheme: scheme, names: names, coord: coord}, nil
+	return &MultiStream{streamCore: c, names: queryNames(queries)}, nil
 }
-
-// SchemeName reports which partitioning scheme the stream runs.
-func (m *MultiStream) SchemeName() string { return m.scheme.Name }
 
 // Queries returns the query names in index order.
 func (m *MultiStream) Queries() []string { return append([]string(nil), m.names...) }
-
-// Now returns the start of the next batch interval.
-func (m *MultiStream) Now() Time { return m.eng.Now() }
-
-// BatchInterval returns the configured heartbeat.
-func (m *MultiStream) BatchInterval() Time { return m.eng.Config().BatchInterval }
-
-// ProcessBatch ingests the next batch interval's tuples and runs every
-// query's job over the shared blocks.
-func (m *MultiStream) ProcessBatch(tuples []Tuple) (BatchReport, error) {
-	return m.ProcessBatchContext(context.Background(), tuples)
-}
-
-// ProcessBatchContext is ProcessBatch with cooperative cancellation; see
-// Stream.ProcessBatchContext.
-func (m *MultiStream) ProcessBatchContext(ctx context.Context, tuples []Tuple) (BatchReport, error) {
-	start := m.eng.Now()
-	end := start + m.eng.Config().BatchInterval
-	rep, err := m.eng.StepContext(ctx, tuples, start, end)
-	if err != nil {
-		return BatchReport{}, err
-	}
-	return newBatchReport(m.scheme.Name, rep), nil
-}
-
-// Run pulls n consecutive batch intervals from the source and processes
-// them; it is RunContext with context.Background().
-func (m *MultiStream) Run(src BatchSource, n int) ([]BatchReport, error) {
-	return m.RunContext(context.Background(), src, n)
-}
-
-// RunContext drives n batches with cooperative cancellation; see
-// Stream.RunContext for the exact stop points.
-func (m *MultiStream) RunContext(ctx context.Context, src BatchSource, n int) ([]BatchReport, error) {
-	out := make([]BatchReport, 0, n)
-	for i := 0; i < n; i++ {
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
-		start := m.eng.Now()
-		end := start + m.eng.Config().BatchInterval
-		tuples, err := src(start, end)
-		if err != nil {
-			return out, err
-		}
-		rep, err := m.eng.StepContext(ctx, tuples, start, end)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, newBatchReport(m.scheme.Name, rep))
-	}
-	return out, nil
-}
 
 // Result returns query i's previous batch output.
 func (m *MultiStream) Result(i int) (map[string]float64, error) {
@@ -146,87 +75,22 @@ func (m *MultiStream) HasWindow(i int) (bool, error) {
 	return m.eng.WindowOf(i) != nil, nil
 }
 
-// SetWorkers changes the number of real worker goroutines executing the
-// batch pipeline for subsequent batches (0 = single-goroutine driver,
-// negative = GOMAXPROCS).
-func (m *MultiStream) SetWorkers(workers int) error { return m.eng.SetWorkers(workers) }
-
-// SetObserver installs (or, with nil, removes) a batch-lifecycle observer
-// for subsequent batches; see Observer and Collector. Observers never
-// influence reports.
-func (m *MultiStream) SetObserver(obs Observer) { m.eng.SetObserver(obs) }
-
-// Reports returns all batch reports since the stream started.
-func (m *MultiStream) Reports() []BatchReport {
-	return newBatchReports(m.scheme.Name, m.eng.Reports())
-}
-
-// CoresLost reports how many simulated cores injected executor kills
-// have removed; SetCores re-provisions the budget and clears it.
-func (m *MultiStream) CoresLost() int { return m.eng.CoresLost() }
-
-// SetCores changes the simulated core budget for subsequent batches and
-// restores any cores lost to injected kills.
-func (m *MultiStream) SetCores(cores int) error { return m.eng.SetCores(cores) }
-
-// BackpressureFactor is the cluster admission factor; see
-// Stream.BackpressureFactor.
-func (m *MultiStream) BackpressureFactor() float64 {
-	if m.coord == nil {
-		return 1
-	}
-	return m.coord.BackpressureFactor()
-}
-
-// ShardsDown reports how many cluster shards are currently marked dead;
-// see Stream.ShardsDown.
-func (m *MultiStream) ShardsDown() int {
-	if m.coord == nil {
-		return 0
-	}
-	return m.coord.Down()
-}
-
-// Close releases the stream's cluster connections, if any; see
-// Stream.Close.
-func (m *MultiStream) Close() error {
-	if m.coord == nil {
-		return nil
-	}
-	coord := m.coord
-	m.coord = nil
-	return coord.Close()
-}
-
-// Checkpoint serializes the stream's driver state; see Stream.Checkpoint.
-func (m *MultiStream) Checkpoint() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := m.eng.Checkpoint(&buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
 // RestoreMulti rebuilds a MultiStream from a Checkpoint image; cfg and
 // queries must match the checkpointed stream's. See Restore.
 func RestoreMulti(cfg Config, image []byte, queries ...Query) (*MultiStream, error) {
-	ec, scheme, err := cfg.build()
+	c, err := restoreCore(cfg, queries, image)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.Restore(ec, queries, bytes.NewReader(image))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-	}
-	coord, err := cfg.Topology.connect(eng, queries)
-	if err != nil {
-		return nil, err
-	}
+	return &MultiStream{streamCore: c, names: queryNames(queries)}, nil
+}
+
+func queryNames(queries []Query) []string {
 	names := make([]string, len(queries))
 	for i, q := range queries {
 		names[i] = q.Name
 	}
-	return &MultiStream{eng: eng, scheme: scheme, names: names, coord: coord}, nil
+	return names
 }
 
 func (m *MultiStream) check(i int) error {

@@ -20,13 +20,23 @@ type Option func(*Config) error
 //		prompt.WithWorkers(-1), // GOMAXPROCS goroutines
 //	)
 func NewWithOptions(q Query, opts ...Option) (*Stream, error) {
-	var cfg Config
-	for _, opt := range opts {
-		if err := opt(&cfg); err != nil {
-			return nil, err
-		}
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
 	}
 	return New(cfg, q)
+}
+
+// NewMultiWithOptions builds a MultiStream for the queries from the same
+// functional options — the options-first spelling of NewMulti, and the
+// construction path New, NewMulti, and NewWithOptions all reduce to. At
+// least one query is required.
+func NewMultiWithOptions(queries []Query, opts ...Option) (*MultiStream, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewMulti(cfg, queries...)
 }
 
 // WithBatchInterval sets the micro-batch heartbeat.
@@ -157,6 +167,26 @@ func WithCost(cm CostModel) Option {
 			}
 		}
 		c.Cost = cm
+		return nil
+	}
+}
+
+// WithElasticity turns the stream elastic: after every batch the policy
+// observes the report and may change the Map and Reduce parallelism
+// within [min, max] tasks per stage (min 0 means 1, max 0 leaves
+// scale-out unbounded). Key-range ownership follows the Map task count,
+// and the window state of reassigned ranges migrates bit-identically at
+// the batch boundary — elastic runs report the same answers as static
+// ones. See ElasticThreshold, ElasticPredictive, and ElasticCostAware.
+func WithElasticity(policy ElasticPolicy, min, max int) Option {
+	return func(c *Config) error {
+		if _, err := ParseElasticPolicy(string(policy)); err != nil {
+			return fmt.Errorf("WithElasticity: %w", err)
+		}
+		if min < 0 || (max != 0 && max < min) || max < 0 {
+			return fmt.Errorf("%w: WithElasticity(%q, %d, %d): bounds are inverted", ErrBadConfig, policy, min, max)
+		}
+		c.Elasticity = Elasticity{Policy: policy, MinTasks: min, MaxTasks: max}
 		return nil
 	}
 }

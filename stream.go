@@ -1,13 +1,7 @@
 package prompt
 
 import (
-	"bytes"
-	"context"
 	"fmt"
-
-	"prompt/internal/core"
-	"prompt/internal/dist"
-	"prompt/internal/engine"
 )
 
 // BatchSource yields the tuples of one batch interval [start, end). Run
@@ -35,97 +29,25 @@ func FixedBatches(batches ...[]Tuple) BatchSource {
 // answers with Window/TopK and performance measurements from the returned
 // reports. A Stream is not safe for concurrent use — like the Spark
 // driver, one goroutine owns the batch lifecycle.
+//
+// Stream and MultiStream share one runtime: the batch lifecycle,
+// Reconfigure, elasticity, rescaling, checkpointing, and the cluster
+// surface are identical; Stream adds the single-query answer accessors.
 type Stream struct {
-	eng    *engine.Engine
-	scheme core.Scheme
-	coord  *dist.Coordinator // non-nil when a Topology is configured
+	streamCore
 }
 
-// New builds a Stream for the query under the given configuration.
+// New builds a Stream for the query under the given configuration. It is
+// NewWithOptions for callers that already hold a Config literal.
 // Configuration failures wrap ErrBadConfig; when cfg.Topology names a
 // cluster, New dials and handshakes every shard before returning, and
 // connection failures wrap ErrCluster.
 func New(cfg Config, q Query) (*Stream, error) {
-	ec, scheme, err := cfg.build()
+	c, err := newCore(cfg, []Query{q})
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.New(ec, q)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
-	}
-	coord, err := cfg.Topology.connect(eng, []Query{q})
-	if err != nil {
-		return nil, err
-	}
-	return &Stream{eng: eng, scheme: scheme, coord: coord}, nil
-}
-
-// SchemeName reports which partitioning scheme the stream runs.
-func (s *Stream) SchemeName() string { return s.scheme.Name }
-
-// Now returns the start of the next batch interval: tuples passed to the
-// next ProcessBatch call must have timestamps in [Now, Now+BatchInterval).
-func (s *Stream) Now() Time { return s.eng.Now() }
-
-// BatchInterval returns the configured heartbeat.
-func (s *Stream) BatchInterval() Time { return s.eng.Config().BatchInterval }
-
-// ProcessBatch ingests the tuples of the next batch interval and runs the
-// full micro-batch lifecycle: statistics, partitioning, Map stage, bucket
-// assignment, Reduce stage, fault recovery, and window maintenance.
-// Tuples must be stamped within [Now, Now+BatchInterval).
-func (s *Stream) ProcessBatch(tuples []Tuple) (BatchReport, error) {
-	return s.ProcessBatchContext(context.Background(), tuples)
-}
-
-// ProcessBatchContext is ProcessBatch with cooperative cancellation: the
-// pipeline checks ctx between stages and inside the worker-pool barriers,
-// so cancellation surfaces well within one batch's work. A cancelled
-// batch commits nothing and the stream stays usable.
-func (s *Stream) ProcessBatchContext(ctx context.Context, tuples []Tuple) (BatchReport, error) {
-	start := s.eng.Now()
-	end := start + s.eng.Config().BatchInterval
-	rep, err := s.eng.StepContext(ctx, tuples, start, end)
-	if err != nil {
-		return BatchReport{}, err
-	}
-	return newBatchReport(s.scheme.Name, rep), nil
-}
-
-// Run pulls n consecutive batch intervals from the source and processes
-// them, returning their reports. It is RunContext with
-// context.Background().
-func (s *Stream) Run(src BatchSource, n int) ([]BatchReport, error) {
-	return s.RunContext(context.Background(), src, n)
-}
-
-// RunContext drives n batches with cooperative cancellation: once ctx is
-// done the run stops — between batches, between pipeline stages, or
-// mid-barrier inside the worker pool — with the context's error and the
-// reports of the batches already committed. Nothing of the in-flight
-// batch is committed and no goroutines are left behind.
-func (s *Stream) RunContext(ctx context.Context, src BatchSource, n int) ([]BatchReport, error) {
-	out := make([]BatchReport, 0, n)
-	for i := 0; i < n; i++ {
-		// Check before pulling from the source, so a cancelled run never
-		// consumes an interval it will not process.
-		if err := ctx.Err(); err != nil {
-			return out, err
-		}
-		start := s.eng.Now()
-		end := start + s.eng.Config().BatchInterval
-		tuples, err := src(start, end)
-		if err != nil {
-			return out, err
-		}
-		rep, err := s.eng.StepContext(ctx, tuples, start, end)
-		if err != nil {
-			return out, err
-		}
-		out = append(out, newBatchReport(s.scheme.Name, rep))
-	}
-	return out, nil
+	return &Stream{streamCore: c}, nil
 }
 
 // Result returns the previous batch's per-key Reduce output.
@@ -148,95 +70,27 @@ func (s *Stream) TopK(k int) ([]WindowEntry, error) {
 	return agg.TopK(k), nil
 }
 
-// Reports returns all batch reports since the stream started.
-func (s *Stream) Reports() []BatchReport { return newBatchReports(s.scheme.Name, s.eng.Reports()) }
-
-// CoresLost reports how many simulated cores injected executor kills
-// have removed; SetCores re-provisions the budget and clears it.
-func (s *Stream) CoresLost() int { return s.eng.CoresLost() }
-
-// SetParallelism changes the Map/Reduce task counts for subsequent batches.
-func (s *Stream) SetParallelism(mapTasks, reduceTasks int) error {
-	return s.eng.SetParallelism(mapTasks, reduceTasks)
-}
-
-// SetCores changes the simulated core budget for subsequent batches.
-func (s *Stream) SetCores(cores int) error { return s.eng.SetCores(cores) }
-
-// SetWorkers changes the number of real worker goroutines executing the
-// batch pipeline for subsequent batches: 0 restores the single-goroutine
-// driver, negative selects GOMAXPROCS. Reports are unaffected.
-func (s *Stream) SetWorkers(workers int) error { return s.eng.SetWorkers(workers) }
-
-// SetObserver installs (or, with nil, removes) a batch-lifecycle observer
-// for subsequent batches; see Observer and Collector. Observers never
-// influence reports.
-func (s *Stream) SetObserver(obs Observer) { s.eng.SetObserver(obs) }
-
-// BackpressureFactor is the cluster admission factor in [0, 1]: the
-// minimum AIMD factor any live shard piggybacked on its latest reply.
-// Sources should multiply their offered rate by it. Without a cluster —
-// or before the first shard reply — it is 1.
-func (s *Stream) BackpressureFactor() float64 {
-	if s.coord == nil {
-		return 1
-	}
-	return s.coord.BackpressureFactor()
-}
-
-// ShardsDown reports how many cluster shards are currently marked dead
-// (their folds recomputed locally). Without a cluster it is 0. Shard
-// loss never changes answers — only wall-clock time.
-func (s *Stream) ShardsDown() int {
-	if s.coord == nil {
-		return 0
-	}
-	return s.coord.Down()
-}
-
-// Close releases the stream's cluster connections, if any. The stream
-// itself holds no other resources; a closed stream must not process
-// further batches. Close on a single-process stream is a no-op.
-func (s *Stream) Close() error {
-	if s.coord == nil {
-		return nil
-	}
-	coord := s.coord
-	s.coord = nil
-	return coord.Close()
-}
-
-// Checkpoint serializes the stream's driver state — batch position,
-// window contents, report history, reorder buffer, throttle — so a new
-// process can Restore and resume exactly where this one stopped. Call it
-// between batches. Cluster shards hold no checkpointable state: the
-// image is entirely driver-side, so a stream may checkpoint under one
-// topology and restore under another.
-func (s *Stream) Checkpoint() ([]byte, error) {
-	var buf bytes.Buffer
-	if err := s.eng.Checkpoint(&buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
 // Restore rebuilds a Stream from a Checkpoint image. cfg and q must
 // match the checkpointed stream's configuration — query functions cannot
 // be serialized, so the caller reattaches them; determinism of the query
 // functions is what makes the resumed computation identical. A topology
-// in cfg is dialed exactly as in New.
+// in cfg is dialed exactly as in New. A rescale pending at checkpoint
+// time completes at the restored stream's next batch boundary.
 func Restore(cfg Config, q Query, image []byte) (*Stream, error) {
-	ec, scheme, err := cfg.build()
+	c, err := restoreCore(cfg, []Query{q}, image)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := engine.Restore(ec, []Query{q}, bytes.NewReader(image))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	return &Stream{streamCore: c}, nil
+}
+
+// buildConfig folds options over the zero Config.
+func buildConfig(opts []Option) (Config, error) {
+	var cfg Config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return Config{}, err
+		}
 	}
-	coord, err := cfg.Topology.connect(eng, []Query{q})
-	if err != nil {
-		return nil, err
-	}
-	return &Stream{eng: eng, scheme: scheme, coord: coord}, nil
+	return cfg, nil
 }

@@ -114,13 +114,22 @@ func WithShards(n int) Option {
 // WithTransport connects the stream to an external shard cluster
 // described by the topology (socket addresses, exchange deadline, dial
 // backoff). The topology is validated eagerly; dialing happens at New.
-func WithTransport(t Topology) Option {
+//
+// Deprecated: use WithTopology, which accepts the same Topology.
+func WithTransport(t Topology) Option { return WithTopology(t) }
+
+// WithTopology connects the stream to the cluster the topology describes
+// — socket shard addresses or in-process Local runtimes — validating the
+// shape eagerly; dialing happens at construction. It is the canonical
+// topology option; WithShards remains as shorthand for in-process
+// clusters.
+func WithTopology(t Topology) Option {
 	return func(c *Config) error {
 		if !t.enabled() {
-			return fmt.Errorf("%w: WithTransport: topology names no shards", ErrBadConfig)
+			return fmt.Errorf("%w: WithTopology: topology names no shards", ErrBadConfig)
 		}
 		if err := t.validate(); err != nil {
-			return fmt.Errorf("WithTransport: %w", err)
+			return fmt.Errorf("WithTopology: %w", err)
 		}
 		c.Topology = t
 		return nil
