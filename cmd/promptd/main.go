@@ -180,15 +180,26 @@ func coordReports(m *prompt.MultiStream, src *workload.Source, batches int, scal
 		return src.Slice(start, end)
 	}
 	var reps []prompt.BatchReport
-	for b := 0; b < batches; b++ {
-		r, err := m.Run(pull, 1)
+	if len(scale) == 0 {
+		// One Run call for the whole workload: with -pipeline > 1 the
+		// driver overlaps consecutive batches instead of draining the
+		// pipeline at every call boundary.
+		r, err := m.Run(pull, batches)
 		if err != nil {
 			return nil, nil, err
 		}
-		reps = append(reps, r...)
-		if owners, ok := scale[b]; ok {
-			if err := m.Rescale(owners); err != nil {
-				return nil, nil, fmt.Errorf("rescale to %d after batch %d: %w", owners, b, err)
+		reps = r
+	} else {
+		for b := 0; b < batches; b++ {
+			r, err := m.Run(pull, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			reps = append(reps, r...)
+			if owners, ok := scale[b]; ok {
+				if err := m.Rescale(owners); err != nil {
+					return nil, nil, fmt.Errorf("rescale to %d after batch %d: %w", owners, b, err)
+				}
 			}
 		}
 	}
@@ -233,6 +244,7 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 		mapTasks    = fs.Int("p", 4, "map tasks (blocks)")
 		reduceTasks = fs.Int("r", 4, "reduce tasks (buckets)")
 		workers     = fs.Int("workers", 0, "driver worker goroutines (0 = single-goroutine)")
+		pipeline    = fs.Int("pipeline", 1, "inter-batch pipeline depth: overlap up to N consecutive batches (answers unchanged)")
 		timeout     = fs.Duration("timeout", 30*time.Second, "per-exchange deadline")
 		scaleScript = fs.String("scale-script", "", "scripted rescales as batch:owners pairs (\"2:2,6:1\"); applied after the named batch commits")
 		verifyLocal = fs.Bool("verify-local", false, "re-run single-process and require bit-identical reports and windows")
@@ -270,7 +282,8 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 	if *workers != 0 {
 		base = append(base, prompt.WithWorkers(*workers))
 	}
-	cluster := append(append([]prompt.Option(nil), base...), prompt.WithTopology(prompt.Topology{
+	cluster := append(append([]prompt.Option(nil), base...), prompt.WithPipelineDepth(*pipeline))
+	cluster = append(cluster, prompt.WithTopology(prompt.Topology{
 		Shards:          shardList,
 		ExchangeTimeout: *timeout,
 		// Generous dial budget (~3 s of backoff) so a coordinator started
@@ -287,10 +300,12 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	runStart := time.Now()
 	reps, wins, err := coordReports(m, src, *batches, scale)
 	if err != nil {
 		return err
 	}
+	wall := time.Since(runStart)
 
 	sum := prompt.Summarize(reps)
 	if *jsonOut {
@@ -304,6 +319,10 @@ func runCoord(args []string, stdout, stderr io.Writer) error {
 			sum.Batches, sum.Tuples, len(qs), len(shardList), m.ShardsDown(), m.BackpressureFactor())
 		fmt.Fprintf(stdout, "throughput %.0f tuples/s, mean W %.3f, unstable %d\n",
 			sum.Throughput, sum.MeanW, sum.UnstableCount)
+		if wall > 0 && len(reps) > 0 {
+			fmt.Fprintf(stdout, "pipeline: depth %d, wall %v, sustained %.1f batches/s\n",
+				*pipeline, wall.Round(time.Millisecond), float64(len(reps))/wall.Seconds())
+		}
 		if len(scale) > 0 {
 			fmt.Fprintf(stdout, "elastic: %d owners after %d slot migrations\n", m.Owners(), m.Migrations())
 		}

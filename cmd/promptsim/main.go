@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"text/tabwriter"
+	"time"
 
 	"prompt/internal/cluster"
 	"prompt/internal/core"
@@ -44,6 +45,8 @@ func main() {
 		mapTasks    = flag.Int("p", 8, "map tasks (blocks)")
 		reduceTasks = flag.Int("r", 8, "reduce tasks (buckets)")
 		cores       = flag.Int("cores", 8, "simulated cores")
+		workers     = flag.Int("workers", 0, "real worker goroutines (0 = single-goroutine driver, -1 = GOMAXPROCS)")
+		pipeline    = flag.Int("pipeline", 1, "inter-batch pipeline depth: overlap up to N consecutive batches (answers unchanged, wall-clock only)")
 		elasticOn   = flag.Bool("elastic", false, "enable the auto-scale controller (Algorithm 4)")
 		elasticPol  = flag.String("elastic-policy", "threshold", "auto-scale policy with -elastic: threshold|predictive|cost")
 		seed        = flag.Int64("seed", 1, "workload seed")
@@ -153,6 +156,8 @@ func main() {
 		MapTasks:      *mapTasks,
 		ReduceTasks:   *reduceTasks,
 		Cores:         *cores,
+		Workers:       *workers,
+		PipelineDepth: *pipeline,
 		Cost:          params.Cost,
 	}
 	cfg = scheme.Apply(cfg)
@@ -181,9 +186,15 @@ func main() {
 
 	reordered := *jitterMS > 0 || *maxDelayMS > 0
 	var reports []engine.BatchReport
+	runStart := time.Now()
 	switch {
 	case reordered && *elasticOn:
 		fatal(fmt.Errorf("-jitter-ms/-max-delay-ms cannot be combined with -elastic"))
+	case *pipeline > 1 && (reordered || *elasticOn):
+		// Both modes consume per-batch feedback (the reorder horizon, the
+		// controller's decision) before admitting the next batch, so they
+		// run one batch at a time by construction.
+		fatal(fmt.Errorf("-pipeline > 1 cannot be combined with -elastic or -jitter-ms/-max-delay-ms"))
 	case reordered:
 		jit, err := workload.NewJittered(src, tuple.Time(*jitterMS)*tuple.Millisecond, *seed+1)
 		if err != nil {
@@ -261,6 +272,10 @@ func main() {
 	s := engine.Summarize(reports)
 	fmt.Printf("\nsummary: %d batches, %d tuples, throughput %.0f/s, mean proc %v, max latency %v, unstable %d\n",
 		s.Batches, s.Tuples, s.Throughput, s.MeanProcessing, s.MaxLatency, s.UnstableCount)
+	if wall := time.Since(runStart); wall > 0 && len(reports) > 0 {
+		fmt.Printf("pipeline: depth %d, wall %v, sustained %.1f batches/s\n",
+			*pipeline, wall.Round(time.Millisecond), float64(len(reports))/wall.Seconds())
+	}
 	if reordered {
 		fmt.Printf("reorder: %d tuples dropped beyond the %dms delay bound\n", s.TuplesDropped, *maxDelayMS)
 	}

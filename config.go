@@ -51,6 +51,17 @@ type Config struct {
 	// should prefer ProcessBatchColumnar or a Receiver, which skip the
 	// transpose.
 	Columnar bool
+	// PipelineDepth bounds how many consecutive batches may be in flight
+	// at once when the stream drives itself from a source (Run,
+	// RunContext): while batch k executes and commits, batch k+1 may
+	// already be accumulating statistics and partitioning. Commits stay
+	// strictly serialized in batch order, so reports, windowed answers,
+	// and checkpoints are bit-identical to depth 1 — pipelining changes
+	// wall-clock time only. 0 or 1 keeps the classic one-batch-at-a-time
+	// driver; elastic streams always run one batch at a time (the policy
+	// must observe each report before the next batch starts), as do
+	// ProcessBatch calls.
+	PipelineDepth int
 	// Cost overrides the simulated task cost model; zero uses defaults.
 	Cost CostModel
 	// Observer, when set, receives batch-lifecycle events (batch start,
@@ -101,6 +112,7 @@ func (c Config) build() (engine.Config, core.Scheme, error) {
 		EarlyReleaseFraction: c.EarlyReleaseFraction,
 		ValidateBatches:      c.Validate,
 		ColumnarIngest:       c.Columnar,
+		PipelineDepth:        c.PipelineDepth,
 		Observer:             c.Observer,
 		Faults:               c.Faults,
 		Retry:                c.Retry,

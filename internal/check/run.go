@@ -38,7 +38,109 @@ func Run(sc Scenario) []string {
 	violations = append(violations, checkTransportEquivalence(sc, batches)...)
 	violations = append(violations, checkColumnarEquivalence(sc, batches)...)
 	violations = append(violations, checkMigrationEquivalence(sc, batches)...)
+	violations = append(violations, checkPipelineEquivalence(sc, batches)...)
 	return violations
+}
+
+// replayStream adapts the materialized batches to the engine's pull
+// interface so the pipelined driver runs over literally the same inputs
+// as every other invariant.
+type replayStream struct{ batches [][]tuple.Tuple }
+
+func (r replayStream) Slice(start, end tuple.Time) ([]tuple.Tuple, error) {
+	i := int(start / tuple.Second)
+	if i < 0 || i >= len(r.batches) {
+		return nil, fmt.Errorf("check: replay slice [%d, %d) outside the materialized run", start, end)
+	}
+	return r.batches[i], nil
+}
+
+func (r replayStream) Reset() {}
+
+// checkPipelineEquivalence is invariant 9: overlapping consecutive
+// batches must be a wall-clock-only optimization. At PipelineDepth 2 and
+// 3 — in-process and with the data-plane folds scattered over loopback
+// and pipe shard clusters — every BatchReport and the final window
+// answer must be bit-identical to the classic depth-1 run, on whichever
+// ingest path (row or columnar driver) the scenario selected. The clock
+// is frozen by Run, so "bit-identical" includes every timing field.
+func checkPipelineEquivalence(sc Scenario, batches [][]tuple.Tuple) []string {
+	scheme, err := core.ByName(sc.Scheme)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	refSnaps, refReports, _, err := snapshotsOf(sc, scheme, sc.Workers, batches)
+	if err != nil {
+		return []string{fmt.Sprintf("pipeline reference failed: %v", err)}
+	}
+	refWindow := refSnaps[len(refSnaps)-1]
+	shards := 2 + int(sc.Seed%2) // match the transport invariant's topology
+	queries := []engine.Query{query(sc)}
+	for _, depth := range []int{2, 3} {
+		for _, backend := range []string{"inprocess", "loopback", "pipe"} {
+			violations := func() []string {
+				cfg := scheme.Apply(baseConfig(sc, sc.Workers))
+				cfg.PipelineDepth = depth
+				eng, err := engine.New(cfg, queries[0])
+				if err != nil {
+					return []string{fmt.Sprintf("pipeline %s engine: %v", backend, err)}
+				}
+				var coord *dist.Coordinator
+				if backend != "inprocess" {
+					handlers := make([]transport.Handler, shards)
+					for i := range handlers {
+						handlers[i] = dist.NewShard(i, queries)
+					}
+					var tr transport.Transport
+					if backend == "loopback" {
+						tr = transport.NewLoopback(handlers...)
+					} else {
+						tr = transport.NewPipe(5*time.Second, handlers...)
+					}
+					coord, err = dist.NewCoordinator(tr, cfg.BatchInterval, queries)
+					if err != nil {
+						tr.Close()
+						return []string{fmt.Sprintf("pipeline %s coordinator: %v", backend, err)}
+					}
+					defer coord.Close()
+					eng.SetExecutor(coord)
+				}
+				src := replayStream{batches: batches}
+				var reports []engine.BatchReport
+				if sc.Columnar {
+					reports, err = eng.RunBatchesColumnar(src, len(batches))
+				} else {
+					reports, err = eng.RunBatches(src, len(batches))
+				}
+				if err != nil {
+					return []string{fmt.Sprintf("pipeline %s depth-%d run failed: %v", backend, depth, err)}
+				}
+				var violations []string
+				if !reflect.DeepEqual(reports, refReports) {
+					violations = append(violations, fmt.Sprintf(
+						"invariant 9 (pipeline equivalence): scheme %s reports diverged at depth %d (%s)",
+						sc.Scheme, depth, backend))
+				}
+				if snap := eng.WindowSnapshot(); !reflect.DeepEqual(snap, refWindow) {
+					violations = append(violations, fmt.Sprintf(
+						"invariant 9 (pipeline equivalence): scheme %s window answer diverged at depth %d (%s)",
+						sc.Scheme, depth, backend))
+				}
+				if coord != nil {
+					if down := coord.Down(); down != 0 {
+						violations = append(violations, fmt.Sprintf(
+							"invariant 9 (pipeline equivalence): %d shard(s) marked down at depth %d (%s)",
+							down, depth, backend))
+					}
+				}
+				return violations
+			}()
+			if len(violations) > 0 {
+				return violations
+			}
+		}
+	}
+	return nil
 }
 
 // checkMigrationEquivalence is invariant 8: a run whose key-range owner

@@ -25,8 +25,12 @@ var ErrShardDown = errors.New("dist: shard down")
 //
 // Placement is static and deterministic: block i of a batch goes to
 // shard i mod n, bucket j to shard j mod n. Each scatter is one frame
-// per shard per stage (strict request-reply), with the intern-dictionary
-// delta the frame's IDs need piggybacked on it.
+// per shard per stage, with the intern-dictionary delta the frame's IDs
+// need piggybacked on it. On multiplexed transports the frame is sent
+// under the link lock but awaited outside it, so parallel query jobs
+// (and pipelined batches) keep several task frames in flight on one
+// shard connection; deltas are computed in send order, which the shard's
+// arrival-order handling keeps gap-free.
 //
 // A shard whose exchange fails is redialed (the transport applies its
 // backoff) and re-handshaken — the HelloAck's DictSize tells the
@@ -55,6 +59,7 @@ type link struct {
 	shard  int
 	conn   transport.Conn
 	sent   int // dict entries the shard already mirrors
+	gen    int // connection generation; handshake bumps it
 	down   bool
 	factor float64
 }
@@ -128,6 +133,7 @@ func (c *Coordinator) handshake(l *link) error {
 	}
 	l.conn = conn
 	l.sent = int(ack.DictSize)
+	l.gen++
 	l.down = false
 	return nil
 }
@@ -244,55 +250,106 @@ func (c *Coordinator) Close() error {
 	return c.tr.Close()
 }
 
+// delta computes the dictionary delta a shard still needs, advancing the
+// link's mirror watermark to the current dictionary length. Callers hold
+// l.mu, so the delta and the watermark advance are atomic with respect
+// to other exchanges on the link: each frame's delta starts exactly
+// where the previous frame's ended. The advance is optimistic — if the
+// frame is later lost, the redial handshake resets l.sent from the
+// shard's re-acknowledged mirror size.
+func (c *Coordinator) delta(l *link) wire.DictDelta {
+	n := c.dict.Len()
+	d := wire.DictDelta{First: uint32(l.sent), Keys: []string{}}
+	if n > l.sent {
+		keys := make([]string, n-l.sent)
+		for i := range keys {
+			keys[i] = c.dict.Resolve(uint32(l.sent + i))
+		}
+		d.Keys = keys
+	}
+	l.sent = n
+	return d
+}
+
 // exchange sends one task frame to a shard and returns the reply. mk
 // builds the frame around the dictionary delta the shard still needs; it
-// may be called twice (the retry after a successful redial re-derives
-// the delta from the re-acknowledged watermark). A failed exchange
-// triggers one redial + re-handshake; if that also fails the shard is
-// marked down.
+// may be called twice (the retry after a redial re-derives the delta
+// from the re-acknowledged watermark).
+//
+// On multiplexed connections only the send runs under the link lock —
+// the frame (with its delta) is queued in lock order and the caller then
+// awaits the reply unlocked, so several task frames ride the connection
+// concurrently. A failed exchange triggers one redial + re-handshake per
+// connection generation; if that also fails the shard is marked down.
+// In-flight peers that failed alongside retry on the already-fresh
+// connection without paying a second redial.
 func (c *Coordinator) exchange(l *link, mk func(d wire.DictDelta) wire.Msg) (wire.Msg, error) {
+	l.mu.Lock()
+	if l.down {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: shard %d", ErrShardDown, l.shard)
+	}
+	gen := l.gen
+	bg, muxed := l.conn.(transport.Beginner)
+	if !muxed {
+		// Strict request-reply (loopback): the whole exchange serializes
+		// on the link.
+		reply, err := l.conn.Exchange(mk(c.delta(l)))
+		l.mu.Unlock()
+		if err == nil {
+			return reply, nil
+		}
+		var we *wire.Error
+		if errors.As(err, &we) {
+			// The shard answered: the stream is healthy, the task is what
+			// failed. Surface it without tearing the link down.
+			return nil, err
+		}
+		return c.retryExchange(l, gen, err, mk)
+	}
+	p, err := bg.Begin(mk(c.delta(l)))
+	l.mu.Unlock()
+	if err == nil {
+		var reply wire.Msg
+		if reply, err = p.Await(); err == nil {
+			return reply, nil
+		}
+		var we *wire.Error
+		if errors.As(err, &we) {
+			return nil, err
+		}
+	}
+	return c.retryExchange(l, gen, err, mk)
+}
+
+// retryExchange is the slow path after a failed exchange on connection
+// generation gen: the first failure of a generation pays the one redial
+// (marking the shard down if it fails); failures of frames that were in
+// flight alongside it find the generation already advanced and go
+// straight to a strict request-reply retry on the fresh connection. A
+// second failure marks the shard down.
+func (c *Coordinator) retryExchange(l *link, gen int, cause error, mk func(d wire.DictDelta) wire.Msg) (wire.Msg, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.down {
-		return nil, fmt.Errorf("%w: shard %d", ErrShardDown, l.shard)
+		return nil, fmt.Errorf("%w: shard %d (lost frame: %v)", ErrShardDown, l.shard, cause)
 	}
-	attempt := func() (wire.Msg, error) {
-		n := c.dict.Len()
-		delta := wire.DictDelta{First: uint32(l.sent), Keys: []string{}}
-		if n > l.sent {
-			keys := make([]string, n-l.sent)
-			for i := range keys {
-				keys[i] = c.dict.Resolve(uint32(l.sent + i))
-			}
-			delta.Keys = keys
+	if l.gen == gen {
+		if herr := c.handshake(l); herr != nil {
+			l.down = true
+			return nil, fmt.Errorf("dist: shard %d lost (%v) and redial failed: %w", l.shard, cause, herr)
 		}
-		reply, err := l.conn.Exchange(mk(delta))
-		if err != nil {
-			return nil, err
-		}
-		l.sent = n
-		return reply, nil
 	}
-	reply, err := attempt()
+	reply, err := l.conn.Exchange(mk(c.delta(l)))
 	if err == nil {
 		return reply, nil
 	}
 	var we *wire.Error
 	if errors.As(err, &we) {
-		// The shard answered: the stream is healthy, the task is what
-		// failed. Surface it without tearing the link down.
 		return nil, err
 	}
-	if herr := c.handshake(l); herr != nil {
-		l.down = true
-		return nil, fmt.Errorf("dist: shard %d lost (%v) and redial failed: %w", l.shard, err, herr)
-	}
-	reply, err = attempt()
-	if err != nil {
-		l.down = true
-		return nil, fmt.Errorf("dist: shard %d failed after reconnect: %w", l.shard, err)
-	}
-	return reply, nil
+	l.down = true
+	return nil, fmt.Errorf("dist: shard %d failed after reconnect: %w", l.shard, err)
 }
 
 // noteFactor records a reply's piggybacked back-pressure factor.

@@ -351,6 +351,95 @@ func TestShardRestartResyncsDictionary(t *testing.T) {
 	}
 }
 
+// TestMultiplexedReconnect is the reconnect story under multiplexing:
+// with parallel query jobs keeping more than one task frame in flight on
+// each shard connection (Workers=4 scatters both queries concurrently)
+// and batches pipelined two deep, a shard death fails the in-flight
+// frames together. The surviving semantics must match strict
+// request-reply exactly: one redial per connection generation — after
+// which every failed frame retries on the fresh link — and, if the shard
+// stays dead, local fallback. Both paths must leave answers
+// bit-identical to the single-process run.
+func TestMultiplexedReconnect(t *testing.T) {
+	queries := testQueries()
+	cfg := testConfig(core.PromptScheme(), 4)
+	cfg.PipelineDepth = 2
+	const batches, seed = 6, 31
+	ref := runEngine(t, cfg, queries, nil, batches, seed)
+
+	run := func(t *testing.T, restart bool) (*Coordinator, runOut) {
+		shards := newShards(2, queries)
+		dir := t.TempDir()
+		addrs := make([]string, 2)
+		var servers []*shardServer
+		for i, s := range shards {
+			addrs[i] = filepath.Join(dir, fmt.Sprintf("s%d.sock", i))
+			servers = append(servers, serveShard(t, addrs[i], s))
+		}
+		tr := transport.NewNet(addrs,
+			transport.WithTimeout(2*time.Second),
+			transport.WithRetry(fault.RetryPolicy{MaxAttempts: 2, Backoff: 5 * tuple.Millisecond, BackoffFactor: 2}))
+		coord, err := NewCoordinator(tr, cfg.BatchInterval, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { coord.Close() })
+
+		eng, err := engine.NewMulti(cfg, queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.SetExecutor(coord)
+		src := testSource(8000, 150, seed)
+		var reports []engine.BatchReport
+		for b := 0; b < batches; b += 2 {
+			if b == 2 {
+				servers[1].Stop()
+				if restart {
+					// Fresh shard, empty dictionary mirror, same address: the
+					// redial handshake must replay the dictionary from zero.
+					servers[1] = serveShard(t, addrs[1], NewShard(1, queries))
+				}
+			}
+			reps, err := eng.RunBatches(src, 2)
+			if err != nil {
+				t.Fatalf("batch %d: %v", b, err)
+			}
+			reports = append(reports, reps...)
+		}
+		results := make([]map[string]float64, len(queries))
+		for i := range queries {
+			results[i] = eng.LastResultOf(i)
+		}
+		return coord, runOut{reports: reports, window: eng.WindowSnapshot(), results: results}
+	}
+
+	for _, tc := range []struct {
+		name     string
+		restart  bool
+		wantDown int
+	}{
+		{name: "restart-redials-once", restart: true, wantDown: 0},
+		{name: "dead-shard-falls-back-locally", restart: false, wantDown: 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			coord, got := run(t, tc.restart)
+			if down := coord.Down(); down != tc.wantDown {
+				t.Errorf("Down() = %d, want %d", down, tc.wantDown)
+			}
+			if !reflect.DeepEqual(scrubWallClock(got.reports), scrubWallClock(ref.reports)) {
+				t.Fatal("reports diverge from single-process")
+			}
+			if !reflect.DeepEqual(got.window, ref.window) {
+				t.Fatal("window diverges from single-process")
+			}
+			if !reflect.DeepEqual(got.results, ref.results) {
+				t.Fatal("per-query results diverge from single-process")
+			}
+		})
+	}
+}
+
 // TestBackpressurePropagates pins the wire path of the AIMD factor: a
 // coordinator announcing an impossibly small batch interval must see the
 // shards' factors collapse below 1 within a few batches.

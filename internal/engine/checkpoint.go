@@ -139,6 +139,9 @@ func Restore(cfg Config, queries []Query, r io.Reader) (*Engine, error) {
 	e.coresLost = img.CoresLost
 	e.lastResults = img.LastResults
 	e.reports = img.Reports
+	// The estimate feedback is derivable from the reports, so the image
+	// carries no extra fields for it.
+	e.resetEstimates()
 	if img.HasReorder {
 		reord, err := RestoreReorderer(img.Reorder)
 		if err != nil {

@@ -101,6 +101,16 @@ type Config struct {
 	// placed once, key locality in buckets). Tests and examples turn it
 	// on; sweeps leave it off for speed.
 	ValidateBatches bool
+	// PipelineDepth bounds how many consecutive batches may be in flight
+	// at once inside RunBatches/RunBatchesColumnar: while batch k is in
+	// its process/recover/commit stages, batch k+1 may already run
+	// accumulate and partition over its own double-buffered accumulator
+	// and column-batch state. Commits stay strictly serialized in batch
+	// order, so every report, window, and checkpoint is bit-identical to
+	// depth 1 — pipelining changes wall-clock time only, exactly like
+	// Workers. 0 or 1 keeps the classic fully serialized driver. Step and
+	// StepColumns always run one batch at a time regardless of depth.
+	PipelineDepth int
 	// ColumnarIngest converts row ingestion (Step, RunBatches, sealed
 	// reorder output) to the columnar hot path: tuples are transposed into
 	// a struct-of-arrays ColumnBatch at the batch boundary and the
@@ -198,6 +208,9 @@ func (c Config) withDefaults() Config {
 	if c.MPIWeights == (metrics.Weights{}) {
 		c.MPIWeights = metrics.EqualWeights
 	}
+	if c.PipelineDepth == 0 {
+		c.PipelineDepth = 1
+	}
 	return c
 }
 
@@ -217,6 +230,9 @@ func (c Config) Validate() error {
 	}
 	if c.StatsShards < 0 {
 		return fmt.Errorf("engine: stats shards must be >= 0, got %d", c.StatsShards)
+	}
+	if c.PipelineDepth < 0 || c.PipelineDepth > MaxPipelineDepth {
+		return fmt.Errorf("engine: pipeline depth %d outside [0, %d]", c.PipelineDepth, MaxPipelineDepth)
 	}
 	if err := c.Cost.Validate(); err != nil {
 		return err

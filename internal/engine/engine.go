@@ -48,6 +48,21 @@ type Engine struct {
 
 	acc   *stats.Accumulator
 	shacc *stats.ShardedAccumulator
+	// post is the pooled dictionary-backed post-sorter of PostSortMode;
+	// like acc it is created lazily and its output is valid until its next
+	// use, so the pipelined driver rotates it per in-flight slot.
+	post *stats.PostSorter
+
+	// estTuples/estKeys are the Algorithm 1 estimates (N_Est, K_Avg)
+	// learned from the most recently partitioned batch; estValid reports
+	// that at least one batch produced them. They are recorded at the end
+	// of the partition stage — not read back from the last report — so the
+	// pipelined driver can start batch k+1's accumulate before batch k has
+	// committed. The values equal the last report's Tuples/Keys fields,
+	// keeping sequential and pipelined estimate feedback bit-identical.
+	estTuples int
+	estKeys   int
+	estValid  bool
 	// dict is the stream-lifetime key dictionary of the zero-allocation
 	// hot path: keys intern once at accumulator ingestion and their dense
 	// IDs address the reused statistics structures batch after batch. It
@@ -245,6 +260,29 @@ func (e *Engine) SetWorkers(workers int) error {
 // Workers returns the effective worker-goroutine count (1 when inline).
 func (e *Engine) Workers() int { return e.pool.Workers() }
 
+// SetPipelineDepth changes the inter-batch pipelining depth for
+// subsequent RunBatches/RunBatchesColumnar calls: 0 or 1 restores the
+// fully serialized driver. Like SetWorkers it changes wall-clock time
+// only — reports, windows, and checkpoints are identical at any depth.
+func (e *Engine) SetPipelineDepth(depth int) error {
+	if depth < 0 || depth > MaxPipelineDepth {
+		return fmt.Errorf("engine: pipeline depth %d outside [0, %d]", depth, MaxPipelineDepth)
+	}
+	if depth == 0 {
+		depth = 1
+	}
+	e.cfg.PipelineDepth = depth
+	return nil
+}
+
+// PipelineDepth returns the effective inter-batch pipelining depth.
+func (e *Engine) PipelineDepth() int {
+	if e.cfg.PipelineDepth < 1 {
+		return 1
+	}
+	return e.cfg.PipelineDepth
+}
+
 // SetObserver installs (or, with nil, removes) the lifecycle observer for
 // subsequent batches. Observers see per-stage events but never influence
 // reports; with none registered the pipeline records no timings at all.
@@ -326,6 +364,9 @@ func (e *Engine) RunBatches(src workload.Stream, n int) ([]BatchReport, error) {
 // is done the run stops between stages with the context's error and the
 // reports of the batches already committed.
 func (e *Engine) RunBatchesContext(ctx context.Context, src workload.Stream, n int) ([]BatchReport, error) {
+	if e.PipelineDepth() > 1 {
+		return e.runPipelined(ctx, src, n, false)
+	}
 	out := make([]BatchReport, 0, n)
 	for i := 0; i < n; i++ {
 		// Check before pulling from the source: sources are sequential, so
@@ -362,6 +403,9 @@ func (e *Engine) RunBatchesColumnar(src workload.Stream, n int) ([]BatchReport, 
 // RunBatchesColumnarContext is RunBatchesColumnar with cooperative
 // cancellation, mirroring RunBatchesContext.
 func (e *Engine) RunBatchesColumnarContext(ctx context.Context, src workload.Stream, n int) ([]BatchReport, error) {
+	if e.PipelineDepth() > 1 {
+		return e.runPipelined(ctx, src, n, true)
+	}
 	out := make([]BatchReport, 0, n)
 	cb := tuple.GetColumnBatch()
 	defer tuple.PutColumnBatch(cb)
@@ -725,15 +769,45 @@ func (e *Engine) runQuery(qi int, blocks []*tuple.Block, seqBase int, spec jobSp
 // from the previous batch (N_Est, K_Avg).
 func (e *Engine) accumCfg() stats.AccumulatorConfig {
 	cfg := e.cfg.AccumConfig
-	if last := len(e.reports) - 1; last >= 0 {
-		if n := e.reports[last].Tuples; n > 0 {
-			cfg.EstimatedTuples = n
+	if e.estValid {
+		if e.estTuples > 0 {
+			cfg.EstimatedTuples = e.estTuples
 		}
-		if k := e.reports[last].Keys; k > 0 {
-			cfg.EstimatedKeys = k
+		if e.estKeys > 0 {
+			cfg.EstimatedKeys = e.estKeys
 		}
 	}
 	return cfg
+}
+
+// noteEstimates records one partitioned batch's statistics as the next
+// batch's Algorithm 1 estimates. The partition stage calls it, so under
+// pipelining the estimates for batch k+1 are ready as soon as batch k
+// leaves the frontend — the same values a sequential run reads from batch
+// k's report.
+func (e *Engine) noteEstimates(st stats.BatchStats) {
+	e.estTuples, e.estKeys, e.estValid = st.Tuples, st.Keys, true
+}
+
+// resetEstimates re-derives the estimate feedback from the committed
+// reports, discarding anything a failed pipelined run learned from batches
+// that never committed.
+func (e *Engine) resetEstimates() {
+	if last := len(e.reports) - 1; last >= 0 {
+		e.estTuples, e.estKeys, e.estValid = e.reports[last].Tuples, e.reports[last].Keys, true
+	} else {
+		e.estTuples, e.estKeys, e.estValid = 0, 0, false
+	}
+}
+
+// postSort routes PostSortMode through the pooled dictionary-backed
+// sorter. The returned slice (and its per-key tuple groups) is owned by
+// the sorter and valid until its next use.
+func (e *Engine) postSort(b *tuple.Batch) []stats.SortedKey {
+	if e.post == nil {
+		e.post = stats.NewPostSorter(e.dict)
+	}
+	return e.post.Sort(b)
 }
 
 // accumulate routes the batch's tuples through Algorithm 1, creating or

@@ -70,45 +70,68 @@ func (e *Engine) runPipeline(ctx *BatchContext) error {
 		return nil
 	}
 
-	batchStart := timeNow()
+	e.observeBatchStart(obs, ctx)
+	ctx.Timings = make([]StageTiming, 0, len(e.pipeline))
+	for _, st := range e.pipeline {
+		if err := ctx.cancelled(); err != nil {
+			return err
+		}
+		if err := e.runStage(obs, ctx, st); err != nil {
+			return err
+		}
+	}
+	e.observeBatchEnd(obs, ctx)
+	return nil
+}
+
+// observeBatchStart emits the batch-start event and stamps the batch's
+// wall-clock start on the context, so the pipelined driver (which splits
+// the stage loop across two goroutines) reports the same end-to-end wall
+// time runPipeline would.
+func (e *Engine) observeBatchStart(obs Observer, ctx *BatchContext) {
+	ctx.wallStart = timeNow()
 	obs.OnBatchStart(metrics.BatchStart{
 		Batch:  ctx.Index,
 		Start:  ctx.Batch.Start,
 		End:    ctx.Batch.End,
 		Tuples: ctx.tupleCount(),
 	})
-	ctx.Timings = make([]StageTiming, 0, len(e.pipeline))
-	for _, st := range e.pipeline {
-		if err := ctx.cancelled(); err != nil {
-			return err
-		}
-		stageStart := timeNow()
-		if err := st.Run(e, ctx); err != nil {
-			return err
-		}
-		timing := StageTiming{
-			Stage:     st.Name(),
-			Wall:      timeNow().Sub(stageStart),
-			Simulated: st.Simulated(ctx),
-		}
-		ctx.Timings = append(ctx.Timings, timing)
-		obs.OnStageEnd(metrics.StageEnd{
-			Batch:     ctx.Index,
-			Stage:     string(timing.Stage),
-			Wall:      timing.Wall,
-			Simulated: timing.Simulated,
-		})
+}
+
+// runStage executes one stage with observer instrumentation, appending
+// its timing to the context. runPipeline and the pipelined driver share
+// it so both emit identical per-stage event streams.
+func (e *Engine) runStage(obs Observer, ctx *BatchContext, st Stage) error {
+	stageStart := timeNow()
+	if err := st.Run(e, ctx); err != nil {
+		return err
 	}
+	timing := StageTiming{
+		Stage:     st.Name(),
+		Wall:      timeNow().Sub(stageStart),
+		Simulated: st.Simulated(ctx),
+	}
+	ctx.Timings = append(ctx.Timings, timing)
+	obs.OnStageEnd(metrics.StageEnd{
+		Batch:     ctx.Index,
+		Stage:     string(timing.Stage),
+		Wall:      timing.Wall,
+		Simulated: timing.Simulated,
+	})
+	return nil
+}
+
+// observeBatchEnd emits the batch-end event from the committed report.
+func (e *Engine) observeBatchEnd(obs Observer, ctx *BatchContext) {
 	obs.OnBatchEnd(metrics.BatchEnd{
 		Batch:      ctx.Index,
-		Wall:       timeNow().Sub(batchStart),
+		Wall:       timeNow().Sub(ctx.wallStart),
 		Tuples:     ctx.Report.Tuples,
 		Keys:       ctx.Report.Keys,
 		Processing: ctx.Report.ProcessingTime,
 		Latency:    ctx.Report.Latency,
 		Stable:     ctx.Report.Stable,
 	})
-	return nil
 }
 
 // --- Accumulate (Algorithm 1) -------------------------------------------
@@ -155,12 +178,13 @@ func (partitionStage) Run(e *Engine, ctx *BatchContext) error {
 	case FrequencyAware:
 		ctx.Sorted, ctx.Stats = e.finalizeStats()
 	case PostSortMode:
-		ctx.Sorted = stats.PostSort(ctx.Batch)
+		ctx.Sorted = e.postSort(ctx.Batch)
 		ctx.Stats = stats.BatchStats{
 			Tuples: ctx.Batch.Len(), Keys: len(ctx.Sorted),
 			Start: ctx.Batch.Start, End: ctx.Batch.End,
 		}
 	}
+	e.noteEstimates(ctx.Stats)
 
 	blocks, err := e.cfg.Partitioner.Partition(
 		partition.Input{Batch: ctx.Batch, Sorted: ctx.Sorted, Pool: e.pool}, e.cfg.MapTasks)

@@ -1,0 +1,299 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"prompt/internal/cluster"
+	"prompt/internal/metrics"
+	"prompt/internal/stats"
+	"prompt/internal/tuple"
+	"prompt/internal/workload"
+)
+
+// MaxPipelineDepth bounds Config.PipelineDepth. Depth beyond a handful of
+// batches buys nothing — the frontend and backend lanes are each
+// serialized, so one batch of lookahead already hides the shorter lane
+// behind the longer — while every extra slot doubles another accumulator.
+const MaxPipelineDepth = 8
+
+// pipeSlot is the double-buffered frontend state of one in-flight batch.
+// Batch statistics structures hand out views into their own storage
+// (dictionary-mode Finalize reuses its output slice, the post-sorter its
+// per-key tuple groups, the column scratch its arrays), all valid until
+// the structure's next reset. Rotating a slot per in-flight batch keeps
+// batch k's blocks intact while batch k+1 accumulates: slot k mod depth
+// is not reused before batch k has committed, which the depth tokens
+// guarantee.
+type pipeSlot struct {
+	acc   *stats.Accumulator
+	shacc *stats.ShardedAccumulator
+	post  *stats.PostSorter
+	col   *tuple.ColumnBatch
+	rows  []tuple.Tuple
+}
+
+// stage installs the slot's state as the engine's working scratch; only
+// the frontend goroutine touches these fields during a pipelined run.
+func (sl *pipeSlot) stage(e *Engine) {
+	e.acc, e.shacc, e.post, e.colScratch, e.rowScratch = sl.acc, sl.shacc, sl.post, sl.col, sl.rows
+}
+
+// unstage captures the (possibly lazily created or regrown) scratch back
+// into the slot after the batch's frontend work.
+func (sl *pipeSlot) unstage(e *Engine) {
+	sl.acc, sl.shacc, sl.post, sl.col, sl.rows = e.acc, e.shacc, e.post, e.colScratch, e.rowScratch
+}
+
+// pipeItem is one batch's frontend→backend handoff.
+type pipeItem struct {
+	bc *BatchContext
+	// err terminates the run after all earlier batches commit; bc is nil.
+	err error
+	// admitStall and frontWall feed the pipeline gauges: how long the
+	// batch waited for a depth token, and its accumulate+partition wall.
+	admitStall time.Duration
+	frontWall  time.Duration
+}
+
+// frontSplit returns how many leading pipeline stages belong to the
+// frontend lane: everything before the process stage (accumulate and
+// partition in the default pipeline). Stages from the process stage on —
+// process, recover, commit — form the backend lane.
+func (e *Engine) frontSplit() int {
+	for i, st := range e.pipeline {
+		if st.Name() == StageProcess {
+			return i
+		}
+	}
+	return 0
+}
+
+// runPipelined is the depth-bounded inter-batch pipelining driver behind
+// RunBatches and RunBatchesColumnar when PipelineDepth > 1.
+//
+// Two lanes share the batch pipeline: the frontend goroutine runs each
+// batch's accumulate and partition stages (Algorithms 1 and 2) over that
+// batch's own pipeSlot, in batch order; the backend — the calling
+// goroutine — runs process, recover, and commit, also in batch order.
+// Commit order is therefore exactly the sequential driver's, and every
+// feedback edge is consumed at the boundary it was produced for:
+//
+//   - the Algorithm 1 estimates (N_Est, K_Avg) flow from batch k's
+//     partition stage to batch k+1's accumulate inside the frontend lane;
+//   - batch stats, blocks, and the partition plan flow forward through
+//     the handoff channel;
+//   - simulated-time feedback (procFree queueing, coresLost, taskSeq,
+//     pending drops, rescale intents) lives entirely in the backend lane.
+//
+// A counting semaphore of depth tokens bounds the in-flight window: batch
+// k+depth may not enter the frontend before batch k has committed, which
+// also makes the per-slot scratch rotation safe. Reports, windows, and
+// checkpoints are bit-identical to depth 1; only wall-clock time changes.
+func (e *Engine) runPipelined(ctx context.Context, src workload.Stream, n int, columnar bool) ([]BatchReport, error) {
+	depth := e.PipelineDepth()
+	obs := e.cfg.Observer
+	split := e.frontSplit()
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	tokens := make(chan struct{}, depth)
+	for i := 0; i < depth; i++ {
+		tokens <- struct{}{}
+	}
+	items := make(chan *pipeItem, depth)
+
+	slots := make([]pipeSlot, depth)
+	// Seed slot 0 with the engine's current scratch so a pipelined run
+	// keeps reusing what sequential Steps built up (and vice versa).
+	slots[0] = pipeSlot{acc: e.acc, shacc: e.shacc, post: e.post, col: e.colScratch, rows: e.rowScratch}
+
+	go func() {
+		defer close(items)
+		next := e.now
+		base := e.batchIdx
+		for i := 0; i < n; i++ {
+			waitStart := timeNow()
+			select {
+			case <-cctx.Done():
+				items <- &pipeItem{err: cctx.Err()}
+				return
+			case <-tokens:
+			}
+			admitStall := timeNow().Sub(waitStart)
+			// Check before pulling from the source: sources are
+			// sequential, so consuming an interval the run then abandons
+			// would desynchronize a later resume.
+			if err := cctx.Err(); err != nil {
+				items <- &pipeItem{err: err}
+				return
+			}
+			start := next
+			end := start + e.cfg.BatchInterval
+			tuples, err := src.Slice(start, end)
+			if err != nil {
+				items <- &pipeItem{err: err}
+				return
+			}
+			sl := &slots[i%depth]
+			sl.stage(e)
+			frontStart := timeNow()
+			bc, err := e.frontendBatch(cctx, base+i, tuples, start, end, columnar, split, obs)
+			sl.unstage(e)
+			if err != nil {
+				items <- &pipeItem{err: err}
+				return
+			}
+			items <- &pipeItem{
+				bc:         bc,
+				admitStall: admitStall,
+				frontWall:  timeNow().Sub(frontStart),
+			}
+			next = end
+		}
+	}()
+
+	out := make([]BatchReport, 0, n)
+	var runErr error
+	for item := range items {
+		if runErr != nil {
+			continue // drain after failure so the frontend goroutine exits
+		}
+		if item.err != nil {
+			runErr = item.err
+			cancel()
+			continue
+		}
+		backStart := timeNow()
+		if err := e.backendBatch(item.bc, split, obs); err != nil {
+			runErr = err
+			cancel()
+			continue
+		}
+		out = append(out, item.bc.Report)
+		if po, ok := obs.(metrics.PipelineObserver); ok {
+			po.OnPipeline(metrics.PipelineEvent{
+				Batch:          item.bc.Index,
+				Depth:          depth,
+				InFlight:       depth - len(tokens),
+				AdmissionStall: item.admitStall,
+				FrontendWall:   item.frontWall,
+				BackendWall:    timeNow().Sub(backStart),
+			})
+		}
+		tokens <- struct{}{}
+	}
+
+	if runErr != nil {
+		// Discard estimate feedback learned from batches that never
+		// committed, so a later sequential resume sees exactly the state a
+		// depth-1 run would have left.
+		e.resetEstimates()
+		return out, runErr
+	}
+	return out, nil
+}
+
+// frontendBatch runs one batch's frontend lane: input shaping (columnar
+// transpose, row materialization), then the stages before the process
+// stage. It mirrors the frontend half of step, including TaskPanic
+// conversion, and returns the handoff context for the backend lane.
+func (e *Engine) frontendBatch(cctx context.Context, idx int, tuples []tuple.Tuple, start, end tuple.Time, columnar bool, split int, obs Observer) (bc *BatchContext, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			tp, ok := v.(*cluster.TaskPanic)
+			if !ok {
+				panic(v)
+			}
+			bc, err = nil, fmt.Errorf("engine: batch %d: %w", idx, tp)
+		}
+	}()
+	var cb *tuple.ColumnBatch
+	if columnar || (e.cfg.ColumnarIngest && e.cfg.Accum == FrequencyAware) {
+		if e.colScratch == nil {
+			e.colScratch = &tuple.ColumnBatch{}
+		}
+		cb = e.colScratch
+		cb.Reset()
+		cb.AppendRows(tuples, e.dict.Intern)
+		if columnar {
+			// The columnar entry point hands the batch over as pure
+			// columns; rows rematerialize below only if a pipeline
+			// consumer needs them, exactly as StepColumns does.
+			tuples = nil
+		}
+	}
+	if cb != nil {
+		cb.Start, cb.End = start, end
+		if tuples == nil && e.needRows() {
+			e.rowScratch = cb.AppendRowsTo(e.rowScratch[:0], e.dict.Resolve)
+			tuples = e.rowScratch
+		}
+	}
+	bc = &BatchContext{
+		Index:    idx,
+		Ctx:      cctx,
+		Batch:    &tuple.Batch{Start: start, End: end, Tuples: tuples},
+		Cols:     cb,
+		Interval: end - start,
+	}
+	if obs != nil {
+		e.observeBatchStart(obs, bc)
+		bc.Timings = make([]StageTiming, 0, len(e.pipeline))
+	}
+	for _, st := range e.pipeline[:split] {
+		if err := bc.cancelled(); err != nil {
+			return nil, err
+		}
+		if obs == nil {
+			if err := st.Run(e, bc); err != nil {
+				return nil, err
+			}
+		} else if err := e.runStage(obs, bc, st); err != nil {
+			return nil, err
+		}
+	}
+	return bc, nil
+}
+
+// backendBatch runs one batch's backend lane — input replication for the
+// fault store, then the process/recover/commit stages — and advances the
+// engine's committed position. It mirrors the backend half of step.
+func (e *Engine) backendBatch(bc *BatchContext, split int, obs Observer) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			tp, ok := v.(*cluster.TaskPanic)
+			if !ok {
+				panic(v)
+			}
+			err = fmt.Errorf("engine: batch %d: %w", bc.Index, tp)
+		}
+	}()
+	if e.store != nil {
+		// Replicate in commit order, just before the first stage that can
+		// consume the copy (the recover stage's replay), so eviction
+		// horizons advance exactly as in the sequential driver.
+		e.store.Put(bc.Index, bc.Batch.Start, bc.Batch.End, bc.Batch.Tuples)
+	}
+	for _, st := range e.pipeline[split:] {
+		if err := bc.cancelled(); err != nil {
+			return err
+		}
+		if obs == nil {
+			if err := st.Run(e, bc); err != nil {
+				return err
+			}
+		} else if err := e.runStage(obs, bc, st); err != nil {
+			return err
+		}
+	}
+	if obs != nil {
+		e.observeBatchEnd(obs, bc)
+	}
+	e.reports = append(e.reports, bc.Report)
+	e.batchIdx++
+	e.now = bc.Batch.End
+	return nil
+}

@@ -109,6 +109,11 @@ type BatchContext struct {
 	// Timings records per-stage costs when an observer is registered;
 	// nil otherwise (the no-observer hot path allocates nothing extra).
 	Timings []StageTiming
+	// wallStart is the batch's wall-clock start, stamped with the
+	// batch-start observer event so the batch-end event can report
+	// end-to-end wall time even when the stage loop is split across the
+	// pipelined driver's two lanes.
+	wallStart time.Time
 
 	// Report is the finished batch report, filled by the commit stage.
 	Report BatchReport

@@ -104,9 +104,12 @@ type Drop struct {
 // Observer receives batch-lifecycle events from the staged pipeline.
 // Implementations must be cheap: callbacks run on the driver goroutine
 // between stages, so a slow observer stretches real batch latency (never
-// the simulated reports). Callbacks are never invoked concurrently for
-// one engine, but an observer shared between engines must synchronize.
-// Embed NopObserver to implement only the events of interest.
+// the simulated reports). With inter-batch pipelining (PipelineDepth > 1)
+// events of different in-flight batches may be delivered concurrently —
+// batch k+1's accumulate/partition events interleave with batch k's
+// process/recover/commit events — so observers must synchronize their own
+// state; within one batch, events still arrive in stage order. Embed
+// NopObserver to implement only the events of interest.
 type Observer interface {
 	// OnBatchStart fires before the first stage of a batch runs.
 	OnBatchStart(BatchStart)
@@ -193,6 +196,36 @@ func (m MultiObserver) OnDrop(d Drop) {
 	}
 }
 
+// PipelineEvent reports one batch's passage through the pipelined
+// (depth > 1) driver: how the two lanes overlapped and where the batch
+// stalled. Events are gauges of wall-clock behaviour only — they carry no
+// simulated time and never influence reports.
+type PipelineEvent struct {
+	// Batch is the batch sequence number.
+	Batch int
+	// Depth is the configured pipeline depth.
+	Depth int
+	// InFlight is how many batches were in flight (admitted but not yet
+	// committed) when this batch committed.
+	InFlight int
+	// AdmissionStall is how long the batch waited for a depth token —
+	// time the frontend lane sat idle because the commit horizon was
+	// Depth batches behind.
+	AdmissionStall time.Duration
+	// FrontendWall is the batch's accumulate+partition wall time.
+	FrontendWall time.Duration
+	// BackendWall is the batch's process+recover+commit wall time.
+	BackendWall time.Duration
+}
+
+// PipelineObserver is an optional extension of Observer: the pipelined
+// driver type-asserts the configured observer and, when implemented,
+// delivers one PipelineEvent per committed batch (from the commit lane,
+// in batch order).
+type PipelineObserver interface {
+	OnPipeline(PipelineEvent)
+}
+
 // StageStats summarizes every observation of one pipeline stage.
 type StageStats struct {
 	Stage string `json:"stage"`
@@ -271,15 +304,50 @@ type CollectorSummary struct {
 	TuplesDropped int `json:"tuples_dropped"`
 }
 
+// PipelineStats is the Collector's roll-up of PipelineEvents: how well
+// the pipelined driver overlapped its two lanes.
+type PipelineStats struct {
+	// Batches is the number of batches that committed through the
+	// pipelined driver.
+	Batches int `json:"batches"`
+	// Depth is the largest configured depth observed.
+	Depth int `json:"depth"`
+	// MaxInFlight is the largest in-flight batch count observed.
+	MaxInFlight int `json:"max_in_flight"`
+	// AdmissionStall totals the time batches waited for a depth token.
+	AdmissionStall time.Duration `json:"admission_stall_ns"`
+	// FrontendWall and BackendWall total each lane's busy time; their
+	// overlap is what depth > 1 hides relative to a sequential run.
+	FrontendWall time.Duration `json:"frontend_wall_ns"`
+	BackendWall  time.Duration `json:"backend_wall_ns"`
+}
+
+// stageRank is the canonical pipeline order of the built-in stages.
+// Under inter-batch pipelining, which batch's stage event lands first is
+// a scheduling accident — batch k+1's accumulate may beat batch k's
+// commit — so first-seen order is no longer the pipeline order and the
+// Collector sorts known stages by rank instead (unknown stages keep
+// first-seen order, after the known ones).
+var stageRank = map[string]int{
+	"accumulate": 0,
+	"partition":  1,
+	"process":    2,
+	"recover":    3,
+	"commit":     4,
+}
+
 // Collector is the built-in Observer: it keeps per-stage counters and
 // min/mean/max wall and simulated timings plus a batch-level summary, and
 // exports them as JSON or CSV. A Collector is safe for concurrent use and
-// may be shared between engines.
+// may be shared between engines; all aggregates are order-independent, so
+// interleaved stage events from concurrently in-flight batches land in
+// the same statistics a sequential run would produce.
 type Collector struct {
 	mu      sync.Mutex
 	stages  map[string]*stageAgg
-	order   []string // first-seen stage order, the pipeline order
+	order   []string // first-seen stage order; canonicalized on export
 	summary CollectorSummary
+	pipe    PipelineStats
 }
 
 // NewCollector returns an empty Collector.
@@ -338,6 +406,30 @@ func (c *Collector) OnDrop(d Drop) {
 	c.summary.TuplesDropped += d.Count
 }
 
+// OnPipeline implements PipelineObserver.
+func (c *Collector) OnPipeline(p PipelineEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pipe.Batches++
+	if p.Depth > c.pipe.Depth {
+		c.pipe.Depth = p.Depth
+	}
+	if p.InFlight > c.pipe.MaxInFlight {
+		c.pipe.MaxInFlight = p.InFlight
+	}
+	c.pipe.AdmissionStall += p.AdmissionStall
+	c.pipe.FrontendWall += p.FrontendWall
+	c.pipe.BackendWall += p.BackendWall
+}
+
+// Pipeline returns the pipelined-driver roll-up (zero-valued when no
+// pipelined batches were observed).
+func (c *Collector) Pipeline() PipelineStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pipe
+}
+
 // Reset clears all collected aggregates.
 func (c *Collector) Reset() {
 	c.mu.Lock()
@@ -345,6 +437,7 @@ func (c *Collector) Reset() {
 	c.stages = make(map[string]*stageAgg)
 	c.order = nil
 	c.summary = CollectorSummary{}
+	c.pipe = PipelineStats{}
 }
 
 // Summary returns the batch-level roll-up.
@@ -354,13 +447,37 @@ func (c *Collector) Summary() CollectorSummary {
 	return c.summary
 }
 
-// Snapshot returns the per-stage statistics in pipeline (first-seen)
-// order.
+// canonicalOrder returns the observed stage names in canonical pipeline
+// order: known stages by rank, unknown stages after them in first-seen
+// order. Callers must hold c.mu.
+func (c *Collector) canonicalOrder() []string {
+	names := append([]string(nil), c.order...)
+	slices.SortStableFunc(names, func(a, b string) int {
+		ra, aok := stageRank[a]
+		rb, bok := stageRank[b]
+		switch {
+		case aok && bok:
+			return ra - rb
+		case aok:
+			return -1
+		case bok:
+			return 1
+		default:
+			return 0
+		}
+	})
+	return names
+}
+
+// Snapshot returns the per-stage statistics in canonical pipeline order
+// (rank order for the built-in stages, first-seen for any others), which
+// stays deterministic even when concurrently in-flight batches deliver
+// their first stage events out of pipeline order.
 func (c *Collector) Snapshot() []StageStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]StageStats, 0, len(c.order))
-	for _, name := range c.order {
+	for _, name := range c.canonicalOrder() {
 		out = append(out, c.stages[name].stats(name))
 	}
 	return out
@@ -377,14 +494,19 @@ func (c *Collector) StageNames() []string {
 
 // collectorExport is the JSON shape WriteJSON emits.
 type collectorExport struct {
-	Summary CollectorSummary `json:"summary"`
-	Stages  []StageStats     `json:"stages"`
+	Summary  CollectorSummary `json:"summary"`
+	Stages   []StageStats     `json:"stages"`
+	Pipeline *PipelineStats   `json:"pipeline,omitempty"`
 }
 
 // WriteJSON exports the summary and per-stage statistics as indented
-// JSON.
+// JSON, plus the pipelined-driver roll-up when any pipelined batches
+// were observed.
 func (c *Collector) WriteJSON(w io.Writer) error {
 	exp := collectorExport{Summary: c.Summary(), Stages: c.Snapshot()}
+	if pipe := c.Pipeline(); pipe.Batches > 0 {
+		exp.Pipeline = &pipe
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(exp)

@@ -170,3 +170,100 @@ func TestCollectorConcurrentSafety(t *testing.T) {
 		t.Errorf("concurrent snapshot = %+v", snap)
 	}
 }
+
+// TestCollectorInterleavedBatches replays the event interleaving the
+// pipelined (depth > 1) driver produces — batch 1's early stages land
+// before batch 0's late ones — and requires the Collector to report the
+// same canonical stage order and the same per-stage min/mean/max it
+// would for a sequential run. First-seen order would put "commit" ahead
+// of "partition" here; the canonical rank must not.
+func TestCollectorInterleavedBatches(t *testing.T) {
+	sequential := []StageEnd{
+		{Batch: 0, Stage: "accumulate", Wall: 1 * time.Millisecond, Simulated: 0},
+		{Batch: 0, Stage: "partition", Wall: 2 * time.Millisecond, Simulated: 2000},
+		{Batch: 0, Stage: "process", Wall: 8 * time.Millisecond, Simulated: 9000},
+		{Batch: 0, Stage: "commit", Wall: 1 * time.Millisecond, Simulated: 0},
+		{Batch: 1, Stage: "accumulate", Wall: 3 * time.Millisecond, Simulated: 0},
+		{Batch: 1, Stage: "partition", Wall: 4 * time.Millisecond, Simulated: 4000},
+		{Batch: 1, Stage: "process", Wall: 4 * time.Millisecond, Simulated: 5000},
+		{Batch: 1, Stage: "commit", Wall: 2 * time.Millisecond, Simulated: 0},
+	}
+	// The same events as two overlapped in-flight batches: batch 1's
+	// frontend finishes (and even its commit lands) interleaved with —
+	// and partly ahead of — batch 0's backend.
+	interleaved := []int{4, 0, 5, 1, 2, 6, 3, 7}
+
+	ref := NewCollector()
+	for _, s := range sequential {
+		ref.OnStageEnd(s)
+	}
+	got := NewCollector()
+	for _, i := range interleaved {
+		got.OnStageEnd(sequential[i])
+	}
+
+	want := ref.Snapshot()
+	snap := got.Snapshot()
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("interleaved snapshot diverges from sequential:\n got %+v\nwant %+v", snap, want)
+	}
+	order := make([]string, len(snap))
+	for i, s := range snap {
+		order[i] = s.Stage
+	}
+	if want := []string{"accumulate", "partition", "process", "commit"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("stage order = %v, want canonical %v", order, want)
+	}
+	for _, s := range snap {
+		if s.Count != 2 {
+			t.Errorf("stage %s count = %d, want 2", s.Stage, s.Count)
+		}
+		if s.WallMin > s.WallMean || s.WallMean > s.WallMax {
+			t.Errorf("stage %s wall ordering violated: min %v mean %v max %v", s.Stage, s.WallMin, s.WallMean, s.WallMax)
+		}
+	}
+}
+
+// TestCollectorConcurrentInFlightBatches drives two goroutines acting as
+// the two pipeline lanes — one emitting frontend stages for even
+// batches, one backend stages for odd — and checks the aggregates are
+// exactly order-independent: counts and extrema match the sequential
+// total regardless of the race outcome.
+func TestCollectorConcurrentInFlightBatches(t *testing.T) {
+	const batches = 200
+	c := NewCollector()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < batches; i++ {
+			c.OnStageEnd(StageEnd{Batch: i, Stage: "accumulate", Wall: time.Duration(i+1) * time.Microsecond})
+			c.OnStageEnd(StageEnd{Batch: i, Stage: "partition", Wall: time.Duration(i+1) * time.Microsecond, Simulated: tuple.Time(i + 1)})
+		}
+	}()
+	for i := 0; i < batches; i++ {
+		c.OnStageEnd(StageEnd{Batch: i, Stage: "process", Wall: time.Duration(i+1) * time.Microsecond, Simulated: tuple.Time(i + 1)})
+		c.OnStageEnd(StageEnd{Batch: i, Stage: "commit", Wall: time.Duration(i+1) * time.Microsecond})
+	}
+	<-done
+
+	snap := c.Snapshot()
+	order := make([]string, len(snap))
+	for i, s := range snap {
+		order[i] = s.Stage
+	}
+	if want := []string{"accumulate", "partition", "process", "commit"}; !reflect.DeepEqual(order, want) {
+		t.Errorf("stage order = %v, want canonical %v", order, want)
+	}
+	for _, s := range snap {
+		if s.Count != batches {
+			t.Errorf("stage %s count = %d, want %d", s.Stage, s.Count, batches)
+		}
+		if s.WallMin != time.Microsecond || s.WallMax != time.Duration(batches)*time.Microsecond {
+			t.Errorf("stage %s wall extrema = [%v, %v], want [1µs, %dµs]", s.Stage, s.WallMin, s.WallMax, batches)
+		}
+		wantMean := time.Duration(batches*(batches+1)/2) * time.Microsecond / time.Duration(batches)
+		if s.WallMean != wantMean {
+			t.Errorf("stage %s wall mean = %v, want %v", s.Stage, s.WallMean, wantMean)
+		}
+	}
+}

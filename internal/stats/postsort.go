@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"prompt/internal/intern"
+	"prompt/internal/tuple"
+)
+
+// PostSorter is the pooled, dictionary-backed implementation of the
+// post-sort baseline: the same per-key grouping and exact-frequency
+// descending sort as PostSort, but with the string-keyed map replaced by
+// the intern dictionary's dense IDs and every per-key tuple group reused
+// batch after batch. Output is bit-identical to PostSort — grouping
+// preserves arrival order within a key and SortKeysDesc is a strict total
+// order over distinct keys — so the two are interchangeable; only the
+// allocation profile differs.
+//
+// The returned slice and its per-key tuple groups are owned by the sorter
+// and valid until the next Sort call, mirroring the dictionary-mode
+// accumulator's Finalize contract.
+type PostSorter struct {
+	dict *intern.Dict
+	// gen marks which Sort call a slot's buffer belongs to, so slots are
+	// logically cleared per batch without walking the whole table.
+	gen   uint64
+	slots []postSlot
+	seen  []uint32 // IDs in first-arrival order for this batch
+	out   []SortedKey
+}
+
+// postSlot is one key's reusable tuple group, addressed by intern ID.
+type postSlot struct {
+	gen    uint64
+	tuples []tuple.Tuple
+}
+
+// NewPostSorter returns a sorter interning into the given stream
+// dictionary (nil creates a private one).
+func NewPostSorter(dict *intern.Dict) *PostSorter {
+	if dict == nil {
+		dict = intern.NewDict(0)
+	}
+	return &PostSorter{dict: dict}
+}
+
+// Sort groups the batch per key and returns the keys by exact frequency
+// descending (key ascending as tie-break), the same contract as PostSort.
+func (p *PostSorter) Sort(b *tuple.Batch) []SortedKey {
+	p.gen++
+	p.seen = p.seen[:0]
+	for i := range b.Tuples {
+		t := &b.Tuples[i]
+		id := p.dict.Intern(t.Key)
+		if int(id) >= len(p.slots) {
+			n := int(id) + 1
+			if n < 2*len(p.slots) {
+				n = 2 * len(p.slots)
+			}
+			grown := make([]postSlot, n)
+			copy(grown, p.slots)
+			p.slots = grown
+		}
+		sl := &p.slots[id]
+		if sl.gen != p.gen {
+			sl.gen = p.gen
+			sl.tuples = sl.tuples[:0]
+			p.seen = append(p.seen, id)
+		}
+		sl.tuples = append(sl.tuples, *t)
+	}
+	out := p.out[:0]
+	for _, id := range p.seen {
+		sl := &p.slots[id]
+		out = append(out, SortedKey{Key: p.dict.Resolve(id), Count: len(sl.tuples), Tuples: sl.tuples})
+	}
+	SortKeysDesc(out)
+	p.out = out
+	return out
+}

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"prompt/internal/wire"
+)
+
+// blockingHandler parks the first request on a gate channel and answers
+// later requests immediately, echoing the batch number. It lets tests
+// hold a reply hostage while more frames pile onto the connection.
+type blockingHandler struct {
+	gate    chan struct{} // closed to release the parked request
+	blocked chan struct{} // signalled when the first request parks
+	first   bool
+}
+
+func (h *blockingHandler) Handle(req wire.Msg) (wire.Msg, error) {
+	m := req.(*wire.MapTask)
+	if !h.first {
+		h.first = true
+		h.blocked <- struct{}{}
+		<-h.gate
+	}
+	return &wire.MapResult{Batch: m.Batch, Query: m.Query, Outs: []wire.BlockOut{}, Factor: 1}, nil
+}
+
+// dialBlocking serves a blockingHandler on a unix socket (kernel-buffered,
+// so queued frames do not block the sender) and dials it.
+func dialBlocking(t *testing.T, h *blockingHandler, timeout time.Duration) Conn {
+	t.Helper()
+	addr := filepath.Join(t.TempDir(), "shard.sock")
+	ln, err := net.Listen("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		t.Cleanup(func() { c.Close() })
+		_ = Serve(c, h)
+	}()
+	conn, err := NewNet([]string{addr}, WithTimeout(timeout)).Dial(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func mapTask(batch int) *wire.MapTask {
+	return &wire.MapTask{Batch: batch, Dict: wire.DictDelta{Keys: []string{}}, Blocks: []wire.Block{}}
+}
+
+// TestMuxOverlappingFrames pins the multiplexing property itself: while
+// one exchange's reply is withheld, further Begin calls complete and
+// their frames queue on the same connection, and once released every
+// waiter receives the reply matching its correlation ID.
+func TestMuxOverlappingFrames(t *testing.T) {
+	h := &blockingHandler{gate: make(chan struct{}), blocked: make(chan struct{}, 1)}
+	conn := dialBlocking(t, h, 5*time.Second)
+	bg := conn.(Beginner)
+
+	p0, err := bg.Begin(mapTask(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.blocked // shard is now parked inside request 0
+
+	// With request 0 unanswered, two more frames must still go out.
+	done := make(chan Pending, 2)
+	for b := 1; b <= 2; b++ {
+		p, err := bg.Begin(mapTask(b))
+		if err != nil {
+			t.Fatalf("Begin(%d) with a reply outstanding: %v", b, err)
+		}
+		done <- p
+	}
+	if len(done) != 2 {
+		t.Fatalf("%d of 2 overlapping Begins completed", len(done))
+	}
+
+	close(h.gate)
+	if res, err := p0.Await(); err != nil {
+		t.Fatalf("Await(0): %v", err)
+	} else if mr := res.(*wire.MapResult); mr.Batch != 0 {
+		t.Fatalf("reply batch %d for request 0", mr.Batch)
+	}
+	for b := 1; b <= 2; b++ {
+		res, err := (<-done).Await()
+		if err != nil {
+			t.Fatalf("Await(%d): %v", b, err)
+		}
+		if mr := res.(*wire.MapResult); mr.Batch != b {
+			t.Fatalf("reply batch %d for request %d", mr.Batch, b)
+		}
+	}
+}
+
+// TestMuxFailureFailsAllPending kills the connection with two frames in
+// flight: both waiters must fail promptly (not hang on a reply that can
+// never come) and later exchanges must fail fast with the sticky error.
+func TestMuxFailureFailsAllPending(t *testing.T) {
+	h := &blockingHandler{gate: make(chan struct{}), blocked: make(chan struct{}, 1)}
+	conn := dialBlocking(t, h, 5*time.Second)
+	bg := conn.(Beginner)
+
+	p0, err := bg.Begin(mapTask(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h.blocked
+	p1, err := bg.Begin(mapTask(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conn.Close()
+	if _, err := p0.Await(); err == nil {
+		t.Error("Await(0) succeeded on a closed connection")
+	}
+	if _, err := p1.Await(); err == nil {
+		t.Error("Await(1) succeeded on a closed connection")
+	}
+	if _, err := conn.Exchange(mapTask(2)); !errors.Is(err, ErrConnClosed) {
+		t.Errorf("Exchange after close = %v, want ErrConnClosed", err)
+	}
+	close(h.gate)
+}
+
+// TestMuxAwaitTimeout: a reply that never arrives bounds the caller's
+// wait and fails the whole connection, so no lane hangs on a dead shard.
+func TestMuxAwaitTimeout(t *testing.T) {
+	h := &blockingHandler{gate: make(chan struct{}), blocked: make(chan struct{}, 1)}
+	conn := dialBlocking(t, h, 50*time.Millisecond)
+
+	start := time.Now()
+	if _, err := conn.Exchange(mapTask(0)); err == nil {
+		t.Fatal("Exchange succeeded with the handler parked")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	if _, err := conn.Exchange(mapTask(1)); err == nil {
+		t.Error("Exchange after timeout succeeded; want sticky failure")
+	}
+	close(h.gate)
+}

@@ -21,7 +21,7 @@ type Net struct {
 	retry   fault.RetryPolicy
 
 	mu    sync.Mutex
-	conns []*streamConn
+	conns []*muxConn
 }
 
 // NetOption configures a Net transport.
@@ -46,7 +46,7 @@ func NewNet(addrs []string, opts ...NetOption) *Net {
 		addrs:   addrs,
 		timeout: 30 * time.Second,
 		retry:   fault.RetryPolicy{}.WithDefaults(),
-		conns:   make([]*streamConn, len(addrs)),
+		conns:   make([]*muxConn, len(addrs)),
 	}
 	for _, o := range opts {
 		o(n)
@@ -94,7 +94,7 @@ func (n *Net) Dial(shard int) (Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: dialing shard %d (%s %s): %w", shard, network, addr, err)
 	}
-	sc := newStreamConn(c, n.timeout)
+	sc := newMuxConn(c, n.timeout)
 	n.mu.Lock()
 	if prev := n.conns[shard]; prev != nil {
 		_ = prev.Close()

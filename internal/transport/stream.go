@@ -11,10 +11,16 @@ import (
 	"prompt/internal/wire"
 )
 
-// Serve runs a shard's request-reply loop over one stream connection
-// until the peer closes it (returns nil) or a transport error occurs.
-// Handler errors do not end the loop: they travel back as wire.Error
+// Serve runs a shard's request loop over one stream connection until the
+// peer closes it (returns nil) or a transport error occurs. Requests are
+// handled sequentially in arrival order — that order is what makes the
+// intern-dictionary deltas piggybacked on task frames gap-free — and
+// handler errors do not end the loop: they travel back as wire.Error
 // frames and the next request is awaited.
+//
+// A wire.Mux request is unwrapped, handled, and its reply wrapped under
+// the same correlation ID, so one connection serves several in-flight
+// exchanges; bare frames get bare replies (strict request-reply).
 func Serve(c net.Conn, h Handler) error {
 	dec := wire.NewDecoder(bufio.NewReaderSize(c, 64<<10))
 	enc := wire.NewEncoder(c)
@@ -26,60 +32,28 @@ func Serve(c net.Conn, h Handler) error {
 		if err != nil {
 			return err
 		}
+		env, muxed := req.(*wire.Mux)
+		if muxed {
+			if req, err = env.Unwrap(); err != nil {
+				return err
+			}
+		}
 		reply, herr := h.Handle(req)
 		if herr != nil {
 			reply = &wire.Error{Msg: herr.Error()}
+		}
+		if muxed {
+			wrapped, werr := wire.WrapMux(env.Corr, reply)
+			if werr != nil {
+				return werr
+			}
+			reply = wrapped
 		}
 		if err := enc.Encode(reply); err != nil {
 			return err
 		}
 	}
 }
-
-// streamConn frames exchanges over any net.Conn. The mutex makes
-// Exchange atomic — parallel query jobs share the connection and their
-// send/recv pairs must not interleave.
-type streamConn struct {
-	mu      sync.Mutex
-	c       net.Conn
-	enc     *wire.Encoder
-	dec     *wire.Decoder
-	timeout time.Duration
-}
-
-func newStreamConn(c net.Conn, timeout time.Duration) *streamConn {
-	return &streamConn{
-		c:       c,
-		enc:     wire.NewEncoder(c),
-		dec:     wire.NewDecoder(bufio.NewReaderSize(c, 64<<10)),
-		timeout: timeout,
-	}
-}
-
-// Exchange implements Conn.
-func (s *streamConn) Exchange(req wire.Msg) (wire.Msg, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.timeout > 0 {
-		if err := s.c.SetDeadline(time.Now().Add(s.timeout)); err != nil {
-			return nil, err
-		}
-	}
-	if err := s.enc.Encode(req); err != nil {
-		return nil, err
-	}
-	reply, err := s.dec.Decode()
-	if err != nil {
-		return nil, err
-	}
-	if e, ok := reply.(*wire.Error); ok {
-		return nil, e
-	}
-	return reply, nil
-}
-
-// Close implements Conn.
-func (s *streamConn) Close() error { return s.c.Close() }
 
 // --- Pipe ----------------------------------------------------------------
 
@@ -120,7 +94,7 @@ func (p *Pipe) Dial(shard int) (Conn, error) {
 		defer p.wg.Done()
 		_ = Serve(server, h)
 	}()
-	return newStreamConn(client, p.timeout), nil
+	return newMuxConn(client, p.timeout), nil
 }
 
 // Close implements Transport: closes every pipe end and waits for the

@@ -1,18 +1,23 @@
 // Package transport moves wire frames between the coordinator and its
-// engine shards. Every backend speaks strict request-reply: the
-// coordinator sends one task frame and reads one reply frame, per shard,
-// per exchange — a discipline that works identically over an in-process
-// call, a synchronous net.Pipe, and a real socket, which is what lets the
-// deterministic backends differentially test the real one.
+// engine shards. The stream backends multiplex: each request travels in
+// a wire.Mux envelope tagged with a connection-unique correlation ID, so
+// a single shard connection carries several in-flight task frames at
+// once — parallel query jobs and pipelined batches overlap their
+// exchanges instead of serializing on the connection. The shard still
+// handles requests strictly in arrival order (which keeps the
+// piggybacked intern-dictionary deltas gap-free); only the replies are
+// matched back to their callers by ID.
 //
 // Three backends implement Transport:
 //
 //   - Loopback: handlers invoked on the caller's goroutine, with every
 //     frame still marshalled through the wire codec, so the byte format is
-//     exercised with zero scheduling nondeterminism.
+//     exercised with zero scheduling nondeterminism. Strict request-reply
+//     (no Beginner): the reference the multiplexed backends are
+//     differentially tested against.
 //   - Pipe: net.Pipe per shard with a serve-loop goroutine — real framing,
 //     real reader/writer interleaving, no OS sockets.
-//   - Net: TCP or unix-domain sockets with read/write deadlines and
+//   - Net: TCP or unix-domain sockets with per-frame write deadlines and
 //     dial-with-backoff — the promptd production path.
 package transport
 

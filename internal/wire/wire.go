@@ -66,6 +66,7 @@ const (
 	TypeMapTaskCols
 	TypeMigrate
 	TypeMigrateAck
+	TypeMux
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +94,8 @@ func (t Type) String() string {
 		return "migrate"
 	case TypeMigrateAck:
 		return "migrate-ack"
+	case TypeMux:
+		return "mux"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -363,6 +366,8 @@ func Unmarshal(body []byte) (Msg, error) {
 		m = &Migrate{}
 	case TypeMigrateAck:
 		m = &MigrateAck{}
+	case TypeMux:
+		m = &Mux{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrType, body[1])
 	}

@@ -3,6 +3,8 @@ package prompt
 import (
 	"fmt"
 	"time"
+
+	"prompt/internal/engine"
 )
 
 // Option adjusts a Config under construction. Options validate eagerly:
@@ -153,6 +155,20 @@ func WithValidation(on bool) Option {
 func WithColumnar(on bool) Option {
 	return func(c *Config) error {
 		c.Columnar = on
+		return nil
+	}
+}
+
+// WithPipelineDepth bounds how many consecutive batches Run may keep in
+// flight at once; see Config.PipelineDepth. Depth 0 or 1 keeps the
+// classic one-batch-at-a-time driver. Pipelining never changes reports,
+// answers, or checkpoints — only wall-clock time.
+func WithPipelineDepth(depth int) Option {
+	return func(c *Config) error {
+		if depth < 0 || depth > engine.MaxPipelineDepth {
+			return fmt.Errorf("%w: WithPipelineDepth(%d): depth outside [0, %d]", ErrBadConfig, depth, engine.MaxPipelineDepth)
+		}
+		c.PipelineDepth = depth
 		return nil
 	}
 }

@@ -11,6 +11,8 @@
 #   BENCHTIME  go test -benchtime value (default 64x: two full engine
 #              cycles per measurement, long enough to dampen scheduler
 #              noise; benchjson takes the minimum across COUNT repeats)
+#   PIPETIME   -benchtime for BenchmarkPipelinedRun (default 4x: one op
+#              is already a 16-batch run, so 4 ops dampen enough)
 #   COUNT      go test -count value     (default 4)
 #   GATE       max tolerated allocs/op regression fraction (default 0.10)
 #   NSGATE     max tolerated ns/op regression fraction (default 0.10)
@@ -27,6 +29,7 @@ cd "$(dirname "$0")/.."
 
 SECTION="${1:-current}"
 BENCHTIME="${BENCHTIME:-64x}"
+PIPETIME="${PIPETIME:-4x}"
 COUNT="${COUNT:-4}"
 GATE="${GATE:-0.10}"
 NSGATE="${NSGATE:-0.10}"
@@ -42,6 +45,10 @@ fi
 echo "running BenchmarkHotPath (benchtime=$BENCHTIME count=$COUNT)..." >&2
 go test -run='^$' -bench=BenchmarkHotPath -benchmem \
     -benchtime="$BENCHTIME" -count="$COUNT" ./internal/engine/ | tee "$RAW"
+
+echo "running BenchmarkPipelinedRun (benchtime=$PIPETIME count=$COUNT)..." >&2
+go test -run='^$' -bench=BenchmarkPipelinedRun -benchmem \
+    -benchtime="$PIPETIME" -count="$COUNT" ./internal/engine/ | tee -a "$RAW"
 
 go run ./cmd/benchjson -file "$LEDGER" -section "$SECTION" \
     -max-allocs-regress "$GATE" -max-ns-regress "$NSGATE" \

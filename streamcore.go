@@ -81,6 +81,7 @@ func finishCore(cfg Config, eng *engine.Engine, scheme core.Scheme, queries []Qu
 	cfg.Cores = ec.Cores
 	cfg.Workers = ec.Workers
 	cfg.StatsShards = ec.StatsShards
+	cfg.PipelineDepth = ec.PipelineDepth
 	cfg.EarlyReleaseFraction = ec.EarlyReleaseFraction
 	cfg.Cost = ec.Cost
 	cfg.Scheme = Scheme(scheme.Name)
@@ -147,6 +148,14 @@ func (c *streamCore) Run(src BatchSource, n int) ([]BatchReport, error) {
 // reports of the batches already committed. Nothing of the in-flight
 // batch is committed and no goroutines are left behind.
 func (c *streamCore) RunContext(ctx context.Context, src BatchSource, n int) ([]BatchReport, error) {
+	if c.policy == nil && c.eng.PipelineDepth() > 1 {
+		// Pipelined driver: the engine overlaps consecutive batches up to
+		// the configured depth, committing strictly in batch order. An
+		// elastic stream never takes this path — its policy must observe
+		// each report before the next batch is admitted.
+		reps, err := c.eng.RunBatchesContext(ctx, batchSourceStream{src: src}, n)
+		return newBatchReports(c.scheme.Name, reps), err
+	}
 	out := make([]BatchReport, 0, n)
 	for i := 0; i < n; i++ {
 		// Check before pulling from the source, so a cancelled run never
@@ -173,6 +182,16 @@ func (c *streamCore) RunContext(ctx context.Context, src BatchSource, n int) ([]
 	return out, nil
 }
 
+// batchSourceStream adapts the public BatchSource to the engine's pull
+// interface so Run can hand the whole drive loop to the pipelined
+// driver. The engine pulls intervals sequentially, exactly as the
+// sequential loop does; Reset is never called on a live run.
+type batchSourceStream struct{ src BatchSource }
+
+func (s batchSourceStream) Slice(start, end Time) ([]Tuple, error) { return s.src(start, end) }
+
+func (s batchSourceStream) Reset() {}
+
 // observeElastic feeds one committed batch's report to the elastic
 // policy and applies its decision: new parallelism for subsequent
 // batches, with key-range ownership following the Map task count so the
@@ -198,7 +217,8 @@ func (c *streamCore) observeElastic(rep BatchReport) error {
 
 // Reconfigure applies options to the running stream at the next batch
 // boundary. Only the runtime-changeable options are accepted —
-// WithParallelism, WithCores, WithWorkers, WithObserver; every other
+// WithParallelism, WithCores, WithWorkers, WithObserver,
+// WithPipelineDepth; every other
 // option (scheme, batch interval, topology, columnar mode, …) describes
 // construction-time structure, and asking for a different value returns
 // an error wrapping ErrBadConfig with the stream unchanged. Passing a
@@ -219,9 +239,10 @@ func (c *streamCore) Reconfigure(opts ...Option) error {
 	frozen.MapTasks, frozen.ReduceTasks = base.MapTasks, base.ReduceTasks
 	frozen.Cores = base.Cores
 	frozen.Workers = base.Workers
+	frozen.PipelineDepth = base.PipelineDepth
 	frozen.Observer, base.Observer = nil, nil
 	if !reflect.DeepEqual(frozen, base) {
-		return fmt.Errorf("%w: Reconfigure accepts only runtime options (WithParallelism, WithCores, WithWorkers, WithObserver); build a new stream to change anything else", ErrBadConfig)
+		return fmt.Errorf("%w: Reconfigure accepts only runtime options (WithParallelism, WithCores, WithWorkers, WithObserver, WithPipelineDepth); build a new stream to change anything else", ErrBadConfig)
 	}
 	if next.MapTasks != c.cfg.MapTasks || next.ReduceTasks != c.cfg.ReduceTasks {
 		if err := c.eng.SetParallelism(next.MapTasks, next.ReduceTasks); err != nil {
@@ -237,6 +258,12 @@ func (c *streamCore) Reconfigure(opts ...Option) error {
 		if err := c.eng.SetWorkers(next.Workers); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
+	}
+	if next.PipelineDepth != c.cfg.PipelineDepth {
+		if err := c.eng.SetPipelineDepth(next.PipelineDepth); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		next.PipelineDepth = c.eng.PipelineDepth()
 	}
 	c.eng.SetObserver(next.Observer)
 	c.cfg = next
