@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func smallParams() params {
+	return params{
+		Seconds: 4, Rate: 1500, Keys: 120, WindowSec: 2, Seed: 7,
+		Generators: []string{"zipf0.8", "hotset", "burst"},
+	}
+}
+
+// TestRunDeterministic pins the acceptance contract: the leaderboard —
+// every error, footprint, and rank — is identical across runs of the
+// same seed once the measured ns/op is masked out.
+func TestRunDeterministic(t *testing.T) {
+	a, err := run(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		a.Rows[i].NsPerOp, b.Rows[i].NsPerOp = 0, 0
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced two different leaderboards:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestRunCoversSweep checks the leaderboard shape: every selected
+// generator ranks every operator exactly once, ranks are a permutation of
+// 1..n, and the overall standing covers every operator.
+func TestRunCoversSweep(t *testing.T) {
+	p := smallParams()
+	res, err := run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perGen := make(map[string]map[int]string)
+	for _, r := range res.Rows {
+		if perGen[r.Generator] == nil {
+			perGen[r.Generator] = make(map[int]string)
+		}
+		if prev, dup := perGen[r.Generator][r.Rank]; dup {
+			t.Errorf("%s: rank %d assigned to both %s and %s", r.Generator, r.Rank, prev, r.Operator)
+		}
+		perGen[r.Generator][r.Rank] = r.Operator
+		if r.Error < 0 || r.Error > 1.5 {
+			t.Errorf("%s/%s: implausible error %v", r.Generator, r.Operator, r.Error)
+		}
+		if r.Bytes <= 0 {
+			t.Errorf("%s/%s: footprint %d", r.Generator, r.Operator, r.Bytes)
+		}
+	}
+	if len(perGen) != len(p.Generators) {
+		t.Fatalf("rows cover %d generators, want %d", len(perGen), len(p.Generators))
+	}
+	ops := len(res.Rows) / len(p.Generators)
+	if ops < 5 {
+		t.Fatalf("leaderboard ranks %d operators, want >= 5", ops)
+	}
+	for gen, ranks := range perGen {
+		for r := 1; r <= ops; r++ {
+			if _, ok := ranks[r]; !ok {
+				t.Errorf("%s: rank %d missing", gen, r)
+			}
+		}
+	}
+	if len(res.Overall) != ops {
+		t.Errorf("overall standing has %d operators, want %d", len(res.Overall), ops)
+	}
+}
+
+// TestRendering smoke-tests the three output forms.
+func TestRendering(t *testing.T) {
+	p := smallParams()
+	p.Generators = []string{"zipf2.0"}
+	p.Seconds = 2
+	res, err := run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := writeCSV(&csv, res); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines != len(res.Rows)+1 {
+		t.Errorf("csv has %d lines, want %d", lines, len(res.Rows)+1)
+	}
+	var bench bytes.Buffer
+	if err := writeBench(&bench, res); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(bench.String()), "\n") {
+		if !strings.HasPrefix(line, "BenchmarkSampleBench/") ||
+			!strings.Contains(line, "ns/op") || !strings.Contains(line, "allocs/op") {
+			t.Errorf("bad bench line: %q", line)
+		}
+	}
+}
+
+// TestUnknownGenerator pins the error path.
+func TestUnknownGenerator(t *testing.T) {
+	p := smallParams()
+	p.Generators = []string{"nope"}
+	if _, err := run(p); err == nil || !strings.Contains(err.Error(), "unknown generator") {
+		t.Fatalf("run with unknown generator: %v", err)
+	}
+}

@@ -79,6 +79,15 @@ type Config struct {
 	// bit-identical reports and answers. See Topology, WithShards, and
 	// WithTransport. The zero value keeps everything in-process.
 	Topology Topology
+	// Approx, when its Kind is set, runs an approximate query next to the
+	// exact one: a bounded-memory summary (sketch or sampler) folded from
+	// the exact per-key results at every batch commit, answering
+	// point-frequency, top-k, and distinct-count questions with
+	// advertised error bounds through the Approx accessors. Approximate
+	// answers are bit-identical across worker counts, ingestion layouts,
+	// pipelining, topologies, and checkpoint/restore. See ApproxQuery and
+	// WithApproxQuery. The zero value disables the tier.
+	Approx ApproxQuery
 	// Elasticity, when enabled, turns the stream elastic: after every
 	// batch the configured policy observes the report and may change the
 	// Map and Reduce parallelism, with key-range ownership following the
@@ -116,6 +125,7 @@ func (c Config) build() (engine.Config, core.Scheme, error) {
 		Observer:             c.Observer,
 		Faults:               c.Faults,
 		Retry:                c.Retry,
+		Approx:               c.Approx.spec(),
 	}
 	ec = scheme.Apply(ec)
 	return ec, scheme, nil

@@ -18,6 +18,11 @@ var (
 	// return it; Stream.HasWindow checks ahead of time.
 	ErrNoWindow = errors.New("prompt: query has no window")
 
+	// ErrNoApprox reports that an approximate answer was requested from a
+	// stream with no approximate query configured. The Approx accessors
+	// return it; HasApprox checks ahead of time.
+	ErrNoApprox = errors.New("prompt: no approximate query configured")
+
 	// ErrCluster reports that a configured shard cluster could not be
 	// reached: dialing or handshaking a Topology shard failed even after
 	// the transport's backoff. New and Restore wrap cluster connection

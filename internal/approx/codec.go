@@ -1,0 +1,425 @@
+package approx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"prompt/internal/tuple"
+)
+
+// codecVersion is the leading byte of every encoded estimator.
+const codecVersion = 1
+
+// ErrCodec reports a malformed or truncated estimator image. Every
+// decode failure wraps it, so transports and checkpoints can classify
+// corruption without string matching.
+var ErrCodec = errors.New("approx: bad estimator image")
+
+// Encode serializes the estimator — spec, window, and the live window
+// partials — into a self-contained image. The merged summary is not
+// serialized: Decode rebuilds it by replaying the same fold AddBatch
+// performs, which is both smaller and bit-identical by construction.
+//
+// Layout (little-endian, varint integers, float64 as IEEE-754 bits):
+//
+//	[u8 version]
+//	[string kind][uvarint k][uvarint depth][uvarint width]
+//	[uvarint precision][uvarint seed]
+//	[varint window]
+//	[uvarint #partials] then per partial:
+//	  [varint end][kind-specific payload]
+//
+// Kind payloads: Count-Min stores the non-zero cells as (row, col, val)
+// triples plus the absorbed total; Space-Saving stores the canonical
+// entry list plus the untracked-key offset; HLL stores the non-zero
+// registers as (index, rank) pairs; samplers store the (key, value)
+// items — their hash priorities are recomputed from the spec.
+func (e *Estimator) Encode() []byte {
+	b := []byte{codecVersion}
+	b = appendString(b, string(e.spec.Kind))
+	b = binary.AppendUvarint(b, uint64(e.spec.K))
+	b = binary.AppendUvarint(b, uint64(e.spec.Depth))
+	b = binary.AppendUvarint(b, uint64(e.spec.Width))
+	b = binary.AppendUvarint(b, uint64(e.spec.Precision))
+	b = binary.AppendUvarint(b, e.spec.Seed)
+	b = binary.AppendVarint(b, int64(e.win))
+	b = binary.AppendUvarint(b, uint64(len(e.parts)))
+	for _, p := range e.parts {
+		b = binary.AppendVarint(b, int64(p.end))
+		switch e.spec.Kind {
+		case CountMinKind:
+			b = appendCountMin(b, p.cm)
+		case SpaceSavingKind:
+			b = appendSpaceSaving(b, p.ss)
+		case HLLKind:
+			b = appendHLL(b, p.hll)
+		default:
+			b = appendSample(b, p.samp)
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+func appendCountMin(b []byte, c *CountMin) []byte {
+	cells := 0
+	for _, row := range c.rows {
+		for _, v := range row {
+			if v != 0 {
+				cells++
+			}
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(cells))
+	for i, row := range c.rows {
+		for j, v := range row {
+			if v == 0 {
+				continue
+			}
+			b = binary.AppendUvarint(b, uint64(i))
+			b = binary.AppendUvarint(b, uint64(j))
+			b = appendFloat(b, v)
+		}
+	}
+	return appendFloat(b, c.total)
+}
+
+func appendSpaceSaving(b []byte, s *SpaceSaving) []byte {
+	entries := s.Entries()
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		b = appendString(b, e.Key)
+		b = appendFloat(b, e.Est)
+		b = appendFloat(b, e.Err)
+	}
+	return appendFloat(b, s.off)
+}
+
+func appendHLL(b []byte, h *HLL) []byte {
+	nz := 0
+	for _, r := range h.regs {
+		if r != 0 {
+			nz++
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(nz))
+	for i, r := range h.regs {
+		if r == 0 {
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(i))
+		b = binary.AppendUvarint(b, uint64(r))
+	}
+	return b
+}
+
+func appendSample(b []byte, s *Sample) []byte {
+	items := s.Items()
+	b = binary.AppendUvarint(b, uint64(len(items)))
+	for _, it := range items {
+		b = appendString(b, it.Key)
+		b = appendFloat(b, it.Val)
+	}
+	return b
+}
+
+// imgReader is a bounds-checked cursor over one image, mirroring
+// internal/migrate: every announced count is validated against the bytes
+// that could possibly hold it before any slice is allocated.
+type imgReader struct {
+	b   []byte
+	off int
+}
+
+func (r *imgReader) remaining() int { return len(r.b) - r.off }
+
+func (r *imgReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated uvarint", ErrCodec)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *imgReader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: truncated varint", ErrCodec)
+	}
+	r.off += n
+	return v, nil
+}
+
+// count reads an element count whose encoding occupies at least minBytes
+// per element — the length-bomb guard.
+func (r *imgReader) count(minBytes int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	if v > uint64(r.remaining()/minBytes) {
+		return 0, fmt.Errorf("%w: count %d exceeds payload", ErrCodec, v)
+	}
+	return int(v), nil
+}
+
+func (r *imgReader) float() (float64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated float", ErrCodec)
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return math.Float64frombits(v), nil
+}
+
+func (r *imgReader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remaining()) {
+		return "", fmt.Errorf("%w: string length %d exceeds payload", ErrCodec, n)
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+func (r *imgReader) intv() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxInt32 {
+		return 0, fmt.Errorf("%w: value %d overflows", ErrCodec, v)
+	}
+	return int(v), nil
+}
+
+// Decode rebuilds an estimator from an image produced by Encode. The
+// image is self-contained (spec and window travel inside it); callers
+// holding an expected spec should compare against Spec() afterwards.
+func Decode(img []byte) (*Estimator, error) {
+	if len(img) < 1 {
+		return nil, fmt.Errorf("%w: empty image", ErrCodec)
+	}
+	if img[0] != codecVersion {
+		return nil, fmt.Errorf("%w: version %d, speak %d", ErrCodec, img[0], codecVersion)
+	}
+	r := &imgReader{b: img, off: 1}
+	kindName, err := r.string()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := ParseKind(kindName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	spec := Spec{Kind: kind}
+	if spec.K, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if spec.Depth, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if spec.Width, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if spec.Precision, err = r.intv(); err != nil {
+		return nil, err
+	}
+	if spec.Seed, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	winRaw, err := r.varint()
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewEstimator(spec, tuple.Time(winRaw))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCodec, err)
+	}
+	nparts, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	// Allocation guard beyond the per-element count checks: the dense
+	// structures (Count-Min rows, HLL registers) are sized by the spec,
+	// not the payload, so bound partials × cells before building any.
+	const maxCells = 1 << 22
+	switch {
+	case kind == CountMinKind && nparts > 0 && nparts*e.spec.Depth*e.spec.Width > maxCells:
+		return nil, fmt.Errorf("%w: %d partials of a %dx%d sketch exceed the decode budget",
+			ErrCodec, nparts, e.spec.Depth, e.spec.Width)
+	case kind == HLLKind && nparts > 0 && nparts<<e.spec.Precision > maxCells:
+		return nil, fmt.Errorf("%w: %d partials of a 2^%d-register hll exceed the decode budget",
+			ErrCodec, nparts, e.spec.Precision)
+	}
+	var prevEnd tuple.Time
+	for i := 0; i < nparts; i++ {
+		endRaw, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		end := tuple.Time(endRaw)
+		if i > 0 && end < prevEnd {
+			return nil, fmt.Errorf("%w: partial ends out of order", ErrCodec)
+		}
+		prevEnd = end
+		p := partial{end: end}
+		switch kind {
+		case CountMinKind:
+			if p.cm, err = decodeCountMin(r, e.spec); err != nil {
+				return nil, err
+			}
+		case SpaceSavingKind:
+			if p.ss, err = decodeSpaceSaving(r, e.spec); err != nil {
+				return nil, err
+			}
+		case HLLKind:
+			if p.hll, err = decodeHLL(r, e.spec); err != nil {
+				return nil, err
+			}
+		default:
+			if p.samp, err = decodeSample(r, e.spec, end); err != nil {
+				return nil, err
+			}
+		}
+		e.parts = append(e.parts, p)
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, r.remaining())
+	}
+	e.rebuild()
+	return e, nil
+}
+
+func decodeCountMin(r *imgReader, spec Spec) (*CountMin, error) {
+	c := NewCountMin(spec.Depth, spec.Width, spec.Seed)
+	cells, err := r.count(10)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cells; i++ {
+		row, err := r.intv()
+		if err != nil {
+			return nil, err
+		}
+		col, err := r.intv()
+		if err != nil {
+			return nil, err
+		}
+		if row >= spec.Depth || col >= spec.Width {
+			return nil, fmt.Errorf("%w: cell (%d,%d) outside %dx%d sketch", ErrCodec, row, col, spec.Depth, spec.Width)
+		}
+		if c.rows[row][col], err = r.float(); err != nil {
+			return nil, err
+		}
+	}
+	if c.total, err = r.float(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func decodeSpaceSaving(r *imgReader, spec Spec) (*SpaceSaving, error) {
+	s := NewSpaceSaving(spec.K)
+	n, err := r.count(17)
+	if err != nil {
+		return nil, err
+	}
+	if n > spec.K {
+		return nil, fmt.Errorf("%w: %d space-saving entries exceed budget %d", ErrCodec, n, spec.K)
+	}
+	for i := 0; i < n; i++ {
+		key, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := s.counts[key]; ok {
+			return nil, fmt.Errorf("%w: duplicate space-saving key %q", ErrCodec, key)
+		}
+		e := &SSEntry{Key: key}
+		if e.Est, err = r.float(); err != nil {
+			return nil, err
+		}
+		if e.Err, err = r.float(); err != nil {
+			return nil, err
+		}
+		s.counts[key] = e
+	}
+	if s.off, err = r.float(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func decodeHLL(r *imgReader, spec Spec) (*HLL, error) {
+	h := NewHLL(spec.Precision, spec.Seed)
+	n, err := r.count(2)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		idx, err := r.intv()
+		if err != nil {
+			return nil, err
+		}
+		if idx >= len(h.regs) {
+			return nil, fmt.Errorf("%w: register %d outside 2^%d", ErrCodec, idx, spec.Precision)
+		}
+		rank, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if rank == 0 || rank > uint64(64-spec.Precision+1) {
+			return nil, fmt.Errorf("%w: register rank %d outside [1, %d]", ErrCodec, rank, 64-spec.Precision+1)
+		}
+		h.regs[idx] = uint8(rank)
+	}
+	return h, nil
+}
+
+func decodeSample(r *imgReader, spec Spec, end tuple.Time) (*Sample, error) {
+	salt := uint64(0)
+	if spec.Kind == ChainKind {
+		salt = uint64(end)
+	}
+	s := NewSample(spec.Kind, spec.K, spec.Seed, salt)
+	n, err := r.count(9)
+	if err != nil {
+		return nil, err
+	}
+	if n > spec.K {
+		return nil, fmt.Errorf("%w: %d sampled items exceed budget %d", ErrCodec, n, spec.K)
+	}
+	for i := 0; i < n; i++ {
+		key, err := r.string()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := s.items[key]; ok {
+			return nil, fmt.Errorf("%w: duplicate sampled key %q", ErrCodec, key)
+		}
+		val, err := r.float()
+		if err != nil {
+			return nil, err
+		}
+		s.items[key] = &sampleItem{Item: Item{Key: key, Val: val}, pri: s.pri(key)}
+	}
+	return s, nil
+}

@@ -101,7 +101,7 @@ func TestShrinkFindsMinimalScenario(t *testing.T) {
 	}
 	if got.JitterMS != 0 || got.MaxDelayMS != 0 || got.Throttle || got.NonInvertible ||
 		got.Workers != 0 || got.Skew != "uniform" || got.CheckpointAt != 1 || got.Columnar ||
-		len(got.ScaleEvents) != 0 {
+		len(got.ScaleEvents) != 0 || got.Approx != "" {
 		t.Errorf("irrelevant fields not reduced: %s", got)
 	}
 	if got.Seed != sc.Seed {

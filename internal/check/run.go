@@ -39,6 +39,7 @@ func Run(sc Scenario) []string {
 	violations = append(violations, checkColumnarEquivalence(sc, batches)...)
 	violations = append(violations, checkMigrationEquivalence(sc, batches)...)
 	violations = append(violations, checkPipelineEquivalence(sc, batches)...)
+	violations = append(violations, checkApproxInvariant(sc, batches)...)
 	return violations
 }
 
@@ -632,6 +633,10 @@ func ckptConfig(sc Scenario) engine.Config {
 	if sc.FaultEvents > 0 {
 		cfg.Faults = fault.RandomPlan(sc.Seed, sc.Batches, sc.FaultEvents)
 	}
+	// The approximate tier rides the checkpoint differential too, so the
+	// restored summary is stressed under jitter, throttling, and faults
+	// (its per-report bound and footprint compare bit for bit).
+	cfg.Approx = approxSpec(sc)
 	return cfg
 }
 

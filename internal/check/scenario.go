@@ -20,7 +20,14 @@
 //     window answers,
 //  8. a run whose key-range owner count changes mid-stream (live
 //     rescaling with state migration, in-process and over loopback/pipe
-//     shard clusters) equals the static run bit for bit.
+//     shard clusters) equals the static run bit for bit,
+//  9. inter-batch pipelining at depths 2 and 3 (in-process and over
+//     loopback/pipe shard clusters) equals the classic depth-1 run bit
+//     for bit,
+//  10. the approximate tier's summary state is bit-identical after every
+//     batch across worker counts, ingest layouts, and a mid-run
+//     checkpoint/restore, and its final answers stay inside the
+//     operator's advertised error bounds of the exact window.
 //
 // A failing scenario prints its seed plus a shrunk minimal scenario that
 // still fails; PROMPT_CHECK_SEED replays one seed deterministically and
@@ -34,6 +41,7 @@ import (
 	"strconv"
 	"strings"
 
+	"prompt/internal/approx"
 	"prompt/internal/core"
 )
 
@@ -86,6 +94,11 @@ type Scenario struct {
 	// batch boundary. Reports and windows must stay bit-identical to the
 	// static run. Empty = static.
 	ScaleEvents []ScaleEvent
+	// Approx names the approximate operator invariant 10 runs next to the
+	// exact query (empty = tier off). It also rides the full-stack
+	// checkpoint differential of invariant 2, so the restored summary is
+	// stressed under jitter, throttling, and faults.
+	Approx string
 }
 
 // ScaleEvent is one scripted elastic rescale; see Scenario.ScaleEvents.
@@ -126,6 +139,11 @@ func Generate(seed int64) Scenario {
 			Owners:  1 + rng.Intn(4),
 		})
 	}
+	// The approx operator draws last, after the scale events, so every
+	// pre-approx seed keeps its historical field values (replay stability
+	// of PROMPT_CHECK_SEED).
+	kinds := approx.Kinds()
+	sc.Approx = string(kinds[rng.Intn(len(kinds))])
 	return sc
 }
 
@@ -137,10 +155,10 @@ func (sc Scenario) String() string {
 		scale[i] = fmt.Sprintf("%d:%d", ev.AtBatch, ev.Owners)
 	}
 	return fmt.Sprintf("seed=%d batches=%d ckpt@%d rate=%g keys=%d skew=%s scheme=%s "+
-		"workers=%d window=%ds noninv=%v faults=%d jitter=%dms maxdelay=%dms throttle=%v columnar=%v scale=[%s]",
+		"workers=%d window=%ds noninv=%v faults=%d jitter=%dms maxdelay=%dms throttle=%v columnar=%v scale=[%s] approx=%s",
 		sc.Seed, sc.Batches, sc.CheckpointAt, sc.Rate, sc.Keys, sc.Skew, sc.Scheme,
 		sc.Workers, sc.WindowSec, sc.NonInvertible, sc.FaultEvents,
-		sc.JitterMS, sc.MaxDelayMS, sc.Throttle, sc.Columnar, strings.Join(scale, ","))
+		sc.JitterMS, sc.MaxDelayMS, sc.Throttle, sc.Columnar, strings.Join(scale, ","), sc.Approx)
 }
 
 // seedsFromEnv resolves the seed sweep: PROMPT_CHECK_SEED pins a single

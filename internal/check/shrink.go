@@ -119,6 +119,15 @@ func Shrink(sc Scenario, fails func(Scenario) bool) Scenario {
 			s.ScaleEvents = append([]ScaleEvent(nil), s.ScaleEvents[:len(s.ScaleEvents)-1]...)
 			return s, true
 		},
+		// Turn the approximate tier off, so a failure unrelated to it
+		// sheds the operator (invariant 10 skips an empty Approx).
+		func(s Scenario) (Scenario, bool) {
+			if s.Approx == "" {
+				return s, false
+			}
+			s.Approx = ""
+			return s, true
+		},
 	}
 	// Each accepted mutation strictly simplifies a bounded field, so the
 	// fixpoint terminates; the cap is a backstop against a pathological

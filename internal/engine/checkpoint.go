@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"prompt/internal/approx"
 	"prompt/internal/backpressure"
 	"prompt/internal/intern"
 	"prompt/internal/tuple"
@@ -53,6 +54,13 @@ type checkpointImage struct {
 	Owners        int
 	PendingOwners int
 	Migrations    int
+	// HasApprox/Approx carry the approximate tier: one approx codec image
+	// per query (the versioned binary format of internal/approx, not raw
+	// gob), so the sketches survive restarts with byte-exact state. Old
+	// checkpoints decode with HasApprox false; restoring one into a
+	// config that enables the tier starts the estimators empty.
+	HasApprox bool
+	Approx    [][]byte
 }
 
 // Checkpoint serializes the engine's driver state — batch position,
@@ -90,6 +98,13 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	img.Owners = e.owners
 	img.PendingOwners = e.pendingOwners
 	img.Migrations = e.migrations
+	if e.approxes != nil {
+		img.HasApprox = true
+		img.Approx = make([][]byte, len(e.approxes))
+		for i, est := range e.approxes {
+			img.Approx[i] = est.Encode()
+		}
+	}
 	if err := gob.NewEncoder(w).Encode(&img); err != nil {
 		return fmt.Errorf("engine: writing checkpoint: %w", err)
 	}
@@ -157,5 +172,25 @@ func Restore(cfg Config, queries []Query, r io.Reader) (*Engine, error) {
 	e.owners = img.Owners
 	e.pendingOwners = img.PendingOwners
 	e.migrations = img.Migrations
+	if img.HasApprox {
+		if e.approxes == nil {
+			return nil, fmt.Errorf("engine: checkpoint carries approximate state, config disables the tier")
+		}
+		if len(img.Approx) != len(e.approxes) {
+			return nil, fmt.Errorf("engine: checkpoint has %d approximate summaries, engine has %d queries",
+				len(img.Approx), len(e.approxes))
+		}
+		for i, state := range img.Approx {
+			est, err := approx.Decode(state)
+			if err != nil {
+				return nil, fmt.Errorf("engine: restoring approximate summary %d: %w", i, err)
+			}
+			if est.Kind() != e.approxes[i].Kind() {
+				return nil, fmt.Errorf("engine: checkpointed summary %d is %q, config asks for %q",
+					i, est.Kind(), e.approxes[i].Kind())
+			}
+			e.approxes[i] = est
+		}
+	}
 	return e, nil
 }

@@ -12,6 +12,7 @@ package engine
 import (
 	"fmt"
 
+	"prompt/internal/approx"
 	"prompt/internal/fault"
 	"prompt/internal/metrics"
 	"prompt/internal/partition"
@@ -139,6 +140,14 @@ type Config struct {
 	// retry backoff, and the speculative-execution threshold. Zero-valued
 	// fields take the defaults (4 attempts, 50ms backoff doubling).
 	Retry fault.RetryPolicy
+	// Approx enables the approximate-query tier: one bounded-memory
+	// summary per query (Count-Min, Space-Saving, HyperLogLog, or a
+	// window sampler) folded from the exact per-key results at commit.
+	// The fold consumes the bit-identical result maps, so the summaries
+	// are themselves bit-identical across worker counts, ingestion
+	// layouts, pipelining depths, and checkpoint/restore. The zero value
+	// disables the tier.
+	Approx approx.Spec
 }
 
 // StragglerModel makes every Every-th task (counted deterministically
@@ -244,6 +253,9 @@ func (c Config) Validate() error {
 		return err
 	}
 	if err := c.Retry.WithDefaults().Validate(); err != nil {
+		return err
+	}
+	if err := c.Approx.Validate(); err != nil {
 		return err
 	}
 	return c.MPIWeights.Validate()

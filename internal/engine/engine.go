@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"prompt/internal/approx"
 	"prompt/internal/backpressure"
 	"prompt/internal/cluster"
 	"prompt/internal/fault"
@@ -38,6 +39,11 @@ type Engine struct {
 	cfg     Config
 	queries []Query
 	aggs    []*window.Aggregator
+	// approxes holds one windowed approximate summary per query when
+	// Config.Approx is enabled (nil otherwise). The commit stage folds
+	// each query's exact result map into its estimator, so summaries see
+	// only bit-identical inputs and inherit the engine's determinism.
+	approxes []*approx.Estimator
 
 	batchIdx int
 	now      tuple.Time // start of the next batch interval
@@ -160,6 +166,20 @@ func NewMulti(cfg Config, queries []Query) (*Engine, error) {
 		}
 		e.queries[i] = q
 		e.aggs[i] = agg
+	}
+	if cfg.Approx.Enabled() {
+		e.approxes = make([]*approx.Estimator, len(e.queries))
+		for i, q := range e.queries {
+			win := q.Window.Length
+			if win == 0 {
+				win = cfg.BatchInterval
+			}
+			est, err := approx.NewEstimator(cfg.Approx, win)
+			if err != nil {
+				return nil, fmt.Errorf("engine: query %d (%s): %w", i, q.Name, err)
+			}
+			e.approxes[i] = est
+		}
 	}
 	if !cfg.Faults.Empty() {
 		in, err := fault.NewInjector(cfg.Faults, cfg.Retry)
@@ -342,6 +362,19 @@ func (e *Engine) WindowSnapshot() map[string]float64 {
 		return nil
 	}
 	return e.aggs[0].Snapshot()
+}
+
+// ApproxState returns the primary query's approximate estimator, or nil
+// when Config.Approx is disabled.
+func (e *Engine) ApproxState() *approx.Estimator { return e.ApproxStateOf(0) }
+
+// ApproxStateOf returns query i's approximate estimator (nil when the
+// tier is disabled).
+func (e *Engine) ApproxStateOf(i int) *approx.Estimator {
+	if e.approxes == nil {
+		return nil
+	}
+	return e.approxes[i]
 }
 
 // Window returns the primary query's window aggregator (nil without a

@@ -385,6 +385,21 @@ func (commitStage) Run(e *Engine, ctx *BatchContext) error {
 			return aggErr
 		}
 	}
+	// Approximate tier: fold the exact result maps into the per-query
+	// summaries. Recovery already replaced any lost results, so the fold
+	// only ever sees the bit-identical committed answers; running it on
+	// the driver keeps the estimators free of synchronization.
+	var approxBound float64
+	var approxBytes int
+	for qi, est := range e.approxes {
+		if err := est.AddBatch(ctx.Batch.End, ctx.runs[qi].result); err != nil {
+			return fmt.Errorf("engine: batch %d: %w", ctx.Index, err)
+		}
+		if qi == 0 {
+			approxBound = est.ErrorBound()
+			approxBytes = est.Bytes()
+		}
+	}
 	primary := ctx.runs[0]
 
 	// Timing, queueing, stability: the batch becomes processable at the
@@ -424,12 +439,24 @@ func (commitStage) Run(e *Engine, ctx *BatchContext) error {
 		Latency:           finish - ctx.Batch.Start,
 		W:                 float64(ctx.Processing) / float64(ctx.Interval),
 		Stable:            finish <= ctx.Batch.End+ctx.Interval,
+		ApproxErrorBound:  approxBound,
+		ApproxBytes:       approxBytes,
 	}
 	if e.pendingDrops > 0 {
 		if obs := e.cfg.Observer; obs != nil {
 			obs.OnDrop(metrics.Drop{Batch: ctx.Index, Count: e.pendingDrops})
 		}
 		e.pendingDrops = 0
+	}
+	if e.approxes != nil {
+		if obs := e.cfg.Observer; obs != nil {
+			obs.OnApprox(metrics.Approx{
+				Batch:      ctx.Index,
+				Kind:       string(e.cfg.Approx.Kind),
+				ErrorBound: approxBound,
+				Bytes:      approxBytes,
+			})
+		}
 	}
 	// Elastic handoff last: the report above is already sealed, so a
 	// rescale can only move state between owners, never change answers.

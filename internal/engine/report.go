@@ -79,6 +79,13 @@ type BatchReport struct {
 	// Stable reports whether the batch finished within its interval
 	// including queue wait (the system keeps up).
 	Stable bool
+
+	// ApproxErrorBound is the primary query's advertised approximate-tier
+	// error bound after this batch committed (0 when the tier is off or
+	// the operator is a sampler); ApproxBytes is the summary's memory
+	// footprint.
+	ApproxErrorBound float64
+	ApproxBytes      int
 }
 
 // String summarizes the report on one line.
@@ -101,6 +108,11 @@ type RunSummary struct {
 	MeanW          float64
 	// Throughput is tuples per second of virtual stream time.
 	Throughput float64
+	// MaxApproxErrorBound and MaxApproxBytes are the largest
+	// approximate-tier bound and footprint across the run (0 when the
+	// tier is off).
+	MaxApproxErrorBound float64
+	MaxApproxBytes      int
 }
 
 // Summarize folds a slice of batch reports into a summary.
@@ -130,10 +142,18 @@ func Summarize(reports []BatchReport) RunSummary {
 			s.MaxLatency = r.Latency
 		}
 		wSum += r.W
+		if r.ApproxErrorBound > s.MaxApproxErrorBound {
+			s.MaxApproxErrorBound = r.ApproxErrorBound
+		}
+		if r.ApproxBytes > s.MaxApproxBytes {
+			s.MaxApproxBytes = r.ApproxBytes
+		}
 	}
+	// Round half-up: truncating integer division biases the means low by up
+	// to one microsecond tick per summary.
 	n := tuple.Time(len(reports))
-	s.MeanProcessing = procSum / n
-	s.MeanLatency = latSum / n
+	s.MeanProcessing = (procSum + n/2) / n
+	s.MeanLatency = (latSum + n/2) / n
 	s.MeanW = wSum / float64(len(reports))
 	span := reports[len(reports)-1].End - reports[0].Start
 	if span > 0 {

@@ -101,6 +101,23 @@ type Drop struct {
 	Count int
 }
 
+// Approx reports one batch's approximate-tier outcome at commit: which
+// operator ran, its advertised error bound for the window answer, and
+// the summary's memory footprint. Fired only when an approximate query
+// is configured.
+type Approx struct {
+	// Batch is the batch sequence number.
+	Batch int
+	// Kind names the operator ("countmin", "spacesaving", ...).
+	Kind string
+	// ErrorBound is the operator's advertised bound after this batch's
+	// merge (absolute mass for the frequency sketches, absolute keys for
+	// the distinct counter, zero for the samplers).
+	ErrorBound float64
+	// Bytes is the summary's approximate memory footprint.
+	Bytes int
+}
+
 // Observer receives batch-lifecycle events from the staged pipeline.
 // Implementations must be cheap: callbacks run on the driver goroutine
 // between stages, so a slow observer stretches real batch latency (never
@@ -126,6 +143,9 @@ type Observer interface {
 	// OnDrop fires at batch commit when the reorder buffer discarded
 	// tuples while assembling the batch (never with a zero count).
 	OnDrop(Drop)
+	// OnApprox fires at batch commit when an approximate query is
+	// configured, after the batch's exact results folded into the summary.
+	OnApprox(Approx)
 }
 
 // NopObserver implements Observer with empty callbacks; embed it to pick
@@ -149,6 +169,9 @@ func (NopObserver) OnRecovery(Recovery) {}
 
 // OnDrop implements Observer.
 func (NopObserver) OnDrop(Drop) {}
+
+// OnApprox implements Observer.
+func (NopObserver) OnApprox(Approx) {}
 
 // MultiObserver fans every lifecycle event out to several observers in
 // order. The engine treats a nil or empty MultiObserver like no observer.
@@ -193,6 +216,13 @@ func (m MultiObserver) OnRecovery(r Recovery) {
 func (m MultiObserver) OnDrop(d Drop) {
 	for _, o := range m {
 		o.OnDrop(d)
+	}
+}
+
+// OnApprox implements Observer.
+func (m MultiObserver) OnApprox(a Approx) {
+	for _, o := range m {
+		o.OnApprox(a)
 	}
 }
 
@@ -302,6 +332,12 @@ type CollectorSummary struct {
 	// TuplesDropped counts tuples the reorder buffer discarded across all
 	// batches (late past the delay bound or inside sealed batches).
 	TuplesDropped int `json:"tuples_dropped"`
+	// ApproxKind names the approximate operator observed, when one ran.
+	ApproxKind string `json:"approx_kind,omitempty"`
+	// ApproxErrorBound is the largest advertised error bound observed.
+	ApproxErrorBound float64 `json:"approx_error_bound,omitempty"`
+	// ApproxBytes is the largest summary footprint observed.
+	ApproxBytes int `json:"approx_bytes,omitempty"`
 }
 
 // PipelineStats is the Collector's roll-up of PipelineEvents: how well
@@ -404,6 +440,19 @@ func (c *Collector) OnDrop(d Drop) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.summary.TuplesDropped += d.Count
+}
+
+// OnApprox implements Observer.
+func (c *Collector) OnApprox(a Approx) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.summary.ApproxKind = a.Kind
+	if a.ErrorBound > c.summary.ApproxErrorBound {
+		c.summary.ApproxErrorBound = a.ErrorBound
+	}
+	if a.Bytes > c.summary.ApproxBytes {
+		c.summary.ApproxBytes = a.Bytes
+	}
 }
 
 // OnPipeline implements PipelineObserver.

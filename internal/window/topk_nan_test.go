@@ -1,0 +1,44 @@
+package window
+
+import (
+	"math"
+	"testing"
+
+	"prompt/internal/tuple"
+)
+
+// TestTopKTotalOrderUnderNaN pins TopK's ordering when the window answer
+// contains NaN values: NaN entries sort after every number, and ties —
+// including NaN/NaN ties — break on the key, so the ranking stays
+// deterministic across map iteration orders. The loop re-inserts the keys
+// through fresh aggregators so each TopK sees a different map iteration
+// order; before the total comparator, the two NaN keys came out in
+// whichever order the map happened to yield them.
+func TestTopKTotalOrderUnderNaN(t *testing.T) {
+	nan := math.NaN()
+	wantKeys := []string{"x", "y", "a", "b"}
+	for i := 0; i < 100; i++ {
+		ag, err := NewAggregator(Tumbling(tuple.Second), Sum, SumInverse)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = ag.AddBatch(tuple.Second, map[string]float64{
+			"a": nan, "b": nan, "x": 5, "y": 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ag.TopK(4)
+		if len(got) != 4 {
+			t.Fatalf("TopK returned %d entries, want 4", len(got))
+		}
+		for j, e := range got {
+			if e.Key != wantKeys[j] {
+				t.Fatalf("iteration %d: order %v, want keys %v", i, got, wantKeys)
+			}
+		}
+		if got[0].Val != 5 || got[1].Val != 3 || !math.IsNaN(got[2].Val) || !math.IsNaN(got[3].Val) {
+			t.Fatalf("iteration %d: values %v, want [5 3 NaN NaN]", i, got)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package window
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"slices"
 	"strings"
 	"sync"
@@ -366,8 +367,8 @@ func (ag *Aggregator) TopK(k int) []Entry {
 		entries = append(entries, Entry{Key: key, Val: v})
 	}
 	slices.SortFunc(entries, func(a, b Entry) int {
-		if a.Val != b.Val {
-			return cmp.Compare(b.Val, a.Val)
+		if c := compareValDesc(a.Val, b.Val); c != 0 {
+			return c
 		}
 		return strings.Compare(a.Key, b.Key)
 	})
@@ -375,4 +376,23 @@ func (ag *Aggregator) TopK(k int) []Entry {
 		entries = entries[:k]
 	}
 	return entries
+}
+
+// compareValDesc orders window values descending under a total order:
+// NaN sorts after every number and equal to other NaNs (letting the key
+// tie-break apply), so a reduce that ever emits NaN cannot make the
+// ranking depend on map iteration order. A bare != / cmp.Compare pair is
+// not total here — NaN != NaN while cmp.Compare(NaN, NaN) == 0, which
+// skips the tie-break and leaves NaN entries in arrival order.
+func compareValDesc(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	}
+	return cmp.Compare(b, a)
 }

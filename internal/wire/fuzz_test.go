@@ -3,6 +3,9 @@ package wire
 import (
 	"bytes"
 	"testing"
+
+	"prompt/internal/approx"
+	"prompt/internal/tuple"
 )
 
 // FuzzWireFrame feeds arbitrary bytes to the frame decoder. Properties:
@@ -72,6 +75,65 @@ func FuzzMigrateFrame(f *testing.F) {
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		body := append([]byte{Version, byte(TypeMigrate)}, payload...)
 		checkCanonical(t, body)
+	})
+}
+
+// FuzzSketchFrame concentrates the fuzzer on the approximate-summary
+// frame: every input is decoded as a Sketch body, with the same
+// never-panic and canonical round-trip properties as FuzzWireFrame, and
+// any opaque state that survives the frame is additionally fed to the
+// approx codec, which must reject corruption cleanly (never panic or
+// over-allocate).
+func FuzzSketchFrame(f *testing.F) {
+	for _, m := range sampleMsgs() {
+		if _, ok := m.(*Sketch); !ok {
+			continue
+		}
+		frame, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:][2:]) // payload without version/type bytes
+	}
+	for _, kind := range approx.Kinds() {
+		est, err := approx.NewEstimator(approx.Spec{Kind: kind, K: 4, Depth: 2, Width: 16, Precision: 4}, tuple.Second)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := est.AddBatch(tuple.Second, map[string]float64{"a": 2, "b": 1}); err != nil {
+			f.Fatal(err)
+		}
+		frame, err := Marshal(&Sketch{Kind: string(kind), State: est.Encode()})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame[4:][2:])
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		body := append([]byte{Version, byte(TypeSketch)}, payload...)
+		checkCanonical(t, body)
+		m, err := Unmarshal(body)
+		if err != nil {
+			return
+		}
+		sk := m.(*Sketch)
+		est, err := approx.Decode(sk.State)
+		if err != nil {
+			return
+		}
+		// Any state that decodes canonicalizes to a fixed point: its
+		// re-encoding decodes to an estimator that encodes identically.
+		canon := est.Encode()
+		est2, err := approx.Decode(canon)
+		if err != nil {
+			t.Fatalf("re-decode of canonical %q image failed: %v", est.Kind(), err)
+		}
+		if !bytes.Equal(est2.Encode(), canon) {
+			t.Fatalf("approx canonicalization diverged for kind %q", est.Kind())
+		}
 	})
 }
 

@@ -1,0 +1,43 @@
+package wire
+
+// Sketch ships one query's approximate summary between shards: the
+// opaque State is the versioned approx codec image (internal/approx),
+// so a coordinator can fold shard partials or install a checkpointed
+// summary without re-seeing any raw keys. Kind is carried redundantly
+// next to the image so a receiver can reject a mismatched operator
+// before decoding the state.
+type Sketch struct {
+	// Query is the query index the summary belongs to.
+	Query int
+	// Kind names the approximate operator ("countmin", "hll", ...).
+	Kind string
+	// State is the approx codec image.
+	State []byte
+}
+
+// WireType implements Msg.
+func (*Sketch) WireType() Type { return TypeSketch }
+
+func (s *Sketch) append(b []byte) []byte {
+	b = appendVarint(b, int64(s.Query))
+	b = appendString(b, s.Kind)
+	b = appendUvarint(b, uint64(len(s.State)))
+	return append(b, s.State...)
+}
+
+func (s *Sketch) decode(r *reader) (err error) {
+	if s.Query, err = r.intv(); err != nil {
+		return err
+	}
+	if s.Kind, err = r.string(); err != nil {
+		return err
+	}
+	n, err := r.count(1)
+	if err != nil {
+		return err
+	}
+	s.State = make([]byte, n)
+	copy(s.State, r.b[r.off:r.off+n])
+	r.off += n
+	return nil
+}

@@ -67,6 +67,7 @@ const (
 	TypeMigrate
 	TypeMigrateAck
 	TypeMux
+	TypeSketch
 )
 
 // String implements fmt.Stringer.
@@ -96,6 +97,8 @@ func (t Type) String() string {
 		return "migrate-ack"
 	case TypeMux:
 		return "mux"
+	case TypeSketch:
+		return "sketch"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -368,6 +371,8 @@ func Unmarshal(body []byte) (Msg, error) {
 		m = &MigrateAck{}
 	case TypeMux:
 		m = &Mux{}
+	case TypeSketch:
+		m = &Sketch{}
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrType, body[1])
 	}

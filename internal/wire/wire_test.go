@@ -113,6 +113,8 @@ func sampleMsgs() []Msg {
 		&Migrate{Image: []byte{}},
 		&MigrateAck{Slot: 13, Digest: 1 << 60, Keys: 9},
 		&MigrateAck{},
+		&Sketch{Query: 1, Kind: "countmin", State: []byte{1, 0, 0xFF, 7}},
+		&Sketch{Kind: "", State: []byte{}},
 	}
 }
 

@@ -54,12 +54,16 @@ func NewZipfSampler(prefix string, keys int, z float64) (*ZipfSampler, error) {
 
 // Next implements KeySampler.
 func (zs *ZipfSampler) Next(r *rand.Rand, _ tuple.Time) string {
-	u := r.Float64()
-	idx := sort.SearchFloat64s(zs.cdf, u)
-	if idx >= len(zs.cdf) {
-		idx = len(zs.cdf) - 1
-	}
-	return zs.prefix + strconv.Itoa(idx)
+	return zs.prefix + strconv.Itoa(zs.rank(r.Float64()))
+}
+
+// rank inverts the CDF for one uniform draw u in [0, 1): rank i owns the
+// half-open interval [cdf[i-1], cdf[i]), so the search is strict — the
+// smallest i with cdf[i] > u. A >= search (sort.SearchFloat64s) would
+// misassign a draw landing exactly on cdf[i] to rank i instead of i+1.
+// cdf[len-1] is pinned to 1 and u < 1, so the result is always in range.
+func (zs *ZipfSampler) rank(u float64) int {
+	return sort.Search(len(zs.cdf), func(i int) bool { return zs.cdf[i] > u })
 }
 
 // Cardinality implements KeySampler.

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// TestZipfRankBoundaryDraws pins the inverse-CDF boundary convention:
+// rank i owns the half-open interval [cdf[i-1], cdf[i]), so a draw equal
+// to cdf[i] must land on rank i+1. With keys=4 and z=0 the CDF is exactly
+// [0.25, 0.5, 0.75, 1].
+func TestZipfRankBoundaryDraws(t *testing.T) {
+	zs, err := NewZipfSampler("k", 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		u    float64
+		want int
+	}{
+		{0, 0},
+		{0.1, 0},
+		{math.Nextafter(0.25, 0), 0}, // just below the boundary
+		{0.25, 1},                    // exactly on cdf[0]: owned by rank 1
+		{0.5, 2},                     // exactly on cdf[1]: owned by rank 2
+		{0.75, 3},                    // exactly on cdf[2]: owned by rank 3
+		{math.Nextafter(1, 0), 3},    // largest draw Float64 can produce
+	}
+	for _, c := range cases {
+		if got := zs.rank(c.u); got != c.want {
+			t.Errorf("rank(%v) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+// empiricalFreq draws n keys and returns the observed per-key frequency.
+func empiricalFreq(t *testing.T, s KeySampler, seed int64, n int) map[string]float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	counts := make(map[string]int)
+	for i := 0; i < n; i++ {
+		counts[s.Next(r, 0)]++
+	}
+	freq := make(map[string]float64, len(counts))
+	for k, c := range counts {
+		freq[k] = float64(c) / float64(n)
+	}
+	return freq
+}
+
+// checkPMF compares empirical frequencies against an analytic pmf. The
+// per-key tolerance is five binomial standard deviations plus a small
+// absolute slack; the draws are seeded, so a pass is deterministic.
+func checkPMF(t *testing.T, freq map[string]float64, pmf map[string]float64, n int) {
+	t.Helper()
+	for key, p := range pmf {
+		tol := 5*math.Sqrt(p*(1-p)/float64(n)) + 1e-4
+		if diff := math.Abs(freq[key] - p); diff > tol {
+			t.Errorf("key %s: empirical %.5f vs analytic %.5f (tolerance %.5f)", key, freq[key], p, tol)
+		}
+	}
+	for key := range freq {
+		if _, ok := pmf[key]; !ok {
+			t.Errorf("drew key %s outside the analytic support", key)
+		}
+	}
+}
+
+func TestZipfSamplerDistribution(t *testing.T) {
+	const keys, n = 50, 200000
+	for _, z := range []float64{0, 0.8, 2.0} {
+		t.Run(fmt.Sprintf("z=%.1f", z), func(t *testing.T) {
+			zs, err := NewZipfSampler("k", keys, z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0.0
+			for i := 0; i < keys; i++ {
+				sum += 1 / math.Pow(float64(i+1), z)
+			}
+			pmf := make(map[string]float64, keys)
+			for i := 0; i < keys; i++ {
+				pmf["k"+strconv.Itoa(i)] = 1 / math.Pow(float64(i+1), z) / sum
+			}
+			checkPMF(t, empiricalFreq(t, zs, 7, n), pmf, n)
+		})
+	}
+}
+
+func TestHotSetSamplerDistribution(t *testing.T) {
+	const hotKeys, coldKeys, n = 4, 40, 200000
+	const hot = 0.3
+	hs, err := NewHotSetSampler("k", hotKeys, coldKeys, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf := make(map[string]float64, hotKeys+coldKeys)
+	for i := 0; i < hotKeys; i++ {
+		pmf["khot"+strconv.Itoa(i)] = hot / hotKeys
+	}
+	for i := 0; i < coldKeys; i++ {
+		pmf["k"+strconv.Itoa(i)] = (1 - hot) / coldKeys
+	}
+	checkPMF(t, empiricalFreq(t, hs, 11, n), pmf, n)
+}

@@ -17,7 +17,9 @@ type Observer = metrics.Observer
 // fires for every simulated task re-execution (executor loss or
 // speculative backup) and a Recovery for every recomputed batch output.
 // Drop fires at batch commit when the reorder buffer discarded tuples
-// while assembling the batch.
+// while assembling the batch. Approx fires at batch commit when an
+// approximate query is configured, carrying the operator's advertised
+// error bound and memory footprint after the batch folded in.
 type (
 	BatchStart = metrics.BatchStart
 	StageEnd   = metrics.StageEnd
@@ -25,6 +27,7 @@ type (
 	TaskRetry  = metrics.TaskRetry
 	Recovery   = metrics.Recovery
 	Drop       = metrics.Drop
+	Approx     = metrics.Approx
 )
 
 // Collector is the built-in Observer: per-stage counters with

@@ -91,6 +91,14 @@ type BatchReport struct {
 	// Recovery summarizes injected-fault activity; Recovery.Clean() for
 	// an untouched batch.
 	Recovery RecoveryInfo
+
+	// ApproxErrorBound is the approximate tier's advertised error bound
+	// after this batch committed — absolute window mass for the frequency
+	// sketches, absolute keys for the distinct counter, 0 for samplers or
+	// when no approximate query is configured. ApproxBytes is the
+	// summary's memory footprint.
+	ApproxErrorBound float64
+	ApproxBytes      int
 }
 
 // newBatchReport converts the engine's internal record into the public
@@ -126,6 +134,8 @@ func newBatchReport(scheme string, r engine.BatchReport) BatchReport {
 			Attempts:    r.RecoveryAttempts,
 			Time:        r.RecoveryTime,
 		},
+		ApproxErrorBound: r.ApproxErrorBound,
+		ApproxBytes:      r.ApproxBytes,
 	}
 }
 
@@ -167,6 +177,8 @@ type batchReportJSON struct {
 	W               float64       `json:"w"`
 	Stable          bool          `json:"stable"`
 	Recovery        *recoveryJSON `json:"recovery,omitempty"`
+	ApproxBound     float64       `json:"approx_error_bound,omitempty"`
+	ApproxBytes     int           `json:"approx_bytes,omitempty"`
 }
 
 type recoveryJSON struct {
@@ -207,6 +219,8 @@ func (r BatchReport) MarshalJSON() ([]byte, error) {
 		LatencyUS:       int64(r.Latency),
 		W:               r.W,
 		Stable:          r.Stable,
+		ApproxBound:     r.ApproxErrorBound,
+		ApproxBytes:     r.ApproxBytes,
 	}
 	if !r.Recovery.Clean() {
 		j.Recovery = &recoveryJSON{
@@ -243,6 +257,11 @@ type RunSummary struct {
 	// RecoveryTime is the total simulated time spent recomputing lost
 	// outputs.
 	RecoveryTime Time
+	// MaxApproxErrorBound and MaxApproxBytes are the largest
+	// approximate-tier bound and footprint seen across the run (0 when no
+	// approximate query is configured).
+	MaxApproxErrorBound float64
+	MaxApproxBytes      int
 }
 
 // Summarize folds batch reports into a RunSummary.
@@ -277,10 +296,18 @@ func Summarize(reports []BatchReport) RunSummary {
 			s.Recoveries++
 		}
 		s.RecoveryTime += r.Recovery.Time
+		if r.ApproxErrorBound > s.MaxApproxErrorBound {
+			s.MaxApproxErrorBound = r.ApproxErrorBound
+		}
+		if r.ApproxBytes > s.MaxApproxBytes {
+			s.MaxApproxBytes = r.ApproxBytes
+		}
 	}
+	// Round half-up: truncating integer division biases the means low by up
+	// to one microsecond tick per summary.
 	n := Time(len(reports))
-	s.MeanProcessing = procSum / n
-	s.MeanLatency = latSum / n
+	s.MeanProcessing = (procSum + n/2) / n
+	s.MeanLatency = (latSum + n/2) / n
 	s.MeanW = wSum / float64(len(reports))
 	span := reports[len(reports)-1].End - reports[0].Start
 	if span > 0 {

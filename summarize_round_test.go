@@ -1,0 +1,42 @@
+package prompt
+
+import "testing"
+
+// TestSummarizeRoundsMeansHalfUp pins the mean rounding convention: the
+// per-batch sums are divided with round-half-up, not truncated. Three
+// batches with processing 1, 1, 2 (sum 4) average 4/3 = 1.33.., which
+// rounds to 1; latencies 2, 2, 3 (sum 7) average 7/3 = 2.33.. -> 2; and
+// processing 1, 2, 2 (sum 5) averages 5/3 = 1.66.., which truncation
+// would report as 1 but half-up rounds to 2.
+func TestSummarizeRoundsMeansHalfUp(t *testing.T) {
+	reports := []BatchReport{
+		{ProcessingTime: 1, Latency: 2},
+		{ProcessingTime: 2, Latency: 2},
+		{ProcessingTime: 2, Latency: 3},
+	}
+	s := Summarize(reports)
+	if s.MeanProcessing != 2 {
+		t.Errorf("MeanProcessing = %d, want 2 (5/3 rounded half-up)", s.MeanProcessing)
+	}
+	if s.MeanLatency != 2 {
+		t.Errorf("MeanLatency = %d, want 2 (7/3 rounded half-up)", s.MeanLatency)
+	}
+}
+
+// TestSummarizeExactHalfRoundsUp pins the half-way case: 2/4 batches at 0
+// and 2 at 1 sum to 2, and 2/4 = 0.5 rounds up to 1.
+func TestSummarizeExactHalfRoundsUp(t *testing.T) {
+	reports := []BatchReport{
+		{ProcessingTime: 0, Latency: 0},
+		{ProcessingTime: 0, Latency: 0},
+		{ProcessingTime: 1, Latency: 1},
+		{ProcessingTime: 1, Latency: 1},
+	}
+	s := Summarize(reports)
+	if s.MeanProcessing != 1 {
+		t.Errorf("MeanProcessing = %d, want 1 (2/4 rounded half-up)", s.MeanProcessing)
+	}
+	if s.MeanLatency != 1 {
+		t.Errorf("MeanLatency = %d, want 1 (2/4 rounded half-up)", s.MeanLatency)
+	}
+}
